@@ -1,0 +1,301 @@
+package seqrep_test
+
+// One benchmark per reproduced table/figure (see DESIGN.md §4 and
+// EXPERIMENTS.md). Run with: go test -bench=. -benchmem
+//
+// The benchmarks measure the operations behind each experiment — breaking,
+// representation, feature extraction, each query type, and the baselines —
+// on the same workloads seqbench prints.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"seqrep"
+)
+
+// corpus builds a database of n two-peak fever curves (with varied peak
+// positions) plus n/4 three-peak controls, archived raws included.
+func corpus(b *testing.B, n int) (*seqrep.DB, seqrep.Sequence) {
+	b.Helper()
+	db, err := seqrep.New(seqrep.Config{Archive: seqrep.NewMemArchive()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exemplar, err := seqrep.GenerateFever(seqrep.FeverOpts{Samples: 97})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		first := 5 + float64(i%8)
+		second := first + 5 + float64(i%5)
+		s, err := seqrep.GenerateFever(seqrep.FeverOpts{
+			Samples: 97, FirstPeak: first, SecondPeak: second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Ingest(fmt.Sprintf("two-%03d", i), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < n/4; i++ {
+		s, err := seqrep.GenerateThreePeakFever(97)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Ingest(fmt.Sprintf("three-%03d", i), s.ShiftValue(float64(i)*0.01)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, exemplar
+}
+
+// ecgDB builds a database of n synthetic ECGs with varied heart rates.
+func ecgDB(b *testing.B, n int) *seqrep.DB {
+	b.Helper()
+	db, err := seqrep.New(seqrep.Config{Epsilon: 10, Delta: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		rr := 110 + float64(i%10)*8
+		s, _, err := seqrep.GenerateECG(rng, seqrep.ECGOpts{RRInterval: rr, RRJitter: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Ingest(fmt.Sprintf("ecg-%03d", i), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkFig1ValueQuery measures the prior-art ±ε query (Figure 1
+// semantics) over 64 stored raw sequences.
+func BenchmarkFig1ValueQuery(b *testing.B) {
+	db, exemplar := corpus(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ValueQuery(exemplar, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5PatternVsValue measures the pattern query that recognizes
+// the transformed family value matching misses (Figures 2-5).
+func BenchmarkFig5PatternVsValue(b *testing.B) {
+	db, _ := corpus(b, 64)
+	pat := seqrep.TwoPeakPattern()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.MatchPattern(pat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Break measures breaking + regression representation of one
+// fever curve (Figure 6).
+func BenchmarkFig6Break(b *testing.B) {
+	fever, err := seqrep.GenerateFever(seqrep.FeverOpts{Samples: 97})
+	if err != nil {
+		b.Fatal(err)
+	}
+	breaker := seqrep.NewInterpolationBreaker(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := breaker.Break(fever); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoalpostQuery measures the full §4.4 goal-post query (two-peak
+// regular expression over slope symbols) on an 80-sequence database.
+func BenchmarkGoalpostQuery(b *testing.B) {
+	db, _ := corpus(b, 64)
+	pat := seqrep.ExactlyPeaksPattern(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, err := db.MatchPattern(pat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ids) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkGoalpostShapeQuery measures the generalized approximate query
+// with per-dimension tolerances (§2.2).
+func BenchmarkGoalpostShapeQuery(b *testing.B) {
+	db, exemplar := corpus(b, 64)
+	tol := seqrep.ShapeTolerance{Peaks: 0, Height: 0.3, Spacing: 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ShapeQuery(exemplar, tol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9ECGBreak measures breaking one 540-point ECG with ε=10
+// (Figure 9).
+func BenchmarkFig9ECGBreak(b *testing.B) {
+	ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	breaker := seqrep.NewInterpolationBreaker(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := breaker.Break(ecg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1PeakExtraction measures deriving the peaks table from an
+// ingested ECG's representation (Table 1).
+func BenchmarkTable1PeakExtraction(b *testing.B) {
+	db := ecgDB(b, 1)
+	rec, ok := db.Record("ecg-000")
+	if !ok {
+		b.Fatal("record missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seqrep.PeakTable(rec.Rep, rec.Profile.Peaks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10RRQuery measures the inverted-index interval query over
+// 64 ECGs (Figure 10).
+func BenchmarkFig10RRQuery(b *testing.B) {
+	db := ecgDB(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.IntervalQuery(134, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompression measures building the compact representation of a
+// 540-point ECG (the §5.2 space-reduction pipeline).
+func BenchmarkCompression(b *testing.B) {
+	db, err := seqrep.New(seqrep.Config{Epsilon: 10, Delta: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("e%d", i)
+		if err := db.Ingest(id, ecg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBreakers compares every breaking algorithm on the same ECG
+// (§5.1): the interpolation breaker's near-linear time against the O(n²)
+// dynamic program.
+func BenchmarkBreakers(b *testing.B) {
+	ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, br := range []seqrep.Breaker{
+		seqrep.NewInterpolationBreaker(10),
+		seqrep.NewRegressionBreaker(10),
+		seqrep.NewBezierBreaker(10),
+		seqrep.NewDPBreaker(300, 1),
+		seqrep.NewOnlineBreaker(10),
+	} {
+		b.Run(br.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Break(ecg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBreakerScaling shows the interpolation breaker's growth with
+// input length (the paper claims O(#peaks · n)).
+func BenchmarkBreakerScaling(b *testing.B) {
+	for _, n := range []int{540, 2160, 8640} {
+		ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{Samples: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		br := seqrep.NewInterpolationBreaker(10)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Break(ecg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest measures the full pipeline: break, represent, extract,
+// index.
+func BenchmarkIngest(b *testing.B) {
+	ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := seqrep.New(seqrep.Config{Epsilon: 10, Delta: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Ingest(fmt.Sprintf("ecg-%d", i), ecg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistence measures snapshot save+load of a 16-record
+// database.
+func BenchmarkPersistence(b *testing.B) {
+	db := ecgDB(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := db.SaveTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seqrep.Load(&buf, seqrep.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstruct measures evaluating a stored representation back
+// into samples (the "interpolation of unsampled points" capability).
+func BenchmarkReconstruct(b *testing.B) {
+	db := ecgDB(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Reconstruct("ecg-000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

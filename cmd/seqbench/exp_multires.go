@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"seqrep/internal/multires"
+	"seqrep/internal/synth"
+)
+
+// expMultires demonstrates the §7 future-work direction implemented in
+// internal/multires: extract peaks from progressively compressed versions
+// of the ECG, then run the coarse-to-fine search and report the work
+// saving.
+func expMultires(out io.Writer) error {
+	ecg, rPeaks, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		return err
+	}
+	p, err := multires.Build(ecg, 4)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "level\tsamples\tpeaks found\tground truth")
+	for k := 0; k < p.Levels(); k++ {
+		lvl, err := p.Level(k)
+		if err != nil {
+			return err
+		}
+		peaks, err := p.PeaksAtLevel(k, 10, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", k, len(lvl), len(peaks), len(rPeaks))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	res, err := p.FindPeaks(10, 1, 128)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ncoarse-to-fine: detected at level %d, refined on the original —\n", res.Level)
+	fmt.Fprintf(out, "examined %d coarse + %d refinement samples = %d of %d (%.0f%% of a full scan)\n",
+		res.CoarseSamples, res.RefineSamples, res.CoarseSamples+res.RefineSamples, len(ecg),
+		100*float64(res.CoarseSamples+res.RefineSamples)/float64(len(ecg)))
+	for i, pk := range res.Peaks {
+		fmt.Fprintf(out, "peak %d refined to t=%.0f (ground truth %.0f)\n", i+1, pk.Time, rPeaks[i])
+	}
+	fmt.Fprintln(out, "\nPeaks survive while their flanks span multiple coarse samples (levels 0-2")
+	fmt.Fprintln(out, "here); beyond that the feature dissolves — the boundary the paper's §7")
+	fmt.Fprintln(out, "compression experiments were probing.")
+	return nil
+}

@@ -1,0 +1,86 @@
+// Seqbench regenerates every table and figure of Shatkay & Zdonik (ICDE
+// 1996) as text output, one experiment per -exp value. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured records.
+//
+// Usage:
+//
+//	seqbench -exp all        # run everything
+//	seqbench -exp fig9       # one experiment
+//	seqbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// experiment is one reproducible unit: a paper artifact and the code that
+// regenerates it.
+type experiment struct {
+	name  string
+	paper string // which paper artifact it reproduces
+	run   func(out io.Writer) error
+}
+
+// experiments lists every artifact in presentation order.
+var experiments = []experiment{
+	{"fig1", "Figure 1: value-based ±ε query semantics (prior art)", expFig1},
+	{"fig5", "Figures 2-5: transformed two-peak family defeats value matching", expFig5},
+	{"fig6", "Figure 6: breaking at extrema + regression-line representation", expFig6},
+	{"fig7", "Figure 7: three two-peak variants broken consistently", expFig7},
+	{"goalpost", "§4.4: slope-sign index + two-peak regular expression", expGoalpost},
+	{"fig9", "Figure 9: two 540-point ECGs broken with ε=10", expFig9},
+	{"table1", "Table 1: peaks information for the top ECG", expTable1},
+	{"rrseq", "§5.2: R-R distance sequences", expRRSeq},
+	{"fig10", "Figure 10: inverted-file index answering RR = n ± ε", expFig10},
+	{"compression", "§5.2: ~17x space reduction claim", expCompression},
+	{"robustness", "§4.3: robustness — inserted points barely move breakpoints", expRobustness},
+	{"consistency", "§4.3: consistency under feature-preserving transforms", expConsistency},
+	{"dftbaseline", "§3: DFT main-frequency comparison fails under dilation", expDFTBaseline},
+	{"algos", "§5.1: breaking algorithm comparison (incl. O(n²) DP)", expAlgos},
+	{"online", "§5.1: online vs offline breaking agreement", expOnline},
+	{"wavelet", "§7: feature-preserving wavelet compression", expWavelet},
+	{"multires", "§7: multiresolution analysis — features from compressed data", expMultires},
+	{"subseq", "§3: feature subsequence query vs FRM sliding-window baseline", expSubseq},
+	{"melody", "§1 motivation: contour queries regardless of key and tempo", expMelody},
+	{"predict", "§2.3: predicting unsampled points from the representation", expPredict},
+	{"epssweep", "ablation: ε vs segments / compression / error", expEpsSweep},
+	{"deltasweep", "ablation: slope threshold δ vs query outcome", expDeltaSweep},
+	{"splitrule", "ablation: Figure 8 steps 4a-4c closer-side rule vs naive split", expSplitRule},
+	{"archive", "§2.3 motivation: slow archive vs local representation", expArchive},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name, or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.paper)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && e.name != *exp {
+			continue
+		}
+		banner := fmt.Sprintf("== %s — %s ==", e.name, e.paper)
+		fmt.Println(banner)
+		if err := e.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("-", len(banner)))
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "seqbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

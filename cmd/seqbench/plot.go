@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"seqrep/internal/seq"
+)
+
+// asciiPlot renders a sequence as a WxH character grid — enough to make
+// the reproduced figures legible in experiment output. Breakpoint sample
+// indexes are marked with '|' along the bottom axis.
+func asciiPlot(out io.Writer, s seq.Sequence, width, height int, breakpoints []int) error {
+	if len(s) == 0 || width < 8 || height < 4 {
+		return fmt.Errorf("plot: need data and a at least 8x4 canvas")
+	}
+	_, lo, err := s.Min()
+	if err != nil {
+		return err
+	}
+	_, hi, err := s.Max()
+	if err != nil {
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int { return i * (width - 1) / max(len(s)-1, 1) }
+	row := func(v float64) int {
+		r := int((hi - v) / (hi - lo) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return r
+	}
+	for i, p := range s {
+		grid[row(p.V)][col(i)] = '*'
+	}
+	axis := []byte(strings.Repeat("-", width))
+	for _, bp := range breakpoints {
+		if bp >= 0 && bp < len(s) {
+			axis[col(bp)] = '|'
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.4g ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.4g ", lo)
+		}
+		if _, err := fmt.Fprintf(out, "%s%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(out, "        %s  ('|' = breakpoint)\n", string(axis)); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"seqrep"
+)
+
+// cmdGenerate writes a synthetic workload as CSV (time,value per row).
+func cmdGenerate(args []string) error {
+	fs := newFlagSet("generate")
+	kind := fs.String("kind", "fever", "fever | three | ecg | seismic | stock")
+	out := fs.String("out", "", "output CSV path (required)")
+	samples := fs.Int("samples", 0, "sample count (0 = kind default)")
+	seed := fs.Int64("seed", 1, "random seed for stochastic kinds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		s   seqrep.Sequence
+		err error
+	)
+	switch *kind {
+	case "fever":
+		s, err = seqrep.GenerateFever(seqrep.FeverOpts{Samples: *samples})
+	case "three":
+		n := *samples
+		if n == 0 {
+			n = 97
+		}
+		s, err = seqrep.GenerateThreePeakFever(n)
+	case "ecg":
+		s, _, err = seqrep.GenerateECG(rng, seqrep.ECGOpts{Samples: *samples, RRJitter: 2})
+	case "seismic":
+		s, _, err = seqrep.GenerateSeismic(rng, seqrep.SeismicOpts{Samples: *samples})
+	case "stock":
+		n := *samples
+		if n == 0 {
+			n = 500
+		}
+		s, err = seqrep.GenerateStock(rng, n, 100, 0.1, 2)
+	default:
+		return fmt.Errorf("generate: unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	return writeCSV(*out, s)
+}
+
+// openDB loads the database file, or returns a fresh one when absent.
+func openDB(path string, epsilon, delta float64) (*seqrep.DB, error) {
+	cfg := seqrep.Config{Epsilon: epsilon, Delta: delta}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return seqrep.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return seqrep.Load(f, cfg)
+}
+
+// saveDB writes the database atomically.
+func saveDB(path string, db *seqrep.DB) error {
+	tmp, err := os.CreateTemp("", "seqdb-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.SaveTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func cmdIngest(args []string) error {
+	fs := newFlagSet("ingest")
+	dbPath := fs.String("db", "", "database file (required)")
+	id := fs.String("id", "", "sequence id (required)")
+	in := fs.String("in", "", "input CSV (required)")
+	epsilon := fs.Float64("epsilon", 0, "breaking tolerance for a new database (0 = default 0.5)")
+	delta := fs.Float64("delta", 0, "slope threshold for a new database (0 = default 0.25)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *id == "" || *in == "" {
+		return fmt.Errorf("ingest: -db, -id and -in are required")
+	}
+	s, err := readCSV(*in)
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath, *epsilon, *delta)
+	if err != nil {
+		return err
+	}
+	if err := db.Ingest(*id, s); err != nil {
+		return err
+	}
+	if err := saveDB(*dbPath, db); err != nil {
+		return err
+	}
+	rec, _ := db.Record(*id)
+	fmt.Printf("ingested %q: %d samples -> %d segments (symbols %s)\n",
+		*id, rec.N, rec.Rep.NumSegments(), rec.Profile.Symbols)
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := newFlagSet("list")
+	dbPath := fs.String("db", "", "database file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("list: -db is required")
+	}
+	db, err := openDB(*dbPath, 0, 0)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "id\tsamples\tsegments\tpeaks\tsymbols")
+	for _, id := range db.IDs() {
+		rec, _ := db.Record(id)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n", id, rec.N, rec.Rep.NumSegments(),
+			len(rec.Profile.Peaks), rec.Profile.Symbols)
+	}
+	return w.Flush()
+}
+
+func cmdSegments(args []string) error {
+	fs := newFlagSet("segments")
+	dbPath := fs.String("db", "", "database file (required)")
+	id := fs.String("id", "", "sequence id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *id == "" {
+		return fmt.Errorf("segments: -db and -id are required")
+	}
+	db, err := openDB(*dbPath, 0, 0)
+	if err != nil {
+		return err
+	}
+	rec, ok := db.Record(*id)
+	if !ok {
+		return fmt.Errorf("segments: unknown id %q", *id)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "segment\tsamples\ttime span\tfunction\tslope")
+	for i := range rec.Rep.Segments {
+		sg := &rec.Rep.Segments[i]
+		c, err := sg.Curve()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t[%d,%d]\t[%.3g,%.3g]\t%s\t%.3g\n",
+			i+1, sg.Lo, sg.Hi, sg.StartT, sg.EndT, c, sg.Slope())
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("compression: %.1fx full accounting, %.1fx paper accounting\n",
+		rec.Rep.CompressionRatio(), rec.Rep.PaperCompressionRatio())
+	if len(rec.Profile.Peaks) > 0 {
+		table, err := seqrep.PeakTable(rec.Rep, rec.Profile.Peaks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\npeaks:\n%s", table)
+		fmt.Printf("intervals: %v\n", rec.Profile.Intervals)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := newFlagSet("query")
+	dbPath := fs.String("db", "", "database file (required)")
+	q := fs.String("q", "", `query-language statement, e.g. 'MATCH PEAKS 2' or 'MATCH INTERVAL 135 +- 2'`)
+	pat := fs.String("pattern", "", "slope-sign pattern over U/F/D (full match)")
+	search := fs.String("search", "", "slope-sign pattern searched within sequences")
+	peaks := fs.Int("peaks", -1, "peak-count query: number of peaks")
+	tol := fs.Int("tol", 0, "peak-count tolerance")
+	interval := fs.Float64("interval", 0, "interval query: peak spacing n")
+	eps := fs.Float64("eps", 0, "interval query tolerance ε")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("query: -db is required")
+	}
+	db, err := openDB(*dbPath, 0, 0)
+	if err != nil {
+		return err
+	}
+	if *q != "" {
+		res, err := seqrep.ExecQuery(db, *q)
+		if err != nil {
+			return err
+		}
+		for _, id := range res.IDs {
+			fmt.Println(id)
+		}
+		for _, h := range res.Hits {
+			fmt.Printf("  %s segments [%d,%d) time [%.3g,%.3g]\n", h.ID, h.SegLo, h.SegHi, h.TimeLo, h.TimeHi)
+		}
+		for _, m := range res.Matches {
+			if !m.Exact {
+				fmt.Printf("  %s approximate, deviations %v\n", m.ID, m.Deviations)
+			}
+		}
+		fmt.Printf("%d match(es) [%s]\n", len(res.IDs), res.Kind)
+		return nil
+	}
+	switch {
+	case *pat != "":
+		ids, err := db.MatchPattern(*pat)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		fmt.Printf("%d match(es)\n", len(ids))
+	case *search != "":
+		hits, err := db.SearchPattern(*search)
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			fmt.Printf("%s segments [%d,%d) time [%.3g,%.3g]\n", h.ID, h.SegLo, h.SegHi, h.TimeLo, h.TimeHi)
+		}
+		fmt.Printf("%d hit(s)\n", len(hits))
+	case *peaks >= 0:
+		matches, err := db.PeakCount(*peaks, *tol)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			kind := "approx"
+			if m.Exact {
+				kind = "exact"
+			}
+			fmt.Printf("%s (%s, deviation %g)\n", m.ID, kind, m.Deviations["peaks"])
+		}
+		fmt.Printf("%d match(es)\n", len(matches))
+	case *interval > 0:
+		matches, err := db.IntervalQuery(*interval, *eps)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			fmt.Printf("%s intervals %v at positions %v\n", m.ID, m.Intervals, m.Positions)
+		}
+		fmt.Printf("%d match(es)\n", len(matches))
+	default:
+		return fmt.Errorf("query: one of -pattern, -search, -peaks, -interval is required")
+	}
+	return nil
+}
+
+func cmdRemove(args []string) error {
+	fs := newFlagSet("remove")
+	dbPath := fs.String("db", "", "database file (required)")
+	id := fs.String("id", "", "sequence id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *id == "" {
+		return fmt.Errorf("remove: -db and -id are required")
+	}
+	db, err := openDB(*dbPath, 0, 0)
+	if err != nil {
+		return err
+	}
+	if err := db.Remove(*id); err != nil {
+		return err
+	}
+	if err := saveDB(*dbPath, db); err != nil {
+		return err
+	}
+	fmt.Printf("removed %q (%d sequences remain)\n", *id, db.Len())
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := newFlagSet("export")
+	dbPath := fs.String("db", "", "database file (required)")
+	id := fs.String("id", "", "sequence id (required)")
+	out := fs.String("out", "", "output CSV (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *id == "" || *out == "" {
+		return fmt.Errorf("export: -db, -id and -out are required")
+	}
+	db, err := openDB(*dbPath, 0, 0)
+	if err != nil {
+		return err
+	}
+	s, err := db.Reconstruct(*id)
+	if err != nil {
+		return err
+	}
+	return writeCSV(*out, s)
+}
+
+func cmdStats(args []string) error {
+	fs := newFlagSet("stats")
+	dbPath := fs.String("db", "", "database file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("stats: -db is required")
+	}
+	db, err := openDB(*dbPath, 0, 0)
+	if err != nil {
+		return err
+	}
+	cfg := db.Config()
+	st := db.Stats()
+	fmt.Printf("sequences:       %d\n", st.Sequences)
+	fmt.Printf("epsilon/delta:   %g / %g\n", cfg.Epsilon, cfg.Delta)
+	fmt.Printf("total samples:   %d\n", st.Samples)
+	fmt.Printf("total segments:  %d\n", st.Segments)
+	fmt.Printf("symbol groups:   %d\n", st.SymbolGroups)
+	fmt.Printf("interval index:  %d postings in %d buckets\n", st.IntervalCount, st.IntervalBucket)
+	if st.StoredFloats > 0 {
+		fmt.Printf("compression:     %.1fx (samples vs stored floats)\n",
+			float64(st.Samples)/float64(st.StoredFloats))
+	}
+	return nil
+}
+
+// writeCSV stores a sequence as "t,v" rows.
+func writeCSV(path string, s seqrep.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	for _, p := range s {
+		if err := w.Write([]string{
+			strconv.FormatFloat(p.T, 'g', -1, 64),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", len(s), path)
+	return nil
+}
+
+// readCSV loads "t,v" rows (or single-column values with implied times).
+func readCSV(path string) (seqrep.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var times, values []float64
+	for i, row := range rows {
+		switch len(row) {
+		case 1:
+			v, err := strconv.ParseFloat(row[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s row %d: %w", path, i+1, err)
+			}
+			times = append(times, float64(i))
+			values = append(values, v)
+		case 2:
+			t, err := strconv.ParseFloat(row[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s row %d: %w", path, i+1, err)
+			}
+			v, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s row %d: %w", path, i+1, err)
+			}
+			times = append(times, t)
+			values = append(values, v)
+		default:
+			return nil, fmt.Errorf("%s row %d: want 1 or 2 columns, got %d", path, i+1, len(row))
+		}
+	}
+	return seqrep.NewSequenceFromSamples(times, values)
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqrep"
+)
+
+// withDir runs the test from a temp directory so command outputs land in
+// isolated scratch space.
+func withDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	return dir
+}
+
+func TestGenerateAndIngestFlow(t *testing.T) {
+	dir := withDir(t)
+	csvPath := filepath.Join(dir, "fever.csv")
+	dbPath := filepath.Join(dir, "test.db")
+
+	if err := cmdGenerate([]string{"-kind", "fever", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdIngest([]string{"-db", dbPath, "-id", "f1", "-in", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdList([]string{"-db", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSegments([]string{"-db", dbPath, "-id", "f1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-db", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	// All query forms.
+	for _, args := range [][]string{
+		{"-db", dbPath, "-pattern", "[FD]*(U+F*D[FD]*){2}(U+F*)?"},
+		{"-db", dbPath, "-search", "U+F*D"},
+		{"-db", dbPath, "-peaks", "2"},
+		{"-db", dbPath, "-interval", "8", "-eps", "1"},
+		{"-db", dbPath, "-q", "MATCH PEAKS 2"},
+		{"-db", dbPath, "-q", `FIND PATTERN "U+F*D"`},
+	} {
+		if err := cmdQuery(args); err != nil {
+			t.Errorf("query %v: %v", args, err)
+		}
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	dir := withDir(t)
+	for _, kind := range []string{"fever", "three", "ecg", "seismic", "stock"} {
+		out := filepath.Join(dir, kind+".csv")
+		if err := cmdGenerate([]string{"-kind", kind, "-out", out, "-seed", "5"}); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if err := cmdGenerate([]string{"-kind", "bogus", "-out", filepath.Join(dir, "x.csv")}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := cmdGenerate([]string{"-kind", "fever"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestCommandValidation(t *testing.T) {
+	dir := withDir(t)
+	dbPath := filepath.Join(dir, "x.db")
+	if err := cmdIngest([]string{"-db", dbPath}); err == nil {
+		t.Error("ingest without id/in accepted")
+	}
+	if err := cmdList([]string{}); err == nil {
+		t.Error("list without db accepted")
+	}
+	if err := cmdSegments([]string{"-db", dbPath}); err == nil {
+		t.Error("segments without id accepted")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("stats without db accepted")
+	}
+	if err := cmdQuery([]string{"-db", dbPath}); err == nil {
+		t.Error("query without any predicate accepted")
+	}
+	if err := cmdQuery([]string{"-db", dbPath, "-q", "bogus"}); err == nil {
+		t.Error("bad query-language statement accepted")
+	}
+}
+
+func TestSegmentsUnknownID(t *testing.T) {
+	dir := withDir(t)
+	csvPath := filepath.Join(dir, "f.csv")
+	dbPath := filepath.Join(dir, "d.db")
+	if err := cmdGenerate([]string{"-kind", "fever", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdIngest([]string{"-db", dbPath, "-id", "f", "-in", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSegments([]string{"-db", dbPath, "-id", "ghost"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	dir := withDir(t)
+	path := filepath.Join(dir, "rt.csv")
+	s, err := seqrep.GenerateFever(seqrep.FeverOpts{Samples: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSV(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip: %d vs %d samples", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatalf("sample %d: %v vs %v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestReadCSVSingleColumn(t *testing.T) {
+	dir := withDir(t)
+	path := filepath.Join(dir, "single.csv")
+	if err := os.WriteFile(path, []byte("1.5\n2.5\n3.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 || s[1].T != 1 || s[1].V != 2.5 {
+		t.Errorf("single column: %v", s)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	dir := withDir(t)
+	cases := map[string]string{
+		"bad-number.csv": "1,notanumber\n",
+		"bad-time.csv":   "zzz,1\n",
+		"bad-cols.csv":   "1,2,3\n",
+		"bad-single.csv": "abc\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readCSV(path); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := readCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRemoveAndExport(t *testing.T) {
+	dir := withDir(t)
+	csvPath := filepath.Join(dir, "f.csv")
+	dbPath := filepath.Join(dir, "d.db")
+	outPath := filepath.Join(dir, "export.csv")
+	if err := cmdGenerate([]string{"-kind", "fever", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdIngest([]string{"-db", dbPath, "-id", "f", "-in", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExport([]string{"-db", dbPath, "-id", "f", "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readCSV(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := readCSV(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("export %d samples, original %d", len(back), len(orig))
+	}
+	// Reconstruction stays within the breaking tolerance.
+	for i := range orig {
+		d := back[i].V - orig[i].V
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.5+1e-9 {
+			t.Errorf("sample %d deviates %g from original", i, d)
+		}
+	}
+	if err := cmdRemove([]string{"-db", dbPath, "-id", "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRemove([]string{"-db", dbPath, "-id", "f"}); err == nil {
+		t.Error("double remove accepted")
+	}
+	if err := cmdExport([]string{"-db", dbPath, "-id", "f", "-out", outPath}); err == nil {
+		t.Error("export of removed id accepted")
+	}
+	if err := cmdRemove([]string{"-db", dbPath}); err == nil {
+		t.Error("remove without id accepted")
+	}
+	if err := cmdExport([]string{"-db", dbPath}); err == nil {
+		t.Error("export without id/out accepted")
+	}
+}
+
+func TestIngestDuplicateID(t *testing.T) {
+	dir := withDir(t)
+	csvPath := filepath.Join(dir, "f.csv")
+	dbPath := filepath.Join(dir, "d.db")
+	if err := cmdGenerate([]string{"-kind", "fever", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdIngest([]string{"-db", dbPath, "-id", "f", "-in", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdIngest([]string{"-db", dbPath, "-id", "f", "-in", csvPath}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestOpenDBRejectsCorrupt(t *testing.T) {
+	dir := withDir(t)
+	bad := filepath.Join(dir, "corrupt.db")
+	if err := os.WriteFile(bad, []byte("not a database"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openDB(bad, 0, 0); err == nil {
+		t.Error("corrupt database accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Seqdb is a command-line front end to the seqrep sequence database:
+// generate workloads, ingest sequences, inspect their function
+// representations, and run generalized approximate queries.
+//
+// Usage:
+//
+//	seqdb generate -kind fever -out fever.csv
+//	seqdb ingest   -db db.bin -id patient7 -in fever.csv
+//	seqdb list     -db db.bin
+//	seqdb segments -db db.bin -id patient7
+//	seqdb query    -db db.bin -pattern "U+F*D"
+//	seqdb query    -db db.bin -peaks 2 -tol 1
+//	seqdb query    -db db.bin -interval 135 -eps 2
+//	seqdb stats    -db db.bin
+//
+// The database file is created on first ingest. Scalar parameters
+// (-epsilon, -delta) apply when the database is created and are persisted
+// with it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "ingest":
+		err = cmdIngest(args)
+	case "list":
+		err = cmdList(args)
+	case "segments":
+		err = cmdSegments(args)
+	case "query":
+		err = cmdQuery(args)
+	case "remove":
+		err = cmdRemove(args)
+	case "export":
+		err = cmdExport(args)
+	case "stats":
+		err = cmdStats(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "seqdb: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqdb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `seqdb — sequence database on approximate representations
+
+commands:
+  generate  -kind fever|three|ecg|seismic|stock -out FILE [-samples N] [-seed N]
+  ingest    -db FILE -id NAME -in FILE [-epsilon E] [-delta D]
+  list      -db FILE
+  segments  -db FILE -id NAME
+  query     -db FILE [-q STMT | -pattern P | -peaks K [-tol T] | -interval N [-eps E]]
+  remove    -db FILE -id NAME
+  export    -db FILE -id NAME -out FILE   (reconstructed from the representation)
+  stats     -db FILE`)
+}
+
+// newFlagSet builds a flag set that prints its own errors.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return fs
+}

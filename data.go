@@ -1,0 +1,86 @@
+package seqrep
+
+import (
+	"math/rand"
+
+	"seqrep/internal/multires"
+	"seqrep/internal/synth"
+)
+
+// Workload generators, re-exported so applications and examples can
+// reproduce the paper's evaluation data through the public API.
+
+// FeverOpts parameterizes a goal-post fever temperature curve.
+type FeverOpts = synth.FeverOpts
+
+// ECGOpts parameterizes the synthetic electrocardiogram generator.
+type ECGOpts = synth.ECGOpts
+
+// SeismicOpts parameterizes the synthetic seismogram generator.
+type SeismicOpts = synth.SeismicOpts
+
+// GenerateFever produces a two-peaked 24-hour temperature curve (the
+// paper's Figure 3 shape).
+func GenerateFever(opts FeverOpts) (Sequence, error) { return synth.Fever(opts) }
+
+// GenerateThreePeakFever produces a fever-like curve with three peaks,
+// which the goal-post query must reject.
+func GenerateThreePeakFever(samples int) (Sequence, error) {
+	return synth.ThreePeakFever(samples)
+}
+
+// GenerateECG produces a synthetic electrocardiogram and the ground-truth
+// R-peak positions. rng may be nil when no jitter or noise is requested.
+func GenerateECG(rng *rand.Rand, opts ECGOpts) (Sequence, []float64, error) {
+	return synth.ECG(rng, opts)
+}
+
+// GenerateSeismic produces a synthetic seismogram with transient bursts
+// and returns the burst start indexes.
+func GenerateSeismic(rng *rand.Rand, opts SeismicOpts) (Sequence, []int, error) {
+	return synth.Seismic(rng, opts)
+}
+
+// GenerateStock produces a random-walk price series with drift.
+func GenerateStock(rng *rand.Rand, n int, start, drift, volatility float64) (Sequence, error) {
+	return synth.Stock(rng, n, start, drift, volatility)
+}
+
+// MelodyOpts parameterizes melody rendering (the music workload of the
+// paper's introduction).
+type MelodyOpts = synth.MelodyOpts
+
+// GenerateMelody renders a note sequence (semitone steps between
+// consecutive notes) as a piecewise-constant pitch curve.
+func GenerateMelody(intervals []int, opts MelodyOpts) (Sequence, error) {
+	return synth.Melody(intervals, opts)
+}
+
+// GenerateRandomMelody draws a random interval sequence for an n-note
+// melody.
+func GenerateRandomMelody(rng *rand.Rand, n int) ([]int, error) {
+	return synth.RandomMelody(rng, n)
+}
+
+// TransposeMelody shifts a melody by semitones (key change).
+func TransposeMelody(s Sequence, semitones float64) Sequence {
+	return synth.Transpose(s, semitones)
+}
+
+// ChangeMelodyTempo stretches (factor > 1) or compresses a melody in time.
+func ChangeMelodyTempo(s Sequence, factor float64) (Sequence, error) {
+	return synth.ChangeTempo(s, factor)
+}
+
+// Pyramid is a multi-resolution ladder of coarsened sequence versions —
+// the §7 "multiresolution analysis" direction: extract features from the
+// compressed data instead of the original.
+type Pyramid = multires.Pyramid
+
+// MultiresResult reports a coarse-to-fine peak search on a Pyramid.
+type MultiresResult = multires.Result
+
+// BuildPyramid coarsens s by pairwise averaging up to maxLevels times.
+func BuildPyramid(s Sequence, maxLevels int) (*Pyramid, error) {
+	return multires.Build(s, maxLevels)
+}

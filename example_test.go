@@ -1,0 +1,120 @@
+package seqrep_test
+
+import (
+	"fmt"
+	"log"
+
+	"seqrep"
+)
+
+// The goal-post fever query end to end: ingest a two-peaked temperature
+// curve and ask for patients whose chart peaks exactly twice.
+func Example() {
+	db, err := seqrep.New(seqrep.Config{}) // paper defaults: ε=0.5, δ=0.25
+	if err != nil {
+		log.Fatal(err)
+	}
+	fever, err := seqrep.GenerateFever(seqrep.FeverOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("patient-7", fever); err != nil {
+		log.Fatal(err)
+	}
+	ids, err := db.MatchPattern(seqrep.TwoPeakPattern())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [patient-7]
+}
+
+// Breaking a sequence yields a handful of line segments in place of the
+// raw samples; the compression is what makes local storage of large
+// archives feasible.
+func ExampleDB_Record() {
+	db, err := seqrep.New(seqrep.Config{Epsilon: 10, Delta: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("ecg", ecg); err != nil {
+		log.Fatal(err)
+	}
+	rec, _ := db.Record("ecg")
+	fmt.Printf("%d samples -> %d segments, %d peaks\n",
+		rec.N, rec.Rep.NumSegments(), len(rec.Profile.Peaks))
+	// Output: 540 samples -> 16 segments, 4 peaks
+}
+
+// The inverted-file interval query of the paper's Figure 10.
+func ExampleDB_IntervalQuery() {
+	db, err := seqrep.New(seqrep.Config{Epsilon: 10, Delta: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecg, _, err := seqrep.GenerateECG(nil, seqrep.ECGOpts{RRInterval: 130})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("ecg", ecg); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := db.IntervalQuery(130, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Println(m.ID, m.Intervals)
+	}
+	// Output: ecg [130 130 130]
+}
+
+// The textual query language covers every query type.
+func ExampleExecQuery() {
+	db, err := seqrep.New(seqrep.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fever, err := seqrep.GenerateFever(seqrep.FeverOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("f", fever); err != nil {
+		log.Fatal(err)
+	}
+	res, err := seqrep.ExecQuery(db, `MATCH PEAKS 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Kind, res.IDs)
+	// Output: peaks [f]
+}
+
+// A generalized approximate query: the exemplar stands for its whole
+// transformation class; tolerances apply per feature dimension.
+func ExampleDB_ShapeQuery() {
+	db, err := seqrep.New(seqrep.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fever, err := seqrep.GenerateFever(seqrep.FeverOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Store a transposed, rescaled rendition only.
+	if err := db.Ingest("variant", fever.ShiftValue(3).ScaleAbout(100, 1.2)); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := db.ShapeQuery(fever, seqrep.ShapeTolerance{Height: 0.25, Spacing: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Println(m.ID, m.Exact)
+	}
+	// Output: variant true
+}

@@ -1,0 +1,119 @@
+// Melody reproduces the music motivation of the paper's introduction: "in
+// a music database we look for a melody regardless of key and tempo".
+//
+// Melodies are stored as piecewise-constant pitch curves. Their slope-sign
+// symbol strings are exactly the melodic contour (the Parsons code), which
+// transposition (amplitude shift) and tempo change (dilation) cannot
+// disturb — so a contour query finds every rendition of the tune.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"seqrep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// ε=0.3 (under half a semitone) keeps note plateaus unbroken while
+	// forcing every pitch transition into its own segment; δ=0.1 stays
+	// below the slope of even a 1-semitone glide stretched by tempo.
+	db, err := seqrep.New(seqrep.Config{Epsilon: 0.3, Delta: 0.1})
+	if err != nil {
+		return err
+	}
+
+	// "Ode to Joy" opening, as semitone steps: E E F G | G F E D | C C D E.
+	theme := []int{0, 1, 2, 0, -2, -1, -2, -2, 0, 2, 2}
+	base, err := seqrep.GenerateMelody(theme, seqrep.MelodyOpts{})
+	if err != nil {
+		return err
+	}
+	// A faster performance is a new rendition at fewer samples per beat
+	// (decimating recorded audio would discard the glides themselves).
+	fast, err := seqrep.GenerateMelody(theme, seqrep.MelodyOpts{SamplesPerBeat: 4})
+	if err != nil {
+		return err
+	}
+	slow, err := seqrep.ChangeMelodyTempo(seqrep.TransposeMelody(base, -12), 1.5)
+	if err != nil {
+		return err
+	}
+	renditions := map[string]seqrep.Sequence{
+		"original-in-C":       base,
+		"up-a-fifth":          seqrep.TransposeMelody(base, 7),
+		"down-an-octave-slow": slow,
+		"fast":                fast,
+	}
+	for id, s := range renditions {
+		if err := db.Ingest(id, s); err != nil {
+			return err
+		}
+	}
+	// Decoys: random melodies.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4; i++ {
+		iv, err := seqrep.GenerateRandomMelody(rng, 12)
+		if err != nil {
+			return err
+		}
+		s, err := seqrep.GenerateMelody(iv, seqrep.MelodyOpts{})
+		if err != nil {
+			return err
+		}
+		if err := db.Ingest(fmt.Sprintf("decoy-%d", i+1), s); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range db.IDs() {
+		rec, _ := db.Record(id)
+		fmt.Printf("%-20s contour %s\n", id, rec.Profile.Symbols)
+	}
+
+	// Query by example ("query by humming"): take the original's contour —
+	// its symbol string with flats dropped — and match any symbol string
+	// with the same up/down skeleton.
+	origRec, _ := db.Record("original-in-C")
+	skeleton := stripFlats(origRec.Profile.Symbols)
+	pat := contourPattern(skeleton)
+	fmt.Printf("\ncontour skeleton %s, key- and tempo-invariant query %s\n", skeleton, pat)
+	ids, err := db.MatchPattern(pat)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matched: %v\n", ids)
+	fmt.Println("\nEvery rendition matches — transposition shifts pitch and tempo stretches")
+	fmt.Println("time, but neither changes the contour the representation stores.")
+	return nil
+}
+
+// stripFlats reduces a symbol string to its up/down skeleton: one symbol
+// per pitch transition (flats are the note plateaus between them).
+func stripFlats(symbols string) string {
+	var out []byte
+	for i := 0; i < len(symbols); i++ {
+		if c := symbols[i]; c != 'F' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// contourPattern builds a full-match pattern accepting any symbol string
+// with the given up/down skeleton, however many flats or repeated-slope
+// segments realize it.
+func contourPattern(skeleton string) string {
+	pat := "F*"
+	for i := 0; i < len(skeleton); i++ {
+		pat += string(skeleton[i]) + "+F*"
+	}
+	return pat
+}

@@ -1,0 +1,48 @@
+// Quickstart: ingest two temperature curves and ask for the one with
+// exactly two peaks — the paper's goal-post fever query in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqrep"
+)
+
+func main() {
+	db, err := seqrep.New(seqrep.Config{}) // paper defaults: ε=0.5, δ=0.25
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	twoPeaks, err := seqrep.GenerateFever(seqrep.FeverOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	threePeaks, err := seqrep.GenerateThreePeakFever(97)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := db.Ingest("patient-A", twoPeaks); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Ingest("patient-B", threePeaks); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each ingested sequence is stored as a handful of line segments, not
+	// hundreds of samples.
+	for _, id := range db.IDs() {
+		rec, _ := db.Record(id)
+		fmt.Printf("%s: %d samples -> %d function segments (slope symbols %q)\n",
+			id, rec.N, rec.Rep.NumSegments(), rec.Profile.Symbols)
+	}
+
+	// Goal-post fever: exactly two temperature peaks in 24 hours.
+	ids, err := db.MatchPattern(seqrep.TwoPeakPattern())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("goal-post fever patients: %v\n", ids)
+}

@@ -1,0 +1,97 @@
+// Stocks reproduces the stock-market motivation of the paper's
+// introduction: "in a stock market database we look at rises and drops of
+// stock values". Price walks are represented as function sequences; rally
+// and crash patterns are slope-sign queries over the representation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"seqrep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db, err := seqrep.New(seqrep.Config{
+		Epsilon: 4,   // dollars of tolerated deviation per segment
+		Delta:   0.2, // dollars/day slope considered "flat"
+	})
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	specs := []struct {
+		id         string
+		drift, vol float64
+	}{
+		{"steady-growth", 0.8, 0.8},
+		{"volatile", 0.0, 4.0},
+		{"decline", -0.7, 1.0},
+		{"choppy", 0.1, 2.5},
+	}
+	for _, sp := range specs {
+		s, err := seqrep.GenerateStock(rng, 500, 100, sp.drift, sp.vol)
+		if err != nil {
+			return err
+		}
+		if err := db.Ingest(sp.id, s); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range db.IDs() {
+		rec, _ := db.Record(id)
+		fmt.Printf("%-14s %3d segments, symbols %s\n", id, rec.Rep.NumSegments(), abbreviate(rec.Profile.Symbols, 40))
+	}
+	fmt.Println()
+
+	queries := []struct {
+		name, pattern string
+	}{
+		{"sustained rally (3+ rising segments in a row)", "U{3,}"},
+		{"crash then recovery", "D+U+"},
+		{"double top (two peaks)", seqrep.PeakUnitPattern + "F*" + seqrep.PeakUnitPattern},
+	}
+	for _, q := range queries {
+		hits, err := db.SearchPattern(q.pattern)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s — pattern %q:\n", q.name, q.pattern)
+		if len(hits) == 0 {
+			fmt.Println("  no occurrences")
+			continue
+		}
+		count := map[string]int{}
+		first := map[string][2]float64{}
+		for _, h := range hits {
+			if count[h.ID] == 0 {
+				first[h.ID] = [2]float64{h.TimeLo, h.TimeHi}
+			}
+			count[h.ID]++
+		}
+		for _, id := range db.IDs() {
+			if count[id] == 0 {
+				continue
+			}
+			span := first[id]
+			fmt.Printf("  %-14s %d occurrence(s), first in days [%.0f, %.0f]\n", id, count[id], span[0], span[1])
+		}
+	}
+	return nil
+}
+
+func abbreviate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,263 @@
+// Package breaking implements the paper's breaking algorithms (§4.3, §5):
+// partitioning a sequence into meaningful subsequences at the points where
+// its behaviour changes, so that each subsequence is well approximated by
+// one function.
+//
+// The central algorithm is the offline recursive curve-fitting template of
+// the paper's Figure 8 — a generalization of Schneider's Bézier-fitting
+// recursion — instantiated with endpoint-interpolation lines (the paper's
+// preferred variant, which breaks at extrema), least-squares regression
+// lines, or cubic Bézier curves. An O(n²) dynamic-programming segmenter
+// (the expensive alternative mentioned in §5.1) and an online sliding-
+// window breaker (§5.1) complete the set.
+package breaking
+
+import (
+	"fmt"
+	"math"
+
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+)
+
+// Segment is one subsequence of a broken sequence: the inclusive sample
+// index range [Lo, Hi] and the curve fitted to it by the breaking process
+// (the "byproduct" function of §5.2, which may later be replaced by a
+// different representing function).
+type Segment struct {
+	Lo, Hi int
+	Curve  fit.Curve
+}
+
+// Len returns the number of samples covered by the segment.
+func (g Segment) Len() int { return g.Hi - g.Lo + 1 }
+
+// Breaker produces a segmentation of a sequence.
+type Breaker interface {
+	// Break partitions s into contiguous segments covering every sample.
+	Break(s seq.Sequence) ([]Segment, error)
+	// Name identifies the algorithm in experiment output.
+	Name() string
+}
+
+// Offline is the recursive curve-fitting template of the paper's Figure 8:
+//
+//  1. fit a curve of the chosen family to the sequence;
+//  2. find the point of maximum deviation;
+//  3. if the deviation is within ε, emit the sequence as one segment;
+//  4. otherwise fit curves to the two halves on either side of that point,
+//     associate the breakpoint with the closer side (steps 4a–4c, the
+//     paper's adjustment to Schneider's original, which duplicated it),
+//     and recurse on both parts.
+type Offline struct {
+	// Fitter selects the curve family (the paper instantiates
+	// interpolation lines, regression lines and Bézier curves).
+	Fitter fit.Fitter
+	// Epsilon is the deviation tolerance ε; the paper used ε=10 for its
+	// ECG experiments (Figure 9).
+	Epsilon float64
+	// NaiveSplit disables steps 4a–4c and assigns the breakpoint to the
+	// right-hand part unconditionally. Exposed for the ablation
+	// experiment comparing against the paper's closer-side rule.
+	NaiveSplit bool
+}
+
+// Interpolation returns the paper's preferred breaker: the Figure 8
+// template over endpoint-interpolation lines, which "effectively breaks
+// sequences at extremum points" (§5.1).
+func Interpolation(epsilon float64) *Offline {
+	return &Offline{Fitter: fit.InterpolationFitter{}, Epsilon: epsilon}
+}
+
+// Regression returns the template over least-squares regression lines.
+func Regression(epsilon float64) *Offline {
+	return &Offline{Fitter: fit.RegressionFitter{}, Epsilon: epsilon}
+}
+
+// Bezier returns the template over cubic Bézier curves — the modified
+// Schneider algorithm of §5.1.
+func Bezier(epsilon float64) *Offline {
+	return &Offline{Fitter: fit.BezierFitter{}, Epsilon: epsilon}
+}
+
+// Name implements Breaker.
+func (o *Offline) Name() string {
+	if o.Fitter == nil {
+		return "offline"
+	}
+	return "offline-" + o.Fitter.Name()
+}
+
+// Break implements Breaker. The returned segments are contiguous, ordered,
+// and cover all of s. It returns an error for an empty or invalid sequence
+// or a negative tolerance.
+func (o *Offline) Break(s seq.Sequence) ([]Segment, error) {
+	if o.Fitter == nil {
+		return nil, fmt.Errorf("breaking: offline breaker has no fitter")
+	}
+	if o.Epsilon < 0 {
+		return nil, fmt.Errorf("breaking: negative tolerance %g", o.Epsilon)
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("breaking: empty sequence")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("breaking: %w", err)
+	}
+
+	var segs []Segment
+	// Explicit stack (LIFO) processed left-range-first so segments come
+	// out in order without sorting; depth is bounded by the recursion
+	// tree, not the stack slice.
+	type rng struct{ lo, hi int }
+	stack := []rng{{0, len(s) - 1}}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lo, hi := top.lo, top.hi
+
+		pts := []seq.Point(s[lo : hi+1])
+		curve, err := o.Fitter.Fit(pts)
+		if err != nil {
+			return nil, fmt.Errorf("breaking: fitting [%d,%d]: %w", lo, hi, err)
+		}
+		idx, dev := fit.MaxDeviation(curve, pts)
+		if dev <= o.Epsilon || hi-lo+1 <= 2 {
+			segs = append(segs, Segment{Lo: lo, Hi: hi, Curve: curve})
+			continue
+		}
+		split := lo + idx
+		if split == lo {
+			split = lo + 1 // the split must leave a non-empty left part
+		}
+
+		// Steps 4a-4c: decide which side owns the breakpoint sample.
+		// Option A: [lo,split] + [split+1,hi]; Option B: [lo,split-1] + [split,hi].
+		takeLeft := false
+		if !o.NaiveSplit && split < hi {
+			d1, err := o.sideDeviation(s, lo, split-1, s[split])
+			if err != nil {
+				return nil, err
+			}
+			d2, err := o.sideDeviation(s, split, hi, s[split])
+			if err != nil {
+				return nil, err
+			}
+			takeLeft = d1 <= d2
+		}
+		var left, right rng
+		if takeLeft {
+			left, right = rng{lo, split}, rng{split + 1, hi}
+		} else {
+			left, right = rng{lo, split - 1}, rng{split, hi}
+		}
+		// Push right first so the left range is processed next (in-order).
+		stack = append(stack, right, left)
+	}
+	return segs, nil
+}
+
+// sideDeviation fits the breaker's curve family to s[lo..hi] and returns
+// the deviation of point p from that curve (step 4c's "closer" test).
+func (o *Offline) sideDeviation(s seq.Sequence, lo, hi int, p seq.Point) (float64, error) {
+	if hi < lo {
+		return math.Inf(1), nil
+	}
+	curve, err := o.Fitter.Fit(s[lo : hi+1])
+	if err != nil {
+		return 0, fmt.Errorf("breaking: fitting side [%d,%d]: %w", lo, hi, err)
+	}
+	_, dev := fit.MaxDeviation(curve, []seq.Point{p})
+	return dev, nil
+}
+
+// Breakpoints returns the starting sample index of every segment after the
+// first — the points "on which a new subsequence starts" (§4.3).
+func Breakpoints(segs []Segment) []int {
+	if len(segs) <= 1 {
+		return nil
+	}
+	out := make([]int, 0, len(segs)-1)
+	for _, g := range segs[1:] {
+		out = append(out, g.Lo)
+	}
+	return out
+}
+
+// Validate checks that segs is a proper segmentation of an n-sample
+// sequence: non-empty, ordered, contiguous, covering [0, n-1], with a
+// curve on every segment.
+func Validate(segs []Segment, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("breaking: validating against non-positive length %d", n)
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("breaking: no segments")
+	}
+	if segs[0].Lo != 0 {
+		return fmt.Errorf("breaking: first segment starts at %d, want 0", segs[0].Lo)
+	}
+	if last := segs[len(segs)-1].Hi; last != n-1 {
+		return fmt.Errorf("breaking: last segment ends at %d, want %d", last, n-1)
+	}
+	prev := -1
+	for i, g := range segs {
+		if g.Lo > g.Hi {
+			return fmt.Errorf("breaking: segment %d inverted [%d,%d]", i, g.Lo, g.Hi)
+		}
+		if g.Lo != prev+1 {
+			return fmt.Errorf("breaking: segment %d starts at %d, want %d (gap or overlap)", i, g.Lo, prev+1)
+		}
+		if g.Curve == nil {
+			return fmt.Errorf("breaking: segment %d has no curve", i)
+		}
+		prev = g.Hi
+	}
+	return nil
+}
+
+// Stats summarizes a segmentation for the fragmentation-avoidance and
+// compression experiments.
+type Stats struct {
+	NumSegments   int
+	MinLen        int
+	MaxLen        int
+	AvgLen        float64
+	Fragmentation float64 // fraction of segments with <= 2 samples (§4.3: "most subsequences should be of length >> 2")
+	MaxDeviation  float64 // worst per-segment max deviation
+	RMSE          float64 // pooled root-mean-square error across all samples
+}
+
+// Measure computes segmentation statistics against the source sequence.
+func Measure(s seq.Sequence, segs []Segment) (Stats, error) {
+	if err := Validate(segs, len(s)); err != nil {
+		return Stats{}, err
+	}
+	st := Stats{NumSegments: len(segs), MinLen: segs[0].Len()}
+	var sse float64
+	var short int
+	for _, g := range segs {
+		l := g.Len()
+		if l < st.MinLen {
+			st.MinLen = l
+		}
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+		if l <= 2 {
+			short++
+		}
+		pts := []seq.Point(s[g.Lo : g.Hi+1])
+		if _, dev := fit.MaxDeviation(g.Curve, pts); dev > st.MaxDeviation {
+			st.MaxDeviation = dev
+		}
+		for _, p := range pts {
+			d := p.V - g.Curve.Eval(p.T)
+			sse += d * d
+		}
+	}
+	st.AvgLen = float64(len(s)) / float64(len(segs))
+	st.Fragmentation = float64(short) / float64(len(segs))
+	st.RMSE = math.Sqrt(sse / float64(len(s)))
+	return st, nil
+}

@@ -1,0 +1,369 @@
+package breaking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+	"seqrep/internal/synth"
+)
+
+func mustBreak(t *testing.T, b Breaker, s seq.Sequence) []Segment {
+	t.Helper()
+	segs, err := b.Break(s)
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name(), err)
+	}
+	if err := Validate(segs, len(s)); err != nil {
+		t.Fatalf("%s: invalid segmentation: %v", b.Name(), err)
+	}
+	return segs
+}
+
+func TestOfflineStraightLineOneSegment(t *testing.T) {
+	s := synth.Line(50, 2, -3)
+	for _, b := range []Breaker{Interpolation(0.1), Regression(0.1), Bezier(0.1)} {
+		segs := mustBreak(t, b, s)
+		if len(segs) != 1 {
+			t.Errorf("%s: %d segments on straight line, want 1", b.Name(), len(segs))
+		}
+	}
+}
+
+func TestOfflineConstantOneSegment(t *testing.T) {
+	s := synth.Const(30, 7)
+	segs := mustBreak(t, Interpolation(0.01), s)
+	if len(segs) != 1 {
+		t.Errorf("%d segments on constant, want 1", len(segs))
+	}
+}
+
+// The ε invariant: every emitted segment longer than 2 samples deviates at
+// most ε from its curve.
+func TestOfflineEpsilonInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	walk, err := synth.RandomWalk(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.5, 2, 10} {
+		b := Interpolation(eps)
+		segs := mustBreak(t, b, walk)
+		for _, g := range segs {
+			if g.Len() <= 2 {
+				continue
+			}
+			_, dev := fit.MaxDeviation(g.Curve, walk[g.Lo:g.Hi+1])
+			if dev > eps+1e-9 {
+				t.Errorf("eps=%g: segment [%d,%d] deviates %g", eps, g.Lo, g.Hi, dev)
+			}
+		}
+	}
+}
+
+// The interpolation breaker breaks at extremum points (§5.1): on the fever
+// curve the breakpoints should bracket the two peaks, and the segment
+// slopes should alternate between rising and falling around each peak.
+func TestInterpolationBreaksAtExtrema(t *testing.T) {
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := mustBreak(t, Interpolation(0.5), fever)
+	if len(segs) < 4 {
+		t.Fatalf("only %d segments; expected the two peaks to induce >= 4", len(segs))
+	}
+	// Ground truth peak times are 8h and 16h.
+	var nearPeak1, nearPeak2 bool
+	for _, bp := range Breakpoints(segs) {
+		pt := fever[bp].T
+		if math.Abs(pt-8) < 1.5 {
+			nearPeak1 = true
+		}
+		if math.Abs(pt-16) < 1.5 {
+			nearPeak2 = true
+		}
+	}
+	if !nearPeak1 || !nearPeak2 {
+		t.Errorf("breakpoints %v (times) miss the peaks at 8h/16h",
+			breakpointTimes(fever, segs))
+	}
+}
+
+func breakpointTimes(s seq.Sequence, segs []Segment) []float64 {
+	var ts []float64
+	for _, bp := range Breakpoints(segs) {
+		ts = append(ts, s[bp].T)
+	}
+	return ts
+}
+
+func TestOfflineErrors(t *testing.T) {
+	s := synth.Line(10, 1, 0)
+	if _, err := (&Offline{Fitter: nil, Epsilon: 1}).Break(s); err == nil {
+		t.Error("nil fitter accepted")
+	}
+	if _, err := Interpolation(-1).Break(s); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := Interpolation(1).Break(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	bad := seq.Sequence{{T: 0, V: 1}, {T: 0, V: 2}}
+	if _, err := Interpolation(1).Break(bad); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}
+
+func TestOfflineSinglePoint(t *testing.T) {
+	s := seq.New([]float64{5})
+	segs := mustBreak(t, Interpolation(0.1), s)
+	if len(segs) != 1 || segs[0].Len() != 1 {
+		t.Errorf("segments = %+v", segs)
+	}
+}
+
+func TestNaiveSplitAblation(t *testing.T) {
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &Offline{Fitter: fit.InterpolationFitter{}, Epsilon: 0.5, NaiveSplit: true}
+	segs := mustBreak(t, naive, fever)
+	// Still a valid segmentation with the ε invariant.
+	for _, g := range segs {
+		if g.Len() <= 2 {
+			continue
+		}
+		_, dev := fit.MaxDeviation(g.Curve, fever[g.Lo:g.Hi+1])
+		if dev > 0.5+1e-9 {
+			t.Errorf("naive split violates epsilon: %g", dev)
+		}
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	segs := []Segment{{Lo: 0, Hi: 4}, {Lo: 5, Hi: 9}, {Lo: 10, Hi: 20}}
+	bps := Breakpoints(segs)
+	if len(bps) != 2 || bps[0] != 5 || bps[1] != 10 {
+		t.Errorf("Breakpoints = %v", bps)
+	}
+	if Breakpoints(segs[:1]) != nil {
+		t.Error("single segment has no breakpoints")
+	}
+	if Breakpoints(nil) != nil {
+		t.Error("empty has no breakpoints")
+	}
+}
+
+func TestValidateRejectsBadSegmentations(t *testing.T) {
+	l := fit.Line{}
+	cases := map[string][]Segment{
+		"empty":     {},
+		"bad start": {{Lo: 1, Hi: 9, Curve: l}},
+		"bad end":   {{Lo: 0, Hi: 8, Curve: l}},
+		"gap":       {{Lo: 0, Hi: 3, Curve: l}, {Lo: 5, Hi: 9, Curve: l}},
+		"overlap":   {{Lo: 0, Hi: 5, Curve: l}, {Lo: 5, Hi: 9, Curve: l}},
+		"inverted":  {{Lo: 0, Hi: 5, Curve: l}, {Lo: 9, Hi: 6, Curve: l}},
+		"nil curve": {{Lo: 0, Hi: 9, Curve: nil}},
+	}
+	for name, segs := range cases {
+		if err := Validate(segs, 10); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := Validate([]Segment{{Lo: 0, Hi: 9, Curve: l}}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := Validate([]Segment{{Lo: 0, Hi: 9, Curve: l}}, 10); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := mustBreak(t, Interpolation(0.5), fever)
+	st, err := Measure(fever, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSegments != len(segs) {
+		t.Errorf("NumSegments = %d", st.NumSegments)
+	}
+	if st.MinLen < 1 || st.MaxLen < st.MinLen {
+		t.Errorf("lengths min=%d max=%d", st.MinLen, st.MaxLen)
+	}
+	if st.AvgLen <= 0 || st.AvgLen > float64(len(fever)) {
+		t.Errorf("AvgLen = %g", st.AvgLen)
+	}
+	if st.Fragmentation < 0 || st.Fragmentation > 1 {
+		t.Errorf("Fragmentation = %g", st.Fragmentation)
+	}
+	if st.MaxDeviation > 0.5+1e-9 {
+		t.Errorf("MaxDeviation = %g exceeds epsilon", st.MaxDeviation)
+	}
+	if st.RMSE <= 0 || st.RMSE > st.MaxDeviation {
+		t.Errorf("RMSE = %g (max dev %g)", st.RMSE, st.MaxDeviation)
+	}
+	// Fragmentation avoidance (§4.3) on the smooth fever curve.
+	if st.Fragmentation > 0.34 {
+		t.Errorf("fragmentation %g too high on smooth input", st.Fragmentation)
+	}
+	if _, err := Measure(fever, nil); err == nil {
+		t.Error("invalid segmentation accepted")
+	}
+}
+
+// Robustness (§4.3): adding a point that lies within ε of the representing
+// line shifts breakpoints by at most one position.
+func TestRobustnessProperty(t *testing.T) {
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.5
+	b := Interpolation(eps)
+	segs := mustBreak(t, b, fever)
+	before := Breakpoints(segs)
+
+	// Insert a point on a segment's own interpolation line, inside the
+	// segment's interior.
+	var target Segment
+	for _, g := range segs {
+		if g.Len() >= 6 {
+			target = g
+			break
+		}
+	}
+	if target.Curve == nil {
+		t.Skip("no long segment found")
+	}
+	mid := (fever[target.Lo].T + fever[target.Hi].T) / 2
+	tIns := mid + 0.01 // avoid colliding with a sample time
+	pIns := seq.Point{T: tIns, V: target.Curve.Eval(tIns)}
+	augmented, err := fever.Insert(pIns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs2 := mustBreak(t, b, augmented)
+	after := Breakpoints(segs2)
+
+	if len(after) != len(before) {
+		t.Fatalf("breakpoint count changed: %d -> %d", len(before), len(after))
+	}
+	// Compare breakpoint times; each may shift by at most one sample
+	// position (the inserted point shifts indexes by one).
+	for i := range before {
+		tb := fever[before[i]].T
+		ta := augmented[after[i]].T
+		// One sample step in this curve is 0.25h.
+		if math.Abs(tb-ta) > 0.26 {
+			t.Errorf("breakpoint %d moved from t=%g to t=%g", i, tb, ta)
+		}
+	}
+}
+
+// Consistency (§4.3): feature-preserving transformations (time shift,
+// amplitude shift, amplitude scaling about the baseline with rescaled ε)
+// yield corresponding breakpoints.
+func TestConsistencyUnderTransforms(t *testing.T) {
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.5
+	base := mustBreak(t, Interpolation(eps), fever)
+	baseBPs := Breakpoints(base)
+
+	cases := []struct {
+		name string
+		s    seq.Sequence
+		eps  float64
+	}{
+		{"time-shift", fever.ShiftTime(100), eps},
+		{"amplitude-shift", fever.ShiftValue(5), eps},
+		{"amplitude-scale", fever.ScaleAbout(97, 2), eps * 2},
+	}
+	for _, c := range cases {
+		segs := mustBreak(t, Interpolation(c.eps), c.s)
+		got := Breakpoints(segs)
+		if len(got) != len(baseBPs) {
+			t.Errorf("%s: breakpoint count %d, want %d", c.name, len(got), len(baseBPs))
+			continue
+		}
+		for i := range got {
+			if got[i] != baseBPs[i] {
+				t.Errorf("%s: breakpoint %d at index %d, want %d", c.name, i, got[i], baseBPs[i])
+			}
+		}
+	}
+}
+
+// Fragmentation avoidance on an adversarial sawtooth: with ε below the
+// tooth height every tooth must break, but segments between teeth stay
+// long.
+func TestSawtoothFragmentation(t *testing.T) {
+	saw := synth.Sawtooth(200, 10, 20)
+	segs := mustBreak(t, Interpolation(1), saw)
+	st, err := Measure(saw, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgLen < 5 {
+		t.Errorf("average segment length %g — fragmented", st.AvgLen)
+	}
+}
+
+func TestBreakerNames(t *testing.T) {
+	names := map[string]Breaker{
+		"offline-interpolation": Interpolation(1),
+		"offline-regression":    Regression(1),
+		"offline-bezier":        Bezier(1),
+		"dp-optimal":            &DP{SegmentCost: 1},
+		"online-window":         NewOnline(1),
+	}
+	for want, b := range names {
+		if got := b.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+	if (&Offline{}).Name() != "offline" {
+		t.Error("fitterless name")
+	}
+}
+
+// The ECG experiment shape (Fig 9): 540 samples, ε=10 → breakpoints around
+// every R peak, segment count near the paper's ~10 per trace.
+func TestECGBreaking(t *testing.T) {
+	ecg, rPeaks, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := mustBreak(t, Interpolation(10), ecg)
+	st, err := Measure(ecg, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSegments < 2*len(rPeaks) || st.NumSegments > 60 {
+		t.Errorf("segments = %d for %d R peaks", st.NumSegments, len(rPeaks))
+	}
+	// Every R peak must be bracketed by a breakpoint within 6 samples.
+	bps := Breakpoints(segs)
+	for _, rp := range rPeaks {
+		found := false
+		for _, bp := range bps {
+			if math.Abs(float64(bp)-rp) <= 6 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no breakpoint near R peak at %g", rp)
+		}
+	}
+}

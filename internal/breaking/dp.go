@@ -1,0 +1,172 @@
+package breaking
+
+import (
+	"fmt"
+	"math"
+
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+)
+
+// DP is the dynamic-programming segmenter the paper mentions as the
+// expensive alternative (§5.1): it minimizes the global cost
+//
+//	SegmentCost · (#segments) + ErrorWeight · Σ SSE(segment)
+//
+// where SSE is the sum of squared vertical errors of each segment's
+// least-squares regression line. It runs in O(n²) time using O(1)
+// per-range regression errors from prefix sums, against which the
+// O(peaks·n) interpolation breaker is benchmarked.
+type DP struct {
+	// SegmentCost is the per-segment charge a (must be > 0 or the
+	// optimum degenerates to one segment per point).
+	SegmentCost float64
+	// ErrorWeight is the charge b per unit of squared error (default 1
+	// when zero).
+	ErrorWeight float64
+	// MaxSegments optionally caps the number of segments (0 = no cap).
+	MaxSegments int
+}
+
+// Name implements Breaker.
+func (d *DP) Name() string { return "dp-optimal" }
+
+// prefixSums supports O(1) least-squares error queries over any sample
+// range via running sums of t, v, t², v² and t·v.
+type prefixSums struct {
+	t, v, tt, vv, tv []float64
+}
+
+func newPrefixSums(s seq.Sequence) *prefixSums {
+	n := len(s)
+	p := &prefixSums{
+		t:  make([]float64, n+1),
+		v:  make([]float64, n+1),
+		tt: make([]float64, n+1),
+		vv: make([]float64, n+1),
+		tv: make([]float64, n+1),
+	}
+	for i, q := range s {
+		p.t[i+1] = p.t[i] + q.T
+		p.v[i+1] = p.v[i] + q.V
+		p.tt[i+1] = p.tt[i] + q.T*q.T
+		p.vv[i+1] = p.vv[i] + q.V*q.V
+		p.tv[i+1] = p.tv[i] + q.T*q.V
+	}
+	return p
+}
+
+// sse returns the sum of squared residuals of the least-squares line over
+// samples [i, j] inclusive.
+func (p *prefixSums) sse(i, j int) float64 {
+	n := float64(j - i + 1)
+	if n <= 1 {
+		return 0
+	}
+	st := p.t[j+1] - p.t[i]
+	sv := p.v[j+1] - p.v[i]
+	stt := p.tt[j+1] - p.tt[i]
+	svv := p.vv[j+1] - p.vv[i]
+	stv := p.tv[j+1] - p.tv[i]
+	sxx := stt - st*st/n
+	syy := svv - sv*sv/n
+	sxy := stv - st*sv/n
+	if sxx <= 1e-12 {
+		return math.Max(syy, 0)
+	}
+	sse := syy - sxy*sxy/sxx
+	if sse < 0 {
+		return 0 // numeric noise
+	}
+	return sse
+}
+
+// Break implements Breaker, returning the cost-optimal segmentation with
+// regression-line curves.
+func (d *DP) Break(s seq.Sequence) ([]Segment, error) {
+	if d.SegmentCost <= 0 {
+		return nil, fmt.Errorf("breaking: DP segment cost must be > 0, got %g", d.SegmentCost)
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("breaking: empty sequence")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("breaking: %w", err)
+	}
+	errW := d.ErrorWeight
+	if errW == 0 {
+		errW = 1
+	}
+	if errW < 0 {
+		return nil, fmt.Errorf("breaking: negative error weight %g", errW)
+	}
+
+	n := len(s)
+	ps := newPrefixSums(s)
+
+	// best[j] = minimal cost of segmenting s[0..j-1]; parent[j] = start of
+	// the final segment in that optimum.
+	best := make([]float64, n+1)
+	parent := make([]int, n+1)
+	segCount := make([]int, n+1)
+	best[0] = 0
+	for j := 1; j <= n; j++ {
+		best[j] = math.Inf(1)
+		for i := 0; i < j; i++ {
+			if math.IsInf(best[i], 1) {
+				continue
+			}
+			if d.MaxSegments > 0 && segCount[i]+1 > d.MaxSegments {
+				continue
+			}
+			c := best[i] + d.SegmentCost + errW*ps.sse(i, j-1)
+			if c < best[j] {
+				best[j] = c
+				parent[j] = i
+				segCount[j] = segCount[i] + 1
+			}
+		}
+	}
+	if math.IsInf(best[n], 1) {
+		return nil, fmt.Errorf("breaking: DP found no segmentation within %d segments", d.MaxSegments)
+	}
+
+	// Reconstruct boundaries right to left.
+	var bounds []int
+	for j := n; j > 0; j = parent[j] {
+		bounds = append(bounds, parent[j])
+	}
+	segs := make([]Segment, 0, len(bounds))
+	hi := n - 1
+	for _, lo := range bounds {
+		line, err := fit.RegressLine(s[lo : hi+1])
+		if err != nil {
+			return nil, fmt.Errorf("breaking: DP regression on [%d,%d]: %w", lo, hi, err)
+		}
+		segs = append(segs, Segment{Lo: lo, Hi: hi, Curve: line})
+		hi = lo - 1
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return segs, nil
+}
+
+// Cost returns the DP objective value of an arbitrary segmentation of s,
+// letting tests verify optimality against exhaustive search.
+func (d *DP) Cost(s seq.Sequence, segs []Segment) (float64, error) {
+	if err := Validate(segs, len(s)); err != nil {
+		return 0, err
+	}
+	errW := d.ErrorWeight
+	if errW == 0 {
+		errW = 1
+	}
+	ps := newPrefixSums(s)
+	total := 0.0
+	for _, g := range segs {
+		total += d.SegmentCost + errW*ps.sse(g.Lo, g.Hi)
+	}
+	return total, nil
+}

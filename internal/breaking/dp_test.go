@@ -1,0 +1,195 @@
+package breaking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+	"seqrep/internal/synth"
+)
+
+func TestDPStraightLine(t *testing.T) {
+	s := synth.Line(40, 1.5, 2)
+	d := &DP{SegmentCost: 1}
+	segs := mustBreak(t, d, s)
+	if len(segs) != 1 {
+		t.Errorf("%d segments on a straight line, want 1", len(segs))
+	}
+}
+
+func TestDPPiecewiseLine(t *testing.T) {
+	// Two perfect linear pieces with a sharp corner: optimal segmentation
+	// with small segment cost is exactly two segments.
+	vals := make([]float64, 60)
+	for i := 0; i < 30; i++ {
+		vals[i] = float64(i)
+	}
+	for i := 30; i < 60; i++ {
+		vals[i] = 30 - float64(i-30)*2
+	}
+	s := seq.New(vals)
+	segs := mustBreak(t, &DP{SegmentCost: 0.5}, s)
+	if len(segs) != 2 {
+		t.Fatalf("%d segments, want 2", len(segs))
+	}
+	if segs[0].Hi < 28 || segs[0].Hi > 30 {
+		t.Errorf("corner found at %d, want ~29", segs[0].Hi)
+	}
+}
+
+func TestDPErrors(t *testing.T) {
+	s := synth.Line(10, 1, 0)
+	if _, err := (&DP{SegmentCost: 0}).Break(s); err == nil {
+		t.Error("zero segment cost accepted")
+	}
+	if _, err := (&DP{SegmentCost: 1, ErrorWeight: -1}).Break(s); err == nil {
+		t.Error("negative error weight accepted")
+	}
+	if _, err := (&DP{SegmentCost: 1}).Break(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	bad := seq.Sequence{{T: 1, V: 0}, {T: 0, V: 0}}
+	if _, err := (&DP{SegmentCost: 1}).Break(bad); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}
+
+func TestDPMaxSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	walk, err := synth.RandomWalk(rng, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny segment cost would otherwise produce many segments.
+	uncapped := mustBreak(t, &DP{SegmentCost: 0.01}, walk)
+	if len(uncapped) < 4 {
+		t.Skipf("walk too smooth: %d segments", len(uncapped))
+	}
+	capped := mustBreak(t, &DP{SegmentCost: 0.01, MaxSegments: 3}, walk)
+	if len(capped) > 3 {
+		t.Errorf("cap violated: %d segments", len(capped))
+	}
+}
+
+// enumerate all segmentations of n samples (boundaries as a bitmask) and
+// return the minimal DP cost.
+func bruteForceBest(t *testing.T, d *DP, s seq.Sequence) float64 {
+	t.Helper()
+	n := len(s)
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		var segs []Segment
+		lo := 0
+		valid := true
+		for i := 0; i < n-1; i++ {
+			if mask&(1<<i) != 0 {
+				line, err := fit.RegressLine(s[lo : i+1])
+				if err != nil {
+					valid = false
+					break
+				}
+				segs = append(segs, Segment{Lo: lo, Hi: i, Curve: line})
+				lo = i + 1
+			}
+		}
+		if !valid {
+			continue
+		}
+		line, err := fit.RegressLine(s[lo:])
+		if err != nil {
+			continue
+		}
+		segs = append(segs, Segment{Lo: lo, Hi: n - 1, Curve: line})
+		if d.MaxSegments > 0 && len(segs) > d.MaxSegments {
+			continue
+		}
+		c, err := d.Cost(s, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// DP optimality: the DP result cost equals exhaustive-search cost on small
+// random inputs.
+func TestDPOptimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(5) // 6..10 samples
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 5
+		}
+		s := seq.New(vals)
+		d := &DP{SegmentCost: 0.5 + rng.Float64()*2, ErrorWeight: 0.5 + rng.Float64()}
+		segs, err := d.Break(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Cost(s, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceBest(t, d, s)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("trial %d (n=%d): DP cost %g, brute force %g", trial, n, got, want)
+		}
+	}
+}
+
+func TestDPCostValidation(t *testing.T) {
+	s := synth.Line(10, 1, 0)
+	d := &DP{SegmentCost: 1}
+	if _, err := d.Cost(s, nil); err == nil {
+		t.Error("invalid segmentation accepted by Cost")
+	}
+	segs := mustBreak(t, d, s)
+	c, err := d.Cost(s, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One segment, zero error: cost equals the per-segment charge.
+	if math.Abs(c-1) > 1e-9 {
+		t.Errorf("cost = %g, want 1", c)
+	}
+}
+
+func TestPrefixSumsSSE(t *testing.T) {
+	s := seq.Sequence{{T: 0, V: 0}, {T: 1, V: 2}, {T: 2, V: 1}, {T: 3, V: 3}}
+	ps := newPrefixSums(s)
+	// Compare each range against direct residual computation.
+	for i := 0; i < len(s); i++ {
+		for j := i; j < len(s); j++ {
+			want := 0.0
+			if j > i {
+				line, err := fit.RegressLine(s[i : j+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range s[i : j+1] {
+					d := p.V - line.Eval(p.T)
+					want += d * d
+				}
+			}
+			if got := ps.sse(i, j); math.Abs(got-want) > 1e-9 {
+				t.Errorf("sse(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSumsZeroTimeVariance(t *testing.T) {
+	// Duplicate times cannot reach sse via Break (Validate rejects them),
+	// but the helper itself must stay finite.
+	s := seq.Sequence{{T: 1, V: 0}, {T: 1, V: 4}}
+	ps := newPrefixSums(s)
+	if got := ps.sse(0, 1); math.IsNaN(got) || got < 0 {
+		t.Errorf("sse = %g", got)
+	}
+}

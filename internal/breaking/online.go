@@ -1,0 +1,148 @@
+package breaking
+
+import (
+	"fmt"
+
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+)
+
+// Online is the sliding-window breaker of §5.1: it decides breakpoints
+// while data is being gathered, "based on the data seen so far with no
+// overall view of the sequence". The window grows point by point with an
+// incrementally maintained regression line; when the window's deviation
+// from that line exceeds ε, the segment is closed at the previous sample
+// and a new window starts.
+//
+// Its merit is that no post-processing pass is needed; its deficiency —
+// which the experiments quantify against the offline breakers — is
+// possible loss of accuracy (§5.1).
+type Online struct {
+	// Epsilon is the deviation tolerance ε.
+	Epsilon float64
+	// MaxWindow optionally bounds the look-back used for the deviation
+	// check (0 = whole current window). Smaller windows trade accuracy
+	// for strictly bounded per-point cost.
+	MaxWindow int
+
+	window []seq.Point
+	reg    fit.RunningRegression
+	start  int // global index of the first sample in the window
+	nextIx int // global index of the next sample to arrive
+}
+
+// NewOnline returns an incremental breaker with tolerance epsilon.
+func NewOnline(epsilon float64) *Online {
+	return &Online{Epsilon: epsilon}
+}
+
+// Name implements Breaker.
+func (o *Online) Name() string { return "online-window" }
+
+// Feed appends one sample and returns any segment completed by its
+// arrival (at most one). Samples must arrive in time order.
+func (o *Online) Feed(p seq.Point) (*Segment, error) {
+	if o.Epsilon < 0 {
+		return nil, fmt.Errorf("breaking: negative tolerance %g", o.Epsilon)
+	}
+	if n := len(o.window); n > 0 && p.T <= o.window[n-1].T {
+		return nil, fmt.Errorf("breaking: online sample at time %g not after %g", p.T, o.window[n-1].T)
+	}
+	o.window = append(o.window, p)
+	o.reg.Add(p.T, p.V)
+	o.nextIx++
+	if len(o.window) <= 2 {
+		return nil, nil
+	}
+
+	line, err := o.reg.Line()
+	if err != nil {
+		return nil, fmt.Errorf("breaking: online regression: %w", err)
+	}
+	if o.maxDeviation(line) <= o.Epsilon {
+		return nil, nil
+	}
+
+	// The newly extended window broke the tolerance: close the segment at
+	// the previous sample and restart the window at p.
+	closed := o.window[:len(o.window)-1]
+	segLine, err := fit.RegressLine(closed)
+	if err != nil {
+		return nil, fmt.Errorf("breaking: online segment fit: %w", err)
+	}
+	seg := &Segment{Lo: o.start, Hi: o.start + len(closed) - 1, Curve: segLine}
+
+	o.window = append(o.window[:0:0], p)
+	o.reg = fit.RunningRegression{}
+	o.reg.Add(p.T, p.V)
+	o.start = seg.Hi + 1
+	return seg, nil
+}
+
+// maxDeviation returns the worst vertical deviation of the (possibly
+// capped) window from the line.
+func (o *Online) maxDeviation(line fit.Line) float64 {
+	pts := o.window
+	if o.MaxWindow > 0 && len(pts) > o.MaxWindow {
+		pts = pts[len(pts)-o.MaxWindow:]
+	}
+	_, dev := fit.MaxDeviation(line, pts)
+	return dev
+}
+
+// Flush closes and returns the trailing segment, if any, and resets the
+// breaker for reuse.
+func (o *Online) Flush() (*Segment, error) {
+	if len(o.window) == 0 {
+		return nil, nil
+	}
+	line, err := fit.RegressLine(o.window)
+	if err != nil {
+		return nil, fmt.Errorf("breaking: online flush fit: %w", err)
+	}
+	seg := &Segment{Lo: o.start, Hi: o.start + len(o.window) - 1, Curve: line}
+	o.window = nil
+	o.reg = fit.RunningRegression{}
+	o.start = seg.Hi + 1
+	o.nextIx = seg.Hi + 1
+	return seg, nil
+}
+
+// Reset discards all buffered state, restarting global indexing at zero.
+func (o *Online) Reset() {
+	o.window = nil
+	o.reg = fit.RunningRegression{}
+	o.start = 0
+	o.nextIx = 0
+}
+
+// Break implements Breaker by streaming the whole sequence through Feed
+// and flushing, so the online algorithm can be compared directly with the
+// offline ones.
+func (o *Online) Break(s seq.Sequence) ([]Segment, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("breaking: empty sequence")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("breaking: %w", err)
+	}
+	o.Reset()
+	var segs []Segment
+	for _, p := range s {
+		done, err := o.Feed(p)
+		if err != nil {
+			return nil, err
+		}
+		if done != nil {
+			segs = append(segs, *done)
+		}
+	}
+	tail, err := o.Flush()
+	if err != nil {
+		return nil, err
+	}
+	if tail != nil {
+		segs = append(segs, *tail)
+	}
+	return segs, nil
+}

@@ -1,0 +1,147 @@
+package breaking
+
+import (
+	"math"
+	"testing"
+
+	"seqrep/internal/seq"
+	"seqrep/internal/synth"
+)
+
+func TestOnlineStraightLine(t *testing.T) {
+	s := synth.Line(60, 0.5, 1)
+	segs := mustBreak(t, NewOnline(0.1), s)
+	if len(segs) != 1 {
+		t.Errorf("%d segments on straight line, want 1", len(segs))
+	}
+}
+
+func TestOnlineSharpCorner(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := 0; i < 20; i++ {
+		vals[i] = float64(i)
+	}
+	for i := 20; i < 40; i++ {
+		vals[i] = 20 - float64(i-20)
+	}
+	segs := mustBreak(t, NewOnline(0.5), seq.New(vals))
+	if len(segs) != 2 {
+		t.Fatalf("%d segments, want 2", len(segs))
+	}
+	if c := segs[0].Hi; c < 18 || c > 21 {
+		t.Errorf("corner at %d, want ~19-20", c)
+	}
+}
+
+func TestOnlineFeedFlushIncremental(t *testing.T) {
+	o := NewOnline(0.5)
+	var emitted []Segment
+	s := synth.Sawtooth(60, 15, 10)
+	for _, p := range s {
+		seg, err := o.Feed(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg != nil {
+			emitted = append(emitted, *seg)
+		}
+	}
+	tail, err := o.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != nil {
+		emitted = append(emitted, *tail)
+	}
+	if err := Validate(emitted, len(s)); err != nil {
+		t.Fatalf("incremental segments invalid: %v", err)
+	}
+	// Flushing again without new data yields nothing.
+	again, err := o.Flush()
+	if err != nil || again != nil {
+		t.Errorf("second flush: %v %v", again, err)
+	}
+}
+
+func TestOnlineFeedOrderEnforced(t *testing.T) {
+	o := NewOnline(1)
+	if _, err := o.Feed(seq.Point{T: 5, V: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Feed(seq.Point{T: 5, V: 1}); err == nil {
+		t.Error("duplicate time accepted")
+	}
+	if _, err := o.Feed(seq.Point{T: 4, V: 1}); err == nil {
+		t.Error("backward time accepted")
+	}
+}
+
+func TestOnlineNegativeEpsilon(t *testing.T) {
+	o := NewOnline(-1)
+	if _, err := o.Feed(seq.Point{T: 0, V: 0}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestOnlineBreakResetsState(t *testing.T) {
+	o := NewOnline(0.5)
+	s := synth.Sawtooth(50, 10, 5)
+	first := mustBreak(t, o, s)
+	second := mustBreak(t, o, s)
+	if len(first) != len(second) {
+		t.Fatalf("reuse changed segmentation: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Lo != second[i].Lo || first[i].Hi != second[i].Hi {
+			t.Errorf("segment %d differs between runs", i)
+		}
+	}
+}
+
+func TestOnlineMaxWindowBounded(t *testing.T) {
+	o := NewOnline(0.5)
+	o.MaxWindow = 8
+	s := synth.Sawtooth(120, 20, 15)
+	segs := mustBreak(t, o, s)
+	if len(segs) < 2 {
+		t.Errorf("bounded window found %d segments", len(segs))
+	}
+}
+
+func TestOnlineBreakErrors(t *testing.T) {
+	if _, err := NewOnline(1).Break(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	bad := seq.Sequence{{T: 1, V: 0}, {T: 0, V: 0}}
+	if _, err := NewOnline(1).Break(bad); err == nil {
+		t.Error("invalid accepted")
+	}
+}
+
+// Offline vs online agreement (§5.1, E16): on a clean piecewise-linear
+// signal the online breaker should find nearly the offline breakpoints.
+func TestOnlineOfflineAgreement(t *testing.T) {
+	vals := make([]float64, 90)
+	for i := 0; i < 30; i++ {
+		vals[i] = float64(i) * 2
+	}
+	for i := 30; i < 60; i++ {
+		vals[i] = 60 - float64(i-30)*2
+	}
+	for i := 60; i < 90; i++ {
+		vals[i] = float64(i-60) * 1.5
+	}
+	s := seq.New(vals)
+	off := mustBreak(t, Interpolation(0.5), s)
+	on := mustBreak(t, NewOnline(0.5), s)
+	offBPs := Breakpoints(off)
+	onBPs := Breakpoints(on)
+	if len(offBPs) != len(onBPs) {
+		t.Fatalf("offline %v vs online %v", offBPs, onBPs)
+	}
+	for i := range offBPs {
+		if math.Abs(float64(offBPs[i]-onBPs[i])) > 2 {
+			t.Errorf("breakpoint %d: offline %d vs online %d", i, offBPs[i], onBPs[i])
+		}
+	}
+}

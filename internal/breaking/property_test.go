@@ -1,0 +1,154 @@
+package breaking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+)
+
+// Property: on arbitrary finite inputs every breaker yields a valid
+// segmentation, and the offline interpolation breaker additionally
+// respects the ε invariant on every segment longer than two samples.
+func TestBreakersAlwaysValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	mk := func(raw []float64) seq.Sequence {
+		n := len(raw)
+		if n < 1 {
+			n = 1
+		}
+		if n > 120 {
+			n = 120
+		}
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := 0.0
+			if i < len(raw) {
+				v = raw[i]
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = math.Mod(v, 1e4)
+		}
+		return seq.New(vals)
+	}
+
+	breakers := []Breaker{
+		Interpolation(1.5),
+		Regression(1.5),
+		&DP{SegmentCost: 2},
+		NewOnline(1.5),
+	}
+	f := func(raw []float64) bool {
+		s := mk(raw)
+		for _, b := range breakers {
+			segs, err := b.Break(s)
+			if err != nil {
+				t.Logf("%s: %v", b.Name(), err)
+				return false
+			}
+			if err := Validate(segs, len(s)); err != nil {
+				t.Logf("%s: %v", b.Name(), err)
+				return false
+			}
+		}
+		// ε invariant for the interpolation breaker.
+		segs, err := Interpolation(1.5).Break(s)
+		if err != nil {
+			return false
+		}
+		for _, g := range segs {
+			if g.Len() <= 2 {
+				continue
+			}
+			if _, dev := fit.MaxDeviation(g.Curve, s[g.Lo:g.Hi+1]); dev > 1.5+1e-9 {
+				t.Logf("segment [%d,%d] deviates %g", g.Lo, g.Hi, dev)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: breakpoints returned by any breaker are strictly increasing
+// interior positions.
+func TestBreakpointsWellFormedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		local := rand.New(rand.NewSource(seed))
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = local.NormFloat64() * 10
+		}
+		s := seq.New(vals)
+		segs, err := Interpolation(2).Break(s)
+		if err != nil {
+			return false
+		}
+		bps := Breakpoints(segs)
+		prev := 0
+		for _, bp := range bps {
+			if bp <= prev || bp >= len(s) {
+				return false
+			}
+			prev = bp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The polynomial family also drives the Figure 8 template (the paper's
+// "polynomials of a fixed degree" instantiation).
+func TestOfflineWithPolynomialFitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	vals := make([]float64, 120)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = 0.02*x*x - 1.5*x + 7 // smooth quadratic
+	}
+	s := seq.New(vals).AddNoise(rng, 0.2)
+	b := &Offline{Fitter: fit.PolynomialFitter{Degree: 2}, Epsilon: 1.5}
+	segs := mustBreak(t, b, s)
+	// A quadratic with mild noise should need very few quadratic segments.
+	if len(segs) > 3 {
+		t.Errorf("%d segments for a quadratic input", len(segs))
+	}
+	if b.Name() != "offline-poly2" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}
+
+// Degenerate inputs that once triggered corner cases.
+func TestOfflineDegenerateInputs(t *testing.T) {
+	cases := map[string]seq.Sequence{
+		"two points":        seq.New([]float64{1, 9}),
+		"three points":      seq.New([]float64{1, 9, 1}),
+		"alternating":       seq.New([]float64{0, 10, 0, 10, 0, 10}),
+		"plateau then jump": seq.New([]float64{5, 5, 5, 5, 5, 50}),
+		"single spike":      seq.New([]float64{0, 0, 0, 100, 0, 0, 0}),
+		"all equal":         seq.New([]float64{3, 3, 3, 3}),
+	}
+	for name, s := range cases {
+		for _, b := range []Breaker{Interpolation(0.5), Regression(0.5), Bezier(0.5), NewOnline(0.5), &DP{SegmentCost: 1}} {
+			segs, err := b.Break(s)
+			if err != nil {
+				t.Errorf("%s / %s: %v", name, b.Name(), err)
+				continue
+			}
+			if err := Validate(segs, len(s)); err != nil {
+				t.Errorf("%s / %s: %v", name, b.Name(), err)
+			}
+		}
+	}
+}

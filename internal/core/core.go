@@ -1,0 +1,283 @@
+// Package core assembles the substrates into the paper's system: a
+// sequence database that stores compact function representations instead
+// of raw samples and answers generalized approximate queries from those
+// representations.
+//
+// The ingestion pipeline follows §4-§5: optional preprocessing (filtering,
+// normalization), breaking into meaningful subsequences, fitting a
+// representing function per subsequence, slope-sign symbolization, peak
+// extraction, and inverted-file indexing of peak-to-peak intervals. Raw
+// sequences are relegated to archival storage, consulted only by
+// value-based queries that need full resolution.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seqrep/internal/breaking"
+	"seqrep/internal/feature"
+	"seqrep/internal/filter"
+	"seqrep/internal/fit"
+	"seqrep/internal/index/inverted"
+	"seqrep/internal/rep"
+	"seqrep/internal/seq"
+	"seqrep/internal/store"
+)
+
+// Config parameterizes a DB. The zero value is usable: it yields the
+// paper's defaults (interpolation breaking, byproduct representation,
+// ε = 0.5, δ = 0.25, unit interval buckets, no preprocessing, no archive).
+type Config struct {
+	// Epsilon is the breaking tolerance ε (default 0.5; the paper used
+	// 0.5 for temperature curves and 10 for ECGs).
+	Epsilon float64
+	// Delta is the slope-sign threshold δ of §4.4 (default 0.25, the
+	// paper's choice).
+	Delta float64
+	// BucketWidth is the inverted-index bucket width for peak-interval
+	// values (default 1, integer buckets as in Figure 10).
+	BucketWidth float64
+	// Breaker overrides the breaking algorithm (default: the Figure 8
+	// template over interpolation lines with tolerance Epsilon).
+	Breaker breaking.Breaker
+	// Representer refits each segment for representation; nil keeps the
+	// breaker's byproduct functions. The paper represents with regression
+	// lines in its goal-post example (§4.4).
+	Representer fit.Fitter
+	// Preprocess is an optional pipeline applied before breaking (§7).
+	Preprocess *filter.Chain
+	// Archive optionally stores the raw sequences; required only by
+	// value-based queries at full resolution.
+	Archive store.Archive
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Epsilon == 0 {
+		out.Epsilon = 0.5
+	}
+	if out.Delta == 0 {
+		out.Delta = 0.25
+	}
+	if out.BucketWidth == 0 {
+		out.BucketWidth = 1
+	}
+	if out.Breaker == nil {
+		out.Breaker = breaking.Interpolation(out.Epsilon)
+	}
+	return out
+}
+
+// Record is everything the database keeps for one ingested sequence: the
+// compact representation and the features derived from it. Raw samples are
+// not part of the record.
+type Record struct {
+	ID      string
+	N       int // original sample count
+	Rep     *rep.FunctionSeries
+	Profile *feature.Profile
+}
+
+// DB is the sequence database. It is safe for concurrent use.
+type DB struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	records map[string]*Record
+	ids     []string // sorted
+	rrIndex *inverted.Index
+	// symIndex groups sequence ids by their symbol string, so pattern
+	// queries evaluate each distinct string once no matter how many
+	// sequences share it.
+	symIndex map[string][]string
+}
+
+// New creates a database from cfg (zero value = paper defaults).
+func New(cfg Config) (*DB, error) {
+	c := cfg.withDefaults()
+	if c.Epsilon < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %g", c.Epsilon)
+	}
+	if c.Delta < 0 {
+		return nil, fmt.Errorf("core: negative delta %g", c.Delta)
+	}
+	ix, err := inverted.New(c.BucketWidth)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &DB{
+		cfg:      c,
+		records:  make(map[string]*Record),
+		rrIndex:  ix,
+		symIndex: make(map[string][]string),
+	}, nil
+}
+
+// Config returns the database's effective configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// Len returns the number of ingested sequences.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// IDs returns all sequence ids in sorted order.
+func (db *DB) IDs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.ids...)
+}
+
+// Record returns the stored record for id.
+func (db *DB) Record(id string) (*Record, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.records[id]
+	return r, ok
+}
+
+// Ingest runs the full pipeline on s and stores the result under id. The
+// raw sequence goes to the archive (when configured) before preprocessing,
+// so full resolution is never lost. Duplicate ids are rejected; Remove
+// first to replace.
+func (db *DB) Ingest(id string, s seq.Sequence) error {
+	if id == "" {
+		return fmt.Errorf("core: empty sequence id")
+	}
+	if len(s) == 0 {
+		return fmt.Errorf("core: ingesting empty sequence %q", id)
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("core: ingesting %q: %w", id, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.records[id]; dup {
+		return fmt.Errorf("core: duplicate sequence id %q", id)
+	}
+
+	if db.cfg.Archive != nil {
+		if err := db.cfg.Archive.Put(id, s); err != nil {
+			return fmt.Errorf("core: archiving %q: %w", id, err)
+		}
+	}
+
+	work := s
+	if db.cfg.Preprocess != nil {
+		pre, err := db.cfg.Preprocess.Run(s)
+		if err != nil {
+			return fmt.Errorf("core: preprocessing %q: %w", id, err)
+		}
+		if err := pre.Validate(); err != nil {
+			return fmt.Errorf("core: preprocessing %q produced invalid sequence: %w", id, err)
+		}
+		work = pre
+	}
+
+	segs, err := db.cfg.Breaker.Break(work)
+	if err != nil {
+		return fmt.Errorf("core: breaking %q: %w", id, err)
+	}
+	fs, err := rep.Build(work, segs, db.cfg.Representer)
+	if err != nil {
+		return fmt.Errorf("core: representing %q: %w", id, err)
+	}
+	profile, err := feature.Extract(fs, db.cfg.Delta)
+	if err != nil {
+		return fmt.Errorf("core: extracting features of %q: %w", id, err)
+	}
+
+	rec := &Record{ID: id, N: len(s), Rep: fs, Profile: profile}
+	for pos, interval := range profile.Intervals {
+		if err := db.rrIndex.Add(interval, inverted.Ref{ID: id, Pos: int32(pos)}); err != nil {
+			return fmt.Errorf("core: indexing %q: %w", id, err)
+		}
+	}
+	db.records[id] = rec
+	i := sort.SearchStrings(db.ids, id)
+	db.ids = append(db.ids, "")
+	copy(db.ids[i+1:], db.ids[i:])
+	db.ids[i] = id
+	db.symIndex[profile.Symbols] = insertSorted(db.symIndex[profile.Symbols], id)
+	return nil
+}
+
+// Remove deletes a sequence from the database, its interval postings, and
+// the archive (when configured).
+func (db *DB) Remove(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.records[id]
+	if !ok {
+		return fmt.Errorf("core: unknown sequence id %q", id)
+	}
+	delete(db.records, id)
+	i := sort.SearchStrings(db.ids, id)
+	db.ids = append(db.ids[:i], db.ids[i+1:]...)
+	db.rrIndex.RemoveID(id)
+	db.symIndex[rec.Profile.Symbols] = removeSorted(db.symIndex[rec.Profile.Symbols], id)
+	if len(db.symIndex[rec.Profile.Symbols]) == 0 {
+		delete(db.symIndex, rec.Profile.Symbols)
+	}
+	if db.cfg.Archive != nil {
+		if err := db.cfg.Archive.Delete(id); err != nil {
+			return fmt.Errorf("core: removing %q from archive: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Raw retrieves the full-resolution sequence from the archive. It fails
+// when the database was built without one.
+func (db *DB) Raw(id string) (seq.Sequence, error) {
+	if db.cfg.Archive == nil {
+		return nil, fmt.Errorf("core: no archive configured")
+	}
+	return db.cfg.Archive.Get(id)
+}
+
+// Reconstruct evaluates the stored representation of id at its original
+// sample positions — the approximate stand-in for Raw that needs no
+// archive access.
+func (db *DB) Reconstruct(id string) (seq.Sequence, error) {
+	db.mu.RLock()
+	rec, ok := db.records[id]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown sequence id %q", id)
+	}
+	return rec.Rep.Reconstruct()
+}
+
+// Stats summarizes the database for monitoring and the CLI.
+type Stats struct {
+	Sequences      int
+	Samples        int // original samples represented
+	Segments       int // stored function segments
+	StoredFloats   int // total floats held by all representations
+	SymbolGroups   int // distinct slope-symbol strings
+	IntervalCount  int // postings in the interval index
+	IntervalBucket int // occupied interval buckets
+}
+
+// Stats returns a snapshot of database-wide counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := Stats{
+		Sequences:      len(db.records),
+		SymbolGroups:   len(db.symIndex),
+		IntervalCount:  db.rrIndex.Len(),
+		IntervalBucket: db.rrIndex.Buckets(),
+	}
+	for _, rec := range db.records {
+		st.Samples += rec.N
+		st.Segments += rec.Rep.NumSegments()
+		st.StoredFloats += rec.Rep.StoredFloats()
+	}
+	return st
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"seqrep/internal/feature"
+	"seqrep/internal/index/inverted"
+	"seqrep/internal/rep"
+)
+
+// Database snapshot format. Only the representations are persisted —
+// features and indexes are cheap to rebuild and doing so guarantees a
+// loaded database always agrees with its configuration.
+//
+//	magic   "SDB1" (4 bytes)
+//	epsilon f64
+//	delta   f64
+//	bucket  f64
+//	count   u32
+//	per record:
+//	  idLen u16, id bytes
+//	  blobLen u32, FunctionSeries blob
+var dbMagic = [4]byte{'S', 'D', 'B', '1'}
+
+// SaveTo writes a snapshot of every stored representation.
+func (db *DB) SaveTo(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(dbMagic[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	var f64 [8]byte
+	for _, v := range []float64{db.cfg.Epsilon, db.cfg.Delta, db.cfg.BucketWidth} {
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+		if _, err := bw.Write(f64[:]); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(db.ids)))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	for _, id := range db.ids {
+		rec := db.records[id]
+		if len(id) > math.MaxUint16 {
+			return fmt.Errorf("core: save: id %q too long", id[:32])
+		}
+		var u16 [2]byte
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(id)))
+		if _, err := bw.Write(u16[:]); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		if _, err := bw.WriteString(id); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		blob, err := rec.Rep.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("core: save %q: %w", id, err)
+		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(blob)))
+		if _, err := bw.Write(u32[:]); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot into a fresh database. The snapshot's scalar
+// parameters (ε, δ, bucket width) are restored; breaker, representer,
+// preprocessing and archive come from cfg since they are code, not data.
+// Features and the interval index are rebuilt from the representations.
+//
+// Snapshots do not carry raw sequences: those live in the archive. When
+// cfg supplies a persistent archive (e.g. a FileArchive over the same
+// directory as before), value queries keep working at full resolution;
+// with a fresh empty archive they fail for ids the archive lacks.
+func Load(r io.Reader, cfg Config) (*DB, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load magic: %w", err)
+	}
+	if magic != dbMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+	}
+	var f64 [8]byte
+	scalars := make([]float64, 3)
+	for i := range scalars {
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return nil, fmt.Errorf("core: load scalars: %w", err)
+		}
+		scalars[i] = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+	}
+	cfg.Epsilon, cfg.Delta, cfg.BucketWidth = scalars[0], scalars[1], scalars[2]
+	db, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, fmt.Errorf("core: load count: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(u32[:])
+	const maxRecords = 1 << 24
+	if count > maxRecords {
+		return nil, fmt.Errorf("core: implausible record count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		var u16 [2]byte
+		if _, err := io.ReadFull(br, u16[:]); err != nil {
+			return nil, fmt.Errorf("core: load record %d id length: %w", i, err)
+		}
+		idLen := binary.LittleEndian.Uint16(u16[:])
+		idBytes := make([]byte, idLen)
+		if _, err := io.ReadFull(br, idBytes); err != nil {
+			return nil, fmt.Errorf("core: load record %d id: %w", i, err)
+		}
+		id := string(idBytes)
+		if id == "" {
+			return nil, fmt.Errorf("core: load record %d: empty id", i)
+		}
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return nil, fmt.Errorf("core: load %q blob length: %w", id, err)
+		}
+		blobLen := binary.LittleEndian.Uint32(u32[:])
+		const maxBlob = 1 << 30
+		if blobLen > maxBlob {
+			return nil, fmt.Errorf("core: load %q: implausible blob size %d", id, blobLen)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("core: load %q blob: %w", id, err)
+		}
+		var fs rep.FunctionSeries
+		if err := fs.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("core: load %q: %w", id, err)
+		}
+		if err := db.adopt(id, &fs); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// adopt installs an already-built representation, rebuilding features and
+// index postings (used by Load).
+func (db *DB) adopt(id string, fs *rep.FunctionSeries) error {
+	profile, err := feature.Extract(fs, db.cfg.Delta)
+	if err != nil {
+		return fmt.Errorf("core: adopting %q: %w", id, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.records[id]; dup {
+		return fmt.Errorf("core: duplicate id %q in snapshot", id)
+	}
+	for pos, interval := range profile.Intervals {
+		if err := db.rrIndex.Add(interval, inverted.Ref{ID: id, Pos: int32(pos)}); err != nil {
+			return fmt.Errorf("core: adopting %q: %w", id, err)
+		}
+	}
+	db.records[id] = &Record{ID: id, N: fs.N, Rep: fs, Profile: profile}
+	db.ids = insertSorted(db.ids, id)
+	db.symIndex[profile.Symbols] = insertSorted(db.symIndex[profile.Symbols], id)
+	return nil
+}
+
+func insertSorted(ids []string, id string) []string {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ids = append(ids, "")
+	copy(ids[lo+1:], ids[lo:])
+	ids[lo] = id
+	return ids
+}
+
+func removeSorted(ids []string, id string) []string {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == id {
+		return append(ids[:lo], ids[lo+1:]...)
+	}
+	return ids
+}

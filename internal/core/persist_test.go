@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"seqrep/internal/pattern"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := feverDB(t)
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d records, want %d", loaded.Len(), db.Len())
+	}
+	cfg := loaded.Config()
+	if cfg.Epsilon != 0.5 || cfg.Delta != 0.25 || cfg.BucketWidth != 1 {
+		t.Errorf("scalars not restored: %+v", cfg)
+	}
+
+	// Queries behave identically after the round trip.
+	before, err := db.MatchPattern(pattern.TwoPeak())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := loaded.MatchPattern(pattern.TwoPeak())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("pattern matches %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("match %d: %q vs %q", i, before[i], after[i])
+		}
+	}
+
+	// Interval index rebuilt: same result set.
+	bm, err := db.IntervalQuery(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := loaded.IntervalQuery(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm) != len(am) {
+		t.Fatalf("interval matches %d vs %d", len(bm), len(am))
+	}
+	for i := range bm {
+		if bm[i].ID != am[i].ID || len(bm[i].Positions) != len(am[i].Positions) {
+			t.Errorf("interval match %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	db := feverDB(t)
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+		"truncated": data[:len(data)/3],
+	}
+	for name, blob := range cases {
+		if _, err := Load(bytes.NewReader(blob), Config{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadHugeCountRejected(t *testing.T) {
+	// magic + 3 scalars + count 0xffffffff
+	blob := append([]byte{}, dbMagic[:]...)
+	blob = append(blob, make([]byte, 24)...)
+	blob = append(blob, 0xff, 0xff, 0xff, 0xff)
+	if _, err := Load(bytes.NewReader(blob), Config{}); err == nil {
+		t.Error("huge record count accepted")
+	}
+}
+
+func TestSaveEmptyDB(t *testing.T) {
+	db := mustDB(t, Config{})
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Errorf("loaded %d records from empty snapshot", loaded.Len())
+	}
+}

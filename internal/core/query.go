@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seqrep/internal/dist"
+	"seqrep/internal/feature"
+	"seqrep/internal/pattern"
+	"seqrep/internal/rep"
+	"seqrep/internal/seq"
+)
+
+// Match is one query result. Exact matches are members of the query's
+// sequence set (§2.2 item 4); approximate matches deviate from it along
+// named feature dimensions, each within its tolerance. Deviations maps
+// dimension name to the observed deviation (0 for exact dimensions).
+type Match struct {
+	ID         string
+	Exact      bool
+	Deviations map[string]float64
+}
+
+// matchLess orders matches: exact first, then by total deviation, then id.
+func matchLess(a, b Match) bool {
+	if a.Exact != b.Exact {
+		return a.Exact
+	}
+	da, dbv := totalDeviation(a), totalDeviation(b)
+	if da != dbv {
+		return da < dbv
+	}
+	return a.ID < b.ID
+}
+
+func totalDeviation(m Match) float64 {
+	t := 0.0
+	for _, d := range m.Deviations {
+		t += d
+	}
+	return t
+}
+
+// ValueQuery implements the prior-art semantics the paper generalizes away
+// from (their Figure 1): a stored sequence matches when every sample lies
+// within ±eps of the exemplar's corresponding sample. Only sequences of
+// the exemplar's length participate; comparison uses raw samples from the
+// archive when available and representation reconstructions otherwise.
+func (db *DB) ValueQuery(exemplar seq.Sequence, eps float64) ([]Match, error) {
+	if len(exemplar) == 0 {
+		return nil, fmt.Errorf("core: empty exemplar")
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative tolerance %g", eps)
+	}
+	ids := db.IDs()
+	var out []Match
+	for _, id := range ids {
+		rec, ok := db.Record(id)
+		if !ok || rec.N != len(exemplar) {
+			continue
+		}
+		var stored seq.Sequence
+		var err error
+		if db.cfg.Archive != nil {
+			stored, err = db.Raw(id)
+		} else {
+			stored, err = db.Reconstruct(id)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: value query reading %q: %w", id, err)
+		}
+		d, err := dist.LInf(exemplar, stored)
+		if err != nil {
+			continue // incomparable lengths
+		}
+		if d <= eps {
+			out = append(out, Match{
+				ID:         id,
+				Exact:      d == 0,
+				Deviations: map[string]float64{"value": d},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	return out, nil
+}
+
+// MatchPattern returns the ids of sequences whose whole slope-sign symbol
+// string matches the pattern — the §4.4 query mechanism. The pattern uses
+// the U/F/D alphabet (see package pattern; helpers such as
+// pattern.TwoPeak() build the paper's canned queries). Each distinct
+// symbol string in the database is evaluated once, however many sequences
+// share it.
+func (db *DB) MatchPattern(src string) ([]string, error) {
+	p, err := pattern.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	db.mu.RLock()
+	groups := make(map[string][]string, len(db.symIndex))
+	for symbols, ids := range db.symIndex {
+		groups[symbols] = ids
+	}
+	db.mu.RUnlock()
+	var out []string
+	for symbols, ids := range groups {
+		if p.Match(symbols) {
+			out = append(out, ids...)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// PatternHit locates one occurrence of a pattern inside a sequence's
+// symbol string, mapped back to the time span of the matched segments.
+type PatternHit struct {
+	ID             string
+	SegLo, SegHi   int     // matched segment range [SegLo, SegHi)
+	TimeLo, TimeHi float64 // time span covered by those segments
+}
+
+// SearchPattern finds every occurrence of the pattern within each stored
+// symbol string (leftmost-longest, non-overlapping), for queries like the
+// seismic "sudden vigorous activity" that target subsequences rather than
+// whole sequences. Occurrence spans are computed once per distinct symbol
+// string and mapped back to each sharing sequence's own time axis. Hits
+// are ordered by (id, segment).
+func (db *DB) SearchPattern(src string) ([]PatternHit, error) {
+	p, err := pattern.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	db.mu.RLock()
+	groups := make(map[string][]string, len(db.symIndex))
+	for symbols, ids := range db.symIndex {
+		groups[symbols] = ids
+	}
+	db.mu.RUnlock()
+	var out []PatternHit
+	for symbols, ids := range groups {
+		spans := p.FindAll(symbols)
+		if len(spans) == 0 {
+			continue
+		}
+		for _, id := range ids {
+			rec, ok := db.Record(id)
+			if !ok {
+				continue
+			}
+			for _, span := range spans {
+				lo, hi := span[0], span[1]
+				if hi <= lo {
+					continue
+				}
+				out = append(out, PatternHit{
+					ID:     id,
+					SegLo:  lo,
+					SegHi:  hi,
+					TimeLo: rec.Rep.Segments[lo].StartT,
+					TimeHi: rec.Rep.Segments[hi-1].EndT,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].SegLo < out[j].SegLo
+	})
+	return out, nil
+}
+
+// PeakCount answers "sequences with exactly k peaks" with a tolerance on
+// the count dimension: matches with |peaks - k| == 0 are exact; deviations
+// up to tol are approximate (§2.2's example of deviating "in the number of
+// peaks" dimension).
+func (db *DB) PeakCount(k, tol int) ([]Match, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative peak count %d", k)
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("core: negative tolerance %d", tol)
+	}
+	var out []Match
+	for _, id := range db.IDs() {
+		rec, ok := db.Record(id)
+		if !ok {
+			continue
+		}
+		dev := math.Abs(float64(len(rec.Profile.Peaks) - k))
+		if dev <= float64(tol) {
+			out = append(out, Match{
+				ID:         id,
+				Exact:      dev == 0,
+				Deviations: map[string]float64{"peaks": dev},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	return out, nil
+}
+
+// IntervalMatch is one result of an interval query: the sequence and the
+// positions (gap numbers) whose peak-to-peak interval fell in range.
+type IntervalMatch struct {
+	ID        string
+	Positions []int
+	Intervals []float64
+}
+
+// IntervalQuery answers the paper's §5.2 R-R query "find all sequences
+// with an inter-peak interval of n ± eps" through the inverted index
+// (Figure 10). Results are ordered by id.
+func (db *DB) IntervalQuery(n, eps float64) ([]IntervalMatch, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative tolerance %g", eps)
+	}
+	db.mu.RLock()
+	refs, err := db.rrIndex.Query(n-eps, n+eps)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var out []IntervalMatch
+	for _, ref := range refs {
+		rec, ok := db.Record(ref.ID)
+		if !ok {
+			continue
+		}
+		pos := int(ref.Pos)
+		if pos < 0 || pos >= len(rec.Profile.Intervals) {
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1].ID != ref.ID {
+			out = append(out, IntervalMatch{ID: ref.ID})
+		}
+		m := &out[len(out)-1]
+		m.Positions = append(m.Positions, pos)
+		m.Intervals = append(m.Intervals, rec.Profile.Intervals[pos])
+	}
+	return out, nil
+}
+
+// ShapeTolerance sets the per-dimension error tolerances of a generalized
+// approximate query (§2.2: "The error tolerance must be a metric function
+// defined over each dimension"). Zero tolerances demand exact feature
+// agreement.
+type ShapeTolerance struct {
+	// Peaks tolerates a difference in peak count.
+	Peaks int
+	// Height tolerates relative deviation of peak heights above baseline
+	// (0.2 = 20%).
+	Height float64
+	// Spacing tolerates relative deviation of normalized peak spacing
+	// (dilation-invariant).
+	Spacing float64
+}
+
+// ShapeQuery is the generalized approximate query: the exemplar denotes
+// the whole equivalence class of sequences sharing its feature profile
+// under feature-preserving transformations (time/amplitude shift, scaling,
+// dilation). The exemplar is pushed through the same representation
+// pipeline as stored data; candidates are compared feature-wise with
+// per-dimension tolerances.
+func (db *DB) ShapeQuery(exemplar seq.Sequence, tol ShapeTolerance) ([]Match, error) {
+	if tol.Peaks < 0 || tol.Height < 0 || tol.Spacing < 0 {
+		return nil, fmt.Errorf("core: negative shape tolerance %+v", tol)
+	}
+	qf, err := db.profileOf(exemplar)
+	if err != nil {
+		return nil, err
+	}
+	qSig, err := shapeSignature(qf.peaks, qf.span, qf.base)
+	if err != nil {
+		return nil, fmt.Errorf("core: exemplar: %w", err)
+	}
+	var out []Match
+	for _, id := range db.IDs() {
+		rec, ok := db.Record(id)
+		if !ok {
+			continue
+		}
+		span := rec.Rep.Segments[len(rec.Rep.Segments)-1].EndT - rec.Rep.Segments[0].StartT
+		base := baselineOf(rec)
+		rSig, err := shapeSignature(peakPoints(rec), span, base)
+		if err != nil {
+			continue // featureless sequence cannot match a shaped exemplar
+		}
+
+		devPeaks := math.Abs(float64(len(rSig.spacing)+1) - float64(len(qSig.spacing)+1))
+		if devPeaks > float64(tol.Peaks) {
+			continue
+		}
+		devHeight, devSpacing := 0.0, 0.0
+		if devPeaks == 0 {
+			devHeight = relDeviation(qSig.heights, rSig.heights)
+			devSpacing = relDeviation(qSig.spacing, rSig.spacing)
+			if devHeight > tol.Height+1e-12 || devSpacing > tol.Spacing+1e-12 {
+				continue
+			}
+		}
+		const exactSlack = 1e-9
+		out = append(out, Match{
+			ID:    id,
+			Exact: devPeaks == 0 && devHeight <= exactSlack && devSpacing <= exactSlack,
+			Deviations: map[string]float64{
+				"peaks":   devPeaks,
+				"height":  devHeight,
+				"spacing": devSpacing,
+			},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	return out, nil
+}
+
+// queryProfile carries the exemplar's extracted features.
+type queryProfile struct {
+	peaks []peakPoint
+	span  float64
+	base  float64
+}
+
+type peakPoint struct {
+	t, v float64
+}
+
+// profileOf runs the exemplar through the ingestion pipeline (without
+// storing it) and extracts peak features.
+func (db *DB) profileOf(exemplar seq.Sequence) (*queryProfile, error) {
+	if len(exemplar) == 0 {
+		return nil, fmt.Errorf("core: empty exemplar")
+	}
+	work := exemplar
+	if db.cfg.Preprocess != nil {
+		pre, err := db.cfg.Preprocess.Run(exemplar)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocessing exemplar: %w", err)
+		}
+		work = pre
+	}
+	segs, err := db.cfg.Breaker.Break(work)
+	if err != nil {
+		return nil, fmt.Errorf("core: breaking exemplar: %w", err)
+	}
+	fs, err := rep.Build(work, segs, db.cfg.Representer)
+	if err != nil {
+		return nil, fmt.Errorf("core: representing exemplar: %w", err)
+	}
+	profile, err := feature.Extract(fs, db.cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting exemplar features: %w", err)
+	}
+	rec := &Record{Rep: fs, Profile: profile}
+	span := fs.Segments[len(fs.Segments)-1].EndT - fs.Segments[0].StartT
+	return &queryProfile{peaks: peakPoints(rec), span: span, base: baselineOf(rec)}, nil
+}
+
+// shapeSignature normalizes peaks into transformation-invariant vectors:
+// spacing as fractions of the time span (invariant to time shift and
+// dilation) and heights above baseline normalized by the tallest peak
+// (invariant to amplitude shift and scaling).
+type sig struct {
+	spacing []float64
+	heights []float64
+}
+
+func shapeSignature(peaks []peakPoint, span, base float64) (sig, error) {
+	if len(peaks) == 0 {
+		return sig{}, fmt.Errorf("no peaks")
+	}
+	if span <= 0 {
+		return sig{}, fmt.Errorf("empty time span")
+	}
+	s := sig{heights: make([]float64, len(peaks))}
+	tallest := 0.0
+	for i, p := range peaks {
+		h := p.v - base
+		s.heights[i] = h
+		if h > tallest {
+			tallest = h
+		}
+	}
+	if tallest <= 0 {
+		return sig{}, fmt.Errorf("peaks not above baseline")
+	}
+	for i := range s.heights {
+		s.heights[i] /= tallest
+	}
+	for i := 1; i < len(peaks); i++ {
+		s.spacing = append(s.spacing, (peaks[i].t-peaks[i-1].t)/span)
+	}
+	return s, nil
+}
+
+// relDeviation returns the largest absolute difference between paired
+// entries, as a fraction relative to a unit-normalized signature.
+func relDeviation(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func peakPoints(rec *Record) []peakPoint {
+	out := make([]peakPoint, 0, len(rec.Profile.Peaks))
+	for _, p := range rec.Profile.Peaks {
+		out = append(out, peakPoint{t: p.Time, v: p.Value})
+	}
+	return out
+}
+
+// baselineOf estimates a sequence's resting level from its representation:
+// the minimum boundary value across segments.
+func baselineOf(rec *Record) float64 {
+	base := math.Inf(1)
+	for i := range rec.Rep.Segments {
+		sg := &rec.Rep.Segments[i]
+		if sg.StartV < base {
+			base = sg.StartV
+		}
+		if sg.EndV < base {
+			base = sg.EndV
+		}
+	}
+	return base
+}

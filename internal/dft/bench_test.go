@@ -1,0 +1,69 @@
+package dft
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+func randVals(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	return vals
+}
+
+func BenchmarkDFT512(b *testing.B) {
+	vals := randVals(512, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DFT(vals)
+	}
+}
+
+func BenchmarkFFT512(b *testing.B) {
+	vals := randVals(512, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFIndexQuery(b *testing.B) {
+	ix, err := NewFIndex(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := ix.Add(string(rune('a'+i%26))+string(rune('0'+i/26)), seq.New(randVals(128, int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := seq.New(randVals(128, 999))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Query(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsequenceMatch(b *testing.B) {
+	stored := seq.New(randVals(2048, 5))
+	q := stored.Slice(700, 828).Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits, err := SubsequenceMatch("s", stored, q, 4, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hits) == 0 {
+			b.Fatal("planted window not found")
+		}
+	}
+}

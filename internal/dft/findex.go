@@ -1,0 +1,172 @@
+package dft
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seqrep/internal/dist"
+	"seqrep/internal/seq"
+)
+
+// FIndex is the whole-sequence similarity index of Agrawal, Faloutsos &
+// Swami (1993): each stored sequence is mapped to the first-k-DFT-
+// coefficient feature space; a range query filters by feature distance
+// (which cannot cause false dismissals) and then verifies candidates
+// against the raw sequences with the true Euclidean distance.
+//
+// The original work stores the feature points in an R*-tree; this
+// implementation scans the feature table, which preserves the method's
+// filtering semantics (identical candidate sets) at laptop scale.
+type FIndex struct {
+	k       int
+	ids     []string
+	raws    map[string]seq.Sequence
+	feats   map[string][]float64
+	queryLn int
+}
+
+// NewFIndex creates an index using the first k DFT coefficients
+// (a 2k-dimensional feature space). All indexed sequences must share the
+// same length, a requirement inherited from the baseline method.
+func NewFIndex(k int) (*FIndex, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dft: FIndex needs k >= 1, got %d", k)
+	}
+	return &FIndex{
+		k:     k,
+		raws:  make(map[string]seq.Sequence),
+		feats: make(map[string][]float64),
+	}, nil
+}
+
+// Len reports the number of indexed sequences.
+func (ix *FIndex) Len() int { return len(ix.ids) }
+
+// Add indexes the sequence under id. It returns an error for duplicate ids
+// or for a length mismatch with previously added sequences.
+func (ix *FIndex) Add(id string, s seq.Sequence) error {
+	if _, dup := ix.raws[id]; dup {
+		return fmt.Errorf("dft: duplicate sequence id %q", id)
+	}
+	if ix.queryLn == 0 {
+		if len(s) == 0 {
+			return fmt.Errorf("dft: cannot index empty sequence %q", id)
+		}
+		ix.queryLn = len(s)
+	} else if len(s) != ix.queryLn {
+		return fmt.Errorf("dft: sequence %q has length %d, index requires %d", id, len(s), ix.queryLn)
+	}
+	f, err := Features(s.Values(), ix.k)
+	if err != nil {
+		return err
+	}
+	ix.ids = append(ix.ids, id)
+	ix.raws[id] = s
+	ix.feats[id] = f
+	return nil
+}
+
+// Match is one similarity-query result.
+type Match struct {
+	ID       string
+	Distance float64 // true Euclidean distance to the query
+}
+
+// Query returns all sequences within Euclidean distance eps of q, sorted by
+// distance. Candidates reports how many sequences survived the feature
+// filter and needed raw verification (the measure of filter quality).
+func (ix *FIndex) Query(q seq.Sequence, eps float64) (matches []Match, candidates int, err error) {
+	if len(q) != ix.queryLn {
+		return nil, 0, fmt.Errorf("dft: query length %d, index requires %d", len(q), ix.queryLn)
+	}
+	if eps < 0 {
+		return nil, 0, fmt.Errorf("dft: negative tolerance %g", eps)
+	}
+	qf, err := Features(q.Values(), ix.k)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range ix.ids {
+		fd, err := FeatureDistance(qf, ix.feats[id])
+		if err != nil {
+			return nil, 0, err
+		}
+		if fd > eps {
+			continue // safe: feature distance lower-bounds true distance
+		}
+		candidates++
+		d, err := dist.L2(q, ix.raws[id])
+		if err != nil {
+			return nil, 0, err
+		}
+		if d <= eps {
+			matches = append(matches, Match{ID: id, Distance: d})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Distance != matches[j].Distance {
+			return matches[i].Distance < matches[j].Distance
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	return matches, candidates, nil
+}
+
+// WindowMatch is one subsequence-matching hit: the window of the stored
+// sequence starting at Offset matches the query within the tolerance.
+type WindowMatch struct {
+	ID       string
+	Offset   int
+	Distance float64
+}
+
+// SubsequenceMatch implements the FRM94-style sliding-window search over a
+// long stored sequence: every window of len(q) samples is compared to q,
+// with the first-k-coefficient feature distance as the no-false-dismissal
+// prefilter and true Euclidean distance as the verifier. It returns hits in
+// offset order. k is the feature count; eps the Euclidean tolerance.
+func SubsequenceMatch(id string, stored, q seq.Sequence, k int, eps float64) ([]WindowMatch, error) {
+	w := len(q)
+	if w == 0 {
+		return nil, fmt.Errorf("dft: empty query")
+	}
+	if len(stored) < w {
+		return nil, nil
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("dft: negative tolerance %g", eps)
+	}
+	qf, err := Features(q.Values(), k)
+	if err != nil {
+		return nil, err
+	}
+	var out []WindowMatch
+	qv := q.Values()
+	buf := make([]float64, w)
+	for off := 0; off+w <= len(stored); off++ {
+		for i := 0; i < w; i++ {
+			buf[i] = stored[off+i].V
+		}
+		wf, err := Features(buf, k)
+		if err != nil {
+			return nil, err
+		}
+		fd, err := FeatureDistance(qf, wf)
+		if err != nil {
+			return nil, err
+		}
+		if fd > eps {
+			continue
+		}
+		sum := 0.0
+		for i := 0; i < w; i++ {
+			d := buf[i] - qv[i]
+			sum += d * d
+		}
+		if d := math.Sqrt(sum); d <= eps {
+			out = append(out, WindowMatch{ID: id, Offset: off, Distance: d})
+		}
+	}
+	return out, nil
+}

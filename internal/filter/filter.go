@@ -1,0 +1,173 @@
+// Package filter implements the preprocessing steps the paper applies to
+// raw sequences before breaking (§4.3 footnote and §7): noise filtering,
+// normalization to mean 0 / variance 1, and data reduction. Preprocessing
+// is what makes the breaking algorithms robust in practice and removes
+// differences between sequences that are linear transformations of each
+// other.
+package filter
+
+import (
+	"fmt"
+	"sort"
+
+	"seqrep/internal/seq"
+)
+
+// MovingAverage returns s smoothed with a centred moving-average window of
+// the given odd width. Window edges shrink near the sequence boundaries so
+// the output has the same length and sample times as the input.
+// It returns an error if width is even or < 1.
+func MovingAverage(s seq.Sequence, width int) (seq.Sequence, error) {
+	if width < 1 || width%2 == 0 {
+		return nil, fmt.Errorf("filter: moving average width must be odd and >= 1, got %d", width)
+	}
+	half := width / 2
+	out := s.Clone()
+	for i := range s {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(s)-1 {
+			hi = len(s) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += s[j].V
+		}
+		out[i].V = sum / float64(hi-lo+1)
+	}
+	return out, nil
+}
+
+// Median returns s filtered with a centred running-median window of the
+// given odd width — the classic impulse ("spike") noise remover that, unlike
+// the moving average, preserves edges and therefore peaks.
+func Median(s seq.Sequence, width int) (seq.Sequence, error) {
+	if width < 1 || width%2 == 0 {
+		return nil, fmt.Errorf("filter: median width must be odd and >= 1, got %d", width)
+	}
+	half := width / 2
+	out := s.Clone()
+	buf := make([]float64, 0, width)
+	for i := range s {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(s)-1 {
+			hi = len(s) - 1
+		}
+		buf = buf[:0]
+		for j := lo; j <= hi; j++ {
+			buf = append(buf, s[j].V)
+		}
+		sort.Float64s(buf)
+		m := len(buf) / 2
+		if len(buf)%2 == 1 {
+			out[i].V = buf[m]
+		} else {
+			out[i].V = (buf[m-1] + buf[m]) / 2
+		}
+	}
+	return out, nil
+}
+
+// ExpSmooth returns s smoothed by simple exponential smoothing with factor
+// alpha in (0, 1]: out[0] = s[0]; out[i] = alpha*s[i] + (1-alpha)*out[i-1].
+// alpha = 1 is the identity.
+func ExpSmooth(s seq.Sequence, alpha float64) (seq.Sequence, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("filter: smoothing factor must be in (0,1], got %g", alpha)
+	}
+	out := s.Clone()
+	for i := 1; i < len(out); i++ {
+		out[i].V = alpha*s[i].V + (1-alpha)*out[i-1].V
+	}
+	return out, nil
+}
+
+// Downsample keeps every k-th sample of s starting from the first.
+// It returns an error if k < 1.
+func Downsample(s seq.Sequence, k int) (seq.Sequence, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("filter: downsample factor must be >= 1, got %d", k)
+	}
+	out := make(seq.Sequence, 0, (len(s)+k-1)/k)
+	for i := 0; i < len(s); i += k {
+		out = append(out, s[i])
+	}
+	return out, nil
+}
+
+// Clip returns s with every value limited to [lo, hi].
+// It returns an error if lo > hi.
+func Clip(s seq.Sequence, lo, hi float64) (seq.Sequence, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("filter: clip bounds inverted [%g,%g]", lo, hi)
+	}
+	out := s.Clone()
+	for i := range out {
+		if out[i].V < lo {
+			out[i].V = lo
+		} else if out[i].V > hi {
+			out[i].V = hi
+		}
+	}
+	return out, nil
+}
+
+// Chain is a reusable preprocessing pipeline: each stage transforms the
+// sequence in order. The zero value is an identity pipeline.
+type Chain struct {
+	stages []Stage
+}
+
+// Stage is one preprocessing step.
+type Stage struct {
+	Name  string
+	Apply func(seq.Sequence) (seq.Sequence, error)
+}
+
+// Add appends a stage and returns the chain for fluent construction.
+func (c *Chain) Add(name string, f func(seq.Sequence) (seq.Sequence, error)) *Chain {
+	c.stages = append(c.stages, Stage{Name: name, Apply: f})
+	return c
+}
+
+// Len reports the number of stages.
+func (c *Chain) Len() int { return len(c.stages) }
+
+// Names returns the stage names in order.
+func (c *Chain) Names() []string {
+	names := make([]string, len(c.stages))
+	for i, st := range c.stages {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// Run applies every stage in order, wrapping any stage error with its name.
+func (c *Chain) Run(s seq.Sequence) (seq.Sequence, error) {
+	cur := s
+	for _, st := range c.stages {
+		next, err := st.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("filter: stage %q: %w", st.Name, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Standard builds the paper's default preprocessing chain: median despike,
+// moving-average smoothing, and z-score normalization.
+func Standard(medianWidth, smoothWidth int) *Chain {
+	c := &Chain{}
+	c.Add("median", func(s seq.Sequence) (seq.Sequence, error) { return Median(s, medianWidth) })
+	c.Add("smooth", func(s seq.Sequence) (seq.Sequence, error) { return MovingAverage(s, smoothWidth) })
+	c.Add("normalize", func(s seq.Sequence) (seq.Sequence, error) { return s.Normalize() })
+	return c
+}

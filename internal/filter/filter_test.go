@@ -1,0 +1,205 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+func TestMovingAverage(t *testing.T) {
+	s := seq.New([]float64{0, 3, 6, 9, 12})
+	out, err := MovingAverage(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3, 6, 9, 10.5} // edges shrink
+	for i := range want {
+		if math.Abs(out[i].V-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %g, want %g", i, out[i].V, want[i])
+		}
+	}
+	if out[0].T != s[0].T || len(out) != len(s) {
+		t.Error("times or length changed")
+	}
+	for _, w := range []int{0, 2, -3} {
+		if _, err := MovingAverage(s, w); err == nil {
+			t.Errorf("width %d accepted", w)
+		}
+	}
+	// width 1 is the identity.
+	id, err := MovingAverage(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if id[i] != s[i] {
+			t.Error("width-1 moving average is not identity")
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	noisy := seq.New(make([]float64, 200)).AddNoise(rng, 5)
+	sm, err := MovingAverage(noisy, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, _ := noisy.Var()
+	vs, _ := sm.Var()
+	if vs >= vn/2 {
+		t.Errorf("smoothing did not reduce variance: %g -> %g", vn, vs)
+	}
+}
+
+func TestMedianRemovesSpikes(t *testing.T) {
+	vals := []float64{1, 1, 1, 50, 1, 1, 1}
+	s := seq.New(vals)
+	out, err := Median(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3].V != 1 {
+		t.Errorf("spike survived median filter: %g", out[3].V)
+	}
+	// Step edges are preserved (unlike a moving average).
+	step := seq.New([]float64{0, 0, 0, 10, 10, 10})
+	ms, err := Median(step, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[2].V != 0 || ms[3].V != 10 {
+		t.Errorf("median blurred a step: %v", ms.Values())
+	}
+	if _, err := Median(s, 4); err == nil {
+		t.Error("even width accepted")
+	}
+}
+
+func TestExpSmooth(t *testing.T) {
+	s := seq.New([]float64{0, 10, 10, 10})
+	out, err := ExpSmooth(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 7.5, 8.75}
+	for i := range want {
+		if math.Abs(out[i].V-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %g, want %g", i, out[i].V, want[i])
+		}
+	}
+	// alpha = 1 is identity.
+	id, _ := ExpSmooth(s, 1)
+	for i := range s {
+		if id[i] != s[i] {
+			t.Error("alpha=1 not identity")
+		}
+	}
+	for _, a := range []float64{0, -0.1, 1.1} {
+		if _, err := ExpSmooth(s, a); err == nil {
+			t.Errorf("alpha %g accepted", a)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := seq.New([]float64{0, 1, 2, 3, 4, 5, 6})
+	out, err := Downsample(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0].V != 0 || out[1].V != 3 || out[2].V != 6 {
+		t.Errorf("downsample: %v", out.Values())
+	}
+	id, _ := Downsample(s, 1)
+	if len(id) != len(s) {
+		t.Error("k=1 changed length")
+	}
+	if _, err := Downsample(s, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestClip(t *testing.T) {
+	s := seq.New([]float64{-5, 0, 5, 10})
+	out, err := Clip(s, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 5, 5}
+	for i := range want {
+		if out[i].V != want[i] {
+			t.Errorf("clip[%d] = %g", i, out[i].V)
+		}
+	}
+	if _, err := Clip(s, 5, 0); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestChain(t *testing.T) {
+	var c Chain
+	if got, err := c.Run(seq.New([]float64{1, 2})); err != nil || len(got) != 2 {
+		t.Fatalf("empty chain: %v %v", got, err)
+	}
+	c.Add("double", func(s seq.Sequence) (seq.Sequence, error) {
+		return s.ScaleValue(2), nil
+	}).Add("shift", func(s seq.Sequence) (seq.Sequence, error) {
+		return s.ShiftValue(1), nil
+	})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if names := c.Names(); names[0] != "double" || names[1] != "shift" {
+		t.Errorf("Names = %v", names)
+	}
+	out, err := c.Run(seq.New([]float64{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].V != 3 || out[1].V != 5 {
+		t.Errorf("chain result: %v", out.Values())
+	}
+}
+
+func TestChainErrorWrapsStageName(t *testing.T) {
+	var c Chain
+	c.Add("explode", func(s seq.Sequence) (seq.Sequence, error) {
+		return nil, seq.ErrEmpty
+	})
+	_, err := c.Run(seq.New([]float64{1}))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := err.Error(); !contains(got, "explode") {
+		t.Errorf("error %q does not name the stage", got)
+	}
+}
+
+func TestStandardChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := seq.New([]float64{10, 12, 14, 90, 16, 18, 20, 22, 24, 26, 28}).AddNoise(rng, 0.1)
+	out, err := Standard(3, 3).Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := out.Mean()
+	v, _ := out.Var()
+	if math.Abs(m) > 1e-9 || math.Abs(v-1) > 1e-9 {
+		t.Errorf("standard chain output mean=%g var=%g", m, v)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

@@ -1,0 +1,52 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	tr, err := New[int64, int](DefaultOrder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(rng.Int63n(1<<20), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr, err := New[int64, int](DefaultOrder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i, int(i))
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(rng.Int63n(100000))
+	}
+}
+
+func BenchmarkRange100(b *testing.B) {
+	tr, err := New[int64, int](DefaultOrder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i, int(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i % 90000)
+		count := 0
+		tr.Range(lo, lo+99, func(int64, int) bool { count++; return true })
+		if count != 100 {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+// Package btree implements an in-memory B+tree, the index structure behind
+// the paper's inverted-file organization for R-R interval queries (their
+// Figure 10 shows "a B-Tree structure which points to the postings file").
+//
+// Keys live only in internal nodes as separators; all values sit in leaves
+// linked left-to-right, so range scans — the paper's "n ± ε" interval
+// queries — walk sibling leaves without re-descending.
+package btree
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// DefaultOrder is the default maximum number of children per internal node.
+const DefaultOrder = 32
+
+// Tree is an in-memory B+tree mapping ordered keys to values.
+// The zero value is not usable; construct with New.
+type Tree[K cmp.Ordered, V any] struct {
+	order int
+	root  node[K, V]
+	size  int
+}
+
+// node is either an *internal or a *leaf.
+type node[K cmp.Ordered, V any] interface {
+	// findLeaf descends to the leaf that does or would contain key.
+	findLeaf(key K) *leaf[K, V]
+	// insert adds key/value; on overflow it returns the separator key and
+	// the new right sibling (split), else ok=false.
+	insert(key K, value V, maxKeys int) (sep K, right node[K, V], split bool, added bool)
+	// remove deletes key, reporting whether it was present and whether
+	// the node is now underfull (for the parent to rebalance).
+	remove(key K, minLeaf, minInternal int) (removed, underfull bool)
+	// firstKey returns the smallest key in the subtree.
+	firstKey() K
+	// depth returns the subtree height (leaf = 1).
+	depth() int
+}
+
+type leaf[K cmp.Ordered, V any] struct {
+	keys   []K
+	values []V
+	next   *leaf[K, V]
+	prev   *leaf[K, V]
+}
+
+type internal[K cmp.Ordered, V any] struct {
+	keys     []K // len(children)-1 separators
+	children []node[K, V]
+}
+
+// New creates a B+tree with the given order (maximum children per internal
+// node). Order must be at least 3; use DefaultOrder when in doubt.
+func New[K cmp.Ordered, V any](order int) (*Tree[K, V], error) {
+	if order < 3 {
+		return nil, fmt.Errorf("btree: order %d too small (minimum 3)", order)
+	}
+	return &Tree[K, V]{order: order, root: &leaf[K, V]{}}, nil
+}
+
+// Len returns the number of stored keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// maxLeafKeys returns the leaf capacity.
+func (t *Tree[K, V]) maxLeafKeys() int { return t.order - 1 }
+
+// minLeafKeys is the minimum fill for a non-root leaf.
+func (t *Tree[K, V]) minLeafKeys() int { return t.order / 2 }
+
+// minInternalKeys is the minimum separator count for a non-root internal.
+func (t *Tree[K, V]) minInternalKeys() int { return (t.order+1)/2 - 1 }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	lf := t.root.findLeaf(key)
+	i, ok := search(lf.keys, key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return lf.values[i], true
+}
+
+// Put stores value under key, replacing any existing value.
+func (t *Tree[K, V]) Put(key K, value V) {
+	sep, right, split, added := t.root.insert(key, value, t.maxLeafKeys())
+	if added {
+		t.size++
+	}
+	if split {
+		t.root = &internal[K, V]{
+			keys:     []K{sep},
+			children: []node[K, V]{t.root, right},
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	removed, _ := t.root.remove(key, t.minLeafKeys(), t.minInternalKeys())
+	if removed {
+		t.size--
+	}
+	// Collapse a root that lost all separators.
+	if in, ok := t.root.(*internal[K, V]); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+	}
+	return removed
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	lf := t.leftmost()
+	for lf != nil && len(lf.keys) == 0 {
+		lf = lf.next
+	}
+	if lf == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	return lf.keys[0], lf.values[0], true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	n := t.root
+	for {
+		if in, ok := n.(*internal[K, V]); ok {
+			n = in.children[len(in.children)-1]
+			continue
+		}
+		lf := n.(*leaf[K, V])
+		for lf != nil && len(lf.keys) == 0 {
+			lf = lf.prev
+		}
+		if lf == nil {
+			var k K
+			var v V
+			return k, v, false
+		}
+		return lf.keys[len(lf.keys)-1], lf.values[len(lf.values)-1], true
+	}
+}
+
+// Range calls fn for every key in [lo, hi] in ascending order; fn returning
+// false stops the scan early.
+func (t *Tree[K, V]) Range(lo, hi K, fn func(key K, value V) bool) {
+	if hi < lo {
+		return
+	}
+	lf := t.root.findLeaf(lo)
+	i, _ := search(lf.keys, lo)
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			k := lf.keys[i]
+			if k > hi {
+				return
+			}
+			if !fn(k, lf.values[i]) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// Ascend calls fn for every key in ascending order; fn returning false
+// stops the scan.
+func (t *Tree[K, V]) Ascend(fn func(key K, value V) bool) {
+	for lf := t.leftmost(); lf != nil; lf = lf.next {
+		for i := range lf.keys {
+			if !fn(lf.keys[i], lf.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Tree[K, V]) leftmost() *leaf[K, V] {
+	n := t.root
+	for {
+		if in, ok := n.(*internal[K, V]); ok {
+			n = in.children[0]
+			continue
+		}
+		return n.(*leaf[K, V])
+	}
+}
+
+// search finds the index of key in sorted keys, or the insertion position.
+func search[K cmp.Ordered](keys []K, key K) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+// ---- leaf operations ----
+
+func (lf *leaf[K, V]) findLeaf(K) *leaf[K, V] { return lf }
+
+func (lf *leaf[K, V]) firstKey() K { return lf.keys[0] }
+
+func (lf *leaf[K, V]) depth() int { return 1 }
+
+func (lf *leaf[K, V]) insert(key K, value V, maxKeys int) (K, node[K, V], bool, bool) {
+	i, found := search(lf.keys, key)
+	if found {
+		lf.values[i] = value
+		var zero K
+		return zero, nil, false, false
+	}
+	lf.keys = append(lf.keys, key)
+	copy(lf.keys[i+1:], lf.keys[i:])
+	lf.keys[i] = key
+	lf.values = append(lf.values, value)
+	copy(lf.values[i+1:], lf.values[i:])
+	lf.values[i] = value
+	if len(lf.keys) <= maxKeys {
+		var zero K
+		return zero, nil, false, true
+	}
+	// Split: right half moves to a new sibling.
+	mid := len(lf.keys) / 2
+	right := &leaf[K, V]{
+		keys:   append([]K(nil), lf.keys[mid:]...),
+		values: append([]V(nil), lf.values[mid:]...),
+		next:   lf.next,
+		prev:   lf,
+	}
+	if lf.next != nil {
+		lf.next.prev = right
+	}
+	lf.keys = lf.keys[:mid:mid]
+	lf.values = lf.values[:mid:mid]
+	lf.next = right
+	return right.keys[0], right, true, true
+}
+
+func (lf *leaf[K, V]) remove(key K, minLeaf, _ int) (bool, bool) {
+	i, found := search(lf.keys, key)
+	if !found {
+		return false, false
+	}
+	lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+	lf.values = append(lf.values[:i], lf.values[i+1:]...)
+	return true, len(lf.keys) < minLeaf
+}
+
+// ---- internal node operations ----
+
+func (in *internal[K, V]) findLeaf(key K) *leaf[K, V] {
+	return in.children[in.childIndex(key)].findLeaf(key)
+}
+
+func (in *internal[K, V]) firstKey() K { return in.children[0].firstKey() }
+
+func (in *internal[K, V]) depth() int { return 1 + in.children[0].depth() }
+
+// childIndex returns the child subtree that covers key.
+func (in *internal[K, V]) childIndex(key K) int {
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if in.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (in *internal[K, V]) insert(key K, value V, maxKeys int) (K, node[K, V], bool, bool) {
+	ci := in.childIndex(key)
+	sep, right, split, added := in.children[ci].insert(key, value, maxKeys)
+	if !split {
+		var zero K
+		return zero, nil, false, added
+	}
+	// Insert separator and new child after position ci.
+	in.keys = append(in.keys, sep)
+	copy(in.keys[ci+1:], in.keys[ci:])
+	in.keys[ci] = sep
+	in.children = append(in.children, right)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = right
+	if len(in.children) <= maxKeys+1 {
+		var zero K
+		return zero, nil, false, added
+	}
+	// Split the internal node: middle separator moves up.
+	midKey := len(in.keys) / 2
+	upSep := in.keys[midKey]
+	rightNode := &internal[K, V]{
+		keys:     append([]K(nil), in.keys[midKey+1:]...),
+		children: append([]node[K, V](nil), in.children[midKey+1:]...),
+	}
+	in.keys = in.keys[:midKey:midKey]
+	in.children = in.children[: midKey+1 : midKey+1]
+	return upSep, rightNode, true, added
+}
+
+func (in *internal[K, V]) remove(key K, minLeaf, minInternal int) (bool, bool) {
+	ci := in.childIndex(key)
+	removed, under := in.children[ci].remove(key, minLeaf, minInternal)
+	if !removed {
+		return false, false
+	}
+	if under {
+		in.rebalance(ci, minLeaf, minInternal)
+	}
+	return true, len(in.keys) < minInternal
+}
+
+// rebalance fixes an underfull child at index ci by borrowing from a
+// sibling or merging with one.
+func (in *internal[K, V]) rebalance(ci, minLeaf, minInternal int) {
+	switch child := in.children[ci].(type) {
+	case *leaf[K, V]:
+		// Try borrowing from the left sibling.
+		if ci > 0 {
+			left := in.children[ci-1].(*leaf[K, V])
+			if len(left.keys) > minLeaf {
+				k := left.keys[len(left.keys)-1]
+				v := left.values[len(left.values)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.values = left.values[:len(left.values)-1]
+				child.keys = append([]K{k}, child.keys...)
+				child.values = append([]V{v}, child.values...)
+				in.keys[ci-1] = k
+				return
+			}
+		}
+		// Try borrowing from the right sibling.
+		if ci < len(in.children)-1 {
+			right := in.children[ci+1].(*leaf[K, V])
+			if len(right.keys) > minLeaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.values = append(child.values, right.values[0])
+				right.keys = append(right.keys[:0], right.keys[1:]...)
+				right.values = append(right.values[:0], right.values[1:]...)
+				in.keys[ci] = right.keys[0]
+				return
+			}
+		}
+		// Merge with a sibling.
+		if ci > 0 {
+			in.mergeLeaves(ci - 1)
+		} else {
+			in.mergeLeaves(ci)
+		}
+	case *internal[K, V]:
+		if ci > 0 {
+			left := in.children[ci-1].(*internal[K, V])
+			if len(left.keys) > minInternal {
+				// Rotate right through the separator.
+				child.keys = append([]K{in.keys[ci-1]}, child.keys...)
+				child.children = append([]node[K, V]{left.children[len(left.children)-1]}, child.children...)
+				in.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+				return
+			}
+		}
+		if ci < len(in.children)-1 {
+			right := in.children[ci+1].(*internal[K, V])
+			if len(right.keys) > minInternal {
+				// Rotate left through the separator.
+				child.keys = append(child.keys, in.keys[ci])
+				child.children = append(child.children, right.children[0])
+				in.keys[ci] = right.keys[0]
+				right.keys = append(right.keys[:0], right.keys[1:]...)
+				right.children = append(right.children[:0], right.children[1:]...)
+				return
+			}
+		}
+		if ci > 0 {
+			in.mergeInternals(ci - 1)
+		} else {
+			in.mergeInternals(ci)
+		}
+	}
+}
+
+// mergeLeaves merges children li and li+1 (both leaves) into li.
+func (in *internal[K, V]) mergeLeaves(li int) {
+	left := in.children[li].(*leaf[K, V])
+	right := in.children[li+1].(*leaf[K, V])
+	left.keys = append(left.keys, right.keys...)
+	left.values = append(left.values, right.values...)
+	left.next = right.next
+	if right.next != nil {
+		right.next.prev = left
+	}
+	in.keys = append(in.keys[:li], in.keys[li+1:]...)
+	in.children = append(in.children[:li+1], in.children[li+2:]...)
+}
+
+// mergeInternals merges children li and li+1 (both internal) into li,
+// pulling the separator down.
+func (in *internal[K, V]) mergeInternals(li int) {
+	left := in.children[li].(*internal[K, V])
+	right := in.children[li+1].(*internal[K, V])
+	left.keys = append(left.keys, in.keys[li])
+	left.keys = append(left.keys, right.keys...)
+	left.children = append(left.children, right.children...)
+	in.keys = append(in.keys[:li], in.keys[li+1:]...)
+	in.children = append(in.children[:li+1], in.children[li+2:]...)
+}
+
+// CheckInvariants verifies structural B+tree invariants (ordering, uniform
+// depth, minimum fill, leaf chain consistency). Intended for tests; returns
+// the first violation found.
+func (t *Tree[K, V]) CheckInvariants() error {
+	// Uniform depth.
+	if in, ok := t.root.(*internal[K, V]); ok {
+		d := in.children[0].depth()
+		for i, c := range in.children {
+			if c.depth() != d {
+				return fmt.Errorf("btree: child %d depth %d != %d", i, c.depth(), d)
+			}
+		}
+	}
+	// Ordering and fill, recursively.
+	if err := t.check(t.root, nil, nil, true); err != nil {
+		return err
+	}
+	// Leaf chain sorted and consistent with size.
+	count := 0
+	var prev *K
+	for lf := t.leftmost(); lf != nil; lf = lf.next {
+		for i := range lf.keys {
+			if prev != nil && !(*prev < lf.keys[i]) {
+				return fmt.Errorf("btree: leaf chain out of order at key %v", lf.keys[i])
+			}
+			k := lf.keys[i]
+			prev = &k
+			count++
+		}
+		if lf.next != nil && lf.next.prev != lf {
+			return fmt.Errorf("btree: broken leaf back-link")
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but leaf chain holds %d", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree[K, V]) check(n node[K, V], lo, hi *K, isRoot bool) error {
+	switch v := n.(type) {
+	case *leaf[K, V]:
+		if !isRoot && len(v.keys) < t.minLeafKeys() {
+			return fmt.Errorf("btree: leaf underfull (%d < %d)", len(v.keys), t.minLeafKeys())
+		}
+		if len(v.keys) > t.maxLeafKeys() {
+			return fmt.Errorf("btree: leaf overfull (%d > %d)", len(v.keys), t.maxLeafKeys())
+		}
+		if len(v.keys) != len(v.values) {
+			return fmt.Errorf("btree: leaf keys/values mismatch")
+		}
+		for i, k := range v.keys {
+			if i > 0 && !(v.keys[i-1] < k) {
+				return fmt.Errorf("btree: leaf keys out of order")
+			}
+			if lo != nil && k < *lo {
+				return fmt.Errorf("btree: key %v below bound %v", k, *lo)
+			}
+			if hi != nil && k >= *hi {
+				return fmt.Errorf("btree: key %v not below bound %v", k, *hi)
+			}
+		}
+		return nil
+	case *internal[K, V]:
+		if len(v.children) != len(v.keys)+1 {
+			return fmt.Errorf("btree: internal has %d children for %d keys", len(v.children), len(v.keys))
+		}
+		if !isRoot && len(v.keys) < t.minInternalKeys() {
+			return fmt.Errorf("btree: internal underfull (%d < %d)", len(v.keys), t.minInternalKeys())
+		}
+		if len(v.children) > t.order {
+			return fmt.Errorf("btree: internal overfull (%d > %d children)", len(v.children), t.order)
+		}
+		for i, k := range v.keys {
+			if i > 0 && !(v.keys[i-1] < k) {
+				return fmt.Errorf("btree: separators out of order")
+			}
+			if lo != nil && k < *lo {
+				return fmt.Errorf("btree: separator %v below bound", k)
+			}
+			if hi != nil && k >= *hi {
+				return fmt.Errorf("btree: separator %v above bound", k)
+			}
+		}
+		for i, c := range v.children {
+			var childLo, childHi *K
+			if i > 0 {
+				childLo = &v.keys[i-1]
+			} else {
+				childLo = lo
+			}
+			if i < len(v.keys) {
+				childHi = &v.keys[i]
+			} else {
+				childHi = hi
+			}
+			if err := t.check(c, childLo, childHi, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("btree: unknown node type %T", n)
+	}
+}

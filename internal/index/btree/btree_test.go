@@ -1,0 +1,315 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustTree(t *testing.T, order int) *Tree[int64, string] {
+	t.Helper()
+	tr, err := New[int64, string](order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsTinyOrder(t *testing.T) {
+	for _, o := range []int{-1, 0, 1, 2} {
+		if _, err := New[int64, int](o); err == nil {
+			t.Errorf("order %d accepted", o)
+		}
+	}
+}
+
+func TestPutGetBasic(t *testing.T) {
+	tr := mustTree(t, 4)
+	if _, ok := tr.Get(1); ok {
+		t.Error("empty tree returned a value")
+	}
+	tr.Put(1, "a")
+	tr.Put(2, "b")
+	tr.Put(3, "c")
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for k, want := range map[int64]string{1: "a", 2: "b", 3: "c"} {
+		if got, ok := tr.Get(k); !ok || got != want {
+			t.Errorf("Get(%d) = %q, %v", k, got, ok)
+		}
+	}
+	// Upsert replaces without growing.
+	tr.Put(2, "B")
+	if tr.Len() != 3 {
+		t.Errorf("upsert grew tree to %d", tr.Len())
+	}
+	if got, _ := tr.Get(2); got != "B" {
+		t.Errorf("upsert lost: %q", got)
+	}
+}
+
+func TestSplitsAndInvariants(t *testing.T) {
+	tr := mustTree(t, 3) // smallest legal order: splits happen immediately
+	for i := int64(0); i < 200; i++ {
+		tr.Put(i, "v")
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 200 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDescendingInsertion(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := int64(100); i > 0; i-- {
+		tr.Put(i, "v")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	k, _, ok := tr.Min()
+	if !ok || k != 1 {
+		t.Errorf("Min = %d, %v", k, ok)
+	}
+	k, _, ok = tr.Max()
+	if !ok || k != 100 {
+		t.Errorf("Max = %d, %v", k, ok)
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	tr := mustTree(t, 4)
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty")
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := int64(0); i < 50; i++ {
+		tr.Put(i, "v")
+	}
+	if !tr.Delete(25) {
+		t.Error("existing key not deleted")
+	}
+	if tr.Delete(25) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Delete(999) {
+		t.Error("missing key deleted")
+	}
+	if _, ok := tr.Get(25); ok {
+		t.Error("deleted key still present")
+	}
+	if tr.Len() != 49 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 8} {
+		tr := mustTree(t, order)
+		const n = 300
+		perm := rand.New(rand.NewSource(7)).Perm(n)
+		for _, i := range perm {
+			tr.Put(int64(i), "v")
+		}
+		perm2 := rand.New(rand.NewSource(8)).Perm(n)
+		for step, i := range perm2 {
+			if !tr.Delete(int64(i)) {
+				t.Fatalf("order %d: delete %d failed", order, i)
+			}
+			if step%37 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("order %d after %d deletes: %v", order, step+1, err)
+				}
+			}
+		}
+		if tr.Len() != 0 {
+			t.Errorf("order %d: %d keys remain", order, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := int64(0); i < 100; i += 2 { // even keys only
+		tr.Put(i, "v")
+	}
+	var got []int64
+	tr.Range(11, 21, func(k int64, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Range[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 98, func(int64, string) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+	// Inverted range is empty.
+	tr.Range(50, 40, func(int64, string) bool {
+		t.Error("inverted range visited a key")
+		return false
+	})
+	// Range outside the keyspace.
+	tr.Range(1000, 2000, func(int64, string) bool {
+		t.Error("out-of-range visited a key")
+		return false
+	})
+}
+
+func TestAscend(t *testing.T) {
+	tr := mustTree(t, 5)
+	keys := []int64{5, 1, 9, 3, 7}
+	for _, k := range keys {
+		tr.Put(k, "v")
+	}
+	var got []int64
+	tr.Ascend(func(k int64, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Ascend = %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Ascend(func(int64, string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Randomized differential test against a reference map, with invariant
+// checks throughout. Exercises splits, merges, borrows at several orders.
+func TestRandomOpsAgainstReference(t *testing.T) {
+	for _, order := range []int{3, 4, 7, 32} {
+		rng := rand.New(rand.NewSource(int64(order) * 1000))
+		tr := mustTree(t, order)
+		ref := map[int64]string{}
+		const ops = 3000
+		for i := 0; i < ops; i++ {
+			k := int64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0, 1: // insert biased so the tree grows
+				v := string(rune('a' + rng.Intn(26)))
+				tr.Put(k, v)
+				ref[k] = v
+			case 2:
+				delTree := tr.Delete(k)
+				_, inRef := ref[k]
+				if delTree != inRef {
+					t.Fatalf("order %d op %d: Delete(%d) = %v, ref %v", order, i, k, delTree, inRef)
+				}
+				delete(ref, k)
+			}
+			if i%97 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("order %d op %d: %v", order, i, err)
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("order %d: Len %d != ref %d", order, tr.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				t.Fatalf("order %d: Get(%d) = %q,%v want %q", order, k, got, ok, v)
+			}
+		}
+		// Full ascent equals sorted reference keys.
+		var keys []int64
+		tr.Ascend(func(k int64, _ string) bool { keys = append(keys, k); return true })
+		if len(keys) != len(ref) {
+			t.Fatalf("order %d: ascend %d keys, ref %d", order, len(keys), len(ref))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("order %d: ascend out of order", order)
+			}
+		}
+	}
+}
+
+// Range results agree with a reference computed from a map.
+func TestRangeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tr := mustTree(t, 4)
+	ref := map[int64]string{}
+	for i := 0; i < 400; i++ {
+		k := int64(rng.Intn(1000))
+		tr.Put(k, "v")
+		ref[k] = "v"
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := int64(rng.Intn(1000))
+		hi := lo + int64(rng.Intn(200))
+		var got []int64
+		tr.Range(lo, hi, func(k int64, _ string) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []int64
+		for k := range ref {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("Range(%d,%d) = %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Range(%d,%d)[%d] = %d, want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr, err := New[string, int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"peak", "flat", "drop", "rise", "fall", "apex"}
+	for i, w := range words {
+		tr.Put(w, i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	tr.Ascend(func(k string, _ int) bool { got = append(got, k); return true })
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Ascend over strings not sorted: %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package multires
+
+import (
+	"testing"
+
+	"seqrep/internal/synth"
+)
+
+func BenchmarkBuildPyramid(b *testing.B) {
+	ecg, _, err := synth.ECG(nil, synth.ECGOpts{Samples: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ecg, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarseToFine(b *testing.B) {
+	ecg, _, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Build(ecg, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.FindPeaks(10, 1, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The baseline the coarse-to-fine search is compared to.
+func BenchmarkDirectPeaks(b *testing.B) {
+	ecg, _, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Build(ecg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PeaksAtLevel(0, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package multires implements the multiresolution analysis the paper was
+// experimenting with as future work (§7): compressing sequences so that
+// features can be extracted from the compressed data rather than from the
+// original. A Pyramid holds progressively coarser versions of a sequence
+// (pairwise averaging, the Haar approximation ladder); peaks can be
+// detected on a coarse level at a fraction of the cost and then refined
+// against the original samples.
+package multires
+
+import (
+	"fmt"
+
+	"seqrep/internal/breaking"
+	"seqrep/internal/feature"
+	"seqrep/internal/rep"
+	"seqrep/internal/seq"
+)
+
+// Pyramid is a multi-resolution ladder: level 0 is the original sequence,
+// level k+1 halves level k by averaging adjacent sample pairs (times and
+// values), i.e. the normalized Haar approximation track.
+type Pyramid struct {
+	levels []seq.Sequence
+}
+
+// Build constructs a pyramid with at most maxLevels coarsenings (so up to
+// maxLevels+1 levels including the original). Coarsening stops when a
+// level would drop below 4 samples. maxLevels must be >= 1.
+func Build(s seq.Sequence, maxLevels int) (*Pyramid, error) {
+	if len(s) < 2 {
+		return nil, fmt.Errorf("multires: need at least 2 samples, got %d", len(s))
+	}
+	if maxLevels < 1 {
+		return nil, fmt.Errorf("multires: maxLevels must be >= 1, got %d", maxLevels)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("multires: %w", err)
+	}
+	p := &Pyramid{levels: []seq.Sequence{s.Clone()}}
+	cur := p.levels[0]
+	for lvl := 0; lvl < maxLevels && len(cur)/2 >= 4; lvl++ {
+		next := make(seq.Sequence, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, seq.Point{
+				T: (cur[i].T + cur[i+1].T) / 2,
+				V: (cur[i].V + cur[i+1].V) / 2,
+			})
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		p.levels = append(p.levels, next)
+		cur = next
+	}
+	return p, nil
+}
+
+// Levels returns the number of levels, including the original.
+func (p *Pyramid) Levels() int { return len(p.levels) }
+
+// Level returns the sequence at level k (0 = original). The returned
+// sequence shares storage with the pyramid; callers must not mutate it.
+func (p *Pyramid) Level(k int) (seq.Sequence, error) {
+	if k < 0 || k >= len(p.levels) {
+		return nil, fmt.Errorf("multires: level %d out of range [0,%d)", k, len(p.levels))
+	}
+	return p.levels[k], nil
+}
+
+// PeaksAtLevel breaks level k with tolerance eps and extracts peaks with
+// slope threshold delta — feature extraction from the compressed data.
+//
+// delta applies unscaled: because coarsening preserves the time axis,
+// slopes of features wider than the averaging window survive with similar
+// magnitude, while narrower wiggles flatten away — which is exactly the
+// denoising one wants. Features become undetectable once their flanks
+// shrink below a couple of coarse samples (see FindPeaks).
+func (p *Pyramid) PeaksAtLevel(k int, eps, delta float64) ([]feature.Peak, error) {
+	lvl, err := p.Level(k)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := breaking.Interpolation(eps).Break(lvl)
+	if err != nil {
+		return nil, fmt.Errorf("multires: breaking level %d: %w", k, err)
+	}
+	fs, err := rep.Build(lvl, segs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("multires: representing level %d: %w", k, err)
+	}
+	return feature.Peaks(fs, delta)
+}
+
+// Result reports a coarse-to-fine peak search.
+type Result struct {
+	// Level is the coarse level the initial detection ran on.
+	Level int
+	// Peaks holds the refined peaks: positions and values read from the
+	// original samples.
+	Peaks []feature.Peak
+	// CoarseSamples and RefineSamples count the samples examined at the
+	// coarse level and during refinement; their sum versus the original
+	// length is the work saving.
+	CoarseSamples int
+	RefineSamples int
+}
+
+// FindPeaks locates peaks coarse-to-fine: detect on the deepest level that
+// still has minCoarseSamples samples, then refine each peak to the exact
+// local maximum of the original sequence within the coarsening window.
+// eps and delta apply to the coarse detection (delta auto-scaled per
+// level); minCoarseSamples <= 0 defaults to 32.
+func (p *Pyramid) FindPeaks(eps, delta float64, minCoarseSamples int) (*Result, error) {
+	if minCoarseSamples <= 0 {
+		minCoarseSamples = 32
+	}
+	level := 0
+	for k := len(p.levels) - 1; k > 0; k-- {
+		if len(p.levels[k]) >= minCoarseSamples {
+			level = k
+			break
+		}
+	}
+	coarse, err := p.PeaksAtLevel(level, eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Level: level, CoarseSamples: len(p.levels[level])}
+	orig := p.levels[0]
+	window := 2 << level // ±(2^level)·2 samples of slack around each coarse hit
+	for _, cp := range coarse {
+		idx := nearestIndex(orig, cp.Time)
+		lo, hi := idx-window, idx+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(orig)-1 {
+			hi = len(orig) - 1
+		}
+		res.RefineSamples += hi - lo + 1
+		best := lo
+		for i := lo + 1; i <= hi; i++ {
+			if orig[i].V > orig[best].V {
+				best = i
+			}
+		}
+		refined := cp
+		refined.Time = orig[best].T
+		refined.Value = orig[best].V
+		res.Peaks = append(res.Peaks, refined)
+	}
+	return res, nil
+}
+
+// nearestIndex finds the sample index of orig whose time is closest to t.
+func nearestIndex(orig seq.Sequence, t float64) int {
+	lo, hi := 0, len(orig)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if orig[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if t-orig[lo].T <= orig[hi].T-t {
+		return lo
+	}
+	return hi
+}

@@ -1,0 +1,230 @@
+package multires
+
+import (
+	"math"
+	"testing"
+
+	"seqrep/internal/seq"
+	"seqrep/internal/synth"
+)
+
+func TestBuildLevels(t *testing.T) {
+	s := synth.Sine(64, 5, 16, 0)
+	p, err := Build(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Levels() != 4 {
+		t.Fatalf("Levels = %d, want 4", p.Levels())
+	}
+	wantLens := []int{64, 32, 16, 8}
+	for k, want := range wantLens {
+		lvl, err := p.Level(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lvl) != want {
+			t.Errorf("level %d has %d samples, want %d", k, len(lvl), want)
+		}
+		if err := lvl.Validate(); err != nil {
+			t.Errorf("level %d invalid: %v", k, err)
+		}
+	}
+}
+
+func TestBuildStopsAtMinimumSize(t *testing.T) {
+	s := synth.Sine(16, 1, 8, 0)
+	p, err := Build(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 -> 8 -> 4; halving 4 would go below 4 samples.
+	if p.Levels() != 3 {
+		t.Errorf("Levels = %d, want 3", p.Levels())
+	}
+}
+
+func TestBuildOddLength(t *testing.T) {
+	s := synth.Sine(65, 5, 16, 0)
+	p, err := Build(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := p.Level(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lvl) != 33 { // 32 pairs + carried tail
+		t.Errorf("odd halving gave %d samples", len(lvl))
+	}
+	if lvl[32] != s[64] {
+		t.Errorf("tail sample not carried: %v vs %v", lvl[32], s[64])
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 2); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Build(synth.Sine(10, 1, 5, 0), 0); err == nil {
+		t.Error("maxLevels=0 accepted")
+	}
+	bad := seq.Sequence{{T: 1, V: 0}, {T: 0, V: 0}}
+	if _, err := Build(bad, 1); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}
+
+func TestLevelOutOfRange(t *testing.T) {
+	p, err := Build(synth.Sine(32, 1, 8, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Level(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := p.Level(99); err == nil {
+		t.Error("deep level accepted")
+	}
+}
+
+func TestAveragingIsHaarApproximation(t *testing.T) {
+	s := seq.New([]float64{1, 3, 5, 7, 2, 4, 0, 8})
+	p, err := Build(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, _ := p.Level(1)
+	want := []float64{2, 6, 3, 4}
+	for i := range want {
+		if lvl[i].V != want[i] {
+			t.Errorf("level1[%d] = %g, want %g", i, lvl[i].V, want[i])
+		}
+	}
+	// Times are pair midpoints.
+	if lvl[0].T != 0.5 || lvl[3].T != 6.5 {
+		t.Errorf("times: %g, %g", lvl[0].T, lvl[3].T)
+	}
+}
+
+// Peaks survive coarsening while their flanks still span multiple coarse
+// samples: the paper's feature-preserving compression goal (§7) applied to
+// the ECG workload. The R flanks are ~8 samples wide, so levels 0-2
+// (window ≤ 4 samples) must preserve all four peaks exactly.
+func TestPeaksPreservedAcrossLevels(t *testing.T) {
+	ecg, rPeaks, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(ecg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < p.Levels(); k++ {
+		peaks, err := p.PeaksAtLevel(k, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peaks) != len(rPeaks) {
+			t.Errorf("level %d: %d peaks, want %d", k, len(peaks), len(rPeaks))
+			continue
+		}
+		for i, pk := range peaks {
+			tolerance := 4.0 * float64(int(1)<<k)
+			if math.Abs(pk.Time-rPeaks[i]) > tolerance {
+				t.Errorf("level %d peak %d at %g, ground truth %g", k, i, pk.Time, rPeaks[i])
+			}
+		}
+	}
+}
+
+// Beyond the resolution boundary the features genuinely disappear: at
+// level 3 the R flank is narrower than one coarse sample and the standard
+// parameters no longer find all peaks. This documents the boundary rather
+// than papering over it.
+func TestPeakResolutionBoundary(t *testing.T) {
+	ecg, rPeaks, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(ecg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks, err := p.PeaksAtLevel(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) == len(rPeaks) {
+		t.Skip("level 3 unexpectedly preserved all peaks; boundary moved")
+	}
+}
+
+func TestFindPeaksCoarseToFine(t *testing.T) {
+	ecg, rPeaks, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(ecg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 coarse samples → level 2, where the R flanks still resolve.
+	res, err := p.FindPeaks(10, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != 2 {
+		t.Errorf("coarse search ran at level %d, want 2", res.Level)
+	}
+	if len(res.Peaks) != len(rPeaks) {
+		t.Fatalf("found %d peaks, want %d", len(res.Peaks), len(rPeaks))
+	}
+	for i, pk := range res.Peaks {
+		// Refinement snaps to the exact sample of the R maximum.
+		if math.Abs(pk.Time-rPeaks[i]) > 1.5 {
+			t.Errorf("refined peak %d at %g, ground truth %g", i, pk.Time, rPeaks[i])
+		}
+	}
+	examined := res.CoarseSamples + res.RefineSamples
+	if examined >= len(ecg) {
+		t.Errorf("coarse-to-fine examined %d samples of %d — no saving", examined, len(ecg))
+	}
+}
+
+func TestFindPeaksDefaultsAndFallback(t *testing.T) {
+	// A short sequence cannot satisfy a huge coarse minimum: detection
+	// falls back to level 0.
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 49})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(fever, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.FindPeaks(0.5, 0.25, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != 0 {
+		t.Errorf("expected fallback to level 0, got %d", res.Level)
+	}
+	if len(res.Peaks) != 2 {
+		t.Errorf("peaks = %d", len(res.Peaks))
+	}
+	// minCoarseSamples <= 0 defaults without error.
+	if _, err := p.FindPeaks(0.5, 0.25, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	s := seq.New([]float64{0, 0, 0, 0, 0}) // times 0..4
+	cases := map[float64]int{-1: 0, 0: 0, 0.4: 0, 0.6: 1, 2: 2, 3.5: 3, 4: 4, 9: 4}
+	for tt, want := range cases {
+		if got := nearestIndex(s, tt); got != want {
+			t.Errorf("nearestIndex(%g) = %d, want %d", tt, got, want)
+		}
+	}
+}

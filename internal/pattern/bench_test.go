@@ -1,0 +1,66 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomSymbols(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte("UFD"[rng.Intn(3)])
+	}
+	return b.String()
+}
+
+func BenchmarkCompileTwoPeak(b *testing.B) {
+	src := TwoPeak()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchTwoPeak(b *testing.B) {
+	p := MustCompile(TwoPeak())
+	input := "FUUDDFFUUDDF" // a typical fever symbol string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Match(input) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkMatchLongInput(b *testing.B) {
+	p := MustCompile(AtLeastPeaks(3))
+	input := randomSymbols(1000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Match(input)
+	}
+}
+
+func BenchmarkFindAll(b *testing.B) {
+	p := MustCompile(PeakUnit)
+	input := randomSymbols(1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FindAll(input)
+	}
+}
+
+// The pathological pattern that kills backtracking engines stays linear.
+func BenchmarkPathological(b *testing.B) {
+	p := MustCompile("(U*)*D")
+	input := strings.Repeat("U", 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Match(input) {
+			b.Fatal("should not match")
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package pattern
+
+import (
+	"sync"
+	"testing"
+)
+
+// A compiled Pattern is documented as safe for concurrent use: hammer one
+// instance from many goroutines (run with -race).
+func TestPatternConcurrentUse(t *testing.T) {
+	p := MustCompile(TwoPeak())
+	inputs := []struct {
+		s    string
+		want bool
+	}{
+		{"UDUD", true},
+		{"FUDFUDF", true},
+		{"UDUDUD", false},
+		{"FFFF", false},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, in := range inputs {
+					if got := p.Match(in.s); got != in.want {
+						t.Errorf("Match(%q) = %v, want %v", in.s, got, in.want)
+						return
+					}
+				}
+				_ = p.FindAll("FFUDFFUFFDU")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,555 @@
+// Package pattern implements the pattern language of the paper's §4.4: a
+// regular-expression engine over the slope-sign alphabet produced by
+// package feature. The goal-post fever query, for instance, is the regular
+// expression (in the paper's notation)
+//
+//	(1 0* -1)(0 | -1)* (1 0* -1)
+//
+// which this package spells "UF*D(F|D)*UF*D".
+//
+// The engine is self-contained (no dependency on regexp, whose semantics
+// over bytes would admit no counted slope classes): patterns are parsed by
+// recursive descent into a syntax tree, compiled to a Thompson NFA with
+// ε-transitions, and simulated breadth-first — linear in input length,
+// immune to catastrophic backtracking.
+//
+// Supported syntax: literals, '.' (any symbol), character classes
+// "[UD]" / negated "[^U]", grouping "(..)", alternation '|', and the
+// postfix operators '*', '+', '?', "{m}", "{m,}", "{m,n}".
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxCountedRepeat bounds {m,n} expansion so a hostile pattern cannot blow
+// up the compiled NFA.
+const maxCountedRepeat = 256
+
+// Pattern is a compiled pattern, safe for concurrent use.
+type Pattern struct {
+	src    string
+	states []state
+	start  int
+	accept int
+}
+
+// state is one NFA state: either a consuming state with a byte-class edge,
+// or a split state with up to two ε-edges.
+type state struct {
+	// class is non-nil for consuming states; the single out edge is next1.
+	class *classSet
+	// next1/next2 are successor state indexes (-1 = none). Split states
+	// use both; consuming states use next1 only.
+	next1, next2 int
+}
+
+// classSet is a 256-bit byte membership set.
+type classSet struct {
+	bits [4]uint64
+}
+
+func (c *classSet) add(b byte)      { c.bits[b>>6] |= 1 << (b & 63) }
+func (c *classSet) has(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+func (c *classSet) negate() {
+	for i := range c.bits {
+		c.bits[i] = ^c.bits[i]
+	}
+}
+
+// String returns the source pattern.
+func (p *Pattern) String() string { return p.src }
+
+// MustCompile is Compile that panics on error, for package-level patterns.
+func MustCompile(src string) *Pattern {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Compile parses and compiles the pattern.
+func Compile(src string) (*Pattern, error) {
+	ps := &parser{src: src}
+	ast, err := ps.parseAlternation()
+	if err != nil {
+		return nil, err
+	}
+	if ps.pos != len(src) {
+		return nil, fmt.Errorf("pattern: unexpected %q at position %d", src[ps.pos], ps.pos)
+	}
+	c := &compiler{}
+	frag := c.compile(ast)
+	accept := c.newState(state{next1: -1, next2: -1})
+	c.patch(frag.out, accept)
+	return &Pattern{src: src, states: c.states, start: frag.start, accept: accept}, nil
+}
+
+// ---- parser ----
+
+// node is the pattern syntax tree.
+type node interface{}
+
+type litNode struct{ class classSet }
+
+type concatNode struct{ parts []node }
+
+type altNode struct{ choices []node }
+
+// repeatNode repeats child between min and max times; max < 0 = unbounded.
+type repeatNode struct {
+	child    node
+	min, max int
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) parseAlternation() (node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	choices := []node{first}
+	for {
+		b, ok := p.peek()
+		if !ok || b != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		choices = append(choices, next)
+	}
+	if len(choices) == 1 {
+		return first, nil
+	}
+	return altNode{choices: choices}, nil
+}
+
+func (p *parser) parseConcat() (node, error) {
+	var parts []node
+	for {
+		b, ok := p.peek()
+		if !ok || b == '|' || b == ')' {
+			break
+		}
+		atom, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, atom)
+	}
+	return concatNode{parts: parts}, nil
+}
+
+func (p *parser) parseRepeat() (node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch b {
+		case '*':
+			p.pos++
+			atom = repeatNode{child: atom, min: 0, max: -1}
+		case '+':
+			p.pos++
+			atom = repeatNode{child: atom, min: 1, max: -1}
+		case '?':
+			p.pos++
+			atom = repeatNode{child: atom, min: 0, max: 1}
+		case '{':
+			rep, err := p.parseCount()
+			if err != nil {
+				return nil, err
+			}
+			rep.child = atom
+			atom = rep
+		default:
+			return atom, nil
+		}
+	}
+}
+
+// parseCount parses "{m}", "{m,}" or "{m,n}" starting at '{'.
+func (p *parser) parseCount() (repeatNode, error) {
+	open := p.pos
+	p.pos++ // consume '{'
+	m, ok := p.parseInt()
+	if !ok {
+		return repeatNode{}, fmt.Errorf("pattern: bad repeat count at position %d", open)
+	}
+	rep := repeatNode{min: m, max: m}
+	if b, ok := p.peek(); ok && b == ',' {
+		p.pos++
+		if b2, ok := p.peek(); ok && b2 == '}' {
+			rep.max = -1
+		} else {
+			n, ok := p.parseInt()
+			if !ok {
+				return repeatNode{}, fmt.Errorf("pattern: bad repeat bound at position %d", p.pos)
+			}
+			rep.max = n
+		}
+	}
+	b, ok := p.peek()
+	if !ok || b != '}' {
+		return repeatNode{}, fmt.Errorf("pattern: unterminated repeat at position %d", open)
+	}
+	p.pos++
+	if rep.min < 0 || (rep.max >= 0 && rep.max < rep.min) {
+		return repeatNode{}, fmt.Errorf("pattern: invalid repeat bounds {%d,%d}", rep.min, rep.max)
+	}
+	if rep.min > maxCountedRepeat || rep.max > maxCountedRepeat {
+		return repeatNode{}, fmt.Errorf("pattern: repeat bound exceeds %d", maxCountedRepeat)
+	}
+	return rep, nil
+}
+
+func (p *parser) parseInt() (int, bool) {
+	start := p.pos
+	v := 0
+	for {
+		b, ok := p.peek()
+		if !ok || b < '0' || b > '9' {
+			break
+		}
+		v = v*10 + int(b-'0')
+		if v > maxCountedRepeat+1 {
+			return v, p.pos > start // report overflow via bounds check later
+		}
+		p.pos++
+	}
+	return v, p.pos > start
+}
+
+func (p *parser) parseAtom() (node, error) {
+	b, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("pattern: unexpected end of pattern")
+	}
+	switch b {
+	case '(':
+		open := p.pos
+		p.pos++
+		inner, err := p.parseAlternation()
+		if err != nil {
+			return nil, err
+		}
+		if nb, ok := p.peek(); !ok || nb != ')' {
+			return nil, fmt.Errorf("pattern: unclosed group at position %d", open)
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		var cs classSet
+		cs.negate() // everything
+		return litNode{class: cs}, nil
+	case '*', '+', '?', '{', '|', ')':
+		return nil, fmt.Errorf("pattern: unexpected %q at position %d", b, p.pos)
+	case ']', '}':
+		return nil, fmt.Errorf("pattern: unmatched %q at position %d", b, p.pos)
+	default:
+		p.pos++
+		var cs classSet
+		cs.add(b)
+		return litNode{class: cs}, nil
+	}
+}
+
+func (p *parser) parseClass() (node, error) {
+	open := p.pos
+	p.pos++ // consume '['
+	var cs classSet
+	negated := false
+	if b, ok := p.peek(); ok && b == '^' {
+		negated = true
+		p.pos++
+	}
+	count := 0
+	for {
+		b, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("pattern: unclosed class at position %d", open)
+		}
+		if b == ']' {
+			p.pos++
+			break
+		}
+		cs.add(b)
+		count++
+		p.pos++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("pattern: empty class at position %d", open)
+	}
+	if negated {
+		cs.negate()
+	}
+	return litNode{class: cs}, nil
+}
+
+// ---- compiler (Thompson construction) ----
+
+// frag is an NFA fragment: a start state and a list of dangling out-edges
+// (state index + which edge) awaiting patching.
+type frag struct {
+	start int
+	out   []patchPoint
+}
+
+type patchPoint struct {
+	state int
+	slot  int // 1 = next1, 2 = next2
+}
+
+type compiler struct {
+	states []state
+}
+
+func (c *compiler) newState(s state) int {
+	c.states = append(c.states, s)
+	return len(c.states) - 1
+}
+
+func (c *compiler) patch(points []patchPoint, target int) {
+	for _, pp := range points {
+		if pp.slot == 1 {
+			c.states[pp.state].next1 = target
+		} else {
+			c.states[pp.state].next2 = target
+		}
+	}
+}
+
+func (c *compiler) compile(n node) frag {
+	switch v := n.(type) {
+	case litNode:
+		cls := v.class
+		id := c.newState(state{class: &cls, next1: -1, next2: -1})
+		return frag{start: id, out: []patchPoint{{id, 1}}}
+	case concatNode:
+		if len(v.parts) == 0 {
+			// ε: a split state with one dangling edge.
+			id := c.newState(state{next1: -1, next2: -1})
+			return frag{start: id, out: []patchPoint{{id, 1}}}
+		}
+		cur := c.compile(v.parts[0])
+		for _, part := range v.parts[1:] {
+			next := c.compile(part)
+			c.patch(cur.out, next.start)
+			cur = frag{start: cur.start, out: next.out}
+		}
+		return cur
+	case altNode:
+		frags := make([]frag, len(v.choices))
+		for i, ch := range v.choices {
+			frags[i] = c.compile(ch)
+		}
+		cur := frags[len(frags)-1]
+		for i := len(frags) - 2; i >= 0; i-- {
+			split := c.newState(state{next1: frags[i].start, next2: cur.start})
+			cur = frag{start: split, out: append(frags[i].out, cur.out...)}
+		}
+		return cur
+	case repeatNode:
+		return c.compileRepeat(v)
+	default:
+		panic(fmt.Sprintf("pattern: unknown node %T", n))
+	}
+}
+
+func (c *compiler) compileRepeat(r repeatNode) frag {
+	if r.max < 0 {
+		// min copies followed by a Kleene star.
+		star := c.compileStar(r.child)
+		cur := star
+		for i := 0; i < r.min; i++ {
+			pre := c.compile(r.child)
+			c.patch(pre.out, cur.start)
+			cur = frag{start: pre.start, out: cur.out}
+		}
+		return cur
+	}
+	// Exactly min copies, then (max-min) optional copies, right to left.
+	id := c.newState(state{next1: -1, next2: -1}) // ε landing pad
+	cur := frag{start: id, out: []patchPoint{{id, 1}}}
+	for i := 0; i < r.max-r.min; i++ {
+		body := c.compile(r.child)
+		c.patch(body.out, cur.start)
+		split := c.newState(state{next1: body.start, next2: cur.start})
+		cur = frag{start: split, out: cur.out}
+	}
+	for i := 0; i < r.min; i++ {
+		body := c.compile(r.child)
+		c.patch(body.out, cur.start)
+		cur = frag{start: body.start, out: cur.out}
+	}
+	return cur
+}
+
+func (c *compiler) compileStar(child node) frag {
+	body := c.compile(child)
+	split := c.newState(state{next1: body.start, next2: -1})
+	c.patch(body.out, split)
+	return frag{start: split, out: []patchPoint{{split, 2}}}
+}
+
+// ---- simulation ----
+
+// addClosure adds state id and everything ε-reachable from it to the set.
+func (p *Pattern) addClosure(set []bool, id int) {
+	stack := []int{id}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s < 0 || set[s] {
+			continue
+		}
+		set[s] = true
+		st := &p.states[s]
+		if st.class == nil { // split / ε state
+			stack = append(stack, st.next1, st.next2)
+		}
+	}
+}
+
+// Match reports whether the pattern matches the whole input.
+func (p *Pattern) Match(input string) bool {
+	cur := make([]bool, len(p.states))
+	next := make([]bool, len(p.states))
+	p.addClosure(cur, p.start)
+	for i := 0; i < len(input); i++ {
+		b := input[i]
+		any := false
+		for s := range next {
+			next[s] = false
+		}
+		for s, on := range cur {
+			if !on {
+				continue
+			}
+			st := &p.states[s]
+			if st.class != nil && st.class.has(b) {
+				p.addClosure(next, st.next1)
+				any = true
+			}
+		}
+		cur, next = next, cur
+		if !any {
+			return false
+		}
+	}
+	return cur[p.accept]
+}
+
+// FindAll returns the leftmost-longest non-overlapping matches as
+// [start, end) index pairs over the input.
+func (p *Pattern) FindAll(input string) [][2]int {
+	var out [][2]int
+	cur := make([]bool, len(p.states))
+	next := make([]bool, len(p.states))
+	for start := 0; start <= len(input); {
+		for s := range cur {
+			cur[s] = false
+		}
+		p.addClosure(cur, p.start)
+		end := -1
+		if cur[p.accept] {
+			end = start
+		}
+		for i := start; i < len(input); i++ {
+			b := input[i]
+			alive := false
+			for s := range next {
+				next[s] = false
+			}
+			for s, on := range cur {
+				if !on {
+					continue
+				}
+				st := &p.states[s]
+				if st.class != nil && st.class.has(b) {
+					p.addClosure(next, st.next1)
+					alive = true
+				}
+			}
+			cur, next = next, cur
+			if !alive {
+				break
+			}
+			if cur[p.accept] {
+				end = i + 1
+			}
+		}
+		if end > start {
+			out = append(out, [2]int{start, end})
+			start = end
+		} else {
+			start++ // empty or no match here; advance
+		}
+	}
+	return out
+}
+
+// Contains reports whether the pattern matches anywhere in the input.
+func (p *Pattern) Contains(input string) bool {
+	return len(p.FindAll(input)) > 0
+}
+
+// ---- canned patterns of the paper ----
+
+// PeakUnit is one peak in slope symbols: a rise, optional flats, a descent
+// (the paper's "1 0* -1").
+const PeakUnit = "U+F*D"
+
+// TwoPeak returns the goal-post fever pattern of §4.4: exactly two peaks
+// with anything non-rising before, between and after.
+func TwoPeak() string { return ExactlyPeaks(2) }
+
+// ExactlyPeaks builds a full-match pattern accepting symbol strings with
+// exactly k peaks (k >= 1): non-rising prefix, k peak units separated by
+// non-rising runs, and an optional trailing rise that never descends.
+func ExactlyPeaks(k int) string {
+	if k < 1 {
+		k = 1
+	}
+	unit := PeakUnit + "[FD]*"
+	var b strings.Builder
+	b.WriteString("[FD]*")
+	for i := 0; i < k; i++ {
+		b.WriteString("(" + unit + ")")
+	}
+	b.WriteString("(U+F*)?")
+	return b.String()
+}
+
+// AtLeastPeaks builds a full-match pattern accepting symbol strings with k
+// or more peaks: the counted repetition is simply unbounded above.
+func AtLeastPeaks(k int) string {
+	if k < 1 {
+		k = 1
+	}
+	return fmt.Sprintf("[FD]*(%s[FD]*){%d,}(U+F*)?", PeakUnit, k)
+}

@@ -1,0 +1,336 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLiteralMatch(t *testing.T) {
+	p := MustCompile("UFD")
+	if !p.Match("UFD") {
+		t.Error("exact literal rejected")
+	}
+	for _, bad := range []string{"", "UF", "UFDD", "FUD", "ufd"} {
+		if p.Match(bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := []struct {
+		pat     string
+		yes, no []string
+	}{
+		{"UF*D", []string{"UD", "UFD", "UFFFD"}, []string{"UFF", "FD", "UFDF"}},
+		{"UF+D", []string{"UFD", "UFFD"}, []string{"UD", "UFF"}},
+		{"UF?D", []string{"UD", "UFD"}, []string{"UFFD"}},
+		{"U|D", []string{"U", "D"}, []string{"F", "UD", ""}},
+		{"(UD)+", []string{"UD", "UDUD"}, []string{"", "U", "UDU"}},
+		{".", []string{"U", "F", "D", "x"}, []string{"", "UU"}},
+		{"[UD]+", []string{"U", "DU", "UUDD"}, []string{"", "F", "UFD"}},
+		{"[^U]+", []string{"FD", "DDD"}, []string{"U", "FU", ""}},
+		{"U{3}", []string{"UUU"}, []string{"UU", "UUUU", ""}},
+		{"U{2,3}", []string{"UU", "UUU"}, []string{"U", "UUUU"}},
+		{"U{2,}", []string{"UU", "UUUUU"}, []string{"U", ""}},
+		{"U{0,2}", []string{"", "U", "UU"}, []string{"UUU"}},
+		{"", []string{""}, []string{"U"}},
+		{"(U|F)(D|F)", []string{"UD", "UF", "FD", "FF"}, []string{"DU", "U"}},
+	}
+	for _, c := range cases {
+		p, err := Compile(c.pat)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.pat, err)
+		}
+		for _, in := range c.yes {
+			if !p.Match(in) {
+				t.Errorf("%q should match %q", c.pat, in)
+			}
+		}
+		for _, in := range c.no {
+			if p.Match(in) {
+				t.Errorf("%q should not match %q", c.pat, in)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"(", ")", "(U", "U)", "[", "[]", "[^]", "U{", "U{2", "U{a}",
+		"U{3,2}", "*U", "+", "?", "|*", "U{999}", "U{1,999}", "]", "}",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) accepted", src)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile("(")
+}
+
+func TestStringReturnsSource(t *testing.T) {
+	if MustCompile("UF*D").String() != "UF*D" {
+		t.Error("String")
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	p := MustCompile("UF*D")
+	hits := p.FindAll("FFUDFFUFFDU")
+	want := [][2]int{{2, 4}, {6, 10}}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("hit %d = %v, want %v", i, hits[i], want[i])
+		}
+	}
+	if !p.Contains("FFUD") {
+		t.Error("Contains failed")
+	}
+	if p.Contains("FFFF") {
+		t.Error("Contains false positive")
+	}
+	if got := p.FindAll(""); got != nil {
+		t.Errorf("FindAll on empty = %v", got)
+	}
+}
+
+func TestFindAllLeftmostLongest(t *testing.T) {
+	p := MustCompile("U+")
+	hits := p.FindAll("UUUFUU")
+	want := [][2]int{{0, 3}, {4, 6}}
+	if len(hits) != 2 || hits[0] != want[0] || hits[1] != want[1] {
+		t.Errorf("hits = %v, want %v", hits, want)
+	}
+}
+
+// The goal-post fever pattern (§4.4): exactly two peaks.
+func TestTwoPeakPattern(t *testing.T) {
+	p := MustCompile(TwoPeak())
+	yes := []string{
+		"UDUD",      // minimal two peaks
+		"UFDUFD",    // flats at the crests
+		"FUDFUDF",   // flats around
+		"UUDDUUDD",  // multi-segment flanks
+		"DUDUD",     // leading descent
+		"UDFDUFDDU", // trailing rise without descent is not a third peak
+	}
+	no := []string{
+		"",        // nothing
+		"UD",      // one peak
+		"UDUDUD",  // three peaks
+		"FFFF",    // no peaks
+		"UDUDUDU", // three peaks plus tail
+		"DDFF",    // no rise at all
+	}
+	for _, in := range yes {
+		if !p.Match(in) {
+			t.Errorf("two-peak should accept %q", in)
+		}
+	}
+	for _, in := range no {
+		if p.Match(in) {
+			t.Errorf("two-peak should reject %q", in)
+		}
+	}
+}
+
+func TestExactlyPeaksClampsK(t *testing.T) {
+	if ExactlyPeaks(0) != ExactlyPeaks(1) {
+		t.Error("k<1 not clamped")
+	}
+}
+
+func TestAtLeastPeaks(t *testing.T) {
+	p := MustCompile(AtLeastPeaks(2))
+	for _, in := range []string{"UDUD", "UDUDUD", "FUDUFDFUD"} {
+		if !p.Match(in) {
+			t.Errorf("at-least-2 should accept %q", in)
+		}
+	}
+	for _, in := range []string{"UD", "FFF", ""} {
+		if p.Match(in) {
+			t.Errorf("at-least-2 should reject %q", in)
+		}
+	}
+	if AtLeastPeaks(0) != AtLeastPeaks(1) {
+		t.Error("k<1 not clamped")
+	}
+}
+
+// naiveMatch is an exponential-time reference matcher used to cross-check
+// the NFA on random small inputs.
+func naiveMatch(n node, input string) bool {
+	ends := naiveEnds(n, input, 0)
+	for _, e := range ends {
+		if e == len(input) {
+			return true
+		}
+	}
+	return false
+}
+
+// naiveEnds returns all positions the node can consume to, starting at pos.
+func naiveEnds(n node, input string, pos int) []int {
+	switch v := n.(type) {
+	case litNode:
+		if pos < len(input) && v.class.has(input[pos]) {
+			return []int{pos + 1}
+		}
+		return nil
+	case concatNode:
+		positions := []int{pos}
+		for _, part := range v.parts {
+			var next []int
+			seen := map[int]bool{}
+			for _, p := range positions {
+				for _, e := range naiveEnds(part, input, p) {
+					if !seen[e] {
+						seen[e] = true
+						next = append(next, e)
+					}
+				}
+			}
+			positions = next
+			if len(positions) == 0 {
+				return nil
+			}
+		}
+		return positions
+	case altNode:
+		seen := map[int]bool{}
+		var out []int
+		for _, ch := range v.choices {
+			for _, e := range naiveEnds(ch, input, pos) {
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+		}
+		return out
+	case repeatNode:
+		// BFS over repetition counts.
+		current := map[int]bool{pos: true}
+		reached := map[int]map[int]bool{0: current}
+		count := 0
+		for {
+			if v.max >= 0 && count >= v.max {
+				break
+			}
+			nextSet := map[int]bool{}
+			for p := range reached[count] {
+				for _, e := range naiveEnds(v.child, input, p) {
+					nextSet[e] = true
+				}
+			}
+			// Drop positions already reached at a lower count to ensure
+			// termination on ε-loops.
+			progress := false
+			for e := range nextSet {
+				fresh := true
+				for c := 0; c <= count; c++ {
+					if reached[c][e] {
+						fresh = false
+						break
+					}
+				}
+				if fresh {
+					progress = true
+				}
+			}
+			count++
+			reached[count] = nextSet
+			if len(nextSet) == 0 || (!progress && v.max < 0) {
+				break
+			}
+			if count > len(input)+2 && v.max < 0 {
+				break
+			}
+		}
+		seen := map[int]bool{}
+		var out []int
+		for c, set := range reached {
+			if c < v.min {
+				continue
+			}
+			for e := range set {
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Property: NFA simulation agrees with the naive reference matcher on
+// random patterns and inputs over the slope alphabet.
+func TestNFAAgreesWithNaiveMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	patterns := []string{
+		"UF*D", "U+F*D", "(U|D)*", "U?D?F?", "[UD]+F", "U{2,3}D",
+		"((U|F)+D)*", "U(FD)*U?", "[^F]+", "(UD|DU){1,2}",
+	}
+	alphabet := "UFD"
+	for _, src := range patterns {
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		ps := &parser{src: src}
+		ast, err := ps.parseAlternation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(8)
+			var b strings.Builder
+			for i := 0; i < n; i++ {
+				b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+			in := b.String()
+			got := p.Match(in)
+			want := naiveMatch(ast, in)
+			if got != want {
+				t.Errorf("pattern %q input %q: NFA %v, naive %v", src, in, got, want)
+			}
+		}
+	}
+}
+
+// The NFA must be immune to patterns that would blow up a backtracker.
+func TestNoCatastrophicBacktracking(t *testing.T) {
+	p := MustCompile("(U*)*D")
+	input := strings.Repeat("U", 2000) // no trailing D: must fail fast
+	if p.Match(input) {
+		t.Error("should not match")
+	}
+	long := strings.Repeat("U", 2000) + "D"
+	if !p.Match(long) {
+		t.Error("should match")
+	}
+}
+
+func TestCountedRepetitionExpansionBound(t *testing.T) {
+	if _, err := Compile("U{256}"); err != nil {
+		t.Errorf("U{256} should compile: %v", err)
+	}
+	if _, err := Compile("U{257}"); err == nil {
+		t.Error("U{257} should exceed the bound")
+	}
+}

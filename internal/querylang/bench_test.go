@@ -1,0 +1,55 @@
+package querylang
+
+import (
+	"testing"
+
+	"seqrep/internal/core"
+	"seqrep/internal/synth"
+)
+
+func benchDB(b *testing.B) *core.DB {
+	b.Helper()
+	db, err := core.New(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := db.Ingest(string(rune('a'+i%26))+string(rune('0'+i/26)), fever.ShiftValue(float64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `MATCH SHAPE LIKE a0 PEAKS 1 HEIGHT 0.25 SPACING 0.3`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecPeaks(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, `MATCH PEAKS 2`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecPattern(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, `MATCH PATTERN "[FD]*(U+F*D[FD]*){2}(U+F*)?"`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package querylang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqrep/internal/core"
+	"seqrep/internal/seq"
+)
+
+// Database is the engine surface the language executes against; *core.DB
+// satisfies it. Defined as an interface so the language can be tested with
+// fakes and reused over facades.
+type Database interface {
+	MatchPattern(pattern string) ([]string, error)
+	SearchPattern(pattern string) ([]core.PatternHit, error)
+	PeakCount(k, tol int) ([]core.Match, error)
+	IntervalQuery(n, eps float64) ([]core.IntervalMatch, error)
+	ValueQuery(exemplar seq.Sequence, eps float64) ([]core.Match, error)
+	ShapeQuery(exemplar seq.Sequence, tol core.ShapeTolerance) ([]core.Match, error)
+	Raw(id string) (seq.Sequence, error)
+	Reconstruct(id string) (seq.Sequence, error)
+	Config() core.Config
+}
+
+var _ Database = (*core.DB)(nil)
+
+// Result is the uniform answer of every query kind: the distinct matching
+// ids plus the kind-specific detail.
+type Result struct {
+	Kind      string // "pattern", "find", "peaks", "interval", "value", "shape"
+	IDs       []string
+	Matches   []core.Match         // peaks / value / shape queries
+	Hits      []core.PatternHit    // FIND queries
+	Intervals []core.IntervalMatch // interval queries
+}
+
+// Exec parses and runs src against db in one call.
+func Exec(db Database, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(db)
+}
+
+// MatchPatternQuery is MATCH PATTERN "...": whole symbol strings matching
+// a slope-sign regular expression.
+type MatchPatternQuery struct {
+	Pattern string
+}
+
+// String implements Query.
+func (q *MatchPatternQuery) String() string { return fmt.Sprintf("MATCH PATTERN %q", q.Pattern) }
+
+// Run implements Query.
+func (q *MatchPatternQuery) Run(db Database) (*Result, error) {
+	ids, err := db.MatchPattern(q.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "pattern", IDs: ids}, nil
+}
+
+// FindPatternQuery is FIND PATTERN "...": occurrences anywhere within each
+// sequence.
+type FindPatternQuery struct {
+	Pattern string
+}
+
+// String implements Query.
+func (q *FindPatternQuery) String() string { return fmt.Sprintf("FIND PATTERN %q", q.Pattern) }
+
+// Run implements Query.
+func (q *FindPatternQuery) Run(db Database) (*Result, error) {
+	hits, err := db.SearchPattern(q.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "find", IDs: distinctHitIDs(hits), Hits: hits}, nil
+}
+
+// PeaksQuery is MATCH PEAKS k [TOLERANCE t].
+type PeaksQuery struct {
+	Count     int
+	Tolerance int
+}
+
+// String implements Query.
+func (q *PeaksQuery) String() string {
+	if q.Tolerance > 0 {
+		return fmt.Sprintf("MATCH PEAKS %d TOLERANCE %d", q.Count, q.Tolerance)
+	}
+	return fmt.Sprintf("MATCH PEAKS %d", q.Count)
+}
+
+// Run implements Query.
+func (q *PeaksQuery) Run(db Database) (*Result, error) {
+	matches, err := db.PeakCount(q.Count, q.Tolerance)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "peaks", IDs: matchIDs(matches), Matches: matches}, nil
+}
+
+// IntervalQuery is MATCH INTERVAL n [+- eps].
+type IntervalQuery struct {
+	N   float64
+	Eps float64
+}
+
+// String implements Query.
+func (q *IntervalQuery) String() string {
+	return fmt.Sprintf("MATCH INTERVAL %g +- %g", q.N, q.Eps)
+}
+
+// Run implements Query.
+func (q *IntervalQuery) Run(db Database) (*Result, error) {
+	matches, err := db.IntervalQuery(q.N, q.Eps)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(matches))
+	for _, m := range matches {
+		ids = append(ids, m.ID)
+	}
+	return &Result{Kind: "interval", IDs: ids, Intervals: matches}, nil
+}
+
+// ValueQuery is MATCH VALUE LIKE id [EPS e]: the prior-art ±ε query with a
+// stored sequence as the exemplar. Eps < 0 means "use the database's ε".
+type ValueQuery struct {
+	ExemplarID string
+	Eps        float64
+}
+
+// String implements Query.
+func (q *ValueQuery) String() string {
+	if q.Eps >= 0 {
+		return fmt.Sprintf("MATCH VALUE LIKE %s EPS %g", q.ExemplarID, q.Eps)
+	}
+	return fmt.Sprintf("MATCH VALUE LIKE %s", q.ExemplarID)
+}
+
+// Run implements Query.
+func (q *ValueQuery) Run(db Database) (*Result, error) {
+	exemplar, err := loadExemplar(db, q.ExemplarID)
+	if err != nil {
+		return nil, err
+	}
+	eps := q.Eps
+	if eps < 0 {
+		eps = db.Config().Epsilon
+	}
+	matches, err := db.ValueQuery(exemplar, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "value", IDs: matchIDs(matches), Matches: matches}, nil
+}
+
+// ShapeQuery is MATCH SHAPE LIKE id [PEAKS p] [HEIGHT h] [SPACING s]: the
+// generalized approximate query anchored at a stored sequence.
+type ShapeQuery struct {
+	ExemplarID string
+	PeaksTol   int
+	HeightTol  float64
+	SpacingTol float64
+}
+
+// String implements Query.
+func (q *ShapeQuery) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MATCH SHAPE LIKE %s", q.ExemplarID)
+	if q.PeaksTol > 0 {
+		fmt.Fprintf(&b, " PEAKS %d", q.PeaksTol)
+	}
+	if q.HeightTol > 0 {
+		fmt.Fprintf(&b, " HEIGHT %g", q.HeightTol)
+	}
+	if q.SpacingTol > 0 {
+		fmt.Fprintf(&b, " SPACING %g", q.SpacingTol)
+	}
+	return b.String()
+}
+
+// Run implements Query.
+func (q *ShapeQuery) Run(db Database) (*Result, error) {
+	exemplar, err := loadExemplar(db, q.ExemplarID)
+	if err != nil {
+		return nil, err
+	}
+	matches, err := db.ShapeQuery(exemplar, core.ShapeTolerance{
+		Peaks:   q.PeaksTol,
+		Height:  q.HeightTol,
+		Spacing: q.SpacingTol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "shape", IDs: matchIDs(matches), Matches: matches}, nil
+}
+
+// loadExemplar fetches a stored sequence at full resolution when an archive
+// exists, falling back to the representation reconstruction.
+func loadExemplar(db Database, id string) (seq.Sequence, error) {
+	if raw, err := db.Raw(id); err == nil {
+		return raw, nil
+	}
+	s, err := db.Reconstruct(id)
+	if err != nil {
+		return nil, fmt.Errorf("querylang: exemplar %q: %w", id, err)
+	}
+	return s, nil
+}
+
+func matchIDs(matches []core.Match) []string {
+	ids := make([]string, 0, len(matches))
+	for _, m := range matches {
+		ids = append(ids, m.ID)
+	}
+	return ids
+}
+
+func distinctHitIDs(hits []core.PatternHit) []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, h := range hits {
+		if !seen[h.ID] {
+			seen[h.ID] = true
+			ids = append(ids, h.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

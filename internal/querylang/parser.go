@@ -1,0 +1,229 @@
+package querylang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is one parsed, executable query.
+type Query interface {
+	// Run executes the query against a database.
+	Run(db Database) (*Result, error)
+	// String renders the query back in canonical language form.
+	String() string
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles one query statement.
+func Parse(src string) (Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		t := p.peek()
+		return nil, fmt.Errorf("querylang: unexpected %q after query (position %d)", t.text, t.pos)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKeyword consumes the next token if it is the given keyword
+// (case-insensitive).
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokWord && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		t := p.peek()
+		return fmt.Errorf("querylang: expected %s at position %d, got %q", strings.ToUpper(kw), t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectNumber(what string) (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("querylang: expected %s (a number) at position %d, got %q", what, t.pos, t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("querylang: bad number %q at position %d", t.text, t.pos)
+	}
+	return v, nil
+}
+
+func (p *parser) expectString(what string) (string, error) {
+	t := p.next()
+	if t.kind != tokString {
+		return "", fmt.Errorf("querylang: expected %s (a quoted string) at position %d, got %q", what, t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.next()
+	if t.kind == tokString {
+		return t.text, nil // quoted identifiers allowed
+	}
+	if t.kind != tokWord {
+		return "", fmt.Errorf("querylang: expected %s at position %d, got %q", what, t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// parseQuery dispatches on the leading verb.
+func (p *parser) parseQuery() (Query, error) {
+	switch {
+	case p.acceptKeyword("MATCH"):
+		return p.parseMatchBody()
+	case p.acceptKeyword("FIND"):
+		if err := p.expectKeyword("PATTERN"); err != nil {
+			return nil, err
+		}
+		pat, err := p.expectString("pattern")
+		if err != nil {
+			return nil, err
+		}
+		return &FindPatternQuery{Pattern: pat}, nil
+	default:
+		t := p.peek()
+		return nil, fmt.Errorf("querylang: expected MATCH or FIND at position %d, got %q", t.pos, t.text)
+	}
+}
+
+// parseMatchBody parses everything after MATCH.
+func (p *parser) parseMatchBody() (Query, error) {
+	switch {
+	case p.acceptKeyword("PATTERN"):
+		pat, err := p.expectString("pattern")
+		if err != nil {
+			return nil, err
+		}
+		return &MatchPatternQuery{Pattern: pat}, nil
+
+	case p.acceptKeyword("PEAKS"):
+		k, err := p.expectNumber("peak count")
+		if err != nil {
+			return nil, err
+		}
+		if k != float64(int(k)) || k < 0 {
+			return nil, fmt.Errorf("querylang: peak count must be a non-negative integer, got %v", k)
+		}
+		q := &PeaksQuery{Count: int(k)}
+		if p.acceptKeyword("TOLERANCE") {
+			tol, err := p.expectNumber("tolerance")
+			if err != nil {
+				return nil, err
+			}
+			if tol != float64(int(tol)) || tol < 0 {
+				return nil, fmt.Errorf("querylang: tolerance must be a non-negative integer, got %v", tol)
+			}
+			q.Tolerance = int(tol)
+		}
+		return q, nil
+
+	case p.acceptKeyword("INTERVAL"):
+		n, err := p.expectNumber("interval length")
+		if err != nil {
+			return nil, err
+		}
+		q := &IntervalQuery{N: n}
+		if t := p.peek(); t.kind == tokPlusMinus {
+			p.next()
+			eps, err := p.expectNumber("interval tolerance")
+			if err != nil {
+				return nil, err
+			}
+			q.Eps = eps
+		}
+		return q, nil
+
+	case p.acceptKeyword("VALUE"):
+		if err := p.expectKeyword("LIKE"); err != nil {
+			return nil, err
+		}
+		id, err := p.expectIdent("sequence id")
+		if err != nil {
+			return nil, err
+		}
+		q := &ValueQuery{ExemplarID: id, Eps: -1}
+		if p.acceptKeyword("EPS") {
+			eps, err := p.expectNumber("eps")
+			if err != nil {
+				return nil, err
+			}
+			q.Eps = eps
+		}
+		return q, nil
+
+	case p.acceptKeyword("SHAPE"):
+		if err := p.expectKeyword("LIKE"); err != nil {
+			return nil, err
+		}
+		id, err := p.expectIdent("sequence id")
+		if err != nil {
+			return nil, err
+		}
+		q := &ShapeQuery{ExemplarID: id}
+		for {
+			switch {
+			case p.acceptKeyword("PEAKS"):
+				v, err := p.expectNumber("peaks tolerance")
+				if err != nil {
+					return nil, err
+				}
+				if v != float64(int(v)) || v < 0 {
+					return nil, fmt.Errorf("querylang: PEAKS tolerance must be a non-negative integer, got %v", v)
+				}
+				q.PeaksTol = int(v)
+			case p.acceptKeyword("HEIGHT"):
+				v, err := p.expectNumber("height tolerance")
+				if err != nil {
+					return nil, err
+				}
+				q.HeightTol = v
+			case p.acceptKeyword("SPACING"):
+				v, err := p.expectNumber("spacing tolerance")
+				if err != nil {
+					return nil, err
+				}
+				q.SpacingTol = v
+			default:
+				return q, nil
+			}
+		}
+
+	default:
+		t := p.peek()
+		return nil, fmt.Errorf("querylang: expected PATTERN, PEAKS, INTERVAL, VALUE or SHAPE at position %d, got %q", t.pos, t.text)
+	}
+}

@@ -1,0 +1,52 @@
+package querylang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Parse must never panic, whatever garbage arrives.
+func TestParseRobustToRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	alphabet := `MATCHFINDPEAKSINTERVALVALUESHAPELIKE "'+-±0123456789. (){}`
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		// Must not panic; errors are expected and fine.
+		_, _ = Parse(b.String()) //nolint:errcheck
+	}
+}
+
+// Keyword fragments and truncations of valid statements never panic and
+// never silently succeed when structurally incomplete.
+func TestParseTruncationsOfValidStatements(t *testing.T) {
+	full := []string{
+		`MATCH PATTERN "UF*D(F|D)*UF*D"`,
+		`MATCH PEAKS 2 TOLERANCE 1`,
+		`MATCH INTERVAL 135 +- 2`,
+		`MATCH SHAPE LIKE exemplar PEAKS 1 HEIGHT 0.25 SPACING 0.3`,
+	}
+	for _, src := range full {
+		for cut := 0; cut < len(src); cut++ {
+			prefix := src[:cut]
+			q, err := Parse(prefix)
+			if err != nil {
+				continue
+			}
+			// A successfully parsed prefix must be a complete statement in
+			// its own right: re-rendering and re-parsing must agree.
+			q2, err := Parse(q.String())
+			if err != nil {
+				t.Errorf("prefix %q parsed but canonical form %q does not: %v", prefix, q.String(), err)
+				continue
+			}
+			if q2.String() != q.String() {
+				t.Errorf("prefix %q: unstable canonical form", prefix)
+			}
+		}
+	}
+}

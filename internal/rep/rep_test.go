@@ -1,0 +1,329 @@
+package rep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"seqrep/internal/breaking"
+	"seqrep/internal/fit"
+	"seqrep/internal/seq"
+	"seqrep/internal/synth"
+)
+
+func buildFever(t *testing.T, representer fit.Fitter) (seq.Sequence, *FunctionSeries) {
+	t.Helper()
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := breaking.Interpolation(0.5).Break(fever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Build(fever, segs, representer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fever, fs
+}
+
+func TestBuildKeepsByproductCurves(t *testing.T) {
+	fever, fs := buildFever(t, nil)
+	if err := fs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.N != len(fever) {
+		t.Errorf("N = %d", fs.N)
+	}
+	if fs.NumSegments() < 4 {
+		t.Errorf("segments = %d", fs.NumSegments())
+	}
+	// Byproduct interpolation lines pass through segment boundary points.
+	for i := range fs.Segments {
+		sg := &fs.Segments[i]
+		c, err := sg.Curve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sg.Len() >= 2 {
+			if math.Abs(c.Eval(sg.StartT)-sg.StartV) > 1e-9 {
+				t.Errorf("segment %d: curve misses start point", i)
+			}
+			if math.Abs(c.Eval(sg.EndT)-sg.EndV) > 1e-9 {
+				t.Errorf("segment %d: curve misses end point", i)
+			}
+		}
+	}
+}
+
+func TestBuildRefitsWithRepresenter(t *testing.T) {
+	// The paper's §4.4 flow: break with interpolation, represent with
+	// regression.
+	fever, fs := buildFever(t, fit.RegressionFitter{})
+	rmse, linf, err := fs.ErrorAgainst(fever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse <= 0 || linf < rmse {
+		t.Errorf("rmse=%g linf=%g", rmse, linf)
+	}
+	// Regression should not be much worse than epsilon overall.
+	if linf > 2 {
+		t.Errorf("regression representation linf = %g", linf)
+	}
+	// Regression lines generally do NOT pass through the endpoints —
+	// check the representation retained the true sample endpoints anyway.
+	first := fs.Segments[0]
+	if first.StartT != fever[0].T || first.StartV != fever[0].V {
+		t.Error("boundary points lost in refit")
+	}
+}
+
+func TestBuildRejectsInvalidSegmentation(t *testing.T) {
+	fever, err := synth.Fever(synth.FeverOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(fever, nil, nil); err == nil {
+		t.Error("nil segmentation accepted")
+	}
+	bad := []breaking.Segment{{Lo: 0, Hi: 10, Curve: fit.Line{}}}
+	if _, err := Build(fever, bad, nil); err == nil {
+		t.Error("non-covering segmentation accepted")
+	}
+}
+
+func TestReconstructMatchesEpsilon(t *testing.T) {
+	fever, fs := buildFever(t, nil)
+	back, err := fs.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(fever) {
+		t.Fatalf("reconstructed %d samples, want %d", len(back), len(fever))
+	}
+	// Interpolation representation: reconstruction within ε of original.
+	for i := range fever {
+		if d := math.Abs(back[i].V - fever[i].V); d > 0.5+1e-9 {
+			t.Errorf("sample %d deviates %g > eps", i, d)
+		}
+		if math.Abs(back[i].T-fever[i].T) > 1e-9 {
+			t.Errorf("sample %d time %g, want %g", i, back[i].T, fever[i].T)
+		}
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	fever, fs := buildFever(t, nil)
+	// Interior, boundary and clamped times.
+	for _, tt := range []float64{-1, 0, 3.17, 12, 23.9, 24, 99} {
+		got, err := fs.ValueAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fever.ValueAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.8 {
+			t.Errorf("ValueAt(%g) = %g, raw interpolation %g", tt, got, want)
+		}
+	}
+	empty := &FunctionSeries{}
+	if _, err := empty.ValueAt(0); err == nil {
+		t.Error("empty representation accepted")
+	}
+}
+
+func TestErrorAgainstLengthMismatch(t *testing.T) {
+	fever, fs := buildFever(t, nil)
+	if _, _, err := fs.ErrorAgainst(fever[:10]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCompressionAccounting(t *testing.T) {
+	_, fs := buildFever(t, nil)
+	k := fs.NumSegments()
+	if got := fs.StoredFloats(); got != k*(4+2) {
+		t.Errorf("StoredFloats = %d, want %d (line segments)", got, k*6)
+	}
+	if got := fs.ParamFloats(); got != k*(2+2) {
+		t.Errorf("ParamFloats = %d, want %d", got, k*4)
+	}
+	if r := fs.CompressionRatio(); r <= 0 {
+		t.Errorf("CompressionRatio = %g", r)
+	}
+	if r := fs.PaperCompressionRatio(); r <= fs.CompressionRatio() {
+		t.Errorf("paper ratio %g should exceed full ratio %g", fs.PaperCompressionRatio(), fs.CompressionRatio())
+	}
+	empty := &FunctionSeries{N: 5}
+	if empty.CompressionRatio() != 0 || empty.PaperCompressionRatio() != 0 {
+		t.Error("empty series ratios should be 0")
+	}
+}
+
+// The paper's headline compression claim (E11): a 540-point ECG compresses
+// by an order of magnitude; with their 4-parameter accounting the ratio is
+// in the double digits.
+func TestECGCompressionShape(t *testing.T) {
+	ecg, _, err := synth.ECG(nil, synth.ECGOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := breaking.Interpolation(10).Break(ecg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Build(ecg, segs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := fs.PaperCompressionRatio(); r < 5 {
+		t.Errorf("paper-accounting compression ratio %g too low (%d segments)", r, fs.NumSegments())
+	}
+}
+
+func TestSlopes(t *testing.T) {
+	_, fs := buildFever(t, nil)
+	slopes := fs.Slopes()
+	if len(slopes) != fs.NumSegments() {
+		t.Fatalf("slope count %d", len(slopes))
+	}
+	// The fever curve rises to the first peak: first segment slope > 0.
+	if slopes[0] <= 0 {
+		t.Errorf("first slope = %g, want rising", slopes[0])
+	}
+}
+
+func TestSegmentSlopeFallback(t *testing.T) {
+	sg := Segment{StartT: 0, StartV: 0, EndT: 2, EndV: 6, Kind: fit.KindBezier, Params: make([]float64, 8)}
+	if got := sg.Slope(); got != 3 {
+		t.Errorf("chord slope = %g, want 3", got)
+	}
+	zero := Segment{StartT: 1, EndT: 1, Kind: fit.KindBezier}
+	if got := zero.Slope(); got != 0 {
+		t.Errorf("zero-span slope = %g", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	_, fs := buildFever(t, fit.RegressionFitter{})
+	data, err := fs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FunctionSeries
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != fs.N || back.NumSegments() != fs.NumSegments() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N, back.NumSegments(), fs.N, fs.NumSegments())
+	}
+	for i := range fs.Segments {
+		a, b := fs.Segments[i], back.Segments[i]
+		if a.Lo != b.Lo || a.Hi != b.Hi || a.Kind != b.Kind {
+			t.Errorf("segment %d header mismatch", i)
+		}
+		if a.StartT != b.StartT || a.StartV != b.StartV || a.EndT != b.EndT || a.EndV != b.EndV {
+			t.Errorf("segment %d boundary mismatch", i)
+		}
+		for j := range a.Params {
+			if a.Params[j] != b.Params[j] {
+				t.Errorf("segment %d param %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	_, fs := buildFever(t, nil)
+	data, err := fs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func() []byte{
+		"empty":       func() []byte { return nil },
+		"bad magic":   func() []byte { d := clone(data); d[0] = 'X'; return d },
+		"bad version": func() []byte { d := clone(data); d[4] = 99; return d },
+		"truncated":   func() []byte { return data[:len(data)/2] },
+		"zero segments": func() []byte {
+			d := clone(data)
+			// segment count lives at offset 4(magic)+1(version)+4(n)
+			d[9], d[10], d[11], d[12] = 0, 0, 0, 0
+			return d
+		},
+		"huge segment count": func() []byte {
+			d := clone(data)
+			d[9], d[10], d[11], d[12] = 0xff, 0xff, 0xff, 0xff
+			return d
+		},
+	}
+	for name, mk := range cases {
+		var back FunctionSeries
+		if err := back.UnmarshalBinary(mk()); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsBadKind(t *testing.T) {
+	_, fs := buildFever(t, nil)
+	mangled := *fs
+	mangled.Segments = make([]Segment, len(fs.Segments))
+	copy(mangled.Segments, fs.Segments)
+	mangled.Segments[0].Kind = fit.Kind(200)
+	// Encode refuses invalid series.
+	var buf bytes.Buffer
+	if err := mangled.Encode(&buf); err == nil {
+		t.Error("encode accepted invalid kind")
+	}
+}
+
+func TestEncodeToFailingWriter(t *testing.T) {
+	_, fs := buildFever(t, nil)
+	// bufio batches small writes, so fail from the very first Write call
+	// (which happens at Flush for a representation this small).
+	w := &failingWriter{failAfter: 0}
+	if err := fs.Encode(w); err == nil {
+		t.Error("write failure not propagated")
+	}
+}
+
+type failingWriter struct {
+	n         int
+	failAfter int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > w.failAfter {
+		return 0, errWrite
+	}
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func clone(b []byte) []byte {
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}
+
+func TestValidateCatchesTimeOverlap(t *testing.T) {
+	fs := &FunctionSeries{N: 4, Segments: []Segment{
+		{Lo: 0, Hi: 1, StartT: 0, EndT: 5, Kind: fit.KindLine, Params: []float64{1, 0}},
+		{Lo: 2, Hi: 3, StartT: 4, EndT: 9, Kind: fit.KindLine, Params: []float64{1, 0}},
+	}}
+	if err := fs.Validate(); err == nil || !strings.Contains(err.Error(), "not after") {
+		t.Errorf("time overlap not caught: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package seq provides the fundamental sampled-sequence data type used
+// throughout seqrep, together with statistics and validation helpers.
+//
+// A Sequence models one time series: a finite list of (time, value) samples
+// ordered by strictly increasing time. The representation is deliberately
+// plain — most algorithms in the library (breaking, fitting, feature
+// extraction) operate on Sequence values directly.
+package seq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a single sample of a sequence: a value observed at a time.
+type Point struct {
+	T float64 // sample time (or position)
+	V float64 // sampled value (amplitude)
+}
+
+// Sequence is an ordered series of samples. The zero value is an empty,
+// ready-to-use sequence. Times must be strictly increasing; Validate
+// reports violations.
+type Sequence []Point
+
+// New builds a uniformly sampled sequence from values, with times
+// 0, 1, 2, ... len(values)-1.
+func New(values []float64) Sequence {
+	s := make(Sequence, len(values))
+	for i, v := range values {
+		s[i] = Point{T: float64(i), V: v}
+	}
+	return s
+}
+
+// FromSamples builds a sequence from parallel time and value slices.
+// It returns an error if the slices differ in length.
+func FromSamples(times, values []float64) (Sequence, error) {
+	if len(times) != len(values) {
+		return nil, fmt.Errorf("seq: %d times but %d values", len(times), len(values))
+	}
+	s := make(Sequence, len(times))
+	for i := range times {
+		s[i] = Point{T: times[i], V: values[i]}
+	}
+	return s, nil
+}
+
+// Clone returns a deep copy of s.
+func (s Sequence) Clone() Sequence {
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+// Values returns the sampled values in order.
+func (s Sequence) Values() []float64 {
+	vs := make([]float64, len(s))
+	for i, p := range s {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Times returns the sample times in order.
+func (s Sequence) Times() []float64 {
+	ts := make([]float64, len(s))
+	for i, p := range s {
+		ts[i] = p.T
+	}
+	return ts
+}
+
+// Slice returns the subsequence s[i:j] (half open, like Go slicing).
+// The result shares storage with s.
+func (s Sequence) Slice(i, j int) Sequence { return s[i:j] }
+
+// ErrEmpty is returned by statistics that are undefined on empty sequences.
+var ErrEmpty = errors.New("seq: empty sequence")
+
+// Mean returns the arithmetic mean of the values.
+// It returns an error for an empty sequence.
+func (s Sequence) Mean() (float64, error) {
+	if len(s) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, p := range s {
+		sum += p.V
+	}
+	return sum / float64(len(s)), nil
+}
+
+// Var returns the population variance of the values.
+// It returns an error for an empty sequence.
+func (s Sequence) Var() (float64, error) {
+	m, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, p := range s {
+		d := p.V - m
+		ss += d * d
+	}
+	return ss / float64(len(s)), nil
+}
+
+// Std returns the population standard deviation of the values.
+func (s Sequence) Std() (float64, error) {
+	v, err := s.Var()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the index and value of the minimum sample.
+// It returns an error for an empty sequence.
+func (s Sequence) Min() (int, float64, error) {
+	if len(s) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	idx, best := 0, s[0].V
+	for i, p := range s {
+		if p.V < best {
+			idx, best = i, p.V
+		}
+	}
+	return idx, best, nil
+}
+
+// Max returns the index and value of the maximum sample.
+// It returns an error for an empty sequence.
+func (s Sequence) Max() (int, float64, error) {
+	if len(s) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	idx, best := 0, s[0].V
+	for i, p := range s {
+		if p.V > best {
+			idx, best = i, p.V
+		}
+	}
+	return idx, best, nil
+}
+
+// Duration returns the time span covered by the sequence
+// (time of last sample minus time of first). Empty and singleton
+// sequences have duration 0.
+func (s Sequence) Duration() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	return s[len(s)-1].T - s[0].T
+}
+
+// Validate checks structural invariants: strictly increasing times and
+// finite (non-NaN, non-Inf) times and values. It returns a descriptive
+// error for the first violation found, or nil.
+func (s Sequence) Validate() error {
+	for i, p := range s {
+		if math.IsNaN(p.T) || math.IsInf(p.T, 0) {
+			return fmt.Errorf("seq: non-finite time at index %d", i)
+		}
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			return fmt.Errorf("seq: non-finite value at index %d", i)
+		}
+		if i > 0 && p.T <= s[i-1].T {
+			return fmt.Errorf("seq: times not strictly increasing at index %d (%g after %g)", i, p.T, s[i-1].T)
+		}
+	}
+	return nil
+}
+
+// String renders a short human-readable form, eliding long sequences.
+func (s Sequence) String() string {
+	const headTail = 3
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequence[%d]{", len(s))
+	elide := len(s) > 2*headTail+1
+	for i, p := range s {
+		if elide && i >= headTail && i < len(s)-headTail {
+			if i == headTail {
+				b.WriteString(" ...")
+			}
+			continue
+		}
+		fmt.Fprintf(&b, " (%.3g,%.3g)", p.T, p.V)
+	}
+	b.WriteString(" }")
+	return b.String()
+}

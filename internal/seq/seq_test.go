@@ -1,0 +1,381 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewUniformTimes(t *testing.T) {
+	s := New([]float64{5, 7, 9})
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	for i, p := range s {
+		if p.T != float64(i) {
+			t.Errorf("time[%d] = %g, want %d", i, p.T, i)
+		}
+	}
+	if s[1].V != 7 {
+		t.Errorf("value[1] = %g, want 7", s[1].V)
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	s, err := FromSamples([]float64{0, 2, 4}, []float64{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[2] != (Point{4, 5}) {
+		t.Errorf("s[2] = %v", s[2])
+	}
+	if _, err := FromSamples([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not reported")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New([]float64{1, 2, 3})
+	c := s.Clone()
+	c[0].V = 99
+	if s[0].V == 99 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New([]float64{0, 1, 2, 3, 4})
+	sub := s.Slice(1, 4)
+	if len(sub) != 3 || sub[0].V != 1 || sub[2].V != 3 {
+		t.Errorf("Slice = %v", sub)
+	}
+	// Slices share storage by contract.
+	sub[0].V = 99
+	if s[1].V != 99 {
+		t.Error("Slice does not share storage")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	m, err := s.Mean()
+	if err != nil || m != 5 {
+		t.Errorf("Mean = %g, %v; want 5", m, err)
+	}
+	v, err := s.Var()
+	if err != nil || v != 4 {
+		t.Errorf("Var = %g, %v; want 4", v, err)
+	}
+	sd, err := s.Std()
+	if err != nil || sd != 2 {
+		t.Errorf("Std = %g, %v; want 2", sd, err)
+	}
+	if i, val, _ := s.Min(); i != 0 || val != 2 {
+		t.Errorf("Min = (%d,%g), want (0,2)", i, val)
+	}
+	if i, val, _ := s.Max(); i != 7 || val != 9 {
+		t.Errorf("Max = (%d,%g), want (7,9)", i, val)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Sequence
+	if _, err := s.Mean(); err == nil {
+		t.Error("Mean of empty should error")
+	}
+	if _, err := s.Var(); err == nil {
+		t.Error("Var of empty should error")
+	}
+	if _, _, err := s.Min(); err == nil {
+		t.Error("Min of empty should error")
+	}
+	if _, _, err := s.Max(); err == nil {
+		t.Error("Max of empty should error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New([]float64{1, 2, 3})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	cases := map[string]Sequence{
+		"nan value":      {{0, math.NaN()}},
+		"inf value":      {{0, math.Inf(1)}},
+		"nan time":       {{math.NaN(), 0}},
+		"dup time":       {{0, 1}, {0, 2}},
+		"decreasing":     {{1, 0}, {0, 0}},
+		"late violation": {{0, 1}, {1, 2}, {1, 3}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid sequence", name)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := New([]float64{1}).Duration(); d != 0 {
+		t.Errorf("singleton duration = %g", d)
+	}
+	s, _ := FromSamples([]float64{2, 5, 11}, []float64{0, 0, 0})
+	if d := s.Duration(); d != 9 {
+		t.Errorf("duration = %g, want 9", d)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	s := New([]float64{1, 2, 3})
+	st := s.ShiftTime(10)
+	if st[0].T != 10 || st[2].T != 12 {
+		t.Errorf("ShiftTime wrong: %v", st)
+	}
+	sv := s.ShiftValue(-1)
+	if sv[0].V != 0 || sv[2].V != 2 {
+		t.Errorf("ShiftValue wrong: %v", sv)
+	}
+	// Original untouched.
+	if s[0].T != 0 || s[0].V != 1 {
+		t.Error("transform mutated receiver")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := New([]float64{1, 2, 3})
+	sc := s.ScaleValue(2)
+	if sc[2].V != 6 {
+		t.Errorf("ScaleValue: %v", sc)
+	}
+	sa := s.ScaleAbout(2, 3) // 2 + 3*(v-2)
+	want := []float64{-1, 2, 5}
+	for i := range want {
+		if sa[i].V != want[i] {
+			t.Errorf("ScaleAbout[%d] = %g, want %g", i, sa[i].V, want[i])
+		}
+	}
+}
+
+func TestDilateContract(t *testing.T) {
+	s, _ := FromSamples([]float64{5, 6, 7}, []float64{1, 2, 3})
+	d := s.Dilate(2)
+	wantT := []float64{5, 7, 9}
+	for i := range wantT {
+		if d[i].T != wantT[i] {
+			t.Errorf("Dilate T[%d] = %g, want %g", i, d[i].T, wantT[i])
+		}
+	}
+	c := d.Contract(2)
+	for i := range s {
+		if !almostEq(c[i].T, s[i].T, 1e-12) {
+			t.Errorf("Contract does not invert Dilate at %d: %g vs %g", i, c[i].T, s[i].T)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	s, _ := FromSamples([]float64{0, 1, 2}, []float64{0, 10, 20})
+	r, err := s.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := []float64{0, 5, 10, 15, 20}
+	for i := range wantV {
+		if !almostEq(r[i].V, wantV[i], 1e-9) {
+			t.Errorf("Resample V[%d] = %g, want %g", i, r[i].V, wantV[i])
+		}
+	}
+	if r[4].T != 2 {
+		t.Errorf("last time = %g, want 2", r[4].T)
+	}
+	if _, err := New([]float64{1}).Resample(5); err == nil {
+		t.Error("resampling singleton should error")
+	}
+	if _, err := s.Resample(1); err == nil {
+		t.Error("resampling to 1 point should error")
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	s := New([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	r, err := s.Resample(len(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if !almostEq(r[i].V, s[i].V, 1e-9) {
+			t.Errorf("identity resample changed V[%d]: %g vs %g", i, r[i].V, s[i].V)
+		}
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	s, _ := FromSamples([]float64{0, 10, 20}, []float64{0, 100, 0})
+	cases := []struct{ t, want float64 }{
+		{-5, 0}, {0, 0}, {5, 50}, {10, 100}, {15, 50}, {20, 0}, {25, 0},
+	}
+	for _, c := range cases {
+		got, err := s.ValueAt(c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-9) {
+			t.Errorf("ValueAt(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	var empty Sequence
+	if _, err := empty.ValueAt(0); err == nil {
+		t.Error("ValueAt on empty should error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := New([]float64{2, 4, 6, 8})
+	n, err := s.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := n.Mean()
+	v, _ := n.Var()
+	if !almostEq(m, 0, 1e-12) || !almostEq(v, 1, 1e-12) {
+		t.Errorf("normalized mean=%g var=%g", m, v)
+	}
+	c := New([]float64{5, 5, 5})
+	nc, err := c.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range nc {
+		if p.V != 0 {
+			t.Errorf("constant normalize gave %g", p.V)
+		}
+	}
+}
+
+// Normalization eliminates linear transformations (§7): scale+shift of a
+// sequence normalizes to the same sequence.
+func TestNormalizeKillsLinearTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New([]float64{1, 4, 2, 8, 5, 7, 1, 3}).AddNoise(rng, 0.5)
+	tr := s.ScaleValue(3.7).ShiftValue(-11)
+	n1, _ := s.Normalize()
+	n2, _ := tr.Normalize()
+	for i := range n1 {
+		if !almostEq(n1[i].V, n2[i].V, 1e-9) {
+			t.Fatalf("normalization not invariant at %d: %g vs %g", i, n1[i].V, n2[i].V)
+		}
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	s := New([]float64{0, 10, 20}) // times 0,1,2
+	in, err := s.Insert(Point{T: 0.5, V: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 4 || in[1] != (Point{0.5, 5}) {
+		t.Errorf("Insert result %v", in)
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("insert broke ordering: %v", err)
+	}
+	if _, err := s.Insert(Point{T: 1, V: 0}); err == nil {
+		t.Error("duplicate-time insert should error")
+	}
+	if _, err := s.Insert(Point{T: math.NaN(), V: 0}); err == nil {
+		t.Error("NaN-time insert should error")
+	}
+	del, err := in.Delete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(del) != 3 || del[1] != (Point{1, 10}) {
+		t.Errorf("Delete result %v", del)
+	}
+	if _, err := s.Delete(-1); err == nil {
+		t.Error("negative delete should error")
+	}
+	if _, err := s.Delete(3); err == nil {
+		t.Error("out-of-range delete should error")
+	}
+}
+
+func TestInsertAtEnds(t *testing.T) {
+	s := New([]float64{1, 2}) // times 0,1
+	front, err := s.Insert(Point{T: -1, V: 0})
+	if err != nil || front[0].T != -1 {
+		t.Errorf("front insert: %v %v", front, err)
+	}
+	back, err := s.Insert(Point{T: 5, V: 0})
+	if err != nil || back[len(back)-1].T != 5 {
+		t.Errorf("back insert: %v %v", back, err)
+	}
+}
+
+func TestString(t *testing.T) {
+	short := New([]float64{1, 2})
+	if !strings.Contains(short.String(), "Sequence[2]") {
+		t.Errorf("String: %s", short.String())
+	}
+	long := New(make([]float64, 100))
+	str := long.String()
+	if !strings.Contains(str, "...") || !strings.Contains(str, "Sequence[100]") {
+		t.Errorf("long String not elided: %s", str)
+	}
+}
+
+// Property: Dilate(f) followed by Contract(f) is identity on times.
+func TestDilateContractProperty(t *testing.T) {
+	f := func(vals []float64, factorRaw float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		factor := 0.1 + math.Mod(math.Abs(factorRaw), 10) // (0.1, 10.1)
+		if math.IsNaN(factor) {
+			return true
+		}
+		s := New(vals)
+		rt := s.Dilate(factor).Contract(factor)
+		for i := range s {
+			if !almostEq(rt[i].T, s[i].T, 1e-6*(1+math.Abs(s[i].T))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ShiftValue(a).ShiftValue(-a) is identity.
+func TestShiftRoundTripProperty(t *testing.T) {
+	f := func(vals []float64, a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e9)
+		s := make([]float64, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s[i] = math.Mod(v, 1e9)
+		}
+		orig := New(s)
+		rt := orig.ShiftValue(a).ShiftValue(-a)
+		for i := range orig {
+			diff := math.Abs(rt[i].V - orig[i].V)
+			if diff > 1e-6*(1+math.Abs(orig[i].V)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements the paper's family of feature-preserving
+// transformations (Shatkay & Zdonik §2.2): translation in time and
+// amplitude, dilation and contraction (frequency changes), amplitude
+// scaling, bounded pointwise deviation, and resampling. A generalized
+// approximate query denotes a set of sequences closed under these
+// transformations; the tests and experiments use them to build the
+// two-peak family of the paper's Figure 5.
+
+// ShiftTime returns a copy of s with dt added to every sample time.
+func (s Sequence) ShiftTime(dt float64) Sequence {
+	c := s.Clone()
+	for i := range c {
+		c[i].T += dt
+	}
+	return c
+}
+
+// ShiftValue returns a copy of s with dv added to every sample value
+// (translation in amplitude).
+func (s Sequence) ShiftValue(dv float64) Sequence {
+	c := s.Clone()
+	for i := range c {
+		c[i].V += dv
+	}
+	return c
+}
+
+// ScaleValue returns a copy of s with every value multiplied by f
+// (amplitude scaling). Values are scaled about zero; combine with
+// ShiftValue to scale about another level.
+func (s Sequence) ScaleValue(f float64) Sequence {
+	c := s.Clone()
+	for i := range c {
+		c[i].V *= f
+	}
+	return c
+}
+
+// ScaleAbout returns a copy of s with values scaled by f about level c0:
+// v' = c0 + f*(v-c0). This models amplitude scaling of, e.g., fever curves
+// about the baseline temperature.
+func (s Sequence) ScaleAbout(c0, f float64) Sequence {
+	c := s.Clone()
+	for i := range c {
+		c[i].V = c0 + f*(c[i].V-c0)
+	}
+	return c
+}
+
+// Dilate returns a copy of s with sample times stretched by factor f > 0
+// about the first sample's time. f > 1 slows the sequence down (frequency
+// reduction); f < 1 is a contraction (frequency increase). Sample count is
+// unchanged; only the time axis is rescaled.
+func (s Sequence) Dilate(f float64) Sequence {
+	c := s.Clone()
+	if len(c) == 0 {
+		return c
+	}
+	t0 := c[0].T
+	for i := range c {
+		c[i].T = t0 + f*(c[i].T-t0)
+	}
+	return c
+}
+
+// Contract is Dilate(1/f); it is provided for readability at call sites
+// that mirror the paper's terminology.
+func (s Sequence) Contract(f float64) Sequence { return s.Dilate(1 / f) }
+
+// AddNoise returns a copy of s with independent Gaussian noise of the given
+// standard deviation added to each value. rng must be non-nil so that all
+// randomness in the library is caller-seeded and deterministic.
+func (s Sequence) AddNoise(rng *rand.Rand, stddev float64) Sequence {
+	c := s.Clone()
+	for i := range c {
+		c[i].V += rng.NormFloat64() * stddev
+	}
+	return c
+}
+
+// Resample returns s resampled at n uniformly spaced times across its time
+// span using linear interpolation between neighbouring samples. It is the
+// discrete realization of dilation/contraction when a fixed sampling rate
+// must be preserved. It returns an error if s has fewer than two points or
+// n < 2.
+func (s Sequence) Resample(n int) (Sequence, error) {
+	if len(s) < 2 {
+		return nil, fmt.Errorf("seq: cannot resample %d-point sequence", len(s))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("seq: cannot resample to %d points", n)
+	}
+	out := make(Sequence, n)
+	t0, t1 := s[0].T, s[len(s)-1].T
+	step := (t1 - t0) / float64(n-1)
+	j := 0
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*step
+		if i == n-1 {
+			t = t1 // avoid floating point drift at the end
+		}
+		for j < len(s)-2 && s[j+1].T < t {
+			j++
+		}
+		a, b := s[j], s[j+1]
+		frac := 0.0
+		if b.T != a.T {
+			frac = (t - a.T) / (b.T - a.T)
+		}
+		out[i] = Point{T: t, V: a.V + frac*(b.V-a.V)}
+	}
+	return out, nil
+}
+
+// ValueAt linearly interpolates the sequence's value at time t. Times
+// outside the sampled span clamp to the first/last sample value.
+// It returns an error for an empty sequence.
+func (s Sequence) ValueAt(t float64) (float64, error) {
+	if len(s) == 0 {
+		return 0, ErrEmpty
+	}
+	if t <= s[0].T {
+		return s[0].V, nil
+	}
+	if t >= s[len(s)-1].T {
+		return s[len(s)-1].V, nil
+	}
+	// Binary search for the bracketing pair.
+	lo, hi := 0, len(s)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := s[lo], s[hi]
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V), nil
+}
+
+// Normalize returns a copy of s normalized to mean 0 and variance 1,
+// the preprocessing step of §7 that eliminates differences between
+// sequences that are linear transformations of each other. A constant
+// sequence (zero variance) normalizes to all zeros. It returns an error
+// for an empty sequence.
+func (s Sequence) Normalize() (Sequence, error) {
+	m, err := s.Mean()
+	if err != nil {
+		return nil, err
+	}
+	sd, err := s.Std()
+	if err != nil {
+		return nil, err
+	}
+	c := s.Clone()
+	for i := range c {
+		if sd == 0 {
+			c[i].V = 0
+		} else {
+			c[i].V = (c[i].V - m) / sd
+		}
+	}
+	return c, nil
+}
+
+// Insert returns a copy of s with point p inserted at its time-ordered
+// position. It is used by the robustness experiments (§4.3), which insert
+// behaviour-preserving elements and check that breakpoints barely move.
+// It returns an error if p's time collides with an existing sample time.
+func (s Sequence) Insert(p Point) (Sequence, error) {
+	if math.IsNaN(p.T) || math.IsInf(p.T, 0) {
+		return nil, fmt.Errorf("seq: insert with non-finite time")
+	}
+	pos := len(s)
+	for i, q := range s {
+		if q.T == p.T {
+			return nil, fmt.Errorf("seq: insert at duplicate time %g", p.T)
+		}
+		if q.T > p.T {
+			pos = i
+			break
+		}
+	}
+	out := make(Sequence, 0, len(s)+1)
+	out = append(out, s[:pos]...)
+	out = append(out, p)
+	out = append(out, s[pos:]...)
+	return out, nil
+}
+
+// Delete returns a copy of s with the sample at index i removed.
+// It returns an error if i is out of range.
+func (s Sequence) Delete(i int) (Sequence, error) {
+	if i < 0 || i >= len(s) {
+		return nil, fmt.Errorf("seq: delete index %d out of range [0,%d)", i, len(s))
+	}
+	out := make(Sequence, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out, nil
+}

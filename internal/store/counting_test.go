@@ -1,0 +1,58 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"seqrep/internal/synth"
+)
+
+func TestCountingArchiveContract(t *testing.T) {
+	inner, err := NewFileArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	archiveContract(t, NewCountingArchive(inner))
+}
+
+func TestCountingArchiveStats(t *testing.T) {
+	a := NewCountingArchive(NewMemArchive())
+	s := synth.Const(10, 0) // 160 bytes
+	if err := a.Put("x", s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.BytesWritten != 160 || st.BytesRead != 160 {
+		t.Errorf("stats %+v", st)
+	}
+	// Failed reads are not counted.
+	if _, err := a.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if got := a.Stats().Reads; got != 1 {
+		t.Errorf("failed read counted: %d", got)
+	}
+	a.ResetStats()
+	if a.Stats() != (Stats{}) {
+		t.Error("ResetStats")
+	}
+}
+
+func TestCountingArchiveLatency(t *testing.T) {
+	a := NewCountingArchive(NewMemArchive())
+	a.ReadLatency = 15 * time.Millisecond
+	if err := a.Put("x", synth.Const(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := a.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("latency not applied")
+	}
+}

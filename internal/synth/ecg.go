@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqrep/internal/seq"
+)
+
+// ECGOpts parameterizes the synthetic electrocardiogram generator, which
+// substitutes for the paper's digitized 540-point ECG segments (their
+// Figure 9, retrieved from a since-defunct wustl.edu archive). Each heart
+// beat is modelled as a sum of Gaussian deflections — the standard P, Q, R,
+// S and T waves — so the sharp R peaks that the paper's breaking algorithm
+// locates are present with controllable spacing and amplitude.
+type ECGOpts struct {
+	Samples    int     // total samples (default 540, matching the paper)
+	RRInterval float64 // mean distance between R peaks, in samples (default 130)
+	RRJitter   float64 // std-dev of per-beat RR variation in samples (default 0: perfectly regular)
+	Amplitude  float64 // R-peak amplitude (default 150, the paper's plots span ±150)
+	NoiseStd   float64 // additive Gaussian noise std-dev (default 0)
+	Wander     float64 // baseline wander amplitude (slow sinusoid, default 0)
+	FirstR     float64 // position of the first R peak in samples (default 65)
+}
+
+func (o *ECGOpts) defaults() {
+	if o.Samples == 0 {
+		o.Samples = 540
+	}
+	if o.RRInterval == 0 {
+		o.RRInterval = 130
+	}
+	if o.Amplitude == 0 {
+		o.Amplitude = 150
+	}
+	if o.FirstR == 0 {
+		o.FirstR = 65
+	}
+}
+
+// wave is one deflection relative to the R peak.
+type wave struct {
+	offset   float64 // position relative to R, as a fraction of the RR interval
+	height   float64 // amplitude as a fraction of the R amplitude
+	width    float64 // spread as a fraction of the RR interval (std-dev for Gaussians, half-width for triangles)
+	triangle bool    // triangular instead of Gaussian deflection
+}
+
+// The canonical PQRST morphology. Offsets/widths are fractions of the RR
+// interval; heights are fractions of the R amplitude. The non-R deflections
+// are kept below 10% of the R amplitude so that, as in the paper's Figure 9
+// traces, only the R spikes exceed the ε=10 breaking tolerance and the
+// signal between beats reads as near-flat. The R wave itself is triangular,
+// matching the piecewise-linear QRS flanks visible in the paper's plots
+// (their annotated beat is exactly flat line, ~21x rise, ~-15x fall).
+var pqrst = []wave{
+	{offset: -0.22, height: 0.025, width: 0.028},              // P wave
+	{offset: -0.10, height: -0.02, width: 0.015},              // Q dip
+	{offset: 0.0, height: 1.00, width: 0.058, triangle: true}, // R spike: linear flanks over ~7-8 samples
+	{offset: 0.10, height: -0.03, width: 0.016},               // S dip
+	{offset: 0.30, height: 0.03, width: 0.055},                // T wave
+}
+
+// ECG generates a synthetic electrocardiogram. rng may be nil when both
+// RRJitter and NoiseStd are zero; otherwise it must be non-nil.
+// The returned R positions are the exact sample-time locations of the
+// generated R peaks, usable as ground truth by tests and experiments.
+func ECG(rng *rand.Rand, opts ECGOpts) (s seq.Sequence, rPeaks []float64, err error) {
+	opts.defaults()
+	if opts.Samples < 2 {
+		return nil, nil, fmt.Errorf("synth: ECG needs at least 2 samples, got %d", opts.Samples)
+	}
+	if opts.RRInterval <= 0 {
+		return nil, nil, fmt.Errorf("synth: non-positive RR interval %g", opts.RRInterval)
+	}
+	if (opts.RRJitter > 0 || opts.NoiseStd > 0) && rng == nil {
+		return nil, nil, fmt.Errorf("synth: ECG with jitter or noise requires a random source")
+	}
+
+	// Place R peaks until past the end of the window.
+	r := opts.FirstR
+	for r < float64(opts.Samples)+opts.RRInterval {
+		rPeaks = append(rPeaks, r)
+		step := opts.RRInterval
+		if opts.RRJitter > 0 {
+			step += rng.NormFloat64() * opts.RRJitter
+			if step < opts.RRInterval/2 {
+				step = opts.RRInterval / 2 // keep beats physically separated
+			}
+		}
+		r += step
+	}
+
+	s = make(seq.Sequence, opts.Samples)
+	for i := 0; i < opts.Samples; i++ {
+		t := float64(i)
+		v := 0.0
+		for _, rp := range rPeaks {
+			for _, w := range pqrst {
+				center := rp + w.offset*opts.RRInterval
+				spread := w.width * opts.RRInterval
+				d := (t - center) / spread
+				if w.triangle {
+					if d > 1 || d < -1 {
+						continue
+					}
+					v += w.height * opts.Amplitude * (1 - math.Abs(d))
+					continue
+				}
+				if d > 6 || d < -6 {
+					continue // negligible contribution
+				}
+				v += w.height * opts.Amplitude * math.Exp(-0.5*d*d)
+			}
+		}
+		if opts.Wander > 0 {
+			v += opts.Wander * math.Sin(2*math.Pi*t/float64(opts.Samples))
+		}
+		if opts.NoiseStd > 0 {
+			v += rng.NormFloat64() * opts.NoiseStd
+		}
+		s[i] = seq.Point{T: t, V: v}
+	}
+
+	// Trim ground-truth peaks to those inside the sampled window.
+	in := rPeaks[:0]
+	for _, rp := range rPeaks {
+		if rp >= 0 && rp < float64(opts.Samples) {
+			in = append(in, rp)
+		}
+	}
+	return s, in, nil
+}
+
+// PaperECGPair generates the two 540-point ECG segments of the paper's
+// Figure 9: the first perfectly regular with four R peaks, the second with
+// slightly irregular RR spacing (their bottom trace shows varying intervals,
+// which the RR-interval query of Figure 10 then discriminates).
+func PaperECGPair(rng *rand.Rand) (top, bottom seq.Sequence, topR, bottomR []float64, err error) {
+	top, topR, err = ECG(nil, ECGOpts{Samples: 540, RRInterval: 145, FirstR: 70})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// The bottom trace has tighter, irregular beats (the paper reports
+	// intervals near 136/133/137 samples).
+	bottom, bottomR, err = ECG(rng, ECGOpts{Samples: 540, RRInterval: 135, RRJitter: 2.5, FirstR: 55})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return top, bottom, topR, bottomR, nil
+}

@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqrep/internal/seq"
+)
+
+// This file generates the music workload of the paper's introduction: "in
+// a music database we look for a melody regardless of key and tempo". A
+// melody is rendered as a piecewise-constant pitch curve (one plateau per
+// note). Its slope-sign symbol string is then exactly the melodic contour
+// (the Parsons code), which is invariant under transposition (amplitude
+// shift) and tempo change (dilation) — the two transformations the paper
+// names.
+
+// MelodyOpts parameterizes melody rendering.
+type MelodyOpts struct {
+	// SamplesPerBeat controls the temporal resolution (default 8).
+	SamplesPerBeat int
+	// BasePitch is the pitch of the first note in semitones (default 60,
+	// MIDI middle C).
+	BasePitch float64
+	// GlideSamples is the number of intermediate samples interpolated
+	// between consecutive notes, making each transition a genuine rising
+	// or falling segment (as a sung or bowed pitch contour would be).
+	// 0 means the default of 2; negative disables glides entirely,
+	// producing a pure staircase whose note changes are discontinuities.
+	GlideSamples int
+}
+
+func (o *MelodyOpts) defaults() {
+	if o.SamplesPerBeat == 0 {
+		o.SamplesPerBeat = 8
+	}
+	if o.BasePitch == 0 {
+		o.BasePitch = 60
+	}
+	if o.GlideSamples == 0 {
+		o.GlideSamples = 2
+	}
+	if o.GlideSamples < 0 {
+		o.GlideSamples = 0 // explicit staircase
+	}
+}
+
+// Melody renders a note sequence as a sampled pitch curve. Each element of
+// intervals is the semitone step from the previous note (0 repeats the
+// note); each note lasts one beat, with a short glide between different
+// pitches. At least one interval is required.
+func Melody(intervals []int, opts MelodyOpts) (seq.Sequence, error) {
+	opts.defaults()
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("synth: empty melody")
+	}
+	if opts.SamplesPerBeat < 1 {
+		return nil, fmt.Errorf("synth: samples per beat %d < 1", opts.SamplesPerBeat)
+	}
+	pitch := opts.BasePitch
+	vals := make([]float64, 0, (len(intervals)+1)*(opts.SamplesPerBeat+opts.GlideSamples))
+	for i := 0; i < opts.SamplesPerBeat; i++ {
+		vals = append(vals, pitch)
+	}
+	for _, step := range intervals {
+		next := pitch + float64(step)
+		if step != 0 {
+			for g := 1; g <= opts.GlideSamples; g++ {
+				frac := float64(g) / float64(opts.GlideSamples+1)
+				vals = append(vals, pitch+frac*(next-pitch))
+			}
+		}
+		pitch = next
+		for i := 0; i < opts.SamplesPerBeat; i++ {
+			vals = append(vals, pitch)
+		}
+	}
+	return seq.New(vals), nil
+}
+
+// RandomMelody draws n-1 intervals from a small musical range, avoiding
+// long runs of repeats so the contour stays informative.
+func RandomMelody(rng *rand.Rand, n int) ([]int, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("synth: RandomMelody requires a random source")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("synth: melody needs at least 2 notes, got %d", n)
+	}
+	steps := []int{-4, -3, -2, -1, 1, 2, 3, 4}
+	intervals := make([]int, n-1)
+	repeats := 0
+	for i := range intervals {
+		if repeats < 1 && rng.Intn(5) == 0 {
+			intervals[i] = 0
+			repeats++
+			continue
+		}
+		repeats = 0
+		intervals[i] = steps[rng.Intn(len(steps))]
+	}
+	return intervals, nil
+}
+
+// Transpose returns the melody shifted by semitones (a key change).
+func Transpose(s seq.Sequence, semitones float64) seq.Sequence {
+	return s.ShiftValue(semitones)
+}
+
+// ChangeTempo resamples the melody to a different number of samples per
+// beat (tempo change); factor > 1 slows it down. The result stays
+// piecewise constant, so the contour is untouched.
+func ChangeTempo(s seq.Sequence, factor float64) (seq.Sequence, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("synth: non-positive tempo factor %g", factor)
+	}
+	n := int(float64(len(s))*factor + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	stretched := s.Dilate(factor)
+	return stretched.Resample(n)
+}

@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMelodyRenderingStaircase(t *testing.T) {
+	s, err := Melody([]int{2, -1, 0}, MelodyOpts{SamplesPerBeat: 4, BasePitch: 60, GlideSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 16 { // 4 notes x 4 samples, no glides
+		t.Fatalf("len = %d", len(s))
+	}
+	wantPitches := []float64{60, 62, 61, 61}
+	for note := 0; note < 4; note++ {
+		for i := 0; i < 4; i++ {
+			if got := s[note*4+i].V; got != wantPitches[note] {
+				t.Errorf("note %d sample %d = %g, want %g", note, i, got, wantPitches[note])
+			}
+		}
+	}
+}
+
+func TestMelodyGlides(t *testing.T) {
+	s, err := Melody([]int{2}, MelodyOpts{SamplesPerBeat: 3, BasePitch: 60, GlideSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 plateau + 2 glide + 3 plateau.
+	if len(s) != 8 {
+		t.Fatalf("len = %d", len(s))
+	}
+	want := []float64{60, 60, 60, 60 + 2.0/3, 60 + 4.0/3, 62, 62, 62}
+	for i := range want {
+		if diff := s[i].V - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("sample %d = %g, want %g", i, s[i].V, want[i])
+		}
+	}
+	// Repeated notes glide nothing.
+	r, err := Melody([]int{0}, MelodyOpts{SamplesPerBeat: 3, GlideSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 6 {
+		t.Errorf("repeat note len = %d", len(r))
+	}
+}
+
+func TestMelodyValidation(t *testing.T) {
+	if _, err := Melody(nil, MelodyOpts{}); err == nil {
+		t.Error("empty melody accepted")
+	}
+	if _, err := Melody([]int{1}, MelodyOpts{SamplesPerBeat: -2}); err == nil {
+		t.Error("negative resolution accepted")
+	}
+}
+
+func TestRandomMelody(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	iv, err := RandomMelody(rng, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iv) != 11 {
+		t.Fatalf("intervals = %d", len(iv))
+	}
+	// No triple repeats by construction.
+	for i := 2; i < len(iv); i++ {
+		if iv[i] == 0 && iv[i-1] == 0 && iv[i-2] == 0 {
+			t.Error("three consecutive repeats")
+		}
+	}
+	if _, err := RandomMelody(nil, 5); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := RandomMelody(rng, 1); err == nil {
+		t.Error("single note accepted")
+	}
+}
+
+func TestTransposeAndTempo(t *testing.T) {
+	s, err := Melody([]int{2, 2, -4}, MelodyOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := Transpose(s, 5)
+	if up[0].V != s[0].V+5 {
+		t.Errorf("transpose: %g", up[0].V)
+	}
+	slow, err := ChangeTempo(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) < len(s)*2-2 {
+		t.Errorf("tempo change length %d from %d", len(slow), len(s))
+	}
+	if err := slow.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ChangeTempo(s, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}

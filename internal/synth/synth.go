@@ -1,0 +1,188 @@
+// Package synth generates the deterministic synthetic datasets used by the
+// experiments. It substitutes for data the paper obtained externally:
+//
+//   - 24-hour temperature logs exhibiting "goal-post fever" (their Figs 2-7),
+//   - digitized electrocardiogram segments of 540 points (their Fig 9),
+//   - the seismic and stock-market workloads their introduction motivates.
+//
+// All generators are pure functions of their parameters; where randomness
+// is involved the caller supplies a *rand.Rand so every experiment is
+// reproducible from a seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqrep/internal/seq"
+)
+
+// Peak describes one smooth bump added on top of a baseline: a Gaussian
+// centred at Center with the given Height and Width (standard deviation,
+// in time units).
+type Peak struct {
+	Center float64
+	Height float64
+	Width  float64
+}
+
+// Bumps samples a baseline-plus-Gaussian-peaks curve at n uniformly spaced
+// times across [t0, t1]. It is the workhorse behind the fever generators.
+// It returns an error if n < 2 or the time span is empty.
+func Bumps(t0, t1 float64, n int, baseline float64, peaks []Peak) (seq.Sequence, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("synth: need at least 2 samples, got %d", n)
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("synth: empty time span [%g,%g]", t0, t1)
+	}
+	s := make(seq.Sequence, n)
+	step := (t1 - t0) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*step
+		v := baseline
+		for _, p := range peaks {
+			d := (t - p.Center) / p.Width
+			v += p.Height * math.Exp(-0.5*d*d)
+		}
+		s[i] = seq.Point{T: t, V: v}
+	}
+	return s, nil
+}
+
+// FeverOpts parameterizes a goal-post fever curve: a 24-hour temperature
+// log whose shape peaks exactly twice (the paper's Figure 3).
+type FeverOpts struct {
+	Samples    int     // number of samples across the 24 hours (default 49)
+	Baseline   float64 // resting temperature (default 97.0, the paper plots 95-107 °F)
+	PeakHeight float64 // peak rise above baseline (default 8)
+	PeakWidth  float64 // Gaussian width of each peak in hours (default 1.8)
+	FirstPeak  float64 // hour of the first peak (default 8)
+	SecondPeak float64 // hour of the second peak (default 16)
+}
+
+func (o *FeverOpts) defaults() {
+	if o.Samples == 0 {
+		o.Samples = 49
+	}
+	if o.Baseline == 0 {
+		o.Baseline = 97.0
+	}
+	if o.PeakHeight == 0 {
+		o.PeakHeight = 8
+	}
+	if o.PeakWidth == 0 {
+		o.PeakWidth = 1.8
+	}
+	if o.FirstPeak == 0 {
+		o.FirstPeak = 8
+	}
+	if o.SecondPeak == 0 {
+		o.SecondPeak = 16
+	}
+}
+
+// Fever generates a two-peaked 24-hour temperature curve.
+func Fever(opts FeverOpts) (seq.Sequence, error) {
+	opts.defaults()
+	return Bumps(0, 24, opts.Samples, opts.Baseline, []Peak{
+		{Center: opts.FirstPeak, Height: opts.PeakHeight, Width: opts.PeakWidth},
+		{Center: opts.SecondPeak, Height: opts.PeakHeight, Width: opts.PeakWidth},
+	})
+}
+
+// ThreePeakFever generates a fever-like curve with exactly three peaks; the
+// goal-post query must reject it. Mirrors the paper's Figure 6 input, which
+// has more than two prominent extrema.
+func ThreePeakFever(samples int) (seq.Sequence, error) {
+	return Bumps(0, 24, samples, 97, []Peak{
+		{Center: 5, Height: 8, Width: 1.4},
+		{Center: 12, Height: 7, Width: 1.4},
+		{Center: 19, Height: 8.5, Width: 1.4},
+	})
+}
+
+// TwoPeakVariant names one member of the paper's Figure 5 family: two-peaked
+// sequences produced from an exemplar by feature-preserving transformations
+// that value-based ±ε matching fails to recognize.
+type TwoPeakVariant int
+
+// The transformation family of the paper's §2.2 / Figure 5.
+const (
+	VariantContraction TwoPeakVariant = iota // frequency increase: squeezed in time
+	VariantDilation                          // frequency reduction: stretched in time
+	VariantTimeShift                         // both peaks displaced in time
+	VariantAmplitudeUp                       // whole curve translated upward
+	VariantScaledUp                          // peak heights scaled about the baseline
+	VariantNoisy                             // small bounded pointwise deviations
+	numTwoPeakVariants                       // count; keep last
+)
+
+// String returns the variant's human-readable name.
+func (v TwoPeakVariant) String() string {
+	switch v {
+	case VariantContraction:
+		return "contraction"
+	case VariantDilation:
+		return "dilation"
+	case VariantTimeShift:
+		return "time-shift"
+	case VariantAmplitudeUp:
+		return "amplitude-shift"
+	case VariantScaledUp:
+		return "amplitude-scale"
+	case VariantNoisy:
+		return "bounded-noise"
+	default:
+		return fmt.Sprintf("TwoPeakVariant(%d)", int(v))
+	}
+}
+
+// TwoPeakVariants lists the full Figure 5 family.
+func TwoPeakVariants() []TwoPeakVariant {
+	vs := make([]TwoPeakVariant, numTwoPeakVariants)
+	for i := range vs {
+		vs[i] = TwoPeakVariant(i)
+	}
+	return vs
+}
+
+// TwoPeakFamily generates the exemplar fever curve plus every Figure 5
+// variant, all still exhibiting exactly two peaks. The returned map is keyed
+// by variant. rng seeds only the bounded-noise variant.
+func TwoPeakFamily(rng *rand.Rand, samples int) (exemplar seq.Sequence, variants map[TwoPeakVariant]seq.Sequence, err error) {
+	exemplar, err = Fever(FeverOpts{Samples: samples})
+	if err != nil {
+		return nil, nil, err
+	}
+	variants = make(map[TwoPeakVariant]seq.Sequence, numTwoPeakVariants)
+	for _, v := range TwoPeakVariants() {
+		switch v {
+		case VariantContraction:
+			// Squeeze the peaks closer: same span, peaks at 10 and 14.
+			variants[v], err = Bumps(0, 24, samples, 97, []Peak{
+				{Center: 10, Height: 8, Width: 1.1},
+				{Center: 14, Height: 8, Width: 1.1},
+			})
+		case VariantDilation:
+			// Spread the peaks: peaks at 5 and 19, wider.
+			variants[v], err = Bumps(0, 24, samples, 97, []Peak{
+				{Center: 5, Height: 8, Width: 2.6},
+				{Center: 19, Height: 8, Width: 2.6},
+			})
+		case VariantTimeShift:
+			variants[v], err = Fever(FeverOpts{Samples: samples, FirstPeak: 11, SecondPeak: 19})
+		case VariantAmplitudeUp:
+			variants[v] = exemplar.ShiftValue(2.5)
+		case VariantScaledUp:
+			variants[v] = exemplar.ScaleAbout(97, 1.5)
+		case VariantNoisy:
+			variants[v] = exemplar.AddNoise(rng, 0.15)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return exemplar, variants, nil
+}

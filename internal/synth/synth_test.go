@@ -1,0 +1,332 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+// countProminentPeaks is a reference peak counter for validating generator
+// ground truth. It uses topographic prominence: for each local maximum, the
+// reference level on each side is the minimum value between the peak and the
+// nearest strictly higher point (or the sequence end); the prominence is the
+// peak height above the higher of the two reference levels.
+func countProminentPeaks(s seq.Sequence, minProminence float64) int {
+	count := 0
+	n := len(s)
+	for i := 1; i < n-1; i++ {
+		if !(s[i].V > s[i-1].V && s[i].V >= s[i+1].V) {
+			continue
+		}
+		left := s[i].V
+		for j := i - 1; j >= 0; j-- {
+			if s[j].V > s[i].V {
+				break
+			}
+			if s[j].V < left {
+				left = s[j].V
+			}
+		}
+		right := s[i].V
+		for j := i + 1; j < n; j++ {
+			if s[j].V > s[i].V {
+				break
+			}
+			if s[j].V < right {
+				right = s[j].V
+			}
+		}
+		if s[i].V-math.Max(left, right) >= minProminence {
+			count++
+		}
+	}
+	return count
+}
+
+func TestBumpsErrors(t *testing.T) {
+	if _, err := Bumps(0, 24, 1, 0, nil); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Bumps(5, 5, 10, 0, nil); err == nil {
+		t.Error("empty span accepted")
+	}
+	if _, err := Bumps(5, 4, 10, 0, nil); err == nil {
+		t.Error("inverted span accepted")
+	}
+}
+
+func TestFeverShape(t *testing.T) {
+	s, err := Fever(FeverOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 49 {
+		t.Fatalf("default samples = %d, want 49", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s[0].T != 0 || s[len(s)-1].T != 24 {
+		t.Errorf("time span [%g,%g], want [0,24]", s[0].T, s[len(s)-1].T)
+	}
+	if got := countProminentPeaks(s, 3); got != 2 {
+		t.Errorf("fever has %d prominent peaks, want 2", got)
+	}
+	// Range should resemble the paper's 95-107 °F plots.
+	_, lo, _ := s.Min()
+	_, hi, _ := s.Max()
+	if lo < 95 || hi > 107 {
+		t.Errorf("fever range [%g,%g] outside plausible bounds", lo, hi)
+	}
+}
+
+func TestThreePeakFever(t *testing.T) {
+	s, err := ThreePeakFever(97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countProminentPeaks(s, 3); got != 3 {
+		t.Errorf("three-peak fever has %d prominent peaks", got)
+	}
+}
+
+func TestTwoPeakFamilyAllTwoPeaked(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	exemplar, variants, err := TwoPeakFamily(rng, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countProminentPeaks(exemplar, 3); got != 2 {
+		t.Fatalf("exemplar peaks = %d", got)
+	}
+	if len(variants) != int(numTwoPeakVariants) {
+		t.Fatalf("got %d variants, want %d", len(variants), numTwoPeakVariants)
+	}
+	for v, s := range variants {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: invalid: %v", v, err)
+		}
+		if got := countProminentPeaks(s, 3); got != 2 {
+			t.Errorf("%v: %d prominent peaks, want 2", v, got)
+		}
+	}
+}
+
+func TestTwoPeakVariantString(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range TwoPeakVariants() {
+		name := v.String()
+		if seen[name] {
+			t.Errorf("duplicate variant name %q", name)
+		}
+		seen[name] = true
+	}
+	if TwoPeakVariant(99).String() != "TwoPeakVariant(99)" {
+		t.Error("unknown variant String")
+	}
+}
+
+func TestECGDefaults(t *testing.T) {
+	s, peaks, err := ECG(nil, ECGOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 540 {
+		t.Fatalf("samples = %d, want 540", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 4 {
+		t.Errorf("R peaks = %d, want 4 (540 samples / RR 130, first at 65)", len(peaks))
+	}
+	// R-peak amplitude should dominate: max value near Amplitude.
+	_, hi, _ := s.Max()
+	if hi < 120 || hi > 160 {
+		t.Errorf("max amplitude %g, want near 150", hi)
+	}
+	// Ground-truth peaks must be near local maxima of the signal.
+	for _, rp := range peaks {
+		i := int(rp)
+		win := s[maxInt(0, i-3):minInt(len(s), i+4)]
+		_, localMax, _ := win.Max()
+		if localMax < 100 {
+			t.Errorf("no tall peak near reported R at %g (local max %g)", rp, localMax)
+		}
+	}
+}
+
+func TestECGJitterDeterminism(t *testing.T) {
+	a, pa, err := ECG(rand.New(rand.NewSource(7)), ECGOpts{RRJitter: 5, NoiseStd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, pb, err := ECG(rand.New(rand.NewSource(7)), ECGOpts{RRJitter: 5, NoiseStd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa) != len(pb) {
+		t.Fatalf("peak counts differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different ECGs at %d", i)
+		}
+	}
+}
+
+func TestECGErrors(t *testing.T) {
+	if _, _, err := ECG(nil, ECGOpts{RRJitter: 1}); err == nil {
+		t.Error("jitter without rng accepted")
+	}
+	if _, _, err := ECG(nil, ECGOpts{NoiseStd: 1}); err == nil {
+		t.Error("noise without rng accepted")
+	}
+	if _, _, err := ECG(nil, ECGOpts{Samples: 1}); err == nil {
+		t.Error("1 sample accepted")
+	}
+	if _, _, err := ECG(nil, ECGOpts{RRInterval: -5}); err == nil {
+		t.Error("negative RR accepted")
+	}
+}
+
+func TestPaperECGPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(1996))
+	top, bottom, topR, bottomR, err := PaperECGPair(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 540 || len(bottom) != 540 {
+		t.Fatalf("lengths %d/%d, want 540", len(top), len(bottom))
+	}
+	if len(topR) < 3 || len(bottomR) < 3 {
+		t.Fatalf("too few R peaks: %d/%d", len(topR), len(bottomR))
+	}
+	// Top trace is regular: RR spacing constant.
+	for i := 2; i < len(topR); i++ {
+		d1 := topR[i] - topR[i-1]
+		d0 := topR[i-1] - topR[i-2]
+		if math.Abs(d1-d0) > 1e-9 {
+			t.Errorf("top ECG irregular: %g vs %g", d0, d1)
+		}
+	}
+}
+
+func TestSeismic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, starts, err := Seismic(rng, SeismicOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2000 || len(starts) != 2 {
+		t.Fatalf("len=%d starts=%d", len(s), len(starts))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bursts are much louder than background.
+	_, hi, _ := s.Max()
+	if hi < 10 {
+		t.Errorf("burst amplitude %g too small", hi)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Errorf("burst starts not increasing: %v", starts)
+		}
+	}
+	if _, _, err := Seismic(nil, SeismicOpts{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	// Separation holds for every seed, not by luck.
+	for seed := int64(0); seed < 50; seed++ {
+		_, st, err := Seismic(rand.New(rand.NewSource(seed)), SeismicOpts{Samples: 2000, Events: 3, MinSeparation: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(st); i++ {
+			if st[i]-st[i-1] < 300 {
+				t.Fatalf("seed %d: bursts %v closer than separation", seed, st)
+			}
+		}
+	}
+	if _, _, err := Seismic(rng, SeismicOpts{Samples: 100, Events: 5, MinSeparation: 50}); err == nil {
+		t.Error("overcrowded events accepted")
+	}
+}
+
+func TestStock(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, err := Stock(rng, 500, 100, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 500 {
+		t.Fatalf("len = %d", len(s))
+	}
+	_, lo, _ := s.Min()
+	if lo < 1 {
+		t.Errorf("price fell below floor: %g", lo)
+	}
+	if _, err := Stock(nil, 10, 100, 0, 1); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Stock(rng, 1, 100, 0, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Stock(rng, 10, 0, 0, 1); err == nil {
+		t.Error("zero start price accepted")
+	}
+}
+
+func TestDeterministicShapes(t *testing.T) {
+	if s := Sine(100, 2, 25, 0); len(s) != 100 {
+		t.Error("Sine length")
+	} else {
+		_, hi, _ := s.Max()
+		if math.Abs(hi-2) > 0.05 {
+			t.Errorf("Sine max = %g, want ~2", hi)
+		}
+	}
+	l := Line(10, 3, 1)
+	if l[9].V != 28 {
+		t.Errorf("Line end = %g, want 28", l[9].V)
+	}
+	c := Const(5, 7)
+	for _, p := range c {
+		if p.V != 7 {
+			t.Errorf("Const value %g", p.V)
+		}
+	}
+	saw := Sawtooth(40, 5, 10)
+	if got := countProminentPeaks(saw, 5); got != 4 {
+		t.Errorf("sawtooth peaks = %d, want 4", got)
+	}
+	sawDegenerate := Sawtooth(10, 0, 1) // halfPeriod clamped to 1
+	if err := sawDegenerate.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := RandomWalk(rng, 100)
+	if err != nil || len(s) != 100 {
+		t.Fatalf("RandomWalk: %v len=%d", err, len(s))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqrep/internal/seq"
+)
+
+// This file generates the application workloads the paper's introduction
+// motivates beyond medicine: seismology ("sudden vigorous seismic
+// activity"), stock markets ("rises and drops of stock values"), and plain
+// deterministic shapes used as fixtures by tests.
+
+// SeismicOpts parameterizes a synthetic seismogram: quiet background noise
+// with a number of transient high-energy bursts.
+type SeismicOpts struct {
+	Samples       int     // total samples (default 2000)
+	Background    float64 // background noise std-dev (default 1)
+	Events        int     // number of bursts (default 2)
+	EventAmp      float64 // peak amplitude of each burst envelope (default 40)
+	EventLen      int     // samples per burst (default 120)
+	EventPeriod   float64 // oscillation period within a burst, in samples (default 9)
+	MinSeparation int     // minimum samples between burst starts (default 300)
+}
+
+func (o *SeismicOpts) defaults() {
+	if o.Samples == 0 {
+		o.Samples = 2000
+	}
+	if o.Background == 0 {
+		o.Background = 1
+	}
+	if o.Events == 0 {
+		o.Events = 2
+	}
+	if o.EventAmp == 0 {
+		o.EventAmp = 40
+	}
+	if o.EventLen == 0 {
+		o.EventLen = 120
+	}
+	if o.EventPeriod == 0 {
+		o.EventPeriod = 9
+	}
+	if o.MinSeparation == 0 {
+		o.MinSeparation = 300
+	}
+}
+
+// Seismic generates a synthetic seismogram and returns the burst start
+// indexes as ground truth.
+func Seismic(rng *rand.Rand, opts SeismicOpts) (seq.Sequence, []int, error) {
+	opts.defaults()
+	if rng == nil {
+		return nil, nil, fmt.Errorf("synth: Seismic requires a random source")
+	}
+	need := opts.Events * opts.MinSeparation
+	if need >= opts.Samples {
+		return nil, nil, fmt.Errorf("synth: %d events with separation %d do not fit in %d samples",
+			opts.Events, opts.MinSeparation, opts.Samples)
+	}
+	vals := make([]float64, opts.Samples)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * opts.Background
+	}
+	starts := make([]int, 0, opts.Events)
+	prev := -opts.MinSeparation
+	for e := 0; e < opts.Events; e++ {
+		// The start must sit MinSeparation after the previous burst and
+		// leave room for the remaining ones.
+		lo := prev + opts.MinSeparation
+		if lo < 1 {
+			lo = 1
+		}
+		hi := opts.Samples - (opts.Events-e)*opts.MinSeparation
+		start := lo
+		if hi > lo {
+			start = lo + rng.Intn(hi-lo)
+		}
+		prev = start
+		starts = append(starts, start)
+		for i := 0; i < opts.EventLen && start+i < opts.Samples; i++ {
+			// Rayleigh-like envelope: sharp attack, exponential decay.
+			frac := float64(i) / float64(opts.EventLen)
+			env := opts.EventAmp * frac * math.Exp(1-6*frac) * math.E
+			vals[start+i] += env * math.Sin(2*math.Pi*float64(i)/opts.EventPeriod)
+		}
+	}
+	return seq.New(vals), starts, nil
+}
+
+// Stock generates a random-walk price series with drift, the stock-market
+// workload of the paper's introduction. s0 is the starting price; prices
+// are floored at 1% of s0 so runs remain positive.
+func Stock(rng *rand.Rand, n int, s0, drift, volatility float64) (seq.Sequence, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("synth: Stock requires a random source")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("synth: need at least 2 samples, got %d", n)
+	}
+	if s0 <= 0 {
+		return nil, fmt.Errorf("synth: non-positive starting price %g", s0)
+	}
+	vals := make([]float64, n)
+	vals[0] = s0
+	floor := s0 / 100
+	for i := 1; i < n; i++ {
+		v := vals[i-1] + drift + rng.NormFloat64()*volatility
+		if v < floor {
+			v = floor
+		}
+		vals[i] = v
+	}
+	return seq.New(vals), nil
+}
+
+// Sine samples amplitude*sin(2πt/period + phase) at n unit-spaced times.
+func Sine(n int, amplitude, period, phase float64) seq.Sequence {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = amplitude * math.Sin(2*math.Pi*float64(i)/period+phase)
+	}
+	return seq.New(vals)
+}
+
+// Line samples v = slope*t + intercept at n unit-spaced times.
+func Line(n int, slope, intercept float64) seq.Sequence {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = slope*float64(i) + intercept
+	}
+	return seq.New(vals)
+}
+
+// Const samples a constant value at n unit-spaced times.
+func Const(n int, v float64) seq.Sequence {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return seq.New(vals)
+}
+
+// Sawtooth produces a triangle wave of the given half-period and amplitude:
+// it rises linearly for half a period, then falls, repeatedly. Useful as a
+// worst case for fragmentation experiments.
+func Sawtooth(n, halfPeriod int, amplitude float64) seq.Sequence {
+	if halfPeriod < 1 {
+		halfPeriod = 1
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		phase := i % (2 * halfPeriod)
+		if phase < halfPeriod {
+			vals[i] = amplitude * float64(phase) / float64(halfPeriod)
+		} else {
+			vals[i] = amplitude * float64(2*halfPeriod-phase) / float64(halfPeriod)
+		}
+	}
+	return seq.New(vals)
+}
+
+// RandomWalk produces a zero-drift unit-step random walk, a generic fixture
+// for property tests and benchmarks.
+func RandomWalk(rng *rand.Rand, n int) (seq.Sequence, error) {
+	return Stock(rng, n, 1000, 0, 1)
+}

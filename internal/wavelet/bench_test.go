@@ -1,0 +1,49 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	return vals
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	vals := benchSignal(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forward(vals, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInverse1024(b *testing.B) {
+	vals := benchSignal(1024)
+	coeffs, err := Forward(vals, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(coeffs, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompress1024Keep64(b *testing.B) {
+	vals := benchSignal(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(vals, 10, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

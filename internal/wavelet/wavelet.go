@@ -1,0 +1,211 @@
+// Package wavelet implements the Haar discrete wavelet transform and the
+// threshold compression the paper uses as preprocessing (§7): reducing the
+// amount of data "in a way that allows extracting features from the
+// compressed data rather than from the original sequences".
+//
+// Only the Haar basis is provided; it is the transform used by the
+// multiresolution-curve work the paper cites (Finkelstein & Salesin 1994)
+// and is sufficient to reproduce the feature-preserving-compression
+// experiments.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// sqrt2 normalizes the Haar filters so the transform is orthonormal and
+// energy-preserving.
+var sqrt2 = math.Sqrt(2)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two >= n (n must be > 0).
+func NextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Pad extends vals to the next power-of-two length by repeating the final
+// value, which avoids introducing an artificial edge (step) that would
+// register as a feature. It returns the padded slice and the original
+// length. If vals is already a power of two long, a copy is returned.
+func Pad(vals []float64) (padded []float64, origLen int) {
+	origLen = len(vals)
+	n := NextPowerOfTwo(max(origLen, 1))
+	padded = make([]float64, n)
+	copy(padded, vals)
+	if origLen > 0 {
+		last := vals[origLen-1]
+		for i := origLen; i < n; i++ {
+			padded[i] = last
+		}
+	}
+	return padded, origLen
+}
+
+// Forward computes the orthonormal Haar DWT of vals in place over the given
+// number of levels and returns the coefficient slice: approximation
+// coefficients first, then detail coefficients from coarsest to finest.
+// len(vals) must be a power of two and levels must satisfy
+// 1 <= levels <= log2(len(vals)).
+func Forward(vals []float64, levels int) ([]float64, error) {
+	n := len(vals)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	if maxL := log2(n); levels < 1 || levels > maxL {
+		return nil, fmt.Errorf("wavelet: levels %d out of range [1,%d]", levels, maxL)
+	}
+	out := make([]float64, n)
+	copy(out, vals)
+	tmp := make([]float64, n)
+	width := n
+	for l := 0; l < levels; l++ {
+		half := width / 2
+		for i := 0; i < half; i++ {
+			a, b := out[2*i], out[2*i+1]
+			tmp[i] = (a + b) / sqrt2      // approximation
+			tmp[half+i] = (a - b) / sqrt2 // detail
+		}
+		copy(out[:width], tmp[:width])
+		width = half
+	}
+	return out, nil
+}
+
+// Inverse reconstructs the signal from Haar coefficients produced by
+// Forward with the same number of levels.
+func Inverse(coeffs []float64, levels int) ([]float64, error) {
+	n := len(coeffs)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	if maxL := log2(n); levels < 1 || levels > maxL {
+		return nil, fmt.Errorf("wavelet: levels %d out of range [1,%d]", levels, maxL)
+	}
+	out := make([]float64, n)
+	copy(out, coeffs)
+	tmp := make([]float64, n)
+	width := n >> levels
+	for l := 0; l < levels; l++ {
+		double := width * 2
+		for i := 0; i < width; i++ {
+			a, d := out[i], out[width+i]
+			tmp[2*i] = (a + d) / sqrt2
+			tmp[2*i+1] = (a - d) / sqrt2
+		}
+		copy(out[:double], tmp[:double])
+		width = double
+	}
+	return out, nil
+}
+
+// Threshold zeroes all but the keep largest-magnitude coefficients,
+// returning the number actually kept. The first coefficient (the overall
+// mean at full depth) is always kept in addition to the keep budget when
+// keep > 0, since dropping it shifts the whole reconstruction.
+func Threshold(coeffs []float64, keep int) (int, error) {
+	if keep < 0 {
+		return 0, fmt.Errorf("wavelet: negative keep count %d", keep)
+	}
+	if keep >= len(coeffs) {
+		return len(coeffs), nil
+	}
+	type mag struct {
+		idx int
+		abs float64
+	}
+	mags := make([]mag, len(coeffs))
+	for i, c := range coeffs {
+		mags[i] = mag{i, math.Abs(c)}
+	}
+	sort.Slice(mags, func(i, j int) bool { return mags[i].abs > mags[j].abs })
+	keepSet := make(map[int]bool, keep+1)
+	for i := 0; i < keep; i++ {
+		keepSet[mags[i].idx] = true
+	}
+	if keep > 0 {
+		keepSet[0] = true
+	}
+	for i := range coeffs {
+		if !keepSet[i] {
+			coeffs[i] = 0
+		}
+	}
+	return len(keepSet), nil
+}
+
+// Compressed is a sparse wavelet representation: the values of the retained
+// coefficients and their positions.
+type Compressed struct {
+	N      int // original (padded) length
+	Levels int
+	Index  []int32
+	Coeff  []float64
+}
+
+// Compress transforms vals (padding to a power of two if needed), keeps the
+// `keep` largest coefficients, and returns the sparse representation along
+// with the original length before padding.
+func Compress(vals []float64, levels, keep int) (*Compressed, int, error) {
+	padded, orig := Pad(vals)
+	if levels > log2(len(padded)) {
+		levels = log2(len(padded))
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	coeffs, err := Forward(padded, levels)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := Threshold(coeffs, keep); err != nil {
+		return nil, 0, err
+	}
+	c := &Compressed{N: len(padded), Levels: levels}
+	for i, v := range coeffs {
+		if v != 0 {
+			c.Index = append(c.Index, int32(i))
+			c.Coeff = append(c.Coeff, v)
+		}
+	}
+	return c, orig, nil
+}
+
+// Decompress reconstructs a dense signal of length origLen from the sparse
+// representation.
+func (c *Compressed) Decompress(origLen int) ([]float64, error) {
+	if origLen < 0 || origLen > c.N {
+		return nil, fmt.Errorf("wavelet: original length %d out of range [0,%d]", origLen, c.N)
+	}
+	dense := make([]float64, c.N)
+	for i, idx := range c.Index {
+		if idx < 0 || int(idx) >= c.N {
+			return nil, fmt.Errorf("wavelet: corrupt coefficient index %d", idx)
+		}
+		dense[idx] = c.Coeff[i]
+	}
+	full, err := Inverse(dense, c.Levels)
+	if err != nil {
+		return nil, err
+	}
+	return full[:origLen], nil
+}
+
+// StoredCoefficients returns how many coefficients the sparse form retains.
+func (c *Compressed) StoredCoefficients() int { return len(c.Coeff) }
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,252 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	for n, want := range map[int]bool{1: true, 2: true, 3: false, 4: true, 0: false, -4: false, 1024: true, 1000: false} {
+		if got := IsPowerOfTwo(n); got != want {
+			t.Errorf("IsPowerOfTwo(%d) = %v", n, got)
+		}
+	}
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024} {
+		if got := NextPowerOfTwo(n); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	p, orig := Pad([]float64{1, 2, 3})
+	if orig != 3 || len(p) != 4 || p[3] != 3 {
+		t.Errorf("Pad: %v orig=%d", p, orig)
+	}
+	p2, orig2 := Pad([]float64{1, 2})
+	if orig2 != 2 || len(p2) != 2 {
+		t.Errorf("Pad pow2: %v", p2)
+	}
+	p3, orig3 := Pad(nil)
+	if orig3 != 0 || len(p3) != 1 {
+		t.Errorf("Pad empty: %v orig=%d", p3, orig3)
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// One level on [a,b] gives [(a+b)/√2, (a-b)/√2].
+	c, err := Forward([]float64{3, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c[0], 4/sqrt2, 1e-12) || !almostEq(c[1], 2/sqrt2, 1e-12) {
+		t.Errorf("Forward([3,1]) = %v", c)
+	}
+	// Constant signal: all detail coefficients vanish.
+	c2, err := Forward([]float64{5, 5, 5, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(c2); i++ {
+		if !almostEq(c2[i], 0, 1e-12) {
+			t.Errorf("constant signal detail[%d] = %g", i, c2[i])
+		}
+	}
+	if !almostEq(c2[0], 10, 1e-12) { // 5*sqrt(4)
+		t.Errorf("constant approx = %g, want 10", c2[0])
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	if _, err := Forward([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("non power-of-two accepted")
+	}
+	if _, err := Forward([]float64{1, 2, 3, 4}, 0); err == nil {
+		t.Error("levels=0 accepted")
+	}
+	if _, err := Forward([]float64{1, 2, 3, 4}, 3); err == nil {
+		t.Error("too many levels accepted")
+	}
+	if _, err := Inverse([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("inverse non power-of-two accepted")
+	}
+	if _, err := Inverse([]float64{1, 2, 3, 4}, 9); err == nil {
+		t.Error("inverse too many levels accepted")
+	}
+}
+
+func TestPerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		maxLevels := log2(n)
+		for levels := 1; levels <= maxLevels; levels++ {
+			c, err := Forward(vals, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Inverse(c, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range vals {
+				if !almostEq(back[i], vals[i], 1e-9) {
+					t.Fatalf("n=%d levels=%d: reconstruction[%d] = %g, want %g", n, levels, i, back[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+// Orthonormal Haar preserves energy (Parseval).
+func TestEnergyPreservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := 1
+		for n*2 <= len(raw) && n < 128 {
+			n *= 2
+		}
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = math.Mod(v, 1e6)
+		}
+		c, err := Forward(vals, log2(n))
+		if err != nil {
+			return n == 1 // level range invalid only for n=1
+		}
+		var e1, e2 float64
+		for i := range vals {
+			e1 += vals[i] * vals[i]
+			e2 += c[i] * c[i]
+		}
+		return almostEq(e1, e2, 1e-6*(1+e1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	coeffs := []float64{10, -8, 0.1, 3, -0.2, 5, 0, 1}
+	kept, err := Threshold(coeffs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 { // 10, -8, 5 — index 0 already among the top 3
+		t.Errorf("kept = %d, want 3", kept)
+	}
+	if coeffs[0] != 10 || coeffs[1] != -8 || coeffs[5] != 5 {
+		t.Errorf("top coefficients modified: %v", coeffs)
+	}
+	if coeffs[2] != 0 || coeffs[3] != 0 {
+		t.Errorf("small coefficients survived: %v", coeffs)
+	}
+
+	// Index 0 is kept even when not in the top-k.
+	c2 := []float64{0.01, 5, -4, 3}
+	kept2, err := Threshold(c2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept2 != 3 || c2[0] != 0.01 {
+		t.Errorf("mean coefficient dropped: kept=%d %v", kept2, c2)
+	}
+
+	if _, err := Threshold(c2, -1); err == nil {
+		t.Error("negative keep accepted")
+	}
+	c3 := []float64{1, 2}
+	if kept, _ := Threshold(c3, 10); kept != 2 {
+		t.Errorf("keep>len kept %d", kept)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 100) // not a power of two: exercises padding
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)/7) * 20
+	}
+	noisy := make([]float64, len(vals))
+	for i := range vals {
+		noisy[i] = vals[i] + rng.NormFloat64()*0.5
+	}
+	c, orig, err := Compress(noisy, 7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig != 100 {
+		t.Errorf("orig = %d", orig)
+	}
+	if c.StoredCoefficients() > 41 {
+		t.Errorf("stored %d coefficients, budget 40+mean", c.StoredCoefficients())
+	}
+	back, err := c.Decompress(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 100 {
+		t.Fatalf("decompressed length %d", len(back))
+	}
+	// Smooth signal: 20 of 128 coefficients should reconstruct well.
+	var mse float64
+	for i := range vals {
+		d := back[i] - vals[i]
+		mse += d * d
+	}
+	mse /= float64(len(vals))
+	if rmse := math.Sqrt(mse); rmse > 2.0 {
+		t.Errorf("RMSE %g too high for smooth signal", rmse)
+	}
+}
+
+func TestCompressLevelClamping(t *testing.T) {
+	// levels larger than log2(n) must be clamped, not fail.
+	c, orig, err := Compress([]float64{1, 2, 3, 4}, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decompress(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if !almostEq(back[i], want, 1e-9) {
+			t.Errorf("back[%d] = %g", i, back[i])
+		}
+	}
+	// levels < 1 clamped too.
+	if _, _, err := Compress([]float64{1, 2}, 0, 2); err != nil {
+		t.Errorf("levels=0 not clamped: %v", err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	c, _, err := Compress([]float64{1, 2, 3, 4}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(-1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := c.Decompress(c.N + 1); err == nil {
+		t.Error("oversize length accepted")
+	}
+	corrupt := &Compressed{N: 4, Levels: 2, Index: []int32{99}, Coeff: []float64{1}}
+	if _, err := corrupt.Decompress(4); err == nil {
+		t.Error("corrupt index accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Package seqrep is a sequence database built on approximate
+// representations, reproducing Shatkay & Zdonik, "Approximate Queries and
+// Representations for Large Data Sequences" (ICDE 1996).
+//
+// Instead of storing raw samples, seqrep breaks each sequence into
+// meaningful subsequences (at the points where behaviour changes) and
+// stores one fitted real-valued function per subsequence. Features of
+// interest — slope signs, peaks, peak-to-peak intervals — are read off the
+// functions, powering generalized approximate queries: queries that denote
+// a whole class of sequences closed under feature-preserving
+// transformations (time/amplitude shift, dilation, contraction, bounded
+// noise) rather than a single sequence with a ±ε band.
+//
+// # Quick start
+//
+//	db, err := seqrep.New(seqrep.Config{})     // paper defaults
+//	...
+//	err = db.Ingest("patient-7", temperatures) // break + represent + index
+//	ids, err := db.MatchPattern(seqrep.TwoPeakPattern()) // goal-post fever
+//
+// The main entry points:
+//
+//   - DB: the database (New, Load); Ingest, Remove, Raw, Reconstruct.
+//   - Queries: ValueQuery (prior-art ±ε matching), MatchPattern /
+//     SearchPattern (slope-sign regular expressions), PeakCount,
+//     IntervalQuery (inverted-index interval search), ShapeQuery
+//     (generalized approximate query with per-dimension tolerances).
+//   - Breaking algorithms: NewInterpolationBreaker (the paper's preferred
+//     variant, breaks at extrema), NewRegressionBreaker, NewBezierBreaker,
+//     NewDPBreaker (O(n²) optimal), NewOnlineBreaker (streaming).
+//   - Generators: GenerateFever, GenerateECG, GenerateSeismic,
+//     GenerateStock reproduce the paper's evaluation workloads.
+package seqrep
+
+import (
+	"io"
+
+	"seqrep/internal/breaking"
+	"seqrep/internal/core"
+	"seqrep/internal/feature"
+	"seqrep/internal/filter"
+	"seqrep/internal/fit"
+	"seqrep/internal/pattern"
+	"seqrep/internal/querylang"
+	"seqrep/internal/rep"
+	"seqrep/internal/seq"
+	"seqrep/internal/store"
+)
+
+// Core data types, aliased from the internal packages so downstream code
+// names everything through this package.
+type (
+	// Point is a single (time, value) sample.
+	Point = seq.Point
+	// Sequence is an ordered series of samples.
+	Sequence = seq.Sequence
+	// Config parameterizes a database; the zero value gives the paper's
+	// defaults.
+	Config = core.Config
+	// DB is the sequence database.
+	DB = core.DB
+	// Record is the stored state of one ingested sequence.
+	Record = core.Record
+	// Match is one query result with per-dimension deviations.
+	Match = core.Match
+	// IntervalMatch is one result of an interval query.
+	IntervalMatch = core.IntervalMatch
+	// PatternHit locates a pattern occurrence inside a sequence.
+	PatternHit = core.PatternHit
+	// ShapeTolerance holds per-dimension tolerances for ShapeQuery.
+	ShapeTolerance = core.ShapeTolerance
+	// FunctionSeries is the compact representation of one sequence.
+	FunctionSeries = rep.FunctionSeries
+	// RepSegment is one represented subsequence.
+	RepSegment = rep.Segment
+	// Peak is one detected peak with its Table 1 bookkeeping.
+	Peak = feature.Peak
+	// Profile bundles the features extracted from one representation.
+	Profile = feature.Profile
+	// Breaker segments sequences.
+	Breaker = breaking.Breaker
+	// Segment is one subsequence produced by a Breaker.
+	Segment = breaking.Segment
+	// Fitter fits one curve family to points.
+	Fitter = fit.Fitter
+	// Curve is a fitted real-valued function of time.
+	Curve = fit.Curve
+	// PreprocessChain is an ordered preprocessing pipeline.
+	PreprocessChain = filter.Chain
+	// Archive stores raw sequences.
+	Archive = store.Archive
+)
+
+// New creates a database. A zero Config reproduces the paper's setup:
+// interpolation breaking with ε = 0.5, slope threshold δ = 0.25, unit
+// interval buckets, no preprocessing, no archive.
+func New(cfg Config) (*DB, error) { return core.New(cfg) }
+
+// Load restores a database snapshot written by DB.SaveTo. Scalar
+// parameters come from the snapshot; breaker, representer, preprocessing
+// and archive come from cfg.
+func Load(r io.Reader, cfg Config) (*DB, error) { return core.Load(r, cfg) }
+
+// QueryResult is the uniform answer of a textual query.
+type QueryResult = querylang.Result
+
+// ExecQuery parses and runs one statement of the textual query language
+// against db. The language covers every query type:
+//
+//	MATCH PATTERN "UF*D(F|D)*UF*D"
+//	FIND PATTERN "U+D+"
+//	MATCH PEAKS 2 TOLERANCE 1
+//	MATCH INTERVAL 135 +- 2
+//	MATCH VALUE LIKE ecg1 EPS 0.5
+//	MATCH SHAPE LIKE exemplar HEIGHT 0.25 SPACING 0.3
+func ExecQuery(db *DB, src string) (*QueryResult, error) {
+	return querylang.Exec(db, src)
+}
+
+// NewSequence builds a uniformly sampled sequence from values, with times
+// 0, 1, 2, ...
+func NewSequence(values []float64) Sequence { return seq.New(values) }
+
+// NewSequenceFromSamples builds a sequence from parallel time and value
+// slices.
+func NewSequenceFromSamples(times, values []float64) (Sequence, error) {
+	return seq.FromSamples(times, values)
+}
+
+// ---- breaking algorithms ----
+
+// NewInterpolationBreaker returns the paper's preferred breaker: the
+// recursive Figure 8 template over endpoint-interpolation lines, which
+// breaks sequences at extremum points.
+func NewInterpolationBreaker(epsilon float64) Breaker { return breaking.Interpolation(epsilon) }
+
+// NewRegressionBreaker returns the Figure 8 template over least-squares
+// regression lines.
+func NewRegressionBreaker(epsilon float64) Breaker { return breaking.Regression(epsilon) }
+
+// NewBezierBreaker returns the modified Schneider Bézier-fitting breaker.
+func NewBezierBreaker(epsilon float64) Breaker { return breaking.Bezier(epsilon) }
+
+// NewDPBreaker returns the O(n²) dynamic-programming segmenter minimizing
+// segmentCost·(#segments) + errorWeight·Σ SSE.
+func NewDPBreaker(segmentCost, errorWeight float64) Breaker {
+	return &breaking.DP{SegmentCost: segmentCost, ErrorWeight: errorWeight}
+}
+
+// NewOnlineBreaker returns the streaming sliding-window breaker that
+// decides breakpoints as data arrives.
+func NewOnlineBreaker(epsilon float64) Breaker { return breaking.NewOnline(epsilon) }
+
+// ---- fitters (representation families) ----
+
+// InterpolationFitter fits lines through subsequence endpoints.
+func InterpolationFitter() Fitter { return fit.InterpolationFitter{} }
+
+// RegressionFitter fits least-squares regression lines — the family the
+// paper uses to represent subsequences in its goal-post example.
+func RegressionFitter() Fitter { return fit.RegressionFitter{} }
+
+// PolynomialFitter fits least-squares polynomials of the given degree.
+func PolynomialFitter(degree int) Fitter { return fit.PolynomialFitter{Degree: degree} }
+
+// BezierFitter fits cubic Bézier curves with Schneider's algorithm.
+func BezierFitter() Fitter { return fit.BezierFitter{} }
+
+// ---- patterns ----
+
+// TwoPeakPattern returns the goal-post fever pattern of §4.4: exactly two
+// peaks.
+func TwoPeakPattern() string { return pattern.TwoPeak() }
+
+// ExactlyPeaksPattern returns a pattern accepting exactly k peaks.
+func ExactlyPeaksPattern(k int) string { return pattern.ExactlyPeaks(k) }
+
+// AtLeastPeaksPattern returns a pattern accepting k or more peaks.
+func AtLeastPeaksPattern(k int) string { return pattern.AtLeastPeaks(k) }
+
+// PeakUnitPattern is a single peak in slope symbols ("U+F*D"), the
+// building block for custom patterns over the U (up), F (flat), D (down)
+// alphabet.
+const PeakUnitPattern = pattern.PeakUnit
+
+// PeakTable renders the paper's Table 1 for a representation: one row per
+// peak with the rising/descending functions and their boundary points.
+func PeakTable(fs *FunctionSeries, peaks []Peak) (string, error) {
+	return feature.PeakTable(fs, peaks)
+}
+
+// ---- archives ----
+
+// NewMemArchive returns an in-memory raw-sequence archive. Latency fields
+// on the returned value simulate slow archival media.
+func NewMemArchive() *store.MemArchive { return store.NewMemArchive() }
+
+// NewFileArchive returns a directory-backed raw-sequence archive.
+func NewFileArchive(dir string) (*store.FileArchive, error) { return store.NewFileArchive(dir) }
+
+// ---- preprocessing ----
+
+// StandardPreprocess builds the paper's §7 pipeline: median despiking,
+// moving-average smoothing and z-score normalization.
+func StandardPreprocess(medianWidth, smoothWidth int) *PreprocessChain {
+	return filter.Standard(medianWidth, smoothWidth)
+}
