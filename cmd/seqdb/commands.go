@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"seqrep"
@@ -58,8 +61,9 @@ func cmdGenerate(args []string) error {
 }
 
 // openDB loads the database file, or returns a fresh one when absent.
-func openDB(path string, epsilon, delta float64) (*seqrep.DB, error) {
-	cfg := seqrep.Config{Epsilon: epsilon, Delta: delta}
+// cfg supplies the scalar parameters for a fresh database and the code
+// components (workers, archive, ...) in either case.
+func openDB(path string, cfg seqrep.Config) (*seqrep.DB, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return seqrep.New(cfg)
@@ -105,7 +109,7 @@ func cmdIngest(args []string) error {
 	if err != nil {
 		return err
 	}
-	db, err := openDB(*dbPath, *epsilon, *delta)
+	db, err := openDB(*dbPath, seqrep.Config{Epsilon: *epsilon, Delta: *delta})
 	if err != nil {
 		return err
 	}
@@ -121,6 +125,59 @@ func cmdIngest(args []string) error {
 	return nil
 }
 
+// cmdIngestDir batch-ingests every *.csv file in a directory through the
+// concurrent worker-pool API; the sequence id is the file name without
+// its extension.
+func cmdIngestDir(args []string) error {
+	fs := newFlagSet("ingestdir")
+	dbPath := fs.String("db", "", "database file (required)")
+	dir := fs.String("dir", "", "directory of CSV files (required)")
+	epsilon := fs.Float64("epsilon", 0, "breaking tolerance for a new database (0 = default 0.5)")
+	delta := fs.Float64("delta", 0, "slope threshold for a new database (0 = default 0.25)")
+	workers := fs.Int("workers", 0, "ingestion workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *dir == "" {
+		return fmt.Errorf("ingestdir: -db and -dir are required")
+	}
+	names, err := filepath.Glob(filepath.Join(*dir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("ingestdir: no *.csv files in %s", *dir)
+	}
+	sort.Strings(names)
+	items := make([]seqrep.BatchItem, 0, len(names))
+	for _, name := range names {
+		s, err := readCSV(name)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(name)
+		items = append(items, seqrep.BatchItem{
+			ID:  strings.TrimSuffix(base, filepath.Ext(base)),
+			Seq: s,
+		})
+	}
+	db, err := openDB(*dbPath, seqrep.Config{Epsilon: *epsilon, Delta: *delta, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	n, batchErr := db.IngestBatch(items)
+	if n > 0 {
+		if err := saveDB(*dbPath, db); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("ingested %d of %d sequences (%d total in database)\n", n, len(items), db.Len())
+	if batchErr != nil {
+		return fmt.Errorf("ingestdir: some items failed:\n%w", batchErr)
+	}
+	return nil
+}
+
 func cmdList(args []string) error {
 	fs := newFlagSet("list")
 	dbPath := fs.String("db", "", "database file (required)")
@@ -130,7 +187,7 @@ func cmdList(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("list: -db is required")
 	}
-	db, err := openDB(*dbPath, 0, 0)
+	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}
@@ -154,7 +211,7 @@ func cmdSegments(args []string) error {
 	if *dbPath == "" || *id == "" {
 		return fmt.Errorf("segments: -db and -id are required")
 	}
-	db, err := openDB(*dbPath, 0, 0)
+	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}
@@ -205,7 +262,7 @@ func cmdQuery(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("query: -db is required")
 	}
-	db, err := openDB(*dbPath, 0, 0)
+	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}
@@ -285,7 +342,7 @@ func cmdRemove(args []string) error {
 	if *dbPath == "" || *id == "" {
 		return fmt.Errorf("remove: -db and -id are required")
 	}
-	db, err := openDB(*dbPath, 0, 0)
+	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}
@@ -310,7 +367,7 @@ func cmdExport(args []string) error {
 	if *dbPath == "" || *id == "" || *out == "" {
 		return fmt.Errorf("export: -db, -id and -out are required")
 	}
-	db, err := openDB(*dbPath, 0, 0)
+	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}
@@ -330,7 +387,7 @@ func cmdStats(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("stats: -db is required")
 	}
-	db, err := openDB(*dbPath, 0, 0)
+	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}

@@ -236,13 +236,51 @@ func TestIngestDuplicateID(t *testing.T) {
 	}
 }
 
+func TestIngestDir(t *testing.T) {
+	dir := withDir(t)
+	csvDir := filepath.Join(dir, "csvs")
+	if err := os.Mkdir(csvDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, kind := range []string{"fever", "three", "seismic"} {
+		out := filepath.Join(csvDir, kind+".csv")
+		if err := cmdGenerate([]string{"-kind", kind, "-out", out, "-seed", "3"}); err != nil {
+			t.Fatalf("generate %d: %v", i, err)
+		}
+	}
+	dbPath := filepath.Join(dir, "d.db")
+	if err := cmdIngestDir([]string{"-db", dbPath, "-dir", csvDir, "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := openDB(dbPath, seqrep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Errorf("ingested %d sequences, want 3", db.Len())
+	}
+	if _, ok := db.Record("fever"); !ok {
+		t.Error("sequence id not derived from file name")
+	}
+	// A second run fails on duplicates but leaves the database intact.
+	if err := cmdIngestDir([]string{"-db", dbPath, "-dir", csvDir}); err == nil {
+		t.Error("duplicate batch accepted")
+	}
+	if err := cmdIngestDir([]string{"-db", dbPath}); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if err := cmdIngestDir([]string{"-db", dbPath, "-dir", dir}); err == nil {
+		t.Error("directory without CSVs accepted")
+	}
+}
+
 func TestOpenDBRejectsCorrupt(t *testing.T) {
 	dir := withDir(t)
 	bad := filepath.Join(dir, "corrupt.db")
 	if err := os.WriteFile(bad, []byte("not a database"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openDB(bad, 0, 0); err == nil {
+	if _, err := openDB(bad, seqrep.Config{}); err == nil {
 		t.Error("corrupt database accepted")
 	}
 }

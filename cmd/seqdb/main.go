@@ -6,6 +6,7 @@
 //
 //	seqdb generate -kind fever -out fever.csv
 //	seqdb ingest   -db db.bin -id patient7 -in fever.csv
+//	seqdb ingestdir -db db.bin -dir ./csvs
 //	seqdb list     -db db.bin
 //	seqdb segments -db db.bin -id patient7
 //	seqdb query    -db db.bin -pattern "U+F*D"
@@ -36,6 +37,8 @@ func main() {
 		err = cmdGenerate(args)
 	case "ingest":
 		err = cmdIngest(args)
+	case "ingestdir":
+		err = cmdIngestDir(args)
 	case "list":
 		err = cmdList(args)
 	case "segments":
@@ -67,6 +70,7 @@ func usage() {
 commands:
   generate  -kind fever|three|ecg|seismic|stock -out FILE [-samples N] [-seed N]
   ingest    -db FILE -id NAME -in FILE [-epsilon E] [-delta D]
+  ingestdir -db FILE -dir DIR [-epsilon E] [-delta D] [-workers N]
   list      -db FILE
   segments  -db FILE -id NAME
   query     -db FILE [-q STMT | -pattern P | -peaks K [-tol T] | -interval N [-eps E]]

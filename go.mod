@@ -1,0 +1,3 @@
+module seqrep
+
+go 1.24

@@ -9,12 +9,26 @@
 // extraction, and inverted-file indexing of peak-to-peak intervals. Raw
 // sequences are relegated to archival storage, consulted only by
 // value-based queries that need full resolution.
+//
+// Concurrency design (see docs/ARCHITECTURE.md): records live in
+// lock-striped shards keyed by sequence id, so ingests of different
+// sequences contend only on their shard; the pipeline itself (breaking,
+// fitting, feature extraction) runs outside every lock. The global query
+// indexes (sorted id list, interval inverted file, symbol groups) sit
+// behind one separate RWMutex and are updated only after a record is
+// committed to its shard. IngestBatch fans a workload across a worker
+// pool, and the linear query scans (ValueQuery, ShapeQuery,
+// DistanceQuery) partition the shards across the same number of workers.
 package core
 
 import (
+	"errors"
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"seqrep/internal/breaking"
 	"seqrep/internal/feature"
@@ -28,7 +42,8 @@ import (
 
 // Config parameterizes a DB. The zero value is usable: it yields the
 // paper's defaults (interpolation breaking, byproduct representation,
-// ε = 0.5, δ = 0.25, unit interval buckets, no preprocessing, no archive).
+// ε = 0.5, δ = 0.25, unit interval buckets, no preprocessing, no archive,
+// 16 record shards, GOMAXPROCS workers).
 type Config struct {
 	// Epsilon is the breaking tolerance ε (default 0.5; the paper used
 	// 0.5 for temperature curves and 10 for ECGs).
@@ -51,6 +66,13 @@ type Config struct {
 	// Archive optionally stores the raw sequences; required only by
 	// value-based queries at full resolution.
 	Archive store.Archive
+	// Shards is the number of lock-striped record shards (default 16).
+	// More shards reduce contention between concurrent ingests and
+	// record lookups at a small fixed memory cost.
+	Shards int
+	// Workers bounds the concurrency of IngestBatch and of the parallel
+	// query scans (default runtime.GOMAXPROCS(0)).
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -67,6 +89,12 @@ func (c *Config) withDefaults() Config {
 	if out.Breaker == nil {
 		out.Breaker = breaking.Interpolation(out.Epsilon)
 	}
+	if out.Shards == 0 {
+		out.Shards = 16
+	}
+	if out.Workers == 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
 	return out
 }
 
@@ -80,12 +108,67 @@ type Record struct {
 	Profile *feature.Profile
 }
 
-// DB is the sequence database. It is safe for concurrent use.
-type DB struct {
-	cfg Config
-
+// shard is one lock stripe of the record store. pending holds ids whose
+// ingestion pipeline is in flight: the id is reserved (duplicate ingests
+// fail fast) but no record is visible yet.
+type shard struct {
 	mu      sync.RWMutex
 	records map[string]*Record
+	pending map[string]struct{}
+}
+
+// reserve claims id for an in-flight ingest. It reports false when the id
+// already names a stored or in-flight sequence.
+func (sh *shard) reserve(id string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.records[id]; dup {
+		return false
+	}
+	if _, dup := sh.pending[id]; dup {
+		return false
+	}
+	sh.pending[id] = struct{}{}
+	return true
+}
+
+// commit publishes the record built for a reserved id.
+func (sh *shard) commit(rec *Record) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.pending, rec.ID)
+	sh.records[rec.ID] = rec
+}
+
+// abort releases a reservation whose pipeline failed.
+func (sh *shard) abort(id string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.pending, id)
+}
+
+// drop removes a committed record (or does nothing if absent) and reports
+// whether it was present.
+func (sh *shard) drop(id string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.records[id]
+	delete(sh.records, id)
+	return ok
+}
+
+// DB is the sequence database. It is safe for concurrent use: any number
+// of ingests, removals and queries may run in parallel.
+type DB struct {
+	cfg    Config
+	seed   maphash.Seed
+	shards []*shard
+
+	// imu guards the global query indexes: the sorted id list, the
+	// peak-interval inverted file, and the symbol-string groups. A
+	// sequence enters these indexes only after its record is committed
+	// to its shard, so index readers never observe a half-built record.
+	imu     sync.RWMutex
 	ids     []string // sorted
 	rrIndex *inverted.Index
 	// symIndex groups sequence ids by their symbol string, so pattern
@@ -103,16 +186,35 @@ func New(cfg Config) (*DB, error) {
 	if c.Delta < 0 {
 		return nil, fmt.Errorf("core: negative delta %g", c.Delta)
 	}
+	if c.Shards < 0 {
+		return nil, fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
+	if c.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
 	ix, err := inverted.New(c.BucketWidth)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	shards := make([]*shard, c.Shards)
+	for i := range shards {
+		shards[i] = &shard{
+			records: make(map[string]*Record),
+			pending: make(map[string]struct{}),
+		}
+	}
 	return &DB{
 		cfg:      c,
-		records:  make(map[string]*Record),
+		seed:     maphash.MakeSeed(),
+		shards:   shards,
 		rrIndex:  ix,
 		symIndex: make(map[string][]string),
 	}, nil
+}
+
+// shardOf maps a sequence id onto its lock stripe.
+func (db *DB) shardOf(id string) *shard {
+	return db.shards[maphash.String(db.seed, id)%uint64(len(db.shards))]
 }
 
 // Config returns the database's effective configuration.
@@ -120,30 +222,92 @@ func (db *DB) Config() Config { return db.cfg }
 
 // Len returns the number of ingested sequences.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.records)
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		n += len(sh.records)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// IDs returns all sequence ids in sorted order.
+// IDs returns all fully indexed sequence ids in sorted order.
 func (db *DB) IDs() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.imu.RLock()
+	defer db.imu.RUnlock()
 	return append([]string(nil), db.ids...)
 }
 
 // Record returns the stored record for id.
 func (db *DB) Record(id string) (*Record, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, ok := db.records[id]
+	sh := db.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.records[id]
 	return r, ok
+}
+
+// build runs the ingestion pipeline (archive, preprocess, break,
+// represent, extract) without touching any lock.
+func (db *DB) build(id string, s seq.Sequence) (*Record, error) {
+	if db.cfg.Archive != nil {
+		if err := db.cfg.Archive.Put(id, s); err != nil {
+			return nil, fmt.Errorf("core: archiving %q: %w", id, err)
+		}
+	}
+
+	work := s
+	if db.cfg.Preprocess != nil {
+		pre, err := db.cfg.Preprocess.Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocessing %q: %w", id, err)
+		}
+		if err := pre.Validate(); err != nil {
+			return nil, fmt.Errorf("core: preprocessing %q produced invalid sequence: %w", id, err)
+		}
+		work = pre
+	}
+
+	segs, err := db.cfg.Breaker.Break(work)
+	if err != nil {
+		return nil, fmt.Errorf("core: breaking %q: %w", id, err)
+	}
+	fs, err := rep.Build(work, segs, db.cfg.Representer)
+	if err != nil {
+		return nil, fmt.Errorf("core: representing %q: %w", id, err)
+	}
+	profile, err := feature.Extract(fs, db.cfg.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting features of %q: %w", id, err)
+	}
+	return &Record{ID: id, N: len(s), Rep: fs, Profile: profile}, nil
+}
+
+// link publishes a committed record to the global query indexes. On an
+// indexing error it removes the partial postings again so the indexes
+// stay coherent.
+func (db *DB) link(rec *Record) error {
+	db.imu.Lock()
+	defer db.imu.Unlock()
+	for pos, interval := range rec.Profile.Intervals {
+		if err := db.rrIndex.Add(interval, inverted.Ref{ID: rec.ID, Pos: int32(pos)}); err != nil {
+			db.rrIndex.RemoveID(rec.ID)
+			return fmt.Errorf("core: indexing %q: %w", rec.ID, err)
+		}
+	}
+	db.ids = insertSorted(db.ids, rec.ID)
+	db.symIndex[rec.Profile.Symbols] = insertSorted(db.symIndex[rec.Profile.Symbols], rec.ID)
+	return nil
 }
 
 // Ingest runs the full pipeline on s and stores the result under id. The
 // raw sequence goes to the archive (when configured) before preprocessing,
 // so full resolution is never lost. Duplicate ids are rejected; Remove
 // first to replace.
+//
+// The pipeline runs outside every lock: concurrent ingests of different
+// sequences proceed in parallel, serializing only on the brief shard and
+// index updates at the end.
 func (db *DB) Ingest(id string, s seq.Sequence) error {
 	if id == "" {
 		return fmt.Errorf("core: empty sequence id")
@@ -154,75 +318,107 @@ func (db *DB) Ingest(id string, s seq.Sequence) error {
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("core: ingesting %q: %w", id, err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.records[id]; dup {
+	sh := db.shardOf(id)
+	if !sh.reserve(id) {
 		return fmt.Errorf("core: duplicate sequence id %q", id)
 	}
-
-	if db.cfg.Archive != nil {
-		if err := db.cfg.Archive.Put(id, s); err != nil {
-			return fmt.Errorf("core: archiving %q: %w", id, err)
-		}
-	}
-
-	work := s
-	if db.cfg.Preprocess != nil {
-		pre, err := db.cfg.Preprocess.Run(s)
-		if err != nil {
-			return fmt.Errorf("core: preprocessing %q: %w", id, err)
-		}
-		if err := pre.Validate(); err != nil {
-			return fmt.Errorf("core: preprocessing %q produced invalid sequence: %w", id, err)
-		}
-		work = pre
-	}
-
-	segs, err := db.cfg.Breaker.Break(work)
+	rec, err := db.build(id, s)
 	if err != nil {
-		return fmt.Errorf("core: breaking %q: %w", id, err)
+		sh.abort(id)
+		return err
 	}
-	fs, err := rep.Build(work, segs, db.cfg.Representer)
-	if err != nil {
-		return fmt.Errorf("core: representing %q: %w", id, err)
+	sh.commit(rec)
+	if err := db.link(rec); err != nil {
+		sh.drop(id)
+		return err
 	}
-	profile, err := feature.Extract(fs, db.cfg.Delta)
-	if err != nil {
-		return fmt.Errorf("core: extracting features of %q: %w", id, err)
-	}
-
-	rec := &Record{ID: id, N: len(s), Rep: fs, Profile: profile}
-	for pos, interval := range profile.Intervals {
-		if err := db.rrIndex.Add(interval, inverted.Ref{ID: id, Pos: int32(pos)}); err != nil {
-			return fmt.Errorf("core: indexing %q: %w", id, err)
-		}
-	}
-	db.records[id] = rec
-	i := sort.SearchStrings(db.ids, id)
-	db.ids = append(db.ids, "")
-	copy(db.ids[i+1:], db.ids[i:])
-	db.ids[i] = id
-	db.symIndex[profile.Symbols] = insertSorted(db.symIndex[profile.Symbols], id)
 	return nil
 }
 
+// BatchItem names one sequence of a batch ingest.
+type BatchItem struct {
+	ID  string
+	Seq seq.Sequence
+}
+
+// IngestBatch ingests many sequences concurrently through a pool of
+// Config.Workers workers. It returns the number of sequences successfully
+// ingested and an error joining every per-item failure (wrapped with its
+// id, inspectable via errors.Is/As). Items are independent: one failing
+// item does not stop the others.
+func (db *DB) IngestBatch(items []BatchItem) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	var ok atomic.Int64
+	errs := make([]error, len(items))
+	db.forEachClaimed(len(items), func(i int) {
+		if err := db.Ingest(items[i].ID, items[i].Seq); err != nil {
+			errs[i] = fmt.Errorf("item %d (%q): %w", i, items[i].ID, err)
+			return
+		}
+		ok.Add(1)
+	})
+	return int(ok.Load()), errors.Join(errs...)
+}
+
+// forEachClaimed runs fn over the indices [0, n), fanned across up to
+// Config.Workers goroutines that claim the next index from a shared
+// counter — the one worker-pool primitive behind IngestBatch and the
+// parallel query scans.
+func (db *DB) forEachClaimed(n int, fn func(i int)) {
+	workers := min(db.cfg.Workers, n)
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Remove deletes a sequence from the database, its interval postings, and
-// the archive (when configured).
+// the archive (when configured). While the unlink is in flight the id is
+// held in its shard's pending set, so a concurrent Ingest of the same id
+// fails with the duplicate error rather than interleaving with the
+// removal; once Remove returns, the id is free to reuse.
 func (db *DB) Remove(id string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.records[id]
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	rec, ok := sh.records[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("core: unknown sequence id %q", id)
 	}
-	delete(db.records, id)
-	i := sort.SearchStrings(db.ids, id)
-	db.ids = append(db.ids[:i], db.ids[i+1:]...)
+	delete(sh.records, id)
+	sh.pending[id] = struct{}{}
+	sh.mu.Unlock()
+	defer sh.abort(id) // release the hold when the unlink is done
+
+	db.imu.Lock()
+	db.ids = removeSorted(db.ids, id)
 	db.rrIndex.RemoveID(id)
-	db.symIndex[rec.Profile.Symbols] = removeSorted(db.symIndex[rec.Profile.Symbols], id)
-	if len(db.symIndex[rec.Profile.Symbols]) == 0 {
-		delete(db.symIndex, rec.Profile.Symbols)
+	syms := rec.Profile.Symbols
+	db.symIndex[syms] = removeSorted(db.symIndex[syms], id)
+	if len(db.symIndex[syms]) == 0 {
+		delete(db.symIndex, syms)
 	}
+	db.imu.Unlock()
+
 	if db.cfg.Archive != nil {
 		if err := db.cfg.Archive.Delete(id); err != nil {
 			return fmt.Errorf("core: removing %q from archive: %w", id, err)
@@ -244,9 +440,7 @@ func (db *DB) Raw(id string) (seq.Sequence, error) {
 // sample positions — the approximate stand-in for Raw that needs no
 // archive access.
 func (db *DB) Reconstruct(id string) (seq.Sequence, error) {
-	db.mu.RLock()
-	rec, ok := db.records[id]
-	db.mu.RUnlock()
+	rec, ok := db.Record(id)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown sequence id %q", id)
 	}
@@ -262,22 +456,92 @@ type Stats struct {
 	SymbolGroups   int // distinct slope-symbol strings
 	IntervalCount  int // postings in the interval index
 	IntervalBucket int // occupied interval buckets
+	Shards         int // lock stripes in the record store
 }
 
-// Stats returns a snapshot of database-wide counters.
+// Stats returns a snapshot of database-wide counters. Counters are read
+// shard by shard, so under concurrent writes the snapshot is per-shard
+// (not globally) consistent.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.imu.RLock()
 	st := Stats{
-		Sequences:      len(db.records),
 		SymbolGroups:   len(db.symIndex),
 		IntervalCount:  db.rrIndex.Len(),
 		IntervalBucket: db.rrIndex.Buckets(),
+		Shards:         len(db.shards),
 	}
-	for _, rec := range db.records {
-		st.Samples += rec.N
-		st.Segments += rec.Rep.NumSegments()
-		st.StoredFloats += rec.Rep.StoredFloats()
+	db.imu.RUnlock()
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		st.Sequences += len(sh.records)
+		for _, rec := range sh.records {
+			st.Samples += rec.N
+			st.Segments += rec.Rep.NumSegments()
+			st.StoredFloats += rec.Rep.StoredFloats()
+		}
+		sh.mu.RUnlock()
 	}
 	return st
+}
+
+// snapshotRecords copies each shard's record pointers, shard by shard,
+// for lock-free scanning. Records are immutable after commit, so the
+// snapshot is safe to read without further locking.
+func (db *DB) snapshotRecords() [][]*Record {
+	out := make([][]*Record, len(db.shards))
+	for i, sh := range db.shards {
+		sh.mu.RLock()
+		recs := make([]*Record, 0, len(sh.records))
+		for _, rec := range sh.records {
+			recs = append(recs, rec)
+		}
+		sh.mu.RUnlock()
+		out[i] = recs
+	}
+	return out
+}
+
+// scanMatches runs fn over every stored record with the configured worker
+// pool, shard-partitioned: each worker claims whole shard snapshots. fn
+// returns the match, whether the record matched, and any hard error; the
+// first hard error aborts the scan's result. Matches come back sorted by
+// matchLess.
+func (db *DB) scanMatches(fn func(*Record) (Match, bool, error)) ([]Match, error) {
+	shardRecs := db.snapshotRecords()
+	var (
+		mu       sync.Mutex
+		out      []Match
+		firstErr error
+	)
+	db.forEachClaimed(len(shardRecs), func(i int) {
+		mu.Lock()
+		bail := firstErr != nil
+		mu.Unlock()
+		if bail {
+			return
+		}
+		var local []Match
+		for _, rec := range shardRecs[i] {
+			m, ok, err := fn(rec)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			if ok {
+				local = append(local, m)
+			}
+		}
+		mu.Lock()
+		out = append(out, local...)
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	return out, nil
 }

@@ -8,7 +8,6 @@ import (
 	"math"
 
 	"seqrep/internal/feature"
-	"seqrep/internal/index/inverted"
 	"seqrep/internal/rep"
 )
 
@@ -26,10 +25,17 @@ import (
 //	  blobLen u32, FunctionSeries blob
 var dbMagic = [4]byte{'S', 'D', 'B', '1'}
 
-// SaveTo writes a snapshot of every stored representation.
+// SaveTo writes a snapshot of every stored representation. The snapshot
+// is a point-in-time copy: records are collected from the sorted id list
+// first, so a save running concurrently with writes sees each sequence
+// either fully or not at all.
 func (db *DB) SaveTo(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	recs := make([]*Record, 0, db.Len())
+	for _, id := range db.IDs() {
+		if rec, ok := db.Record(id); ok {
+			recs = append(recs, rec)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(dbMagic[:]); err != nil {
 		return fmt.Errorf("core: save: %w", err)
@@ -42,12 +48,12 @@ func (db *DB) SaveTo(w io.Writer) error {
 		}
 	}
 	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], uint32(len(db.ids)))
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(recs)))
 	if _, err := bw.Write(u32[:]); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
-	for _, id := range db.ids {
-		rec := db.records[id]
+	for _, rec := range recs {
+		id := rec.ID
 		if len(id) > math.MaxUint16 {
 			return fmt.Errorf("core: save: id %q too long", id[:32])
 		}
@@ -156,25 +162,23 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 }
 
 // adopt installs an already-built representation, rebuilding features and
-// index postings (used by Load).
+// index postings (used by Load). It follows the same reserve → commit →
+// link protocol as Ingest.
 func (db *DB) adopt(id string, fs *rep.FunctionSeries) error {
 	profile, err := feature.Extract(fs, db.cfg.Delta)
 	if err != nil {
 		return fmt.Errorf("core: adopting %q: %w", id, err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.records[id]; dup {
+	sh := db.shardOf(id)
+	if !sh.reserve(id) {
 		return fmt.Errorf("core: duplicate id %q in snapshot", id)
 	}
-	for pos, interval := range profile.Intervals {
-		if err := db.rrIndex.Add(interval, inverted.Ref{ID: id, Pos: int32(pos)}); err != nil {
-			return fmt.Errorf("core: adopting %q: %w", id, err)
-		}
+	rec := &Record{ID: id, N: fs.N, Rep: fs, Profile: profile}
+	sh.commit(rec)
+	if err := db.link(rec); err != nil {
+		sh.drop(id)
+		return err
 	}
-	db.records[id] = &Record{ID: id, N: fs.N, Rep: fs, Profile: profile}
-	db.ids = insertSorted(db.ids, id)
-	db.symIndex[profile.Symbols] = insertSorted(db.symIndex[profile.Symbols], id)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -42,11 +43,24 @@ func totalDeviation(m Match) float64 {
 	return t
 }
 
+// storedSequence reads the comparison form of a record: raw samples from
+// the archive when one is configured, the representation reconstruction
+// otherwise.
+func (db *DB) storedSequence(rec *Record) (seq.Sequence, error) {
+	if db.cfg.Archive != nil {
+		return db.Raw(rec.ID)
+	}
+	return rec.Rep.Reconstruct()
+}
+
 // ValueQuery implements the prior-art semantics the paper generalizes away
 // from (their Figure 1): a stored sequence matches when every sample lies
 // within ±eps of the exemplar's corresponding sample. Only sequences of
 // the exemplar's length participate; comparison uses raw samples from the
 // archive when available and representation reconstructions otherwise.
+//
+// The scan is shard-parallel across the configured worker pool and
+// early-abandons each candidate at the first sample outside the band.
 func (db *DB) ValueQuery(exemplar seq.Sequence, eps float64) ([]Match, error) {
 	if len(exemplar) == 0 {
 		return nil, fmt.Errorf("core: empty exemplar")
@@ -54,37 +68,66 @@ func (db *DB) ValueQuery(exemplar seq.Sequence, eps float64) ([]Match, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("core: negative tolerance %g", eps)
 	}
-	ids := db.IDs()
-	var out []Match
-	for _, id := range ids {
-		rec, ok := db.Record(id)
-		if !ok || rec.N != len(exemplar) {
-			continue
+	return db.scanMatches(func(rec *Record) (Match, bool, error) {
+		if rec.N != len(exemplar) {
+			return Match{}, false, nil
 		}
-		var stored seq.Sequence
-		var err error
-		if db.cfg.Archive != nil {
-			stored, err = db.Raw(id)
-		} else {
-			stored, err = db.Reconstruct(id)
-		}
+		stored, err := db.storedSequence(rec)
 		if err != nil {
-			return nil, fmt.Errorf("core: value query reading %q: %w", id, err)
+			return Match{}, false, fmt.Errorf("core: value query reading %q: %w", rec.ID, err)
 		}
-		d, err := dist.LInf(exemplar, stored)
-		if err != nil {
-			continue // incomparable lengths
+		d, within, err := dist.BandDistance(exemplar, stored, eps)
+		if err != nil || !within {
+			return Match{}, false, nil // incomparable lengths or outside the band
 		}
-		if d <= eps {
-			out = append(out, Match{
-				ID:         id,
-				Exact:      d == 0,
-				Deviations: map[string]float64{"value": d},
-			})
-		}
+		return Match{
+			ID:         rec.ID,
+			Exact:      d == 0,
+			Deviations: map[string]float64{"value": d},
+		}, true, nil
+	})
+}
+
+// DistanceQuery scans the database under an arbitrary distance metric
+// (see package dist): a stored sequence matches when m's distance from
+// the exemplar is at most eps. Like ValueQuery it compares raw samples
+// when an archive is configured and reconstructions otherwise, skips
+// sequences whose length differs from the exemplar's, and parallelizes
+// the scan across shards.
+func (db *DB) DistanceQuery(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, error) {
+	if len(exemplar) == 0 {
+		return nil, fmt.Errorf("core: empty exemplar")
 	}
-	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
-	return out, nil
+	if m == nil {
+		return nil, fmt.Errorf("core: nil metric")
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative tolerance %g", eps)
+	}
+	return db.scanMatches(func(rec *Record) (Match, bool, error) {
+		if rec.N != len(exemplar) {
+			return Match{}, false, nil
+		}
+		stored, err := db.storedSequence(rec)
+		if err != nil {
+			return Match{}, false, fmt.Errorf("core: distance query reading %q: %w", rec.ID, err)
+		}
+		d, err := m.Distance(exemplar, stored)
+		if err != nil {
+			if errors.Is(err, dist.ErrLengthMismatch) {
+				return Match{}, false, nil // reconstruction drifted in length; incomparable
+			}
+			return Match{}, false, fmt.Errorf("core: distance query %q under %s: %w", rec.ID, m.Name(), err)
+		}
+		if d > eps {
+			return Match{}, false, nil
+		}
+		return Match{
+			ID:         rec.ID,
+			Exact:      d == 0,
+			Deviations: map[string]float64{m.Name(): d},
+		}, true, nil
+	})
 }
 
 // MatchPattern returns the ids of sequences whose whole slope-sign symbol
@@ -98,12 +141,14 @@ func (db *DB) MatchPattern(src string) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	db.mu.RLock()
+	db.imu.RLock()
 	groups := make(map[string][]string, len(db.symIndex))
 	for symbols, ids := range db.symIndex {
-		groups[symbols] = ids
+		// Deep-copy: insertSorted/removeSorted mutate the backing
+		// arrays in place under the write lock.
+		groups[symbols] = append([]string(nil), ids...)
 	}
-	db.mu.RUnlock()
+	db.imu.RUnlock()
 	var out []string
 	for symbols, ids := range groups {
 		if p.Match(symbols) {
@@ -133,12 +178,14 @@ func (db *DB) SearchPattern(src string) ([]PatternHit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	db.mu.RLock()
+	db.imu.RLock()
 	groups := make(map[string][]string, len(db.symIndex))
 	for symbols, ids := range db.symIndex {
-		groups[symbols] = ids
+		// Deep-copy: insertSorted/removeSorted mutate the backing
+		// arrays in place under the write lock.
+		groups[symbols] = append([]string(nil), ids...)
 	}
-	db.mu.RUnlock()
+	db.imu.RUnlock()
 	var out []PatternHit
 	for symbols, ids := range groups {
 		spans := p.FindAll(symbols)
@@ -219,9 +266,9 @@ func (db *DB) IntervalQuery(n, eps float64) ([]IntervalMatch, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("core: negative tolerance %g", eps)
 	}
-	db.mu.RLock()
+	db.imu.RLock()
 	refs, err := db.rrIndex.Query(n-eps, n+eps)
-	db.mu.RUnlock()
+	db.imu.RUnlock()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -265,7 +312,8 @@ type ShapeTolerance struct {
 // under feature-preserving transformations (time/amplitude shift, scaling,
 // dilation). The exemplar is pushed through the same representation
 // pipeline as stored data; candidates are compared feature-wise with
-// per-dimension tolerances.
+// per-dimension tolerances. The candidate scan is shard-parallel across
+// the configured worker pool.
 func (db *DB) ShapeQuery(exemplar seq.Sequence, tol ShapeTolerance) ([]Match, error) {
 	if tol.Peaks < 0 || tol.Height < 0 || tol.Spacing < 0 {
 		return nil, fmt.Errorf("core: negative shape tolerance %+v", tol)
@@ -278,44 +326,37 @@ func (db *DB) ShapeQuery(exemplar seq.Sequence, tol ShapeTolerance) ([]Match, er
 	if err != nil {
 		return nil, fmt.Errorf("core: exemplar: %w", err)
 	}
-	var out []Match
-	for _, id := range db.IDs() {
-		rec, ok := db.Record(id)
-		if !ok {
-			continue
-		}
+	return db.scanMatches(func(rec *Record) (Match, bool, error) {
 		span := rec.Rep.Segments[len(rec.Rep.Segments)-1].EndT - rec.Rep.Segments[0].StartT
 		base := baselineOf(rec)
 		rSig, err := shapeSignature(peakPoints(rec), span, base)
 		if err != nil {
-			continue // featureless sequence cannot match a shaped exemplar
+			return Match{}, false, nil // featureless sequence cannot match a shaped exemplar
 		}
 
 		devPeaks := math.Abs(float64(len(rSig.spacing)+1) - float64(len(qSig.spacing)+1))
 		if devPeaks > float64(tol.Peaks) {
-			continue
+			return Match{}, false, nil
 		}
 		devHeight, devSpacing := 0.0, 0.0
 		if devPeaks == 0 {
 			devHeight = relDeviation(qSig.heights, rSig.heights)
 			devSpacing = relDeviation(qSig.spacing, rSig.spacing)
 			if devHeight > tol.Height+1e-12 || devSpacing > tol.Spacing+1e-12 {
-				continue
+				return Match{}, false, nil
 			}
 		}
 		const exactSlack = 1e-9
-		out = append(out, Match{
-			ID:    id,
+		return Match{
+			ID:    rec.ID,
 			Exact: devPeaks == 0 && devHeight <= exactSlack && devSpacing <= exactSlack,
 			Deviations: map[string]float64{
 				"peaks":   devPeaks,
 				"height":  devHeight,
 				"spacing": devSpacing,
 			},
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
-	return out, nil
+		}, true, nil
+	})
 }
 
 // queryProfile carries the exemplar's extracted features.

@@ -2,7 +2,6 @@ package dft
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"seqrep/internal/dist"
@@ -159,12 +158,11 @@ func SubsequenceMatch(id string, stored, q seq.Sequence, k int, eps float64) ([]
 		if fd > eps {
 			continue
 		}
-		sum := 0.0
-		for i := 0; i < w; i++ {
-			d := buf[i] - qv[i]
-			sum += d * d
+		d, err := dist.L2Values(buf, qv)
+		if err != nil {
+			return nil, err
 		}
-		if d := math.Sqrt(sum); d <= eps {
+		if d <= eps {
 			out = append(out, WindowMatch{ID: id, Offset: off, Distance: d})
 		}
 	}

@@ -1,0 +1,307 @@
+// Package dist provides the distance kernels shared by every similarity
+// path in seqrep: the ±ε band check of value-based queries (the prior-art
+// semantics of the paper's Figure 1), the Euclidean verification step of
+// the DFT feature index, and the benchmark comparisons in cmd/seqbench.
+//
+// The kernels come in two layers. The Sequence functions (L1, L2, LInf,
+// WithinBand, ...) operate on seq.Sequence values, compare samples
+// pairwise by position, and return ErrLengthMismatch when the operands
+// disagree in length. The Values functions (L1Values, L2Values, ...) are
+// the same kernels over bare []float64 sample vectors, for hot paths that
+// already hold raw values (e.g. sliding-window matching) and must not
+// re-wrap them per window.
+//
+// WithinBand and BandDistance early-abandon: they stop at the first
+// sample pair whose difference exceeds the tolerance, so a scan over a
+// database of mostly non-matching sequences inspects only a prefix of
+// each. This is the standard trick of data-series similarity search (cf.
+// the early-abandoning Euclidean distance in the Lernaean Hydra study).
+//
+// The Metric interface names a kernel so engines can be parameterized by
+// distance at run time (core.DB.DistanceQuery, CLI flags). ByName resolves
+// the textual names used on command lines.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"seqrep/internal/seq"
+)
+
+// ErrLengthMismatch is returned (wrapped, with both lengths) whenever two
+// operands of a pairwise distance disagree in length.
+var ErrLengthMismatch = errors.New("dist: sequence length mismatch")
+
+// checkLen validates that two operand lengths agree.
+func checkLen(na, nb int) error {
+	if na != nb {
+		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, na, nb)
+	}
+	return nil
+}
+
+// ---- kernels over sequences ----
+
+// L1 returns the Manhattan distance Σ|aᵢ-bᵢ| between two equal-length
+// sequences, comparing values pairwise by position.
+func L1(a, b seq.Sequence) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i].V - b[i].V)
+	}
+	return sum, nil
+}
+
+// L2 returns the Euclidean distance sqrt(Σ(aᵢ-bᵢ)²) between two
+// equal-length sequences.
+func L2(a, b seq.Sequence) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i].V - b[i].V
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// LInf returns the Chebyshev distance max|aᵢ-bᵢ| between two equal-length
+// sequences. A stored sequence lies within the ±ε band of an exemplar
+// exactly when LInf(exemplar, stored) ≤ ε.
+func LInf(a, b seq.Sequence) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i].V - b[i].V); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// WithinBand reports whether every sample of s lies within ±eps of the
+// corresponding sample of q — the prior-art query semantics the paper
+// generalizes away from. It abandons at the first violating sample, so
+// rejecting a far-away sequence costs O(1) rather than O(n).
+func WithinBand(q, s seq.Sequence, eps float64) (bool, error) {
+	if eps < 0 {
+		return false, fmt.Errorf("dist: negative tolerance %g", eps)
+	}
+	if err := checkLen(len(q), len(s)); err != nil {
+		return false, err
+	}
+	for i := range q {
+		if math.Abs(q[i].V-s[i].V) > eps {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// BandDistance combines WithinBand and LInf in one early-abandoning pass:
+// it returns (LInf(q,s), true) when s lies within the ±eps band of q, and
+// (partial, false) as soon as a sample violates the band (partial is then
+// only a lower bound on the true distance). This is the kernel behind
+// core.DB.ValueQuery, which needs both the accept/reject decision and the
+// deviation of accepted matches.
+func BandDistance(q, s seq.Sequence, eps float64) (float64, bool, error) {
+	if eps < 0 {
+		return 0, false, fmt.Errorf("dist: negative tolerance %g", eps)
+	}
+	if err := checkLen(len(q), len(s)); err != nil {
+		return 0, false, err
+	}
+	worst := 0.0
+	for i := range q {
+		d := math.Abs(q[i].V - s[i].V)
+		if d > eps {
+			return d, false, nil
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, true, nil
+}
+
+// ---- normalized variants ----
+
+// NormalizedL1 returns the mean absolute deviation L1(a,b)/n: the L1
+// distance normalized by length, comparable across sequence lengths.
+func NormalizedL1(a, b seq.Sequence) (float64, error) {
+	d, err := L1(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	return d / float64(len(a)), nil
+}
+
+// NormalizedL2 returns the root-mean-square deviation L2(a,b)/sqrt(n):
+// the Euclidean distance normalized by length.
+func NormalizedL2(a, b seq.Sequence) (float64, error) {
+	d, err := L2(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	return d / math.Sqrt(float64(len(a))), nil
+}
+
+// ZNormalizedL2 z-normalizes both value vectors (subtract mean, divide by
+// standard deviation) and returns their Euclidean distance. This is the
+// standard amplitude- and offset-invariant measure of data-series
+// similarity search. A constant sequence z-normalizes to all zeros.
+func ZNormalizedL2(a, b seq.Sequence) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	ma, sa := meanStd(a)
+	mb, sb := meanStd(b)
+	sum := 0.0
+	for i := range a {
+		d := znorm(a[i].V, ma, sa) - znorm(b[i].V, mb, sb)
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+func meanStd(s seq.Sequence) (mean, std float64) {
+	for _, p := range s {
+		mean += p.V
+	}
+	mean /= float64(len(s))
+	ss := 0.0
+	for _, p := range s {
+		d := p.V - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(s)))
+}
+
+func znorm(v, mean, std float64) float64 {
+	if std == 0 {
+		return 0
+	}
+	return (v - mean) / std
+}
+
+// ---- kernels over bare value vectors ----
+
+// L1Values is L1 over raw sample vectors.
+func L1Values(a, b []float64) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum, nil
+}
+
+// L2Values is L2 over raw sample vectors — the verification kernel of
+// sliding-window subsequence matching, where re-wrapping every window
+// into a Sequence would dominate the cost.
+func L2Values(a, b []float64) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// LInfValues is LInf over raw sample vectors.
+func LInfValues(a, b []float64) (float64, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// ---- named metrics ----
+
+// Metric is a named distance kernel over sequences, the unit of run-time
+// parameterization: core.DB.DistanceQuery scans the database under any
+// Metric, and command-line tools resolve user-supplied names via ByName.
+type Metric interface {
+	// Name returns the metric's canonical textual name (e.g. "l2").
+	Name() string
+	// Distance returns the distance between two equal-length sequences.
+	Distance(a, b seq.Sequence) (float64, error)
+}
+
+type metricFunc struct {
+	name string
+	fn   func(a, b seq.Sequence) (float64, error)
+}
+
+func (m metricFunc) Name() string                                { return m.name }
+func (m metricFunc) Distance(a, b seq.Sequence) (float64, error) { return m.fn(a, b) }
+
+// The built-in metrics.
+var (
+	// Manhattan is L1, named "l1".
+	Manhattan Metric = metricFunc{"l1", L1}
+	// Euclidean is L2, named "l2".
+	Euclidean Metric = metricFunc{"l2", L2}
+	// Chebyshev is LInf, named "linf" — the ±ε band semantics.
+	Chebyshev Metric = metricFunc{"linf", LInf}
+	// MeanAbs is length-normalized L1, named "norml1".
+	MeanAbs Metric = metricFunc{"norml1", NormalizedL1}
+	// RMS is length-normalized L2, named "norml2".
+	RMS Metric = metricFunc{"norml2", NormalizedL2}
+	// ZEuclidean is z-normalized L2, named "zl2".
+	ZEuclidean Metric = metricFunc{"zl2", ZNormalizedL2}
+)
+
+// Metrics returns every built-in metric, in a stable order.
+func Metrics() []Metric {
+	return []Metric{Manhattan, Euclidean, Chebyshev, MeanAbs, RMS, ZEuclidean}
+}
+
+// ByName resolves a metric from its textual name (canonical names plus
+// the aliases "manhattan", "euclidean", "chebyshev", "max", "rms", and
+// "zeuclidean"; matching is case-sensitive, names are lower-case).
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "l1", "manhattan":
+		return Manhattan, nil
+	case "l2", "euclidean":
+		return Euclidean, nil
+	case "linf", "chebyshev", "max":
+		return Chebyshev, nil
+	case "norml1":
+		return MeanAbs, nil
+	case "norml2", "rms":
+		return RMS, nil
+	case "zl2", "zeuclidean":
+		return ZEuclidean, nil
+	}
+	return nil, fmt.Errorf("dist: unknown metric %q (have l1, l2, linf, norml1, norml2, zl2)", name)
+}

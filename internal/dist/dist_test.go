@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+// almost compares floats to 1e-12 absolute tolerance.
+func almost(got, want float64) bool { return math.Abs(got-want) <= 1e-12 }
+
+// Golden values, hand-computed over a = (1,2,3,4), b = (2,2,1,8):
+// diffs (1,0,2,4) → L1 = 7, L2 = sqrt(21), LInf = 4.
+func TestGoldenValues(t *testing.T) {
+	a := seq.New([]float64{1, 2, 3, 4})
+	b := seq.New([]float64{2, 2, 1, 8})
+
+	if d, err := L1(a, b); err != nil || !almost(d, 7) {
+		t.Errorf("L1 = %v, %v; want 7", d, err)
+	}
+	if d, err := L2(a, b); err != nil || !almost(d, math.Sqrt(21)) {
+		t.Errorf("L2 = %v, %v; want sqrt(21)", d, err)
+	}
+	if d, err := LInf(a, b); err != nil || !almost(d, 4) {
+		t.Errorf("LInf = %v, %v; want 4", d, err)
+	}
+	if d, err := NormalizedL1(a, b); err != nil || !almost(d, 7.0/4) {
+		t.Errorf("NormalizedL1 = %v, %v; want 7/4", d, err)
+	}
+	if d, err := NormalizedL2(a, b); err != nil || !almost(d, math.Sqrt(21)/2) {
+		t.Errorf("NormalizedL2 = %v, %v; want sqrt(21)/2", d, err)
+	}
+
+	// The value-vector kernels agree with the sequence kernels.
+	av, bv := a.Values(), b.Values()
+	if d, _ := L1Values(av, bv); !almost(d, 7) {
+		t.Errorf("L1Values = %v, want 7", d)
+	}
+	if d, _ := L2Values(av, bv); !almost(d, math.Sqrt(21)) {
+		t.Errorf("L2Values = %v, want sqrt(21)", d)
+	}
+	if d, _ := LInfValues(av, bv); !almost(d, 4) {
+		t.Errorf("LInfValues = %v, want 4", d)
+	}
+}
+
+func TestWithinBandGolden(t *testing.T) {
+	q := seq.New([]float64{1, 2, 3, 4})
+	s := seq.New([]float64{1.4, 1.6, 3.5, 4})
+	// LInf(q, s) = 0.5 exactly.
+	for _, c := range []struct {
+		eps  float64
+		want bool
+	}{{0.5, true}, {0.49, false}, {4, true}, {0, false}} {
+		got, err := WithinBand(q, s, c.eps)
+		if err != nil {
+			t.Fatalf("WithinBand(eps=%g): %v", c.eps, err)
+		}
+		if got != c.want {
+			t.Errorf("WithinBand(eps=%g) = %v, want %v", c.eps, got, c.want)
+		}
+	}
+	if ok, err := WithinBand(q, q, 0); err != nil || !ok {
+		t.Errorf("WithinBand(q, q, 0) = %v, %v; want true", ok, err)
+	}
+	if _, err := WithinBand(q, s, -1); err == nil {
+		t.Error("WithinBand with negative tolerance: no error")
+	}
+}
+
+func TestBandDistance(t *testing.T) {
+	q := seq.New([]float64{1, 2, 3, 4})
+	s := seq.New([]float64{1.4, 1.6, 3.5, 4})
+	d, within, err := BandDistance(q, s, 0.5)
+	if err != nil || !within || !almost(d, 0.5) {
+		t.Errorf("BandDistance = (%v, %v, %v), want (0.5, true, nil)", d, within, err)
+	}
+	if _, within, err := BandDistance(q, s, 0.4); err != nil || within {
+		t.Errorf("BandDistance(eps=0.4) within = %v, want false", within)
+	}
+	if _, _, err := BandDistance(q, s, -0.1); err == nil {
+		t.Error("BandDistance with negative tolerance: no error")
+	}
+}
+
+func TestZNormalizedL2(t *testing.T) {
+	a := seq.New([]float64{1, 2, 3, 2, 1})
+	// b is a shifted and amplitude-scaled copy of a: z-distance 0.
+	b := seq.New([]float64{10, 30, 50, 30, 10})
+	if d, err := ZNormalizedL2(a, b); err != nil || !almost(d, 0) {
+		t.Errorf("ZNormalizedL2(scaled copy) = %v, %v; want 0", d, err)
+	}
+	// Constant sequences z-normalize to zero vectors.
+	c := seq.New([]float64{7, 7, 7, 7, 7})
+	if d, err := ZNormalizedL2(c, c); err != nil || !almost(d, 0) {
+		t.Errorf("ZNormalizedL2(const, const) = %v, %v; want 0", d, err)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	a := seq.New([]float64{1, 2, 3})
+	b := seq.New([]float64{1, 2})
+	if _, err := L1(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("L1 mismatch error = %v", err)
+	}
+	if _, err := L2(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("L2 mismatch error = %v", err)
+	}
+	if _, err := LInf(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("LInf mismatch error = %v", err)
+	}
+	if _, err := WithinBand(a, b, 1); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("WithinBand mismatch error = %v", err)
+	}
+	if _, _, err := BandDistance(a, b, 1); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("BandDistance mismatch error = %v", err)
+	}
+	if _, err := ZNormalizedL2(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("ZNormalizedL2 mismatch error = %v", err)
+	}
+	if _, err := L2Values([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("L2Values mismatch error = %v", err)
+	}
+	for _, m := range Metrics() {
+		if _, err := m.Distance(a, b); !errors.Is(err, ErrLengthMismatch) {
+			t.Errorf("metric %s mismatch error = %v", m.Name(), err)
+		}
+	}
+}
+
+// Property: WithinBand(q, s, ε) ⇔ LInf(q, s) ≤ ε, on random sequences and
+// tolerances including the exact boundary ε = LInf(q, s).
+func TestWithinBandMatchesLInf(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(64)
+		qv := make([]float64, n)
+		sv := make([]float64, n)
+		for i := range qv {
+			qv[i] = rng.NormFloat64() * 10
+			sv[i] = qv[i] + rng.NormFloat64()
+		}
+		q, s := seq.New(qv), seq.New(sv)
+		linf, err := LInf(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0, linf / 2, linf, linf * 1.5, rng.Float64() * 5} {
+			within, err := WithinBand(q, s, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := linf <= eps; within != want {
+				t.Fatalf("trial %d: WithinBand(eps=%g) = %v but LInf = %g", trial, eps, within, linf)
+			}
+			d, bWithin, err := BandDistance(q, s, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bWithin != (linf <= eps) {
+				t.Fatalf("trial %d: BandDistance within = %v but LInf = %g, eps = %g", trial, bWithin, linf, eps)
+			}
+			if bWithin && !almost(d, linf) {
+				t.Fatalf("trial %d: BandDistance dist = %g, LInf = %g", trial, d, linf)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range Metrics() {
+		got, err := ByName(m.Name())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", m.Name(), err)
+			continue
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("ByName(%q).Name() = %q", m.Name(), got.Name())
+		}
+	}
+	for alias, want := range map[string]Metric{
+		"euclidean": Euclidean, "manhattan": Manhattan, "chebyshev": Chebyshev,
+		"max": Chebyshev, "rms": RMS, "zeuclidean": ZEuclidean,
+	} {
+		got, err := ByName(alias)
+		if err != nil || got.Name() != want.Name() {
+			t.Errorf("ByName(%q) = %v, %v; want %s", alias, got, err, want.Name())
+		}
+	}
+	if _, err := ByName("dtw"); err == nil {
+		t.Error("ByName(dtw): expected error")
+	}
+}
+
+// benchSequences builds a query and a store sequence that violates the
+// band at position k, to measure the early-abandoning path.
+func benchSequences(n, k int) (q, s seq.Sequence) {
+	qv := make([]float64, n)
+	sv := make([]float64, n)
+	for i := range qv {
+		qv[i] = math.Sin(float64(i) / 10)
+		sv[i] = qv[i]
+		if i >= k {
+			sv[i] = qv[i] + 10 // far outside any small band
+		}
+	}
+	return seq.New(qv), seq.New(sv)
+}
+
+// BenchmarkWithinBandAbandonEarly measures the early-abandoning fast
+// path: the first sample already violates the band, so cost is O(1)
+// regardless of n.
+func BenchmarkWithinBandAbandonEarly(b *testing.B) {
+	q, s := benchSequences(4096, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ok, err := WithinBand(q, s, 0.5); ok || err != nil {
+			b.Fatal("unexpected match")
+		}
+	}
+}
+
+// BenchmarkWithinBandFullScan measures the worst case: the sequence stays
+// inside the band throughout, so every sample is inspected.
+func BenchmarkWithinBandFullScan(b *testing.B) {
+	q, s := benchSequences(4096, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ok, err := WithinBand(q, s, 0.5); !ok || err != nil {
+			b.Fatal("unexpected mismatch")
+		}
+	}
+}
+
+// BenchmarkLInfFullScan is the no-abandon baseline the band check is
+// measured against.
+func BenchmarkLInfFullScan(b *testing.B) {
+	q, s := benchSequences(4096, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LInf(q, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,9 @@
 //
 // Keywords are case-insensitive; identifiers name stored sequences;
 // pattern strings are quoted with single or double quotes.
+//
+// The full grammar, with one worked example per statement, is documented
+// in docs/QUERYLANG.md at the repository root.
 package querylang
 
 import (

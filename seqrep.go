@@ -20,11 +20,19 @@
 //
 // The main entry points:
 //
-//   - DB: the database (New, Load); Ingest, Remove, Raw, Reconstruct.
-//   - Queries: ValueQuery (prior-art ±ε matching), MatchPattern /
-//     SearchPattern (slope-sign regular expressions), PeakCount,
-//     IntervalQuery (inverted-index interval search), ShapeQuery
-//     (generalized approximate query with per-dimension tolerances).
+//   - DB: the database (New, Load); Ingest, IngestBatch (concurrent
+//     worker-pool ingestion), Remove, Raw, Reconstruct. The DB is sharded
+//     internally and safe for fully concurrent use; Config.Shards and
+//     Config.Workers tune the parallelism.
+//   - Queries: ValueQuery (prior-art ±ε matching, shard-parallel with an
+//     early-abandoning band kernel), DistanceQuery (scan under any named
+//     distance metric), MatchPattern / SearchPattern (slope-sign regular
+//     expressions), PeakCount, IntervalQuery (inverted-index interval
+//     search), ShapeQuery (generalized approximate query with
+//     per-dimension tolerances).
+//   - Distance kernels: Metric, MetricByName, and the EuclideanMetric /
+//     ManhattanMetric / ChebyshevMetric / ZEuclideanMetric constructors
+//     over the internal/dist kernel layer.
 //   - Breaking algorithms: NewInterpolationBreaker (the paper's preferred
 //     variant, breaks at extrema), NewRegressionBreaker, NewBezierBreaker,
 //     NewDPBreaker (O(n²) optimal), NewOnlineBreaker (streaming).
@@ -37,6 +45,7 @@ import (
 
 	"seqrep/internal/breaking"
 	"seqrep/internal/core"
+	"seqrep/internal/dist"
 	"seqrep/internal/feature"
 	"seqrep/internal/filter"
 	"seqrep/internal/fit"
@@ -61,6 +70,11 @@ type (
 	DB = core.DB
 	// Record is the stored state of one ingested sequence.
 	Record = core.Record
+	// BatchItem names one sequence of a concurrent batch ingest
+	// (DB.IngestBatch).
+	BatchItem = core.BatchItem
+	// Metric is a named distance kernel usable with DB.DistanceQuery.
+	Metric = dist.Metric
 	// Match is one query result with per-dimension deviations.
 	Match = core.Match
 	// IntervalMatch is one result of an interval query.
@@ -188,6 +202,27 @@ const PeakUnitPattern = pattern.PeakUnit
 func PeakTable(fs *FunctionSeries, peaks []Peak) (string, error) {
 	return feature.PeakTable(fs, peaks)
 }
+
+// ---- distance metrics ----
+
+// MetricByName resolves a distance metric from its textual name
+// ("l1", "l2", "linf", "norml1", "norml2", "zl2", plus aliases such as
+// "euclidean"), for wiring user-supplied metric names into
+// DB.DistanceQuery.
+func MetricByName(name string) (Metric, error) { return dist.ByName(name) }
+
+// EuclideanMetric is the L2 distance.
+func EuclideanMetric() Metric { return dist.Euclidean }
+
+// ManhattanMetric is the L1 distance.
+func ManhattanMetric() Metric { return dist.Manhattan }
+
+// ChebyshevMetric is the L∞ distance — the paper's ±ε band semantics.
+func ChebyshevMetric() Metric { return dist.Chebyshev }
+
+// ZEuclideanMetric is the z-normalized Euclidean distance, invariant to
+// amplitude shift and scaling.
+func ZEuclideanMetric() Metric { return dist.ZEuclidean }
 
 // ---- archives ----
 
