@@ -9,8 +9,11 @@ package seqrep_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"sync"
 	"testing"
 
 	"seqrep"
@@ -286,6 +289,177 @@ func BenchmarkPersistence(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- query planner: indexed vs scan ----
+
+// queryBench holds the once-built 10k-sequence pair of databases: one
+// with the DFT feature index (the planner's index route) and one with the
+// index disabled (forcing the scan route). Both ingest the identical
+// workload and share nothing, so the two benchmarks measure only the
+// plans.
+var queryBench struct {
+	once     sync.Once
+	indexed  *seqrep.DB
+	scan     *seqrep.DB
+	exemplar seqrep.Sequence
+	err      error
+}
+
+const queryBenchN = 10000
+
+func queryBenchDBs(b *testing.B) (indexed, scan *seqrep.DB, exemplar seqrep.Sequence) {
+	b.Helper()
+	queryBench.once.Do(func() {
+		items := make([]seqrep.BatchItem, 0, queryBenchN)
+		for i := 0; i < queryBenchN; i++ {
+			first := 5 + float64(i%8)
+			second := first + 5 + float64(i%5)
+			s, err := seqrep.GenerateFever(seqrep.FeverOpts{
+				Samples: 97, FirstPeak: first, SecondPeak: second,
+			})
+			if err != nil {
+				queryBench.err = err
+				return
+			}
+			items = append(items, seqrep.BatchItem{
+				ID:  fmt.Sprintf("fever-%05d", i),
+				Seq: s.ShiftValue(float64(i%100) * 0.05),
+			})
+		}
+		for _, setup := range []struct {
+			dst    **seqrep.DB
+			coeffs int
+		}{
+			{&queryBench.indexed, 0}, // 0 = default (index on)
+			{&queryBench.scan, -1},   // index disabled
+		} {
+			db, err := seqrep.New(seqrep.Config{
+				Archive:     seqrep.NewMemArchive(),
+				IndexCoeffs: setup.coeffs,
+			})
+			if err != nil {
+				queryBench.err = err
+				return
+			}
+			if _, err := db.IngestBatch(items); err != nil {
+				queryBench.err = err
+				return
+			}
+			*setup.dst = db
+		}
+		queryBench.exemplar, queryBench.err = seqrep.GenerateFever(seqrep.FeverOpts{Samples: 97})
+	})
+	if queryBench.err != nil {
+		b.Fatal(queryBench.err)
+	}
+	return queryBench.indexed, queryBench.scan, queryBench.exemplar
+}
+
+// benchQueryReport is the machine-readable record BenchmarkDistanceQuery10k
+// writes to BENCH_query.json, tracking the planner's perf trajectory.
+type benchQueryReport struct {
+	Benchmark     string  `json:"benchmark"`
+	Sequences     int     `json:"sequences"`
+	Metric        string  `json:"metric"`
+	Eps           float64 `json:"eps"`
+	IndexedNsOp   float64 `json:"indexed_ns_per_op"`
+	ScanNsOp      float64 `json:"scan_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	Examined      int     `json:"examined"`
+	Candidates    int     `json:"candidates"`
+	Pruned        int     `json:"pruned"`
+	PrunedPerExam float64 `json:"pruned_ratio"`
+	Matches       int     `json:"matches"`
+}
+
+// BenchmarkDistanceQuery10k compares the planner's two DistanceQuery
+// plans (L2, 10k stored sequences): the DFT feature index against the
+// brute-force scan, reporting candidates-examined/pruned ratios and
+// emitting BENCH_query.json. The index plan must beat the scan by ≥3x.
+func BenchmarkDistanceQuery10k(b *testing.B) {
+	indexed, scan, exemplar := queryBenchDBs(b)
+	// eps admits the 0.15-shifted members of the exemplar's two-peak
+	// family (L2 ≈ 1.48), so the index plan does real verification work.
+	const eps = 2.0
+	metric := seqrep.EuclideanMetric()
+	report := benchQueryReport{
+		Benchmark: "DistanceQuery10k",
+		Sequences: queryBenchN,
+		Metric:    metric.Name(),
+		Eps:       eps,
+	}
+	b.Run("indexed", func(b *testing.B) {
+		var stats seqrep.QueryStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			if _, stats, err = indexed.DistanceQueryStats(exemplar, metric, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if stats.Plan != "index" {
+			b.Fatalf("plan = %q, want index", stats.Plan)
+		}
+		b.ReportMetric(float64(stats.Candidates), "candidates/op")
+		b.ReportMetric(float64(stats.Pruned), "pruned/op")
+		b.ReportMetric(float64(stats.Pruned)/float64(stats.Examined), "pruned_ratio")
+		report.IndexedNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		report.Examined = stats.Examined
+		report.Candidates = stats.Candidates
+		report.Pruned = stats.Pruned
+		report.PrunedPerExam = float64(stats.Pruned) / float64(stats.Examined)
+		report.Matches = stats.Matches
+	})
+	b.Run("scan", func(b *testing.B) {
+		var stats seqrep.QueryStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			if _, stats, err = scan.DistanceQueryStats(exemplar, metric, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if stats.Plan != "scan" {
+			b.Fatalf("plan = %q, want scan", stats.Plan)
+		}
+		b.ReportMetric(float64(stats.Candidates), "candidates/op")
+		report.ScanNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if report.IndexedNsOp > 0 && report.ScanNsOp > 0 {
+		report.Speedup = report.ScanNsOp / report.IndexedNsOp
+		b.ReportMetric(report.Speedup, "speedup")
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_query.json", append(blob, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_query.json not written: %v", err)
+		}
+	}
+}
+
+// BenchmarkValueQuery10k measures the planner's two ValueQuery plans on
+// the same 10k corpus (the ±ε band admits the ε·√n feature bound).
+func BenchmarkValueQuery10k(b *testing.B) {
+	indexed, scan, exemplar := queryBenchDBs(b)
+	const eps = 0.25
+	b.Run("indexed", func(b *testing.B) {
+		var stats seqrep.QueryStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			if _, stats, err = indexed.ValueQueryStats(exemplar, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(stats.Candidates), "candidates/op")
+		b.ReportMetric(float64(stats.Pruned)/float64(stats.Examined), "pruned_ratio")
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := scan.ValueQueryStats(exemplar, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkReconstruct measures evaluating a stored representation back

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"seqrep/internal/core"
+	"seqrep/internal/dist"
+	"seqrep/internal/store"
+	"seqrep/internal/synth"
+)
+
+// expQueryPlan measures the query planner's two routes over the same
+// corpus: the DFT feature index (Agrawal/Faloutsos/Swami-style
+// lower-bound pruning, zero false dismissals) against the brute-force
+// scan, for every plannable query. It prints candidates-examined/pruned
+// ratios and writes the machine-readable BENCH_query.json used to track
+// the perf trajectory.
+func expQueryPlan(out io.Writer) error {
+	const n = 2000
+	items := make([]core.BatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		first := 5 + float64(i%8)
+		second := first + 5 + float64(i%5)
+		s, err := synth.Fever(synth.FeverOpts{Samples: 97, FirstPeak: first, SecondPeak: second})
+		if err != nil {
+			return err
+		}
+		items = append(items, core.BatchItem{
+			ID:  fmt.Sprintf("fever-%05d", i),
+			Seq: s.ShiftValue(float64(i%100) * 0.05),
+		})
+	}
+	build := func(coeffs int) (*core.DB, error) {
+		db, err := core.New(core.Config{Archive: store.NewMemArchive(), IndexCoeffs: coeffs})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.IngestBatch(items); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	indexed, err := build(0) // default: index on
+	if err != nil {
+		return err
+	}
+	scan, err := build(-1) // index disabled
+	if err != nil {
+		return err
+	}
+	exemplar, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		return err
+	}
+
+	const rounds = 5
+	timeQuery := func(db *core.DB, m dist.Metric, eps float64) (time.Duration, core.QueryStats, error) {
+		var stats core.QueryStats
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			_, st, err := db.DistanceQueryStats(exemplar, m, eps)
+			if err != nil {
+				return 0, stats, err
+			}
+			stats = st
+		}
+		return time.Since(start) / rounds, stats, nil
+	}
+	timeValue := func(db *core.DB, eps float64) (time.Duration, core.QueryStats, error) {
+		var stats core.QueryStats
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			_, st, err := db.ValueQueryStats(exemplar, eps)
+			if err != nil {
+				return 0, stats, err
+			}
+			stats = st
+		}
+		return time.Since(start) / rounds, stats, nil
+	}
+
+	type row struct {
+		Query   string  `json:"query"`
+		Metric  string  `json:"metric"`
+		Eps     float64 `json:"eps"`
+		IndexUs float64 `json:"indexed_us"`
+		ScanUs  float64 `json:"scan_us"`
+		Speedup float64 `json:"speedup"`
+		Cands   int     `json:"candidates"`
+		Pruned  int     `json:"pruned"`
+		Ratio   float64 `json:"pruned_ratio"`
+		Matches int     `json:"matches"`
+	}
+	var rows []row
+	add := func(query, metric string, eps float64, it, st time.Duration, istats core.QueryStats) {
+		rows = append(rows, row{
+			Query: query, Metric: metric, Eps: eps,
+			IndexUs: float64(it.Microseconds()),
+			ScanUs:  float64(st.Microseconds()),
+			Speedup: float64(st) / float64(it),
+			Cands:   istats.Candidates,
+			Pruned:  istats.Pruned,
+			Ratio:   float64(istats.Pruned) / float64(istats.Examined),
+			Matches: istats.Matches,
+		})
+	}
+
+	for _, c := range []struct {
+		m   dist.Metric
+		eps float64
+	}{
+		{dist.Euclidean, 2},
+		{dist.ZEuclidean, 2},
+	} {
+		it, istats, err := timeQuery(indexed, c.m, c.eps)
+		if err != nil {
+			return err
+		}
+		st, _, err := timeQuery(scan, c.m, c.eps)
+		if err != nil {
+			return err
+		}
+		add("distance", c.m.Name(), c.eps, it, st, istats)
+	}
+	it, istats, err := timeValue(indexed, 0.25)
+	if err != nil {
+		return err
+	}
+	st, _, err := timeValue(scan, 0.25)
+	if err != nil {
+		return err
+	}
+	add("value", "band", 0.25, it, st, istats)
+
+	fmt.Fprintf(out, "query planner over %d sequences (feature index %d coefficients vs full scan):\n\n",
+		n, indexed.Stats().IndexCoeffs)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "query\tmetric\teps\tindexed\tscan\tspeedup\tcandidates\tpruned\tpruned%\tmatches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%g\t%.0fµs\t%.0fµs\t%.1fx\t%d\t%d\t%.1f%%\t%d\n",
+			r.Query, r.Metric, r.Eps, r.IndexUs, r.ScanUs, r.Speedup,
+			r.Cands, r.Pruned, 100*r.Ratio, r.Matches)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(map[string]any{
+		"experiment": "queryplan",
+		"sequences":  n,
+		"rows":       rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_query.json", append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(out, "\n(BENCH_query.json not written: %v)\n", err)
+		return nil
+	}
+	fmt.Fprintln(out, "\nwrote BENCH_query.json")
+	return nil
+}

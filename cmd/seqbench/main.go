@@ -45,6 +45,7 @@ var experiments = []experiment{
 	{"wavelet", "§7: feature-preserving wavelet compression", expWavelet},
 	{"multires", "§7: multiresolution analysis — features from compressed data", expMultires},
 	{"subseq", "§3: feature subsequence query vs FRM sliding-window baseline", expSubseq},
+	{"queryplan", "planner: DFT feature index vs full scan, candidates/pruned ratios", expQueryPlan},
 	{"melody", "§1 motivation: contour queries regardless of key and tempo", expMelody},
 	{"predict", "§2.3: predicting unsampled points from the representation", expPredict},
 	{"epssweep", "ablation: ε vs segments / compression / error", expEpsSweep},

@@ -283,6 +283,9 @@ func cmdQuery(args []string) error {
 			}
 		}
 		fmt.Printf("%d match(es) [%s]\n", len(res.IDs), res.Kind)
+		if res.Explain && res.Stats != nil {
+			fmt.Println(res.Stats)
+		}
 		return nil
 	}
 	switch {
@@ -399,6 +402,12 @@ func cmdStats(args []string) error {
 	fmt.Printf("total segments:  %d\n", st.Segments)
 	fmt.Printf("symbol groups:   %d\n", st.SymbolGroups)
 	fmt.Printf("interval index:  %d postings in %d buckets\n", st.IntervalCount, st.IntervalBucket)
+	if st.IndexCoeffs > 0 {
+		fmt.Printf("feature index:   %d of %d sequences, %d DFT coefficients\n",
+			st.FeatureIndexed, st.Sequences, st.IndexCoeffs)
+	} else {
+		fmt.Printf("feature index:   disabled\n")
+	}
 	if st.StoredFloats > 0 {
 		fmt.Printf("compression:     %.1fx (samples vs stored floats)\n",
 			float64(st.Samples)/float64(st.StoredFloats))

@@ -12,6 +12,7 @@
 //	seqdb query    -db db.bin -pattern "U+F*D"
 //	seqdb query    -db db.bin -peaks 2 -tol 1
 //	seqdb query    -db db.bin -interval 135 -eps 2
+//	seqdb query    -db db.bin -q 'EXPLAIN MATCH DISTANCE LIKE ecg1 METRIC l2 EPS 3'
 //	seqdb stats    -db db.bin
 //
 // The database file is created on first ingest. Scalar parameters

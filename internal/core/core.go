@@ -73,6 +73,12 @@ type Config struct {
 	// Workers bounds the concurrency of IngestBatch and of the parallel
 	// query scans (default runtime.GOMAXPROCS(0)).
 	Workers int
+	// IndexCoeffs is the number of leading DFT coefficients kept per
+	// sequence in the feature index that accelerates DistanceQuery (l2,
+	// zl2 metrics) and ValueQuery through lower-bound candidate pruning
+	// (default 8, i.e. 16-dimensional feature vectors; negative disables
+	// the index and every query runs as a shard-parallel scan).
+	IndexCoeffs int
 }
 
 func (c *Config) withDefaults() Config {
@@ -95,6 +101,9 @@ func (c *Config) withDefaults() Config {
 	if out.Workers == 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
+	if out.IndexCoeffs == 0 {
+		out.IndexCoeffs = 8
+	}
 	return out
 }
 
@@ -106,6 +115,14 @@ type Record struct {
 	N       int // original sample count
 	Rep     *rep.FunctionSeries
 	Profile *feature.Profile
+
+	// feats and zfeats are the record's DFT feature vectors over its
+	// comparison form and the z-normalized comparison form, computed once
+	// at build time for the feature index (nil when the index is disabled
+	// or the comparison form could not be read — such records are never
+	// pruned). Immutable after commit, like everything else here.
+	feats  []float64
+	zfeats []float64
 }
 
 // shard is one lock stripe of the record store. pending holds ids whose
@@ -168,6 +185,12 @@ type DB struct {
 	// peak-interval inverted file, and the symbol-string groups. A
 	// sequence enters these indexes only after its record is committed
 	// to its shard, so index readers never observe a half-built record.
+	// findex is the sharded DFT feature index behind the query planner
+	// (nil when Config.IndexCoeffs < 0). It has its own lock stripes,
+	// which are leaf locks: they may be taken while holding imu (link)
+	// but never the other way around.
+	findex *featIndex
+
 	imu     sync.RWMutex
 	ids     []string // sorted
 	rrIndex *inverted.Index
@@ -203,13 +226,17 @@ func New(cfg Config) (*DB, error) {
 			pending: make(map[string]struct{}),
 		}
 	}
-	return &DB{
+	db := &DB{
 		cfg:      c,
 		seed:     maphash.MakeSeed(),
 		shards:   shards,
 		rrIndex:  ix,
 		symIndex: make(map[string][]string),
-	}, nil
+	}
+	if c.IndexCoeffs > 0 {
+		db.findex = newFeatIndex(c.IndexCoeffs, c.Shards, db.seed)
+	}
+	return db, nil
 }
 
 // shardOf maps a sequence id onto its lock stripe.
@@ -280,7 +307,16 @@ func (db *DB) build(id string, s seq.Sequence) (*Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: extracting features of %q: %w", id, err)
 	}
-	return &Record{ID: id, N: len(s), Rep: fs, Profile: profile}, nil
+	rec := &Record{ID: id, N: len(s), Rep: fs, Profile: profile}
+	if db.findex != nil {
+		// The DFT feature vectors are part of the build so they, too, run
+		// outside every lock; s is the raw sequence just archived, saving
+		// the archive round-trip.
+		if vals, ok := db.comparisonValues(rec, s); ok {
+			db.findex.computeFeatures(rec, vals)
+		}
+	}
+	return rec, nil
 }
 
 // link publishes a committed record to the global query indexes. On an
@@ -297,6 +333,9 @@ func (db *DB) link(rec *Record) error {
 	}
 	db.ids = insertSorted(db.ids, rec.ID)
 	db.symIndex[rec.Profile.Symbols] = insertSorted(db.symIndex[rec.Profile.Symbols], rec.ID)
+	if db.findex != nil {
+		db.findex.add(rec)
+	}
 	return nil
 }
 
@@ -417,6 +456,9 @@ func (db *DB) Remove(id string) error {
 	if len(db.symIndex[syms]) == 0 {
 		delete(db.symIndex, syms)
 	}
+	if db.findex != nil {
+		db.findex.remove(rec)
+	}
 	db.imu.Unlock()
 
 	if db.cfg.Archive != nil {
@@ -457,6 +499,8 @@ type Stats struct {
 	IntervalCount  int // postings in the interval index
 	IntervalBucket int // occupied interval buckets
 	Shards         int // lock stripes in the record store
+	IndexCoeffs    int // DFT coefficients per feature vector (0 = index disabled)
+	FeatureIndexed int // sequences carrying feature vectors in the query-planner index
 }
 
 // Stats returns a snapshot of database-wide counters. Counters are read
@@ -471,6 +515,10 @@ func (db *DB) Stats() Stats {
 		Shards:         len(db.shards),
 	}
 	db.imu.RUnlock()
+	if db.findex != nil {
+		st.IndexCoeffs = db.findex.k
+		st.FeatureIndexed = db.findex.indexedCount()
+	}
 	for _, sh := range db.shards {
 		sh.mu.RLock()
 		st.Sequences += len(sh.records)

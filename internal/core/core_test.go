@@ -345,7 +345,7 @@ func TestStats(t *testing.T) {
 		t.Errorf("interval index empty: %+v", st)
 	}
 	empty := mustDB(t, Config{})
-	if got := empty.Stats(); got != (Stats{Shards: 16}) {
+	if got := empty.Stats(); got != (Stats{Shards: 16, IndexCoeffs: 8}) {
 		t.Errorf("empty stats = %+v", got)
 	}
 }

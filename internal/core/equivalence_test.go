@@ -1,0 +1,240 @@
+package core
+
+// The planner's contract: both plans of a routed query return
+// byte-identical match sets — the feature index prunes but never
+// dismisses a true match. These tests check the contract on randomized
+// workloads across every breaker × every metric × archive on/off, and
+// under concurrent Ingest/Remove churn (run them with -race).
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"seqrep/internal/breaking"
+	"seqrep/internal/dist"
+	"seqrep/internal/seq"
+	"seqrep/internal/store"
+)
+
+// smoothWalk builds a random but breaker-friendly sequence: a random walk
+// whose step size is small against the breaking tolerance, riding on a
+// slow oscillation so peaks and slope changes exist.
+func smoothWalk(rng *rand.Rand, n int) seq.Sequence {
+	vals := make([]float64, n)
+	level := 10 * rng.Float64()
+	for i := range vals {
+		level += 0.4 * (rng.Float64() - 0.5)
+		vals[i] = level + 3*float64(i%16)/16.0
+	}
+	return seq.New(vals)
+}
+
+// jitter returns a copy of s with per-sample noise of the given scale, so
+// workloads contain near-duplicate families the interesting tolerances
+// separate.
+func jitter(rng *rand.Rand, s seq.Sequence, scale float64) seq.Sequence {
+	out := s.Clone()
+	for i := range out {
+		out[i].V += scale * (rng.Float64() - 0.5)
+	}
+	return out
+}
+
+// equivalenceWorkload ingests a mixed-length corpus: two near-duplicate
+// families plus singletons at the query length, and a handful of
+// sequences at a different length.
+func equivalenceWorkload(t *testing.T, db *DB, rng *rand.Rand, n int) (exemplar seq.Sequence) {
+	t.Helper()
+	baseA := smoothWalk(rng, n)
+	baseB := smoothWalk(rng, n)
+	for i := 0; i < 8; i++ {
+		mustIngest(t, db, fmt.Sprintf("a-%02d", i), jitter(rng, baseA, 0.2))
+		mustIngest(t, db, fmt.Sprintf("b-%02d", i), jitter(rng, baseB, 0.2))
+	}
+	for i := 0; i < 6; i++ {
+		mustIngest(t, db, fmt.Sprintf("solo-%02d", i), smoothWalk(rng, n))
+	}
+	for i := 0; i < 4; i++ {
+		mustIngest(t, db, fmt.Sprintf("short-%02d", i), smoothWalk(rng, n/2))
+	}
+	return jitter(rng, baseA, 0.1)
+}
+
+func breakersUnderTest() map[string]breaking.Breaker {
+	return map[string]breaking.Breaker{
+		"interpolation": breaking.Interpolation(0.5),
+		"regression":    breaking.Regression(0.5),
+		"bezier":        breaking.Bezier(0.5),
+		"dp":            &breaking.DP{SegmentCost: 10, ErrorWeight: 1},
+		"online":        breaking.NewOnline(0.5),
+	}
+}
+
+// TestIndexedQueryEquivalence is the zero-false-dismissal property suite:
+// for every breaker, with and without an archive, under every built-in
+// metric and a spread of tolerances, the planner's answer must equal the
+// brute-force scan's exactly — ids, deviations, exactness and order.
+func TestIndexedQueryEquivalence(t *testing.T) {
+	epsCands := []float64{0, 0.3, 1, 4, 16, 64}
+	totalPruned := 0
+	for name, br := range breakersUnderTest() {
+		for _, archived := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/archive=%v", name, archived), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(len(name)) * 7779))
+				cfg := Config{Breaker: br}
+				if archived {
+					cfg.Archive = store.NewMemArchive()
+				}
+				db := mustDB(t, cfg)
+				exemplar := equivalenceWorkload(t, db, rng, 64)
+
+				for _, m := range dist.Metrics() {
+					for _, eps := range epsCands {
+						indexed, istats, err := db.DistanceQueryStats(exemplar, m, eps)
+						if err != nil {
+							t.Fatalf("indexed %s eps=%g: %v", m.Name(), eps, err)
+						}
+						scanned, _, err := db.distanceScan(exemplar, m, eps)
+						if err != nil {
+							t.Fatalf("scan %s eps=%g: %v", m.Name(), eps, err)
+						}
+						if !reflect.DeepEqual(indexed, scanned) {
+							t.Errorf("%s eps=%g: indexed %+v != scan %+v", m.Name(), eps, indexed, scanned)
+						}
+						switch m.Name() {
+						case "l2", "zl2":
+							if istats.Plan != PlanIndex {
+								t.Errorf("%s: plan = %q, want index", m.Name(), istats.Plan)
+							}
+							if istats.Candidates+istats.Pruned != istats.Examined {
+								t.Errorf("%s: stats don't add up: %+v", m.Name(), istats)
+							}
+							totalPruned += istats.Pruned
+						default:
+							if istats.Plan != PlanScan {
+								t.Errorf("%s: plan = %q, want scan", m.Name(), istats.Plan)
+							}
+						}
+					}
+				}
+
+				for _, eps := range epsCands {
+					indexed, istats, err := db.ValueQueryStats(exemplar, eps)
+					if err != nil {
+						t.Fatalf("indexed value eps=%g: %v", eps, err)
+					}
+					scanned, _, err := db.valueScan(exemplar, eps)
+					if err != nil {
+						t.Fatalf("scan value eps=%g: %v", eps, err)
+					}
+					if !reflect.DeepEqual(indexed, scanned) {
+						t.Errorf("value eps=%g: indexed %+v != scan %+v", eps, indexed, scanned)
+					}
+					if istats.Plan != PlanIndex {
+						t.Errorf("value: plan = %q, want index", istats.Plan)
+					}
+					totalPruned += istats.Pruned
+				}
+			})
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("no query ever pruned a candidate: the suite is not exercising the index")
+	}
+}
+
+// TestIndexedQueryEquivalenceConcurrentChurn interleaves the equivalence
+// check with concurrent Ingest/Remove churn on a disjoint id space. The
+// two plans snapshot at different instants, so churned ids may
+// legitimately differ between them — but the stable ids must agree
+// exactly in every pair of answers, and fully once the churn stops.
+func TestIndexedQueryEquivalenceConcurrentChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := mustDB(t, Config{Archive: store.NewMemArchive(), IndexCoeffs: 4})
+	base := smoothWalk(rng, 64)
+	for i := 0; i < 16; i++ {
+		mustIngest(t, db, fmt.Sprintf("base-%02d", i), jitter(rng, base, 0.2))
+	}
+	exemplar := jitter(rng, base, 0.1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			churnRng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("churn-%d-%d", w, i)
+				if err := db.Ingest(id, jitter(churnRng, base, 0.2)); err != nil {
+					t.Errorf("churn ingest: %v", err)
+					return
+				}
+				if err := db.Remove(id); err != nil {
+					t.Errorf("churn remove: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	stable := func(matches []Match) []Match {
+		out := make([]Match, 0, len(matches))
+		for _, m := range matches {
+			if len(m.ID) >= 5 && m.ID[:5] == "base-" {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	for i := 0; i < 40; i++ {
+		eps := float64(i%5) * 2
+		indexed, _, err := db.DistanceQueryStats(exemplar, dist.Euclidean, eps)
+		if err != nil {
+			t.Fatalf("indexed: %v", err)
+		}
+		scanned, _, err := db.distanceScan(exemplar, dist.Euclidean, eps)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if got, want := stable(indexed), stable(scanned); !reflect.DeepEqual(got, want) {
+			t.Fatalf("eps=%g: stable sets diverge: indexed %+v, scan %+v", eps, got, want)
+		}
+		vIndexed, _, err := db.ValueQueryStats(exemplar, eps)
+		if err != nil {
+			t.Fatalf("indexed value: %v", err)
+		}
+		vScanned, _, err := db.valueScan(exemplar, eps)
+		if err != nil {
+			t.Fatalf("scan value: %v", err)
+		}
+		if got, want := stable(vIndexed), stable(vScanned); !reflect.DeepEqual(got, want) {
+			t.Fatalf("value eps=%g: stable sets diverge: indexed %+v, scan %+v", eps, got, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: full equivalence, no filtering.
+	for _, eps := range []float64{0, 1, 8, 64} {
+		indexed, _, err := db.DistanceQueryStats(exemplar, dist.ZEuclidean, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, _, err := db.distanceScan(exemplar, dist.ZEuclidean, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Errorf("quiesced eps=%g: indexed %+v != scan %+v", eps, indexed, scanned)
+		}
+	}
+}

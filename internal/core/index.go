@@ -1,0 +1,148 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"seqrep/internal/dft"
+	"seqrep/internal/dist"
+	"seqrep/internal/seq"
+)
+
+// featIndex is the DB's whole-sequence DFT feature index: per sequence,
+// the first-IndexCoeffs-DFT-coefficient feature vectors of the comparison
+// form (the exact samples queries verify against — archive raws when an
+// archive is configured, representation reconstructions otherwise) and of
+// its z-normalized variant. By Parseval the Euclidean distance between
+// two feature vectors lower-bounds the Euclidean distance between the
+// underlying sample vectors, so the planner can discard sequences whose
+// feature distance already exceeds a query's tolerance without reading
+// them — with zero false dismissals (the Agrawal/Faloutsos/Swami
+// F-index guarantee; see internal/dft).
+//
+// The index is lock-striped like the record store, and grouped by
+// sequence length within each stripe because whole-sequence queries only
+// ever compare equal lengths. Every committed record of the database is
+// present in its length group; a record whose comparison form could not
+// be read at build time carries nil feature vectors and is simply never
+// pruned. Mutations follow the record store: link adds, Remove deletes.
+type featIndex struct {
+	k       int // DFT coefficient count (feature vectors are 2k wide)
+	seed    maphash.Seed
+	stripes []*featStripe
+}
+
+type featStripe struct {
+	mu    sync.RWMutex
+	byLen map[int]map[string]*Record
+}
+
+func newFeatIndex(k, stripes int, seed maphash.Seed) *featIndex {
+	ix := &featIndex{k: k, seed: seed, stripes: make([]*featStripe, stripes)}
+	for i := range ix.stripes {
+		ix.stripes[i] = &featStripe{byLen: make(map[int]map[string]*Record)}
+	}
+	return ix
+}
+
+func (ix *featIndex) stripeOf(id string) *featStripe {
+	return ix.stripes[maphash.String(ix.seed, id)%uint64(len(ix.stripes))]
+}
+
+// add registers a committed record under its comparison length. Records
+// are immutable after commit, so the index stores the pointer.
+func (ix *featIndex) add(rec *Record) {
+	st := ix.stripeOf(rec.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	group := st.byLen[rec.N]
+	if group == nil {
+		group = make(map[string]*Record)
+		st.byLen[rec.N] = group
+	}
+	group[rec.ID] = rec
+}
+
+// remove drops a record from its length group.
+func (ix *featIndex) remove(rec *Record) {
+	st := ix.stripeOf(rec.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	group := st.byLen[rec.N]
+	delete(group, rec.ID)
+	if len(group) == 0 {
+		delete(st.byLen, rec.N)
+	}
+}
+
+// snapshotLen copies the record pointers of one length group, stripe by
+// stripe, for lock-free filtering (mirrors DB.snapshotRecords).
+func (ix *featIndex) snapshotLen(n int) [][]*Record {
+	out := make([][]*Record, len(ix.stripes))
+	for i, st := range ix.stripes {
+		st.mu.RLock()
+		group := st.byLen[n]
+		recs := make([]*Record, 0, len(group))
+		for _, rec := range group {
+			recs = append(recs, rec)
+		}
+		st.mu.RUnlock()
+		out[i] = recs
+	}
+	return out
+}
+
+// indexedCount reports how many records carry feature vectors.
+func (ix *featIndex) indexedCount() int {
+	n := 0
+	for _, st := range ix.stripes {
+		st.mu.RLock()
+		for _, group := range st.byLen {
+			for _, rec := range group {
+				if rec.feats != nil {
+					n++
+				}
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// computeFeatures derives a record's feature vectors from its comparison
+// form. vals must be the exact samples queries verify the record against.
+func (ix *featIndex) computeFeatures(rec *Record, vals []float64) {
+	feats, err := dft.Features(vals, ix.k)
+	if err != nil {
+		return // k is validated at construction; defensive only
+	}
+	zfeats, err := dft.Features(dist.ZNormalizeValues(vals), ix.k)
+	if err != nil {
+		return
+	}
+	rec.feats, rec.zfeats = feats, zfeats
+}
+
+// comparisonValues returns the samples queries verify rec against: the
+// archived raw sequence when an archive is configured, the representation
+// reconstruction otherwise. The bool reports success; on failure the
+// record stays unindexed (nil features) and is always a verification
+// candidate, so the planner's behaviour degrades to the scan's for
+// exactly the records the scan would also have trouble reading.
+func (db *DB) comparisonValues(rec *Record, raw seq.Sequence) ([]float64, bool) {
+	if db.cfg.Archive != nil {
+		if raw == nil {
+			got, err := db.cfg.Archive.Get(rec.ID)
+			if err != nil {
+				return nil, false
+			}
+			raw = got
+		}
+		return raw.Values(), true
+	}
+	rec2, err := rec.Rep.Reconstruct()
+	if err != nil {
+		return nil, false
+	}
+	return rec2.Values(), true
+}

@@ -11,24 +11,61 @@ import (
 	"seqrep/internal/rep"
 )
 
-// Database snapshot format. Only the representations are persisted —
-// features and indexes are cheap to rebuild and doing so guarantees a
-// loaded database always agrees with its configuration.
+// Database snapshot format. Representations and the query-planner feature
+// vectors are persisted — the symbol/interval indexes are cheap to rebuild
+// and doing so guarantees a loaded database always agrees with its
+// configuration, but the feature vectors are kept because they may derive
+// from archived raws the loading process cannot necessarily re-read (and
+// reloading must not change what the planner prunes).
 //
-//	magic   "SDB1" (4 bytes)
+//	magic   "SDB2" (4 bytes)
 //	epsilon f64
 //	delta   f64
 //	bucket  f64
+//	icoeffs i64 (IndexCoeffs; <= 0 means the feature index was disabled)
+//	fsource u8  (comparison source of the feature vectors: featSource*)
 //	count   u32
 //	per record:
 //	  idLen u16, id bytes
 //	  blobLen u32, FunctionSeries blob
-var dbMagic = [4]byte{'S', 'D', 'B', '1'}
+//	  featLen u32, featLen f64s   (0 = record had no feature vector)
+//	  zfeatLen u32, zfeatLen f64s
+//
+// Loading also accepts the legacy "SDB1" layout (no icoeffs, no feature
+// vectors); feature vectors are then rebuilt from each record's
+// comparison form.
+var (
+	dbMagic   = [4]byte{'S', 'D', 'B', '2'}
+	dbMagicV1 = [4]byte{'S', 'D', 'B', '1'}
+)
 
-// SaveTo writes a snapshot of every stored representation. The snapshot
-// is a point-in-time copy: records are collected from the sorted id list
-// first, so a save running concurrently with writes sees each sequence
-// either fully or not at all.
+// Feature vectors lower-bound distances against the comparison form they
+// were computed from, so a snapshot records which source that was. A
+// load whose configuration implies a different source must rebuild the
+// vectors — restoring them verbatim would prune against one form while
+// verifying against another, which can falsely dismiss true matches.
+const (
+	featSourceNone    = 0 // index disabled, no vectors
+	featSourceArchive = 1 // archived raw samples
+	featSourceRecon   = 2 // representation reconstructions
+)
+
+// featSource names the comparison source the db's vectors derive from.
+func (db *DB) featSource() byte {
+	switch {
+	case db.findex == nil:
+		return featSourceNone
+	case db.cfg.Archive != nil:
+		return featSourceArchive
+	default:
+		return featSourceRecon
+	}
+}
+
+// SaveTo writes a snapshot of every stored representation and its feature
+// vectors. The snapshot is a point-in-time copy: records are collected
+// from the sorted id list first, so a save running concurrently with
+// writes sees each sequence either fully or not at all.
 func (db *DB) SaveTo(w io.Writer) error {
 	recs := make([]*Record, 0, db.Len())
 	for _, id := range db.IDs() {
@@ -46,6 +83,17 @@ func (db *DB) SaveTo(w io.Writer) error {
 		if _, err := bw.Write(f64[:]); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
+	}
+	icoeffs := int64(db.cfg.IndexCoeffs)
+	if db.findex == nil {
+		icoeffs = -1
+	}
+	binary.LittleEndian.PutUint64(f64[:], uint64(icoeffs))
+	if _, err := bw.Write(f64[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := bw.WriteByte(db.featSource()); err != nil {
+		return fmt.Errorf("core: save: %w", err)
 	}
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(recs)))
@@ -76,6 +124,18 @@ func (db *DB) SaveTo(w io.Writer) error {
 		if _, err := bw.Write(blob); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
+		for _, vec := range [][]float64{rec.feats, rec.zfeats} {
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(vec)))
+			if _, err := bw.Write(u32[:]); err != nil {
+				return fmt.Errorf("core: save: %w", err)
+			}
+			for _, v := range vec {
+				binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+				if _, err := bw.Write(f64[:]); err != nil {
+					return fmt.Errorf("core: save: %w", err)
+				}
+			}
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("core: save: %w", err)
@@ -84,9 +144,12 @@ func (db *DB) SaveTo(w io.Writer) error {
 }
 
 // Load reads a snapshot into a fresh database. The snapshot's scalar
-// parameters (ε, δ, bucket width) are restored; breaker, representer,
-// preprocessing and archive come from cfg since they are code, not data.
-// Features and the interval index are rebuilt from the representations.
+// parameters (ε, δ, bucket width, index coefficient count) are restored;
+// breaker, representer, preprocessing and archive come from cfg since
+// they are code, not data. Features and the interval index are rebuilt
+// from the representations; the query-planner feature vectors are
+// restored verbatim (current snapshots) or rebuilt from each record's
+// comparison form (legacy SDB1 snapshots).
 //
 // Snapshots do not carry raw sequences: those live in the archive. When
 // cfg supplies a persistent archive (e.g. a FileArchive over the same
@@ -98,7 +161,8 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: load magic: %w", err)
 	}
-	if magic != dbMagic {
+	legacy := magic == dbMagicV1
+	if magic != dbMagic && !legacy {
 		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
 	}
 	var f64 [8]byte
@@ -110,10 +174,38 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 		scalars[i] = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
 	}
 	cfg.Epsilon, cfg.Delta, cfg.BucketWidth = scalars[0], scalars[1], scalars[2]
+	var source byte
+	if !legacy {
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return nil, fmt.Errorf("core: load index coefficients: %w", err)
+		}
+		icoeffs := int64(binary.LittleEndian.Uint64(f64[:]))
+		const maxCoeffs = 1 << 20
+		if icoeffs > maxCoeffs {
+			return nil, fmt.Errorf("core: implausible index coefficient count %d", icoeffs)
+		}
+		if icoeffs <= 0 {
+			cfg.IndexCoeffs = -1
+		} else {
+			cfg.IndexCoeffs = int(icoeffs)
+		}
+		var b [1]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("core: load feature source: %w", err)
+		}
+		source = b[0]
+		if source > featSourceRecon {
+			return nil, fmt.Errorf("core: unknown feature-vector source %d", source)
+		}
+	}
 	db, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	// Stored vectors are only sound against the comparison form this
+	// configuration will verify with; on a source mismatch (archive added
+	// or dropped since the save) they are discarded and rebuilt by adopt.
+	restoreVectors := source == db.featSource()
 
 	var u32 [4]byte
 	if _, err := io.ReadFull(br, u32[:]); err != nil {
@@ -154,17 +246,61 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 		if err := fs.UnmarshalBinary(blob); err != nil {
 			return nil, fmt.Errorf("core: load %q: %w", id, err)
 		}
-		if err := db.adopt(id, &fs); err != nil {
+		var feats, zfeats []float64
+		if !legacy {
+			if feats, err = loadVector(br, db, id); err != nil {
+				return nil, err
+			}
+			if zfeats, err = loadVector(br, db, id); err != nil {
+				return nil, err
+			}
+			if !restoreVectors {
+				feats, zfeats = nil, nil
+			}
+		}
+		if err := db.adopt(id, &fs, feats, zfeats); err != nil {
 			return nil, err
 		}
 	}
 	return db, nil
 }
 
+// loadVector reads one length-prefixed feature vector, validating its
+// width against the database's coefficient count (real vectors are always
+// 2·IndexCoeffs wide; 0 marks an absent vector).
+func loadVector(br io.Reader, db *DB, id string) ([]float64, error) {
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, fmt.Errorf("core: load %q feature length: %w", id, err)
+	}
+	n := binary.LittleEndian.Uint32(u32[:])
+	if n == 0 {
+		return nil, nil
+	}
+	want := 0
+	if db.findex != nil {
+		want = 2 * db.findex.k
+	}
+	if int(n) != want {
+		return nil, fmt.Errorf("core: load %q: feature vector has %d entries, want %d", id, n, want)
+	}
+	vec := make([]float64, n)
+	var f64 [8]byte
+	for i := range vec {
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return nil, fmt.Errorf("core: load %q feature vector: %w", id, err)
+		}
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+	}
+	return vec, nil
+}
+
 // adopt installs an already-built representation, rebuilding features and
 // index postings (used by Load). It follows the same reserve → commit →
-// link protocol as Ingest.
-func (db *DB) adopt(id string, fs *rep.FunctionSeries) error {
+// link protocol as Ingest. Snapshot-supplied feature vectors are restored
+// verbatim; with none (legacy snapshots), the vectors are recomputed from
+// the record's comparison form.
+func (db *DB) adopt(id string, fs *rep.FunctionSeries, feats, zfeats []float64) error {
 	profile, err := feature.Extract(fs, db.cfg.Delta)
 	if err != nil {
 		return fmt.Errorf("core: adopting %q: %w", id, err)
@@ -173,7 +309,12 @@ func (db *DB) adopt(id string, fs *rep.FunctionSeries) error {
 	if !sh.reserve(id) {
 		return fmt.Errorf("core: duplicate id %q in snapshot", id)
 	}
-	rec := &Record{ID: id, N: fs.N, Rep: fs, Profile: profile}
+	rec := &Record{ID: id, N: fs.N, Rep: fs, Profile: profile, feats: feats, zfeats: zfeats}
+	if db.findex != nil && rec.feats == nil {
+		if vals, ok := db.comparisonValues(rec, nil); ok {
+			db.findex.computeFeatures(rec, vals)
+		}
+	}
 	sh.commit(rec)
 	if err := db.link(rec); err != nil {
 		sh.drop(id)

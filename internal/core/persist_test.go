@@ -2,9 +2,15 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
 	"testing"
 
+	"seqrep/internal/dist"
 	"seqrep/internal/pattern"
+	"seqrep/internal/store"
+	"seqrep/internal/synth"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -83,12 +89,179 @@ func TestLoadRejectsCorruption(t *testing.T) {
 }
 
 func TestLoadHugeCountRejected(t *testing.T) {
-	// magic + 3 scalars + count 0xffffffff
+	// magic + 3 scalars + icoeffs + fsource + count 0xffffffff. Zero
+	// stored coefficients mean "index disabled", which Load must
+	// tolerate.
 	blob := append([]byte{}, dbMagic[:]...)
-	blob = append(blob, make([]byte, 24)...)
+	blob = append(blob, make([]byte, 33)...)
 	blob = append(blob, 0xff, 0xff, 0xff, 0xff)
 	if _, err := Load(bytes.NewReader(blob), Config{}); err == nil {
 		t.Error("huge record count accepted")
+	}
+}
+
+// TestSaveLoadPreservesFeatureIndex is the planner's persistence
+// contract: a reloaded database answers indexed queries with the same
+// matches and the same plan statistics, without recomputing a single
+// feature vector (no archive reads during Load).
+func TestSaveLoadPreservesFeatureIndex(t *testing.T) {
+	counting := store.NewCountingArchive(store.NewMemArchive())
+	db := mustDB(t, Config{Archive: counting})
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "fever", fever)
+	mustIngest(t, db, "near", fever.ShiftValue(0.05))
+	mustIngest(t, db, "far", fever.ShiftValue(50))
+
+	exemplar := fever.Clone()
+	before, beforeStats, err := db.DistanceQueryStats(exemplar, dist.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	counting.ResetStats()
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{Archive: counting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads := counting.Stats().Reads; reads != 0 {
+		t.Errorf("Load read the archive %d times: feature vectors were rebuilt, not restored", reads)
+	}
+	if got, want := loaded.Stats().FeatureIndexed, db.Stats().FeatureIndexed; got != want {
+		t.Errorf("FeatureIndexed = %d after load, want %d", got, want)
+	}
+
+	after, afterStats, err := loaded.DistanceQueryStats(exemplar, dist.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("matches changed across the round trip: %+v vs %+v", before, after)
+	}
+	if beforeStats != afterStats {
+		t.Errorf("stats changed across the round trip: %+v vs %+v", beforeStats, afterStats)
+	}
+	if afterStats.Plan != PlanIndex || afterStats.Pruned == 0 {
+		t.Errorf("loaded planner stats: %+v", afterStats)
+	}
+}
+
+// TestLoadRebuildsVectorsOnComparisonSourceChange covers the unsound
+// case: a snapshot saved from an archive-backed database (vectors over
+// raw samples) loaded without an archive (verification over
+// reconstructions). Restoring the raw-derived vectors verbatim would
+// prune against one form and verify against another — a false
+// dismissal. Load must rebuild instead, keeping the plans equivalent.
+func TestLoadRebuildsVectorsOnComparisonSourceChange(t *testing.T) {
+	db := mustDB(t, Config{Archive: store.NewMemArchive()})
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "fever", fever)
+	mustIngest(t, db, "far", fever.ShiftValue(50))
+
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{}) // no archive
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact reconstruction must match itself at every tolerance on
+	// both plans.
+	reconstruction, err := loaded.Reconstruct("fever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0, 0.001, 0.01, 0.1, 1} {
+		indexed, istats, err := loaded.DistanceQueryStats(reconstruction, dist.Euclidean, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, _, err := loaded.distanceScan(reconstruction, dist.Euclidean, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Fatalf("eps=%g: indexed %+v != scan %+v (stale raw-derived vectors?)", eps, indexed, scanned)
+		}
+		if istats.Plan != PlanIndex {
+			t.Errorf("eps=%g: plan = %q, want index", eps, istats.Plan)
+		}
+		if len(indexed) == 0 {
+			t.Fatalf("eps=%g: self-match dismissed", eps)
+		}
+	}
+	if got := loaded.Stats().FeatureIndexed; got != 2 {
+		t.Errorf("FeatureIndexed = %d, want 2 (rebuilt from reconstructions)", got)
+	}
+}
+
+// TestLoadLegacySnapshotRebuildsFeatures feeds Load a hand-built SDB1
+// stream (the pre-feature-index layout) and checks the feature vectors
+// are rebuilt from the representations so the planner still prunes.
+func TestLoadLegacySnapshotRebuildsFeatures(t *testing.T) {
+	db := mustDB(t, Config{})
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "fever", fever)
+	mustIngest(t, db, "far", fever.ShiftValue(50))
+
+	var buf bytes.Buffer
+	buf.Write(dbMagicV1[:])
+	var f64 [8]byte
+	for _, v := range []float64{db.cfg.Epsilon, db.cfg.Delta, db.cfg.BucketWidth} {
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+		buf.Write(f64[:])
+	}
+	ids := db.IDs()
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(ids)))
+	buf.Write(u32[:])
+	for _, id := range ids {
+		rec, _ := db.Record(id)
+		var u16 [2]byte
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(id)))
+		buf.Write(u16[:])
+		buf.WriteString(id)
+		blob, err := rec.Rep.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(blob)))
+		buf.Write(u32[:])
+		buf.Write(blob)
+	}
+
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if got := loaded.Stats().FeatureIndexed; got != 2 {
+		t.Errorf("FeatureIndexed = %d, want 2 (rebuilt)", got)
+	}
+	reconstructed, err := loaded.Reconstruct("fever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := loaded.DistanceQueryStats(reconstructed, dist.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != PlanIndex || stats.Pruned == 0 {
+		t.Errorf("legacy-loaded planner did not prune: %+v", stats)
 	}
 }
 

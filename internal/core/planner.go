@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"seqrep/internal/dft"
+	"seqrep/internal/dist"
+	"seqrep/internal/seq"
+)
+
+// Plan names for QueryStats.Plan.
+const (
+	// PlanIndex is the feature-index route: lower-bound pruning over the
+	// DFT feature table, exact verification of the survivors only.
+	PlanIndex = "index"
+	// PlanScan is the shard-parallel full scan.
+	PlanScan = "scan"
+)
+
+// QueryStats reports how a query was executed: which plan the planner
+// chose and how much work each stage did. Candidates + Pruned = Examined
+// on the index plan; the scan plan verifies every length-matching record
+// (Pruned stays 0).
+type QueryStats struct {
+	// Query is the query family: "distance" or "value".
+	Query string
+	// Metric is the distance metric name ("band" for ValueQuery's ±ε
+	// semantics).
+	Metric string
+	// Plan is PlanIndex or PlanScan.
+	Plan string
+	// Examined counts the records the plan looked at: length-matching
+	// records on the index plan, all records on the scan plan.
+	Examined int
+	// Candidates counts the records whose exact samples were compared.
+	Candidates int
+	// Pruned counts the records eliminated by the feature lower bound
+	// without reading their samples.
+	Pruned int
+	// Matches counts the results returned.
+	Matches int
+}
+
+// String renders the stats as one EXPLAIN-style line.
+func (st QueryStats) String() string {
+	return fmt.Sprintf("plan=%s query=%s metric=%s examined=%d candidates=%d pruned=%d matches=%d",
+		st.Plan, st.Query, st.Metric, st.Examined, st.Candidates, st.Pruned, st.Matches)
+}
+
+// lowerBound is one metric's pruning rule on the feature index: the query
+// feature vector, the feature-space threshold, and which of a record's
+// stored vectors to compare against.
+type lowerBound struct {
+	qf    []float64
+	bound float64
+	feats func(*Record) []float64
+}
+
+// lbSlack widens a lower-bound threshold by a whisker of floating-point
+// headroom: the no-false-dismissal guarantee is exact in real arithmetic,
+// and the slack keeps DFT rounding at the decision boundary from ever
+// turning it into a dismissal.
+func lbSlack(bound float64) float64 { return bound*(1+1e-9) + 1e-12 }
+
+// distanceLowerBound returns the feature-space pruning rule for metric m
+// on this exemplar, or ok=false when m admits no valid lower bound from
+// the stored features and the planner must scan.
+//
+// The metric is recognized by its canonical name, and the rule is sound
+// for the built-in semantics bearing that name:
+//
+//   - "l2": feature distance lower-bounds Euclidean distance (Parseval).
+//   - "zl2": the same bound over the z-normalized feature vectors.
+//
+// L1 and L∞ fall through — the feature distance lower-bounds L2, which
+// neither bounds L∞ from below nor is worth routing for L1 — as do the
+// length-normalized variants and any custom metric.
+func (db *DB) distanceLowerBound(exemplar seq.Sequence, m dist.Metric, eps float64) (lowerBound, bool) {
+	k := db.findex.k
+	switch m.Name() {
+	case dist.Euclidean.Name():
+		qf, err := dft.Features(exemplar.Values(), k)
+		if err != nil {
+			return lowerBound{}, false
+		}
+		return lowerBound{qf: qf, bound: lbSlack(eps), feats: func(r *Record) []float64 { return r.feats }}, true
+	case dist.ZEuclidean.Name():
+		qf, err := dft.Features(dist.ZNormalizeValues(exemplar.Values()), k)
+		if err != nil {
+			return lowerBound{}, false
+		}
+		return lowerBound{qf: qf, bound: lbSlack(eps), feats: func(r *Record) []float64 { return r.zfeats }}, true
+	}
+	return lowerBound{}, false
+}
+
+// DistanceQueryStats is DistanceQuery plus execution statistics. The
+// planner routes metrics with a feature-space lower bound (l2, zl2)
+// through the index — pruning candidates whose feature distance already
+// exceeds the tolerance, then verifying survivors exactly — and falls
+// back to the shard-parallel scan for everything else. Both plans return
+// byte-identical match sets.
+func (db *DB) DistanceQueryStats(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, QueryStats, error) {
+	if len(exemplar) == 0 {
+		return nil, QueryStats{}, fmt.Errorf("core: empty exemplar")
+	}
+	if m == nil {
+		return nil, QueryStats{}, fmt.Errorf("core: nil metric")
+	}
+	if eps < 0 {
+		return nil, QueryStats{}, fmt.Errorf("core: negative tolerance %g", eps)
+	}
+	if db.findex != nil {
+		if lb, ok := db.distanceLowerBound(exemplar, m, eps); ok {
+			return db.indexedQuery("distance", m.Name(), lb, len(exemplar), func(rec *Record) (Match, bool, error) {
+				return db.distanceVerify(rec, exemplar, m, eps)
+			})
+		}
+	}
+	return db.distanceScan(exemplar, m, eps)
+}
+
+// ValueQueryStats is ValueQuery plus execution statistics. The ±ε band
+// semantics admit an L2 detour: a sequence inside the band satisfies
+// L∞ ≤ ε, hence L2 ≤ ε·√n, hence feature distance ≤ ε·√n — so the index
+// prunes with the scaled bound and verifies survivors with the same
+// early-abandoning band kernel as the scan.
+func (db *DB) ValueQueryStats(exemplar seq.Sequence, eps float64) ([]Match, QueryStats, error) {
+	if len(exemplar) == 0 {
+		return nil, QueryStats{}, fmt.Errorf("core: empty exemplar")
+	}
+	if eps < 0 {
+		return nil, QueryStats{}, fmt.Errorf("core: negative tolerance %g", eps)
+	}
+	if db.findex != nil {
+		qf, err := dft.Features(exemplar.Values(), db.findex.k)
+		if err == nil {
+			lb := lowerBound{
+				qf:    qf,
+				bound: lbSlack(eps * math.Sqrt(float64(len(exemplar)))),
+				feats: func(r *Record) []float64 { return r.feats },
+			}
+			return db.indexedQuery("value", "band", lb, len(exemplar), func(rec *Record) (Match, bool, error) {
+				return db.valueVerify(rec, exemplar, eps)
+			})
+		}
+	}
+	return db.valueScan(exemplar, eps)
+}
+
+// distanceVerify compares one record's exact samples against the
+// exemplar under m — the shared verification step of both plans.
+func (db *DB) distanceVerify(rec *Record, exemplar seq.Sequence, m dist.Metric, eps float64) (Match, bool, error) {
+	stored, err := db.storedSequence(rec)
+	if err != nil {
+		return Match{}, false, fmt.Errorf("core: distance query reading %q: %w", rec.ID, err)
+	}
+	d, err := m.Distance(exemplar, stored)
+	if err != nil {
+		if errors.Is(err, dist.ErrLengthMismatch) {
+			return Match{}, false, nil // reconstruction drifted in length; incomparable
+		}
+		return Match{}, false, fmt.Errorf("core: distance query %q under %s: %w", rec.ID, m.Name(), err)
+	}
+	if d > eps {
+		return Match{}, false, nil
+	}
+	return Match{
+		ID:         rec.ID,
+		Exact:      d == 0,
+		Deviations: map[string]float64{m.Name(): d},
+	}, true, nil
+}
+
+// valueVerify runs the early-abandoning ±eps band check on one record —
+// the shared verification step of both ValueQuery plans.
+func (db *DB) valueVerify(rec *Record, exemplar seq.Sequence, eps float64) (Match, bool, error) {
+	stored, err := db.storedSequence(rec)
+	if err != nil {
+		return Match{}, false, fmt.Errorf("core: value query reading %q: %w", rec.ID, err)
+	}
+	d, within, err := dist.BandDistance(exemplar, stored, eps)
+	if err != nil || !within {
+		return Match{}, false, nil // incomparable lengths or outside the band
+	}
+	return Match{
+		ID:         rec.ID,
+		Exact:      d == 0,
+		Deviations: map[string]float64{"value": d},
+	}, true, nil
+}
+
+// indexedQuery is the index plan shared by distance and value queries:
+// snapshot the exemplar's length group, prune by feature distance, verify
+// survivors exactly — one pass per stripe, fanned across the worker pool.
+// Records without feature vectors are never pruned.
+func (db *DB) indexedQuery(query, metric string, lb lowerBound, n int, verify func(*Record) (Match, bool, error)) ([]Match, QueryStats, error) {
+	stripeRecs := db.findex.snapshotLen(n)
+	stats := QueryStats{Query: query, Metric: metric, Plan: PlanIndex}
+	var (
+		mu       sync.Mutex
+		out      []Match
+		firstErr error
+	)
+	db.forEachClaimed(len(stripeRecs), func(i int) {
+		mu.Lock()
+		bail := firstErr != nil
+		mu.Unlock()
+		if bail {
+			return
+		}
+		var (
+			local                        []Match
+			examined, candidates, pruned int
+		)
+		for _, rec := range stripeRecs[i] {
+			examined++
+			if rf := lb.feats(rec); rf != nil {
+				fd, err := dft.FeatureDistance(lb.qf, rf)
+				if err == nil && fd > lb.bound {
+					pruned++
+					continue
+				}
+			}
+			candidates++
+			m, ok, err := verify(rec)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			if ok {
+				local = append(local, m)
+			}
+		}
+		mu.Lock()
+		out = append(out, local...)
+		stats.Examined += examined
+		stats.Candidates += candidates
+		stats.Pruned += pruned
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, QueryStats{}, firstErr
+	}
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	stats.Matches = len(out)
+	return out, stats, nil
+}

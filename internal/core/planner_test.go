@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"seqrep/internal/dist"
+	"seqrep/internal/store"
+	"seqrep/internal/synth"
+)
+
+func plannerDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	cfg.Archive = store.NewMemArchive()
+	db := mustDB(t, cfg)
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "fever", fever)
+	mustIngest(t, db, "near", fever.ShiftValue(0.05))
+	mustIngest(t, db, "far", fever.ShiftValue(50))
+	three, err := synth.ThreePeakFever(97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "three", three)
+	short, err := synth.Fever(synth.FeverOpts{Samples: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "short", short)
+	return db
+}
+
+func TestPlannerRouting(t *testing.T) {
+	db := plannerDB(t, Config{})
+	fever, _ := db.Raw("fever")
+	cases := []struct {
+		metric dist.Metric
+		plan   string
+	}{
+		{dist.Euclidean, PlanIndex},
+		{dist.ZEuclidean, PlanIndex},
+		{dist.Manhattan, PlanScan},
+		{dist.Chebyshev, PlanScan},
+		{dist.MeanAbs, PlanScan},
+		{dist.RMS, PlanScan},
+	}
+	for _, c := range cases {
+		_, stats, err := db.DistanceQueryStats(fever, c.metric, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.metric.Name(), err)
+		}
+		if stats.Plan != c.plan {
+			t.Errorf("%s: plan = %q, want %q", c.metric.Name(), stats.Plan, c.plan)
+		}
+		if stats.Query != "distance" || stats.Metric != c.metric.Name() {
+			t.Errorf("%s: stats labels %+v", c.metric.Name(), stats)
+		}
+	}
+	_, stats, err := db.ValueQueryStats(fever, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != PlanIndex || stats.Query != "value" || stats.Metric != "band" {
+		t.Errorf("value stats = %+v", stats)
+	}
+}
+
+func TestPlannerDisabledIndexFallsBack(t *testing.T) {
+	db := plannerDB(t, Config{IndexCoeffs: -1})
+	if db.Stats().IndexCoeffs != 0 {
+		t.Errorf("disabled index reports coefficients: %+v", db.Stats())
+	}
+	fever, _ := db.Raw("fever")
+	matches, stats, err := db.DistanceQueryStats(fever, dist.Euclidean, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != PlanScan {
+		t.Errorf("plan = %q, want scan", stats.Plan)
+	}
+	if len(matches) != 2 { // fever itself + the 0.05-shifted copy (L2 ≈ 0.49)
+		t.Errorf("matches = %+v", matches)
+	}
+}
+
+func TestPlannerPrunesAndCounts(t *testing.T) {
+	db := plannerDB(t, Config{})
+	fever, _ := db.Raw("fever")
+	matches, stats, err := db.DistanceQueryStats(fever, dist.Euclidean, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four sequences share the exemplar's length; "far" (50 degrees away)
+	// and "three" must be pruned in feature space at this tolerance.
+	if stats.Examined != 4 {
+		t.Errorf("Examined = %d, want 4 (the length group)", stats.Examined)
+	}
+	if stats.Pruned == 0 {
+		t.Errorf("nothing pruned: %+v", stats)
+	}
+	if stats.Candidates+stats.Pruned != stats.Examined {
+		t.Errorf("stats don't add up: %+v", stats)
+	}
+	if stats.Matches != len(matches) {
+		t.Errorf("Matches = %d, len = %d", stats.Matches, len(matches))
+	}
+	if s := stats.String(); !strings.Contains(s, "plan=index") || !strings.Contains(s, "pruned=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPlannerSeesRemove(t *testing.T) {
+	db := plannerDB(t, Config{})
+	fever, _ := db.Raw("fever")
+	_, before, err := db.DistanceQueryStats(fever, dist.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove("far"); err != nil {
+		t.Fatal(err)
+	}
+	matches, after, err := db.DistanceQueryStats(fever, dist.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Examined != before.Examined-1 {
+		t.Errorf("Examined %d -> %d, want one fewer", before.Examined, after.Examined)
+	}
+	for _, m := range matches {
+		if m.ID == "far" {
+			t.Errorf("removed sequence matched: %+v", matches)
+		}
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	db := plannerDB(t, Config{})
+	fever, _ := db.Raw("fever")
+	if _, _, err := db.DistanceQueryStats(nil, dist.Euclidean, 1); err == nil {
+		t.Error("empty exemplar accepted")
+	}
+	if _, _, err := db.DistanceQueryStats(fever, nil, 1); err == nil {
+		t.Error("nil metric accepted")
+	}
+	if _, _, err := db.DistanceQueryStats(fever, dist.Euclidean, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, _, err := db.ValueQueryStats(nil, 1); err == nil {
+		t.Error("empty value exemplar accepted")
+	}
+	if _, _, err := db.ValueQueryStats(fever, -1); err == nil {
+		t.Error("negative value tolerance accepted")
+	}
+}

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"seqrep/internal/dist"
 	"seqrep/internal/feature"
@@ -59,75 +59,78 @@ func (db *DB) storedSequence(rec *Record) (seq.Sequence, error) {
 // the exemplar's length participate; comparison uses raw samples from the
 // archive when available and representation reconstructions otherwise.
 //
-// The scan is shard-parallel across the configured worker pool and
-// early-abandons each candidate at the first sample outside the band.
+// The query is routed through the planner (see ValueQueryStats): when the
+// feature index is enabled, candidates are pruned by the DFT lower bound
+// before the early-abandoning band verification; otherwise the query runs
+// as a shard-parallel scan.
 func (db *DB) ValueQuery(exemplar seq.Sequence, eps float64) ([]Match, error) {
-	if len(exemplar) == 0 {
-		return nil, fmt.Errorf("core: empty exemplar")
-	}
-	if eps < 0 {
-		return nil, fmt.Errorf("core: negative tolerance %g", eps)
-	}
-	return db.scanMatches(func(rec *Record) (Match, bool, error) {
-		if rec.N != len(exemplar) {
-			return Match{}, false, nil
-		}
-		stored, err := db.storedSequence(rec)
-		if err != nil {
-			return Match{}, false, fmt.Errorf("core: value query reading %q: %w", rec.ID, err)
-		}
-		d, within, err := dist.BandDistance(exemplar, stored, eps)
-		if err != nil || !within {
-			return Match{}, false, nil // incomparable lengths or outside the band
-		}
-		return Match{
-			ID:         rec.ID,
-			Exact:      d == 0,
-			Deviations: map[string]float64{"value": d},
-		}, true, nil
-	})
+	matches, _, err := db.ValueQueryStats(exemplar, eps)
+	return matches, err
 }
 
-// DistanceQuery scans the database under an arbitrary distance metric
-// (see package dist): a stored sequence matches when m's distance from
-// the exemplar is at most eps. Like ValueQuery it compares raw samples
-// when an archive is configured and reconstructions otherwise, skips
-// sequences whose length differs from the exemplar's, and parallelizes
-// the scan across shards.
-func (db *DB) DistanceQuery(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, error) {
-	if len(exemplar) == 0 {
-		return nil, fmt.Errorf("core: empty exemplar")
-	}
-	if m == nil {
-		return nil, fmt.Errorf("core: nil metric")
-	}
-	if eps < 0 {
-		return nil, fmt.Errorf("core: negative tolerance %g", eps)
-	}
-	return db.scanMatches(func(rec *Record) (Match, bool, error) {
+// valueScan is ValueQuery's full-scan plan: shard-parallel across the
+// configured worker pool, early-abandoning each candidate at the first
+// sample outside the band.
+func (db *DB) valueScan(exemplar seq.Sequence, eps float64) ([]Match, QueryStats, error) {
+	var examined, candidates atomic.Int64
+	matches, err := db.scanMatches(func(rec *Record) (Match, bool, error) {
+		examined.Add(1)
 		if rec.N != len(exemplar) {
 			return Match{}, false, nil
 		}
-		stored, err := db.storedSequence(rec)
-		if err != nil {
-			return Match{}, false, fmt.Errorf("core: distance query reading %q: %w", rec.ID, err)
-		}
-		d, err := m.Distance(exemplar, stored)
-		if err != nil {
-			if errors.Is(err, dist.ErrLengthMismatch) {
-				return Match{}, false, nil // reconstruction drifted in length; incomparable
-			}
-			return Match{}, false, fmt.Errorf("core: distance query %q under %s: %w", rec.ID, m.Name(), err)
-		}
-		if d > eps {
+		candidates.Add(1)
+		return db.valueVerify(rec, exemplar, eps)
+	})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return matches, QueryStats{
+		Query:      "value",
+		Metric:     "band",
+		Plan:       PlanScan,
+		Examined:   int(examined.Load()),
+		Candidates: int(candidates.Load()),
+		Matches:    len(matches),
+	}, nil
+}
+
+// DistanceQuery queries the database under an arbitrary distance metric
+// (see package dist): a stored sequence matches when m's distance from
+// the exemplar is at most eps. Like ValueQuery it compares raw samples
+// when an archive is configured and reconstructions otherwise, and skips
+// sequences whose length differs from the exemplar's.
+//
+// The query is routed through the planner (see DistanceQueryStats):
+// metrics with a feature-space lower bound (l2, zl2) run through the DFT
+// feature index, everything else as a shard-parallel scan.
+func (db *DB) DistanceQuery(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, error) {
+	matches, _, err := db.DistanceQueryStats(exemplar, m, eps)
+	return matches, err
+}
+
+// distanceScan is DistanceQuery's full-scan plan, shard-parallel across
+// the configured worker pool.
+func (db *DB) distanceScan(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, QueryStats, error) {
+	var examined, candidates atomic.Int64
+	matches, err := db.scanMatches(func(rec *Record) (Match, bool, error) {
+		examined.Add(1)
+		if rec.N != len(exemplar) {
 			return Match{}, false, nil
 		}
-		return Match{
-			ID:         rec.ID,
-			Exact:      d == 0,
-			Deviations: map[string]float64{m.Name(): d},
-		}, true, nil
+		candidates.Add(1)
+		return db.distanceVerify(rec, exemplar, m, eps)
 	})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return matches, QueryStats{
+		Query:      "distance",
+		Metric:     m.Name(),
+		Plan:       PlanScan,
+		Examined:   int(examined.Load()),
+		Candidates: int(candidates.Load()),
+		Matches:    len(matches),
+	}, nil
 }
 
 // MatchPattern returns the ids of sequences whose whole slope-sign symbol

@@ -1,7 +1,9 @@
 package dft
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"seqrep/internal/dist"
@@ -63,6 +65,207 @@ func (ix *FIndex) Add(id string, s seq.Sequence) error {
 	ix.ids = append(ix.ids, id)
 	ix.raws[id] = s
 	ix.feats[id] = f
+	return nil
+}
+
+// K returns the configured coefficient count.
+func (ix *FIndex) K() int { return ix.k }
+
+// IDs returns the indexed sequence ids in sorted order.
+func (ix *FIndex) IDs() []string {
+	out := append([]string(nil), ix.ids...)
+	sort.Strings(out)
+	return out
+}
+
+// FItem names one sequence of a batch add.
+type FItem struct {
+	ID  string
+	Seq seq.Sequence
+}
+
+// AddBatch indexes many sequences at once. The batch is validated as a
+// whole before anything is added — duplicate ids (within the batch or
+// against the index) and length mismatches reject the entire batch, so a
+// failed AddBatch leaves the index unchanged.
+func (ix *FIndex) AddBatch(items []FItem) error {
+	want := ix.queryLn
+	seen := make(map[string]struct{}, len(items))
+	for _, it := range items {
+		if _, dup := ix.raws[it.ID]; dup {
+			return fmt.Errorf("dft: duplicate sequence id %q", it.ID)
+		}
+		if _, dup := seen[it.ID]; dup {
+			return fmt.Errorf("dft: id %q repeated within batch", it.ID)
+		}
+		seen[it.ID] = struct{}{}
+		if len(it.Seq) == 0 {
+			return fmt.Errorf("dft: cannot index empty sequence %q", it.ID)
+		}
+		if want == 0 {
+			want = len(it.Seq)
+		} else if len(it.Seq) != want {
+			return fmt.Errorf("dft: sequence %q has length %d, index requires %d", it.ID, len(it.Seq), want)
+		}
+	}
+	feats := make([][]float64, len(items))
+	for i, it := range items {
+		f, err := Features(it.Seq.Values(), ix.k)
+		if err != nil {
+			return err
+		}
+		feats[i] = f
+	}
+	ix.queryLn = want
+	for i, it := range items {
+		ix.ids = append(ix.ids, it.ID)
+		ix.raws[it.ID] = it.Seq
+		ix.feats[it.ID] = feats[i]
+	}
+	return nil
+}
+
+// Remove drops a sequence from the index, reporting whether it was
+// present. Removing the last sequence frees the length constraint, so an
+// emptied index accepts sequences of a new length.
+func (ix *FIndex) Remove(id string) bool {
+	if _, ok := ix.raws[id]; !ok {
+		return false
+	}
+	delete(ix.raws, id)
+	delete(ix.feats, id)
+	for i, have := range ix.ids {
+		if have == id {
+			ix.ids = append(ix.ids[:i], ix.ids[i+1:]...)
+			break
+		}
+	}
+	if len(ix.ids) == 0 {
+		ix.queryLn = 0
+	}
+	return true
+}
+
+// Binary codec. Layout (all integers little-endian):
+//
+//	magic   "FIX1" (4 bytes)
+//	k       u32
+//	queryLn u32
+//	count   u32
+//	per sequence (in sorted id order):
+//	  idLen u16, id bytes
+//	  queryLn × (t f64, v f64) raw samples
+//
+// Feature vectors are recomputed on decode: they are pure functions of
+// the raw samples and k, so storing them would only create a corruption
+// channel the decoder would have to cross-validate anyway.
+var fixMagic = [4]byte{'F', 'I', 'X', '1'}
+
+// MarshalBinary encodes the index deterministically (sorted id order).
+func (ix *FIndex) MarshalBinary() ([]byte, error) {
+	ids := ix.IDs()
+	size := 4 + 4 + 4 + 4
+	for _, id := range ids {
+		size += 2 + len(id) + 16*ix.queryLn
+	}
+	out := make([]byte, 0, size)
+	out = append(out, fixMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(ix.k))
+	out = binary.LittleEndian.AppendUint32(out, uint32(ix.queryLn))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ids)))
+	for _, id := range ids {
+		if len(id) > math.MaxUint16 {
+			return nil, fmt.Errorf("dft: marshal: id too long (%d bytes)", len(id))
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(id)))
+		out = append(out, id...)
+		for _, p := range ix.raws[id] {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.T))
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.V))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes an index encoded by MarshalBinary into ix,
+// replacing its contents. Feature vectors are rebuilt from the decoded
+// raw samples.
+func (ix *FIndex) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("dft: unmarshal: truncated header (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != fixMagic {
+		return fmt.Errorf("dft: unmarshal: bad magic %q", data[:4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[4:8]))
+	queryLn := int(binary.LittleEndian.Uint32(data[8:12]))
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	if k < 1 {
+		return fmt.Errorf("dft: unmarshal: invalid coefficient count %d", k)
+	}
+	// Sanity bounds: any plausible index fits comfortably (k beyond the
+	// sequence length only pads features with zeros), and they keep a
+	// hostile header from provoking huge feature allocations.
+	const maxCoeffs, maxTotalCoeffs = 1 << 12, 1 << 22
+	if k > maxCoeffs {
+		return fmt.Errorf("dft: unmarshal: implausible coefficient count %d", k)
+	}
+	if count > 0 && queryLn < 1 {
+		return fmt.Errorf("dft: unmarshal: %d sequences with invalid length %d", count, queryLn)
+	}
+	if count*k > maxTotalCoeffs {
+		return fmt.Errorf("dft: unmarshal: implausible index size (%d sequences × %d coefficients)", count, k)
+	}
+	// Each sequence needs at least 2 + 16*queryLn bytes: reject counts the
+	// payload cannot possibly hold before allocating for them.
+	rest := data[16:]
+	if queryLn > 0 && count > len(rest)/(2+16*queryLn) {
+		return fmt.Errorf("dft: unmarshal: count %d exceeds payload", count)
+	}
+	dec := &FIndex{
+		k:       k,
+		queryLn: queryLn,
+		raws:    make(map[string]seq.Sequence, count),
+		feats:   make(map[string][]float64, count),
+	}
+	for i := 0; i < count; i++ {
+		if len(rest) < 2 {
+			return fmt.Errorf("dft: unmarshal: truncated id length (sequence %d)", i)
+		}
+		idLen := int(binary.LittleEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < idLen {
+			return fmt.Errorf("dft: unmarshal: truncated id (sequence %d)", i)
+		}
+		id := string(rest[:idLen])
+		rest = rest[idLen:]
+		if id == "" {
+			return fmt.Errorf("dft: unmarshal: empty id (sequence %d)", i)
+		}
+		if _, dup := dec.raws[id]; dup {
+			return fmt.Errorf("dft: unmarshal: duplicate id %q", id)
+		}
+		if len(rest) < 16*queryLn {
+			return fmt.Errorf("dft: unmarshal: truncated samples for %q", id)
+		}
+		s := make(seq.Sequence, queryLn)
+		for j := 0; j < queryLn; j++ {
+			s[j].T = math.Float64frombits(binary.LittleEndian.Uint64(rest[16*j:]))
+			s[j].V = math.Float64frombits(binary.LittleEndian.Uint64(rest[16*j+8:]))
+		}
+		rest = rest[16*queryLn:]
+		f, err := Features(s.Values(), k)
+		if err != nil {
+			return fmt.Errorf("dft: unmarshal %q: %w", id, err)
+		}
+		dec.ids = append(dec.ids, id)
+		dec.raws[id] = s
+		dec.feats[id] = f
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("dft: unmarshal: %d trailing bytes", len(rest))
+	}
+	*ix = *dec
 	return nil
 }
 

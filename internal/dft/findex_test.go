@@ -1,0 +1,178 @@
+package dft
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+func randSeq(rng *rand.Rand, n int) seq.Sequence {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 * rng.Float64()
+	}
+	return seq.New(vals)
+}
+
+func TestFIndexAddBatch(t *testing.T) {
+	ix, _ := NewFIndex(2)
+	rng := rand.New(rand.NewSource(3))
+	items := []FItem{
+		{ID: "a", Seq: randSeq(rng, 16)},
+		{ID: "b", Seq: randSeq(rng, 16)},
+		{ID: "c", Seq: randSeq(rng, 16)},
+	}
+	if err := ix.AddBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if got := ix.IDs(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("IDs = %v", got)
+	}
+
+	// A bad batch must leave the index untouched.
+	bad := []FItem{
+		{ID: "d", Seq: randSeq(rng, 16)},
+		{ID: "e", Seq: randSeq(rng, 8)}, // wrong length
+	}
+	if err := ix.AddBatch(bad); err == nil {
+		t.Fatal("length-mismatched batch accepted")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("failed batch mutated the index: Len = %d", ix.Len())
+	}
+	if err := ix.AddBatch([]FItem{{ID: "a", Seq: randSeq(rng, 16)}}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := ix.AddBatch([]FItem{
+		{ID: "x", Seq: randSeq(rng, 16)},
+		{ID: "x", Seq: randSeq(rng, 16)},
+	}); err == nil {
+		t.Error("id repeated within batch accepted")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("failed batches mutated the index: Len = %d", ix.Len())
+	}
+}
+
+func TestFIndexRemove(t *testing.T) {
+	ix, _ := NewFIndex(2)
+	rng := rand.New(rand.NewSource(4))
+	if err := ix.AddBatch([]FItem{
+		{ID: "a", Seq: randSeq(rng, 16)},
+		{ID: "b", Seq: randSeq(rng, 16)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if ix.Remove("a") {
+		t.Error("double remove reported true")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	q := randSeq(rng, 16)
+	matches, _, err := ix.Query(q, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].ID != "b" {
+		t.Errorf("matches = %+v", matches)
+	}
+
+	// Emptying the index frees the length constraint.
+	if !ix.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if err := ix.Add("new", randSeq(rng, 8)); err != nil {
+		t.Errorf("emptied index rejected a new length: %v", err)
+	}
+}
+
+func TestFIndexCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix, _ := NewFIndex(3)
+	if err := ix.AddBatch([]FItem{
+		{ID: "ecg-001", Seq: randSeq(rng, 32)},
+		{ID: "ecg-002", Seq: randSeq(rng, 32)},
+		{ID: "z", Seq: randSeq(rng, 32)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec FIndex
+	if err := dec.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != ix.Len() || dec.K() != ix.K() {
+		t.Fatalf("decoded Len/K = %d/%d, want %d/%d", dec.Len(), dec.K(), ix.Len(), ix.K())
+	}
+	q := ix.raws["ecg-001"]
+	want, wantCand, err := ix.Query(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotCand, err := dec.Query(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) || gotCand != wantCand {
+		t.Errorf("decoded query = %+v (%d candidates), want %+v (%d)", got, gotCand, want, wantCand)
+	}
+	blob2, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("codec not deterministic across a round trip")
+	}
+
+	// Empty index round-trips too.
+	empty, _ := NewFIndex(1)
+	eb, err := empty.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edec FIndex
+	if err := edec.UnmarshalBinary(eb); err != nil {
+		t.Fatal(err)
+	}
+	if edec.Len() != 0 || edec.K() != 1 {
+		t.Errorf("empty round trip: Len=%d K=%d", edec.Len(), edec.K())
+	}
+}
+
+func TestFIndexCodecRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ix, _ := NewFIndex(2)
+	if err := ix.Add("a", randSeq(rng, 8)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   append([]byte("XXXX"), blob[4:]...),
+		"truncated":   blob[:len(blob)-3],
+		"trailing":    append(append([]byte{}, blob...), 1, 2, 3),
+		"zero coeffs": append([]byte("FIX1\x00\x00\x00\x00"), blob[8:]...),
+	}
+	for name, data := range cases {
+		var dec FIndex
+		if err := dec.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

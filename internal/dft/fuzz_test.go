@@ -1,0 +1,75 @@
+package dft
+
+import (
+	"bytes"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+// codecSeed marshals a small index for the fuzz corpus.
+func codecSeed(tb testing.TB, k int, seqs map[string][]float64) []byte {
+	tb.Helper()
+	ix, err := NewFIndex(k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for id, vals := range seqs {
+		if err := ix.Add(id, seq.New(vals)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzFIndexCodec feeds arbitrary bytes to the FIndex decoder.
+// Invariants: UnmarshalBinary never panics; any blob it accepts
+// re-encodes to a byte-identical blob after a second decode (the codec is
+// deterministic and lossless); and the decoded index still answers
+// queries.
+func FuzzFIndexCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FIX1garbage"))
+	f.Add(codecSeed(f, 2, map[string][]float64{
+		"a": {1, 2, 3, 4},
+		"b": {4, 3, 2, 1},
+	}))
+	f.Add(codecSeed(f, 3, map[string][]float64{
+		"ecg-001": {0, 1, 0, -1, 0, 1, 0, -1},
+	}))
+	f.Add(codecSeed(f, 1, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound per-exec DFT work (decode is O(queryLn²) per sequence)
+		}
+		var ix FIndex
+		if err := ix.UnmarshalBinary(data); err != nil {
+			return
+		}
+		blob, err := ix.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded index does not re-encode: %v", err)
+		}
+		var ix2 FIndex
+		if err := ix2.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("re-encoded blob rejected: %v", err)
+		}
+		blob2, err := ix2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("codec not deterministic: %d vs %d bytes", len(blob), len(blob2))
+		}
+		if ix.Len() > 0 {
+			q := ix.raws[ix.ids[0]]
+			if _, _, err := ix.Query(q, 1); err != nil {
+				t.Fatalf("decoded index cannot answer a query: %v", err)
+			}
+		}
+	})
+}

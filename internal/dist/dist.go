@@ -182,16 +182,40 @@ func ZNormalizedL2(a, b seq.Sequence) (float64, error) {
 }
 
 func meanStd(s seq.Sequence) (mean, std float64) {
-	for _, p := range s {
-		mean += p.V
+	return meanStdValues(s.Values())
+}
+
+// meanStdValues is the one population mean/std computation every
+// z-normalization path shares (ZNormalizedL2 verification and the
+// feature-index transform must agree exactly, or the lower bound breaks).
+func meanStdValues(vals []float64) (mean, std float64) {
+	for _, v := range vals {
+		mean += v
 	}
-	mean /= float64(len(s))
+	mean /= float64(len(vals))
 	ss := 0.0
-	for _, p := range s {
-		d := p.V - mean
+	for _, v := range vals {
+		d := v - mean
 		ss += d * d
 	}
-	return mean, math.Sqrt(ss / float64(len(s)))
+	return mean, math.Sqrt(ss / float64(len(vals)))
+}
+
+// ZNormalizeValues returns the z-normalized copy of vals using the same
+// population mean/std and zero-variance convention as ZNormalizedL2, so
+// L2Values over two ZNormalizeValues outputs equals ZNormalizedL2 over
+// the original sequences. This is the transform behind the z-normalized
+// lower bound of the core feature index.
+func ZNormalizeValues(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	if len(vals) == 0 {
+		return out
+	}
+	mean, std := meanStdValues(vals)
+	for i, v := range vals {
+		out[i] = znorm(v, mean, std)
+	}
+	return out
 }
 
 func znorm(v, mean, std float64) float64 {

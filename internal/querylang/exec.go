@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"seqrep/internal/core"
+	"seqrep/internal/dist"
 	"seqrep/internal/seq"
 )
 
@@ -17,7 +18,8 @@ type Database interface {
 	SearchPattern(pattern string) ([]core.PatternHit, error)
 	PeakCount(k, tol int) ([]core.Match, error)
 	IntervalQuery(n, eps float64) ([]core.IntervalMatch, error)
-	ValueQuery(exemplar seq.Sequence, eps float64) ([]core.Match, error)
+	ValueQueryStats(exemplar seq.Sequence, eps float64) ([]core.Match, core.QueryStats, error)
+	DistanceQueryStats(exemplar seq.Sequence, m dist.Metric, eps float64) ([]core.Match, core.QueryStats, error)
 	ShapeQuery(exemplar seq.Sequence, tol core.ShapeTolerance) ([]core.Match, error)
 	Raw(id string) (seq.Sequence, error)
 	Reconstruct(id string) (seq.Sequence, error)
@@ -29,11 +31,17 @@ var _ Database = (*core.DB)(nil)
 // Result is the uniform answer of every query kind: the distinct matching
 // ids plus the kind-specific detail.
 type Result struct {
-	Kind      string // "pattern", "find", "peaks", "interval", "value", "shape"
+	Kind      string // "pattern", "find", "peaks", "interval", "value", "distance", "shape"
 	IDs       []string
-	Matches   []core.Match         // peaks / value / shape queries
+	Matches   []core.Match         // peaks / value / distance / shape queries
 	Hits      []core.PatternHit    // FIND queries
 	Intervals []core.IntervalMatch // interval queries
+	// Stats reports the execution plan for planner-routed statements
+	// (MATCH VALUE, MATCH DISTANCE) and for every EXPLAIN'ed statement.
+	Stats *core.QueryStats
+	// Explain marks a statement run under EXPLAIN: Stats is then always
+	// set, synthesized for query kinds with a fixed access path.
+	Explain bool
 }
 
 // Exec parses and runs src against db in one call.
@@ -52,7 +60,7 @@ type MatchPatternQuery struct {
 }
 
 // String implements Query.
-func (q *MatchPatternQuery) String() string { return fmt.Sprintf("MATCH PATTERN %q", q.Pattern) }
+func (q *MatchPatternQuery) String() string { return "MATCH PATTERN " + quoteString(q.Pattern) }
 
 // Run implements Query.
 func (q *MatchPatternQuery) Run(db Database) (*Result, error) {
@@ -70,7 +78,7 @@ type FindPatternQuery struct {
 }
 
 // String implements Query.
-func (q *FindPatternQuery) String() string { return fmt.Sprintf("FIND PATTERN %q", q.Pattern) }
+func (q *FindPatternQuery) String() string { return "FIND PATTERN " + quoteString(q.Pattern) }
 
 // Run implements Query.
 func (q *FindPatternQuery) Run(db Database) (*Result, error) {
@@ -138,9 +146,9 @@ type ValueQuery struct {
 // String implements Query.
 func (q *ValueQuery) String() string {
 	if q.Eps >= 0 {
-		return fmt.Sprintf("MATCH VALUE LIKE %s EPS %g", q.ExemplarID, q.Eps)
+		return fmt.Sprintf("MATCH VALUE LIKE %s EPS %g", quoteIdent(q.ExemplarID), q.Eps)
 	}
-	return fmt.Sprintf("MATCH VALUE LIKE %s", q.ExemplarID)
+	return fmt.Sprintf("MATCH VALUE LIKE %s", quoteIdent(q.ExemplarID))
 }
 
 // Run implements Query.
@@ -153,11 +161,90 @@ func (q *ValueQuery) Run(db Database) (*Result, error) {
 	if eps < 0 {
 		eps = db.Config().Epsilon
 	}
-	matches, err := db.ValueQuery(exemplar, eps)
+	matches, stats, err := db.ValueQueryStats(exemplar, eps)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Kind: "value", IDs: matchIDs(matches), Matches: matches}, nil
+	return &Result{Kind: "value", IDs: matchIDs(matches), Matches: matches, Stats: &stats}, nil
+}
+
+// DistanceQuery is MATCH DISTANCE LIKE id [METRIC m] [EPS e]: a
+// whole-sequence similarity query under a named distance metric, routed
+// through the query planner (feature-index pruning for l2/zl2, full scan
+// otherwise). Metric defaults to "l2"; Eps < 0 means "use the database's
+// ε".
+type DistanceQuery struct {
+	ExemplarID string
+	Metric     string
+	Eps        float64
+}
+
+// String implements Query.
+func (q *DistanceQuery) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MATCH DISTANCE LIKE %s METRIC %s", quoteIdent(q.ExemplarID), quoteIdent(q.Metric))
+	if q.Eps >= 0 {
+		fmt.Fprintf(&b, " EPS %g", q.Eps)
+	}
+	return b.String()
+}
+
+// Run implements Query.
+func (q *DistanceQuery) Run(db Database) (*Result, error) {
+	m, err := dist.ByName(q.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("querylang: %w", err)
+	}
+	exemplar, err := loadExemplar(db, q.ExemplarID)
+	if err != nil {
+		return nil, err
+	}
+	eps := q.Eps
+	if eps < 0 {
+		eps = db.Config().Epsilon
+	}
+	matches, stats, err := db.DistanceQueryStats(exemplar, m, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "distance", IDs: matchIDs(matches), Matches: matches, Stats: &stats}, nil
+}
+
+// ExplainQuery wraps any statement under EXPLAIN: the inner query runs
+// normally and the result additionally carries its execution plan. Query
+// kinds the planner does not route report their fixed access path.
+type ExplainQuery struct {
+	Inner Query
+}
+
+// String implements Query.
+func (q *ExplainQuery) String() string { return "EXPLAIN " + q.Inner.String() }
+
+// fixedPlans names the access path of every statement the planner has no
+// routing decision for.
+var fixedPlans = map[string]string{
+	"pattern":  "symbol-index",
+	"find":     "symbol-index",
+	"peaks":    "record-scan",
+	"interval": "inverted-index",
+	"shape":    "record-scan",
+}
+
+// Run implements Query.
+func (q *ExplainQuery) Run(db Database) (*Result, error) {
+	res, err := q.Inner.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	res.Explain = true
+	if res.Stats == nil {
+		res.Stats = &core.QueryStats{
+			Query:   res.Kind,
+			Plan:    fixedPlans[res.Kind],
+			Matches: len(res.IDs),
+		}
+	}
+	return res, nil
 }
 
 // ShapeQuery is MATCH SHAPE LIKE id [PEAKS p] [HEIGHT h] [SPACING s]: the
@@ -172,7 +259,7 @@ type ShapeQuery struct {
 // String implements Query.
 func (q *ShapeQuery) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "MATCH SHAPE LIKE %s", q.ExemplarID)
+	fmt.Fprintf(&b, "MATCH SHAPE LIKE %s", quoteIdent(q.ExemplarID))
 	if q.PeaksTol > 0 {
 		fmt.Fprintf(&b, " PEAKS %d", q.PeaksTol)
 	}
@@ -200,6 +287,55 @@ func (q *ShapeQuery) Run(db Database) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Kind: "shape", IDs: matchIDs(matches), Matches: matches}, nil
+}
+
+// keywords every statement position may consume; identifiers spelled like
+// one must be quoted to round-trip.
+var reservedWords = map[string]bool{
+	"explain": true, "match": true, "find": true, "pattern": true,
+	"peaks": true, "tolerance": true, "interval": true, "value": true,
+	"distance": true, "shape": true, "like": true, "eps": true,
+	"metric": true, "height": true, "spacing": true,
+}
+
+// quoteString renders a pattern string in lexer syntax: raw content
+// between quotes (the lexer has no escape sequences), choosing the quote
+// kind the content does not contain. A string parsed from a statement
+// never contains its own delimiter, so this always round-trips.
+func quoteString(s string) string {
+	if strings.Contains(s, `"`) {
+		return "'" + s + "'"
+	}
+	return `"` + s + `"`
+}
+
+// quoteIdent renders an identifier so it re-parses as the same identifier:
+// bare when the lexer would read it back as one word, quoted otherwise
+// (spaces, keyword spellings, leading digit/dash — which would lex as a
+// number — and the empty string).
+func quoteIdent(id string) string {
+	bare := id != "" && !reservedWords[strings.ToLower(id)]
+	if bare {
+		if c := id[0]; c == '-' || c == '.' || (c >= '0' && c <= '9') {
+			bare = false
+		}
+	}
+	if bare {
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if !(c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				bare = false
+				break
+			}
+		}
+	}
+	if bare {
+		return id
+	}
+	if strings.Contains(id, `"`) {
+		return "'" + id + "'" // a parsed id never contains both quote kinds
+	}
+	return `"` + id + `"`
 }
 
 // loadExemplar fetches a stored sequence at full resolution when an archive

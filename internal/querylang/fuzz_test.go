@@ -1,0 +1,89 @@
+package querylang
+
+import (
+	"sync"
+	"testing"
+
+	"seqrep/internal/core"
+	"seqrep/internal/store"
+	"seqrep/internal/synth"
+)
+
+// queryLangSeeds is every statement form documented in docs/QUERYLANG.md
+// (one worked example per statement, plus the EXPLAIN and edge spellings
+// the lexer supports). The committed corpus under testdata/fuzz mirrors
+// these.
+var queryLangSeeds = []string{
+	`MATCH PATTERN "UF*D(F|D)*UF*D"`,
+	`FIND PATTERN "U+D"`,
+	`MATCH PEAKS 2 TOLERANCE 1`,
+	`MATCH INTERVAL 135 +- 2`,
+	`MATCH INTERVAL 135 ± 2`,
+	`MATCH VALUE LIKE ecg1 EPS 0.5`,
+	`MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3`,
+	`MATCH SHAPE LIKE exemplar PEAKS 0 HEIGHT 0.25 SPACING 0.3`,
+	`EXPLAIN MATCH VALUE LIKE ecg1`,
+	`EXPLAIN MATCH DISTANCE LIKE two METRIC l1 EPS 10`,
+	`match peaks = 2`,
+	`MATCH SHAPE LIKE "quoted id" SPACING 0.1`,
+	`MATCH VALUE LIKE two`,
+	`FIND PATTERN 'U{2,4}D'`,
+}
+
+// fuzzDB lazily builds one small database per fuzz process so statements
+// that parse can also execute.
+var fuzzDB = sync.OnceValue(func() Database {
+	db, err := core.New(core.Config{Archive: store.NewMemArchive(), IndexCoeffs: 4})
+	if err != nil {
+		panic(err)
+	}
+	two, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		panic(err)
+	}
+	three, err := synth.ThreePeakFever(97)
+	if err != nil {
+		panic(err)
+	}
+	if err := db.Ingest("two", two); err != nil {
+		panic(err)
+	}
+	if err := db.Ingest("three", three); err != nil {
+		panic(err)
+	}
+	if err := db.Ingest("ecg1", two.ShiftValue(1)); err != nil {
+		panic(err)
+	}
+	return db
+})
+
+// FuzzParseExec feeds arbitrary statements through the full parse → print
+// → reparse → execute path. Invariants: the parser never panics; a
+// statement that parses re-renders to a canonical form that parses to the
+// same canonical form; execution never panics (errors are fine).
+func FuzzParseExec(f *testing.F) {
+	for _, seed := range queryLangSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // bound pattern-compile work, not parser correctness
+		}
+		q, err := Parse(src)
+		if err != nil {
+			if q != nil {
+				t.Errorf("Parse(%q) returned both a query and an error", src)
+			}
+			return
+		}
+		canonical := q.String()
+		q2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but canonical form %q rejected: %v", src, canonical, err)
+		}
+		if got := q2.String(); got != canonical {
+			t.Fatalf("unstable canonical form: %q -> %q -> %q", src, canonical, got)
+		}
+		_, _ = q.Run(fuzzDB()) // must not panic; errors are expected
+	})
+}

@@ -8,10 +8,14 @@
 //	MATCH PEAKS 2 TOLERANCE 1
 //	MATCH INTERVAL 135 +- 2
 //	MATCH VALUE LIKE ecg1 EPS 0.5
+//	MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3
 //	MATCH SHAPE LIKE exemplar PEAKS 0 HEIGHT 0.25 SPACING 0.3
+//	EXPLAIN MATCH VALUE LIKE ecg1
 //
 // Keywords are case-insensitive; identifiers name stored sequences;
-// pattern strings are quoted with single or double quotes.
+// pattern strings are quoted with single or double quotes. Any statement
+// may be prefixed with EXPLAIN, which additionally reports the execution
+// plan (index vs scan, candidate and pruned counts) in Result.Stats.
 //
 // The full grammar, with one worked example per statement, is documented
 // in docs/QUERYLANG.md at the repository root.

@@ -103,6 +103,15 @@ func (p *parser) expectIdent(what string) (string, error) {
 // parseQuery dispatches on the leading verb.
 func (p *parser) parseQuery() (Query, error) {
 	switch {
+	case p.acceptKeyword("EXPLAIN"):
+		inner, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if wrapped, ok := inner.(*ExplainQuery); ok {
+			return wrapped, nil // collapse EXPLAIN EXPLAIN
+		}
+		return &ExplainQuery{Inner: inner}, nil
 	case p.acceptKeyword("MATCH"):
 		return p.parseMatchBody()
 	case p.acceptKeyword("FIND"):
@@ -116,7 +125,7 @@ func (p *parser) parseQuery() (Query, error) {
 		return &FindPatternQuery{Pattern: pat}, nil
 	default:
 		t := p.peek()
-		return nil, fmt.Errorf("querylang: expected MATCH or FIND at position %d, got %q", t.pos, t.text)
+		return nil, fmt.Errorf("querylang: expected EXPLAIN, MATCH or FIND at position %d, got %q", t.pos, t.text)
 	}
 }
 
@@ -185,6 +194,31 @@ func (p *parser) parseMatchBody() (Query, error) {
 		}
 		return q, nil
 
+	case p.acceptKeyword("DISTANCE"):
+		if err := p.expectKeyword("LIKE"); err != nil {
+			return nil, err
+		}
+		id, err := p.expectIdent("sequence id")
+		if err != nil {
+			return nil, err
+		}
+		q := &DistanceQuery{ExemplarID: id, Metric: "l2", Eps: -1}
+		if p.acceptKeyword("METRIC") {
+			name, err := p.expectIdent("metric name")
+			if err != nil {
+				return nil, err
+			}
+			q.Metric = name
+		}
+		if p.acceptKeyword("EPS") {
+			eps, err := p.expectNumber("eps")
+			if err != nil {
+				return nil, err
+			}
+			q.Eps = eps
+		}
+		return q, nil
+
 	case p.acceptKeyword("SHAPE"):
 		if err := p.expectKeyword("LIKE"); err != nil {
 			return nil, err
@@ -224,6 +258,6 @@ func (p *parser) parseMatchBody() (Query, error) {
 
 	default:
 		t := p.peek()
-		return nil, fmt.Errorf("querylang: expected PATTERN, PEAKS, INTERVAL, VALUE or SHAPE at position %d, got %q", t.pos, t.text)
+		return nil, fmt.Errorf("querylang: expected PATTERN, PEAKS, INTERVAL, VALUE, DISTANCE or SHAPE at position %d, got %q", t.pos, t.text)
 	}
 }

@@ -81,19 +81,24 @@ func TestLexerNegativeNumber(t *testing.T) {
 
 func TestParseCanonicalForms(t *testing.T) {
 	cases := map[string]string{
-		`MATCH PATTERN "UF*D"`:                     `MATCH PATTERN "UF*D"`,
-		`match pattern 'UF*D'`:                     `MATCH PATTERN "UF*D"`,
-		`FIND PATTERN "U+D+"`:                      `FIND PATTERN "U+D+"`,
-		`MATCH PEAKS 2`:                            `MATCH PEAKS 2`,
-		`MATCH PEAKS = 2 TOLERANCE 1`:              `MATCH PEAKS 2 TOLERANCE 1`,
-		`MATCH INTERVAL 135 +- 2`:                  `MATCH INTERVAL 135 +- 2`,
-		`MATCH INTERVAL 135 ± 2`:                   `MATCH INTERVAL 135 +- 2`,
-		`MATCH INTERVAL 135`:                       `MATCH INTERVAL 135 +- 0`,
-		`MATCH VALUE LIKE ecg1 EPS 0.5`:            `MATCH VALUE LIKE ecg1 EPS 0.5`,
-		`MATCH VALUE LIKE ecg1`:                    `MATCH VALUE LIKE ecg1`,
-		`MATCH SHAPE LIKE x PEAKS 1 HEIGHT 0.2`:    `MATCH SHAPE LIKE x PEAKS 1 HEIGHT 0.2`,
-		`MATCH SHAPE LIKE x SPACING 0.3 HEIGHT 1`:  `MATCH SHAPE LIKE x HEIGHT 1 SPACING 0.3`,
-		`MATCH SHAPE LIKE "quoted id" SPACING 0.1`: `MATCH SHAPE LIKE quoted id SPACING 0.1`,
+		`MATCH PATTERN "UF*D"`:                      `MATCH PATTERN "UF*D"`,
+		`match pattern 'UF*D'`:                      `MATCH PATTERN "UF*D"`,
+		`FIND PATTERN "U+D+"`:                       `FIND PATTERN "U+D+"`,
+		`MATCH PEAKS 2`:                             `MATCH PEAKS 2`,
+		`MATCH PEAKS = 2 TOLERANCE 1`:               `MATCH PEAKS 2 TOLERANCE 1`,
+		`MATCH INTERVAL 135 +- 2`:                   `MATCH INTERVAL 135 +- 2`,
+		`MATCH INTERVAL 135 ± 2`:                    `MATCH INTERVAL 135 +- 2`,
+		`MATCH INTERVAL 135`:                        `MATCH INTERVAL 135 +- 0`,
+		`MATCH VALUE LIKE ecg1 EPS 0.5`:             `MATCH VALUE LIKE ecg1 EPS 0.5`,
+		`MATCH VALUE LIKE ecg1`:                     `MATCH VALUE LIKE ecg1`,
+		`MATCH SHAPE LIKE x PEAKS 1 HEIGHT 0.2`:     `MATCH SHAPE LIKE x PEAKS 1 HEIGHT 0.2`,
+		`MATCH SHAPE LIKE x SPACING 0.3 HEIGHT 1`:   `MATCH SHAPE LIKE x HEIGHT 1 SPACING 0.3`,
+		`MATCH SHAPE LIKE "quoted id" SPACING 0.1`:  `MATCH SHAPE LIKE "quoted id" SPACING 0.1`,
+		`MATCH DISTANCE LIKE ecg1`:                  `MATCH DISTANCE LIKE ecg1 METRIC l2`,
+		`match distance like ecg1 metric zl2 eps 3`: `MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3`,
+		`EXPLAIN MATCH PEAKS 2`:                     `EXPLAIN MATCH PEAKS 2`,
+		`explain explain match peaks 2`:             `EXPLAIN MATCH PEAKS 2`,
+		`EXPLAIN MATCH DISTANCE LIKE "value"`:       `EXPLAIN MATCH DISTANCE LIKE "value" METRIC l2`,
 	}
 	for src, want := range cases {
 		q, err := Parse(src)
@@ -269,6 +274,75 @@ func TestExecShapeWithoutArchive(t *testing.T) {
 	}
 	if len(res.IDs) != 1 {
 		t.Errorf("IDs = %v", res.IDs)
+	}
+}
+
+func TestExecDistance(t *testing.T) {
+	db := testDB(t)
+	// "shifted" is the fever curve moved up 2 degrees: L2 ≈ 2·√97 ≈ 19.7.
+	res, err := Exec(db, `MATCH DISTANCE LIKE two METRIC l2 EPS 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "distance" || len(res.IDs) != 2 {
+		t.Errorf("result %+v", res)
+	}
+	if res.Stats == nil || res.Stats.Plan != "index" {
+		t.Errorf("Stats = %+v, want index plan", res.Stats)
+	}
+	// Under zl2 the vertical shift vanishes: "shifted" is distance ~0.
+	res, err = Exec(db, `MATCH DISTANCE LIKE two METRIC zl2 EPS 0.001`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 2 {
+		t.Errorf("zl2 IDs = %v", res.IDs)
+	}
+	// Scan-only metric still answers, with the scan plan.
+	res, err = Exec(db, `MATCH DISTANCE LIKE two METRIC linf EPS 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Plan != "scan" {
+		t.Errorf("linf Stats = %+v, want scan plan", res.Stats)
+	}
+	if _, err := Exec(db, `MATCH DISTANCE LIKE two METRIC bogus`); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := Exec(db, `MATCH DISTANCE LIKE missing`); err == nil {
+		t.Error("missing exemplar accepted")
+	}
+}
+
+func TestExecExplain(t *testing.T) {
+	db := testDB(t)
+	res, err := Exec(db, `EXPLAIN MATCH VALUE LIKE two EPS 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Explain || res.Stats == nil {
+		t.Fatalf("EXPLAIN result: %+v", res)
+	}
+	if res.Stats.Plan != "index" || res.Stats.Query != "value" {
+		t.Errorf("Stats = %+v", res.Stats)
+	}
+	if len(res.IDs) != 1 { // EXPLAIN still runs the statement
+		t.Errorf("IDs = %v", res.IDs)
+	}
+	// Fixed-path statements synthesize their access path.
+	res, err = Exec(db, `EXPLAIN MATCH PEAKS 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Plan != "record-scan" {
+		t.Errorf("peaks Stats = %+v", res.Stats)
+	}
+	res, err = Exec(db, `EXPLAIN MATCH INTERVAL 8 +- 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Plan != "inverted-index" {
+		t.Errorf("interval Stats = %+v", res.Stats)
 	}
 }
 

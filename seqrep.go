@@ -24,12 +24,18 @@
 //     worker-pool ingestion), Remove, Raw, Reconstruct. The DB is sharded
 //     internally and safe for fully concurrent use; Config.Shards and
 //     Config.Workers tune the parallelism.
-//   - Queries: ValueQuery (prior-art ±ε matching, shard-parallel with an
-//     early-abandoning band kernel), DistanceQuery (scan under any named
-//     distance metric), MatchPattern / SearchPattern (slope-sign regular
-//     expressions), PeakCount, IntervalQuery (inverted-index interval
-//     search), ShapeQuery (generalized approximate query with
-//     per-dimension tolerances).
+//   - Queries: ValueQuery (prior-art ±ε matching), DistanceQuery (any
+//     named distance metric), MatchPattern / SearchPattern (slope-sign
+//     regular expressions), PeakCount, IntervalQuery (inverted-index
+//     interval search), ShapeQuery (generalized approximate query with
+//     per-dimension tolerances). ValueQuery and DistanceQuery are routed
+//     through a query planner: metrics with a DFT feature-space lower
+//     bound (l2, zl2, the ±ε band) prune candidates through a sharded
+//     feature index before exact verification — guaranteed zero false
+//     dismissals — and everything else runs as a shard-parallel scan.
+//     The *Stats variants (ValueQueryStats, DistanceQueryStats) report
+//     the chosen plan and its candidate/pruned counts; Config.IndexCoeffs
+//     sizes the index (negative disables it).
 //   - Distance kernels: Metric, MetricByName, and the EuclideanMetric /
 //     ManhattanMetric / ChebyshevMetric / ZEuclideanMetric constructors
 //     over the internal/dist kernel layer.
@@ -77,6 +83,10 @@ type (
 	Metric = dist.Metric
 	// Match is one query result with per-dimension deviations.
 	Match = core.Match
+	// QueryStats reports how a planner-routed query executed: the chosen
+	// plan (index vs scan) and its examined/candidate/pruned counts
+	// (DB.DistanceQueryStats, DB.ValueQueryStats, EXPLAIN statements).
+	QueryStats = core.QueryStats
 	// IntervalMatch is one result of an interval query.
 	IntervalMatch = core.IntervalMatch
 	// PatternHit locates a pattern occurrence inside a sequence.
@@ -126,7 +136,9 @@ type QueryResult = querylang.Result
 //	MATCH PEAKS 2 TOLERANCE 1
 //	MATCH INTERVAL 135 +- 2
 //	MATCH VALUE LIKE ecg1 EPS 0.5
+//	MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3
 //	MATCH SHAPE LIKE exemplar HEIGHT 0.25 SPACING 0.3
+//	EXPLAIN MATCH VALUE LIKE ecg1
 func ExecQuery(db *DB, src string) (*QueryResult, error) {
 	return querylang.Exec(db, src)
 }
