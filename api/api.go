@@ -1,0 +1,169 @@
+// Package api defines the JSON wire types of the seqrep HTTP interface.
+// Both sides of the wire — the server (internal/server, cmd/seqserved)
+// and the typed Go client (package client) — share these definitions, so
+// the package depends on nothing but the standard library and carries no
+// behavior.
+//
+// Endpoints (see docs/SERVER.md for examples):
+//
+//	POST   /v1/query          QueryRequest   -> QueryResponse
+//	POST   /v1/ingest         IngestRequest  -> IngestResponse
+//	POST   /v1/ingest/batch   BatchRequest   -> BatchResponse
+//	GET    /v1/records/{id}                  -> RecordResponse
+//	DELETE /v1/records/{id}                  -> RemoveResponse
+//	POST   /v1/snapshot/save                 -> SnapshotResponse
+//	POST   /v1/snapshot/load                 -> SnapshotResponse
+//	GET    /healthz                          -> HealthResponse
+//	GET    /metrics                          -> Prometheus text format
+//
+// Errors are returned as ErrorResponse with a non-2xx status code.
+package api
+
+// QueryRequest executes one query-language statement.
+type QueryRequest struct {
+	// Query is the statement, e.g. `MATCH DISTANCE LIKE ecg1 METRIC l2
+	// EPS 3` or `EXPLAIN MATCH VALUE LIKE ecg1`.
+	Query string `json:"query"`
+}
+
+// Match is one similarity-query result.
+type Match struct {
+	ID    string `json:"id"`
+	Exact bool   `json:"exact"`
+	// Deviations maps feature dimension (or metric name) to the observed
+	// deviation; 0 for exact dimensions.
+	Deviations map[string]float64 `json:"deviations,omitempty"`
+}
+
+// PatternHit locates one pattern occurrence inside a sequence.
+type PatternHit struct {
+	ID     string  `json:"id"`
+	SegLo  int     `json:"seg_lo"`
+	SegHi  int     `json:"seg_hi"`
+	TimeLo float64 `json:"time_lo"`
+	TimeHi float64 `json:"time_hi"`
+}
+
+// IntervalMatch is one result of a peak-interval query.
+type IntervalMatch struct {
+	ID        string    `json:"id"`
+	Positions []int     `json:"positions,omitempty"`
+	Intervals []float64 `json:"intervals,omitempty"`
+}
+
+// QueryStats reports how a planner-routed (or EXPLAIN'ed) statement
+// executed.
+type QueryStats struct {
+	Query      string `json:"query"`
+	Metric     string `json:"metric,omitempty"`
+	Plan       string `json:"plan"`
+	Examined   int    `json:"examined"`
+	Candidates int    `json:"candidates"`
+	Pruned     int    `json:"pruned"`
+	Matches    int    `json:"matches"`
+}
+
+// QueryResponse is the uniform answer of /v1/query.
+type QueryResponse struct {
+	// Kind names the query family: "pattern", "find", "peaks",
+	// "interval", "value", "distance", "shape".
+	Kind string `json:"kind"`
+	// Canonical is the statement's canonical form — the server's cache
+	// key for this result.
+	Canonical string `json:"canonical"`
+	// IDs are the distinct matching sequence ids.
+	IDs       []string        `json:"ids"`
+	Matches   []Match         `json:"matches,omitempty"`
+	Hits      []PatternHit    `json:"hits,omitempty"`
+	Intervals []IntervalMatch `json:"intervals,omitempty"`
+	// Stats is set for planner-routed statements and every EXPLAIN.
+	Stats   *QueryStats `json:"stats,omitempty"`
+	Explain bool        `json:"explain,omitempty"`
+	// Generation is the database mutation generation the answer was
+	// computed at; Cached reports whether it was served from the result
+	// cache (always at the current generation — a mutation invalidates).
+	Generation uint64 `json:"generation"`
+	Cached     bool   `json:"cached"`
+}
+
+// IngestRequest stores one sequence. Times may be omitted for uniformly
+// sampled values (times 0, 1, 2, ...); when present it must parallel
+// Values.
+type IngestRequest struct {
+	ID     string    `json:"id"`
+	Times  []float64 `json:"times,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// IngestResponse describes the stored record.
+type IngestResponse struct {
+	ID       string `json:"id"`
+	Samples  int    `json:"samples"`
+	Segments int    `json:"segments"`
+	Symbols  string `json:"symbols"`
+	// Generation is the database generation after the ingest committed.
+	Generation uint64 `json:"generation"`
+}
+
+// BatchRequest ingests many sequences through the worker pool.
+type BatchRequest struct {
+	Items []IngestRequest `json:"items"`
+}
+
+// BatchItemError ties one failed batch item to its position in the
+// request.
+type BatchItemError struct {
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// BatchResponse reports a batch outcome: items are independent, so a
+// partial failure still ingests the rest (HTTP 207) and lists each
+// failure individually.
+type BatchResponse struct {
+	Requested  int              `json:"requested"`
+	Ingested   int              `json:"ingested"`
+	Failed     []BatchItemError `json:"failed,omitempty"`
+	Generation uint64           `json:"generation"`
+}
+
+// RecordResponse is the stored state of one sequence.
+type RecordResponse struct {
+	ID        string    `json:"id"`
+	Samples   int       `json:"samples"`
+	Segments  int       `json:"segments"`
+	Peaks     int       `json:"peaks"`
+	Symbols   string    `json:"symbols"`
+	Intervals []float64 `json:"intervals,omitempty"`
+}
+
+// RemoveResponse acknowledges a DELETE.
+type RemoveResponse struct {
+	ID string `json:"id"`
+	// Sequences is the count remaining after the removal.
+	Sequences  int    `json:"sequences"`
+	Generation uint64 `json:"generation"`
+}
+
+// SnapshotResponse reports a snapshot save or load.
+type SnapshotResponse struct {
+	// Op is "save" or "load".
+	Op        string `json:"op"`
+	Sequences int    `json:"sequences"`
+	// Generation is the database generation after the operation (for a
+	// load: of the freshly restored database).
+	Generation uint64 `json:"generation"`
+}
+
+// HealthResponse is /healthz.
+type HealthResponse struct {
+	Status     string `json:"status"`
+	Sequences  int    `json:"sequences"`
+	Generation uint64 `json:"generation"`
+}
+
+// ErrorResponse carries any non-2xx outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

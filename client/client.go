@@ -1,0 +1,220 @@
+// Package client is the typed Go client of the seqrep HTTP server
+// (cmd/seqserved, internal/server). It speaks the JSON wire types of
+// package api and maps non-2xx responses onto *APIError values, so
+// callers branch on status codes without touching HTTP plumbing:
+//
+//	c := client.New("http://localhost:8080")
+//	if _, err := c.Ingest(ctx, api.IngestRequest{ID: "ecg1", Values: vals}); err != nil { ... }
+//	res, err := c.Query(ctx, "MATCH DISTANCE LIKE ecg1 METRIC l2 EPS 3")
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"seqrep/api"
+)
+
+// APIError is any non-2xx server response.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNotFound reports a 404 (unknown sequence id).
+func (e *APIError) IsNotFound() bool { return e.StatusCode == http.StatusNotFound }
+
+// IsConflict reports a 409 (duplicate sequence id, or an endpoint the
+// server is not configured for).
+func (e *APIError) IsConflict() bool { return e.StatusCode == http.StatusConflict }
+
+// Client talks to one seqrep server. The zero value is not usable; create
+// with New. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the response into out (ignored when
+// nil). Non-2xx responses become *APIError. okCodes lists the statuses
+// treated as success; empty means any 2xx.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, okCodes ...int) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer res.Body.Close()
+	ok := res.StatusCode >= 200 && res.StatusCode < 300
+	if len(okCodes) > 0 {
+		ok = false
+		for _, code := range okCodes {
+			if res.StatusCode == code {
+				ok = true
+				break
+			}
+		}
+	}
+	if !ok {
+		var apiErr api.ErrorResponse
+		msg := ""
+		if blob, readErr := io.ReadAll(io.LimitReader(res.Body, 1<<16)); readErr == nil {
+			if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+				msg = apiErr.Error
+			} else {
+				msg = strings.TrimSpace(string(blob))
+			}
+		}
+		return &APIError{StatusCode: res.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Query executes one query-language statement.
+func (c *Client) Query(ctx context.Context, statement string) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", api.QueryRequest{Query: statement}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest stores one sequence.
+func (c *Client) Ingest(ctx context.Context, item api.IngestRequest) (*api.IngestResponse, error) {
+	var out api.IngestResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ingest", item, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestBatch stores many sequences through the server's worker pool.
+// Items are independent: a partial failure (HTTP 207) is NOT an error
+// here — inspect BatchResponse.Failed for the per-item outcomes.
+func (c *Client) IngestBatch(ctx context.Context, items []api.IngestRequest) (*api.BatchResponse, error) {
+	var out api.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/ingest/batch", api.BatchRequest{Items: items}, &out,
+		http.StatusOK, http.StatusMultiStatus)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Record fetches the stored state of one sequence.
+func (c *Client) Record(ctx context.Context, id string) (*api.RecordResponse, error) {
+	var out api.RecordResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/records/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Remove deletes one sequence.
+func (c *Client) Remove(ctx context.Context, id string) (*api.RemoveResponse, error) {
+	var out api.RemoveResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/records/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SaveSnapshot persists a point-in-time snapshot on the server.
+func (c *Client) SaveSnapshot(ctx context.Context) (*api.SnapshotResponse, error) {
+	var out api.SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot/save", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LoadSnapshot restores the server's database from its snapshot store.
+func (c *Client) LoadSnapshot(ctx context.Context) (*api.SnapshotResponse, error) {
+	var out api.SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot/load", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	res, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer res.Body.Close()
+	blob, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: res.StatusCode, Message: strings.TrimSpace(string(blob))}
+	}
+	return string(blob), nil
+}

@@ -1,0 +1,50 @@
+package client
+
+// Unit tests of the wire plumbing: APIError mapping for JSON and
+// non-JSON error bodies. The client's happy paths are exercised end to
+// end against the real server in internal/server's test suite.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestAPIErrorMapping(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error": "core: unknown sequence id \"x\""}`))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text panic page", http.StatusBadGateway)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL + "/") // trailing slash is trimmed
+
+	ctx := context.Background()
+	_, err := c.Query(ctx, "MATCH VALUE LIKE x")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *APIError", err)
+	}
+	if !ae.IsNotFound() || ae.Message != `core: unknown sequence id "x"` {
+		t.Fatalf("APIError = %+v, want 404 with the server message", ae)
+	}
+
+	// Non-JSON error bodies degrade to their trimmed text.
+	_, err = c.Health(ctx)
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *APIError", err)
+	}
+	if ae.StatusCode != http.StatusBadGateway || ae.Message != "plain text panic page" {
+		t.Fatalf("APIError = %+v, want 502 with the raw body", ae)
+	}
+	if ae.IsNotFound() || ae.IsConflict() {
+		t.Fatal("502 misclassified")
+	}
+}

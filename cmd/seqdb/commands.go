@@ -75,21 +75,11 @@ func openDB(path string, cfg seqrep.Config) (*seqrep.DB, error) {
 	return seqrep.Load(f, cfg)
 }
 
-// saveDB writes the database atomically.
+// saveDB writes the database atomically: SaveFile stages the bytes in a
+// temporary file next to the destination (same filesystem, so the final
+// rename is atomic) and never clobbers an existing database on error.
 func saveDB(path string, db *seqrep.DB) error {
-	tmp, err := os.CreateTemp("", "seqdb-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := db.SaveTo(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return seqrep.SaveFile(db, path, nil)
 }
 
 func cmdIngest(args []string) error {

@@ -1,0 +1,154 @@
+// Seqserved serves a seqrep sequence database over HTTP/JSON: the full
+// query language (including EXPLAIN), worker-pool batch ingestion, record
+// CRUD, snapshot save/load, health and Prometheus metrics — see
+// docs/SERVER.md for the endpoint reference.
+//
+// Usage:
+//
+//	seqserved -addr :8080 -snapshot db.bin -archive ./raws
+//
+// With -snapshot, an existing snapshot is loaded at boot, /v1/snapshot
+// save/load operate on the same file, and a final snapshot is written
+// during graceful shutdown. On SIGINT/SIGTERM the server stops accepting
+// connections, drains in-flight requests (up to -drain), then saves.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seqrep"
+	"seqrep/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "seqserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		snapshot = flag.String("snapshot", "", "snapshot file: loaded at boot when present, written by /v1/snapshot/save and on shutdown")
+		archive  = flag.String("archive", "", "directory for a file-backed raw-sequence archive (empty = no archive)")
+		epsilon  = flag.Float64("epsilon", 0, "breaking tolerance for a new database (0 = default 0.5)")
+		delta    = flag.Float64("delta", 0, "slope threshold for a new database (0 = default 0.25)")
+		bucket   = flag.Float64("bucket", 0, "interval-index bucket width for a new database (0 = default 1)")
+		shards   = flag.Int("shards", 0, "record shard count (0 = default 16)")
+		workers  = flag.Int("workers", 0, "ingest/query worker pool size (0 = GOMAXPROCS)")
+		coeffs   = flag.Int("coeffs", 0, "DFT coefficients in the query-planner feature index (0 = default 8, negative disables)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
+		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32MiB, negative disables)")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+		readTO   = flag.Duration("read-timeout", time.Minute, "per-request read timeout (headers + body; 0 disables)")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 disables)")
+	)
+	flag.Parse()
+
+	cfg := seqrep.Config{
+		Epsilon:     *epsilon,
+		Delta:       *delta,
+		BucketWidth: *bucket,
+		Shards:      *shards,
+		Workers:     *workers,
+		IndexCoeffs: *coeffs,
+	}
+	if *archive != "" {
+		arch, err := seqrep.NewFileArchive(*archive)
+		if err != nil {
+			return err
+		}
+		cfg.Archive = arch
+	}
+
+	var snap *server.FileSnapshotter
+	if *snapshot != "" {
+		snap = &server.FileSnapshotter{Path: *snapshot, Config: cfg}
+	}
+
+	var (
+		db  *seqrep.DB
+		err error
+	)
+	haveSnap := false
+	if snap != nil {
+		if haveSnap, err = snap.Exists(); err != nil {
+			return err // "cannot tell" must not silently boot empty
+		}
+	}
+	if haveSnap {
+		db, err = snap.Load()
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		log.Printf("loaded snapshot %s: %d sequences", *snapshot, db.Len())
+	} else {
+		db, err = seqrep.New(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	srvCfg := server.Config{DB: db, CacheSize: *cache, MaxBodyBytes: *maxBody}
+	if snap != nil {
+		srvCfg.Snapshotter = snap
+	}
+	srv, err := server.New(srvCfg)
+	if err != nil {
+		return err
+	}
+
+	// ReadTimeout covers the body too (a slow-body client cannot pin a
+	// goroutine past it), IdleTimeout reaps parked keep-alives;
+	// WriteTimeout stays off so long-running queries can stream their
+	// answer.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %s, draining (timeout %s)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if snap != nil {
+		if err := srv.Snapshot(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("snapshot saved to %s (%d sequences)", *snapshot, srv.DB().Len())
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -107,6 +107,22 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// Sentinel errors callers (the serving layer, CLIs) branch on with
+// errors.Is; the wrapping message carries the offending id.
+var (
+	// ErrDuplicateID reports an Ingest under an id that already names a
+	// stored or in-flight sequence.
+	ErrDuplicateID = errors.New("duplicate sequence id")
+	// ErrUnknownID reports an operation on an id the database does not
+	// hold.
+	ErrUnknownID = errors.New("unknown sequence id")
+	// ErrStorage reports a server-side storage fault while answering a
+	// query: the comparison form of a *stored* record could not be read
+	// (archive read failure, missing raws, reconstruction failure). The
+	// request was fine; the data layer was not.
+	ErrStorage = errors.New("storage fault")
+)
+
 // Record is everything the database keeps for one ingested sequence: the
 // compact representation and the features derived from it. Raw samples are
 // not part of the record.
@@ -191,6 +207,12 @@ type DB struct {
 	// but never the other way around.
 	findex *featIndex
 
+	// gen counts committed mutations (Ingest, Remove, snapshot adoption).
+	// It only ever grows, so an observer holding a generation number can
+	// tell whether the database has changed since — the invalidation
+	// signal behind the serving layer's result cache.
+	gen atomic.Uint64
+
 	imu     sync.RWMutex
 	ids     []string // sorted
 	rrIndex *inverted.Index
@@ -246,6 +268,13 @@ func (db *DB) shardOf(id string) *shard {
 
 // Config returns the database's effective configuration.
 func (db *DB) Config() Config { return db.cfg }
+
+// Generation returns the database's mutation generation: a counter bumped
+// by every committed Ingest, Remove and snapshot adoption. Two equal
+// generations bracket a span in which no write was committed, so any
+// derived result (e.g. a cached query answer) computed at that generation
+// is still valid; a change invalidates it.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
 
 // Len returns the number of ingested sequences.
 func (db *DB) Len() int {
@@ -336,6 +365,7 @@ func (db *DB) link(rec *Record) error {
 	if db.findex != nil {
 		db.findex.add(rec)
 	}
+	db.gen.Add(1)
 	return nil
 }
 
@@ -348,30 +378,39 @@ func (db *DB) link(rec *Record) error {
 // sequences proceed in parallel, serializing only on the brief shard and
 // index updates at the end.
 func (db *DB) Ingest(id string, s seq.Sequence) error {
+	_, err := db.IngestRecord(id, s)
+	return err
+}
+
+// IngestRecord is Ingest returning the committed record, for callers
+// that report on what was stored (the serving layer) without re-reading
+// shared state — a lookup by id after Ingest returns can already observe
+// a concurrent removal or replacement.
+func (db *DB) IngestRecord(id string, s seq.Sequence) (*Record, error) {
 	if id == "" {
-		return fmt.Errorf("core: empty sequence id")
+		return nil, fmt.Errorf("core: empty sequence id")
 	}
 	if len(s) == 0 {
-		return fmt.Errorf("core: ingesting empty sequence %q", id)
+		return nil, fmt.Errorf("core: ingesting empty sequence %q", id)
 	}
 	if err := s.Validate(); err != nil {
-		return fmt.Errorf("core: ingesting %q: %w", id, err)
+		return nil, fmt.Errorf("core: ingesting %q: %w", id, err)
 	}
 	sh := db.shardOf(id)
 	if !sh.reserve(id) {
-		return fmt.Errorf("core: duplicate sequence id %q", id)
+		return nil, fmt.Errorf("core: %w %q", ErrDuplicateID, id)
 	}
 	rec, err := db.build(id, s)
 	if err != nil {
 		sh.abort(id)
-		return err
+		return nil, err
 	}
 	sh.commit(rec)
 	if err := db.link(rec); err != nil {
 		sh.drop(id)
-		return err
+		return nil, err
 	}
-	return nil
+	return rec, nil
 }
 
 // BatchItem names one sequence of a batch ingest.
@@ -380,25 +419,64 @@ type BatchItem struct {
 	Seq seq.Sequence
 }
 
+// ItemError ties one failed batch item to its position and id, so batch
+// callers (the serving layer, CLI reporting) can surface structured
+// per-item failures instead of one flattened string.
+type ItemError struct {
+	// Index is the item's position in the submitted batch.
+	Index int
+	// ID is the sequence id the item carried.
+	ID string
+	// Err is the underlying ingestion error.
+	Err error
+}
+
+// Error implements error.
+func (e *ItemError) Error() string {
+	return fmt.Sprintf("item %d (%q): %v", e.Index, e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ItemError) Unwrap() error { return e.Err }
+
 // IngestBatch ingests many sequences concurrently through a pool of
 // Config.Workers workers. It returns the number of sequences successfully
-// ingested and an error joining every per-item failure (wrapped with its
-// id, inspectable via errors.Is/As). Items are independent: one failing
-// item does not stop the others.
+// ingested and an error joining every per-item failure (each a *ItemError,
+// inspectable via errors.As). Items are independent: one failing item does
+// not stop the others. Callers that need the failures individually should
+// use IngestBatchItems.
 func (db *DB) IngestBatch(items []BatchItem) (int, error) {
+	n, itemErrs := db.IngestBatchItems(items)
+	errs := make([]error, len(itemErrs))
+	for i, ie := range itemErrs {
+		errs[i] = ie
+	}
+	return n, errors.Join(errs...)
+}
+
+// IngestBatchItems is IngestBatch with structured failures: it returns the
+// number of sequences successfully ingested and one *ItemError per failed
+// item, ordered by batch position.
+func (db *DB) IngestBatchItems(items []BatchItem) (int, []*ItemError) {
 	if len(items) == 0 {
 		return 0, nil
 	}
 	var ok atomic.Int64
-	errs := make([]error, len(items))
+	errs := make([]*ItemError, len(items))
 	db.forEachClaimed(len(items), func(i int) {
 		if err := db.Ingest(items[i].ID, items[i].Seq); err != nil {
-			errs[i] = fmt.Errorf("item %d (%q): %w", i, items[i].ID, err)
+			errs[i] = &ItemError{Index: i, ID: items[i].ID, Err: err}
 			return
 		}
 		ok.Add(1)
 	})
-	return int(ok.Load()), errors.Join(errs...)
+	failed := make([]*ItemError, 0, len(items)-int(ok.Load()))
+	for _, ie := range errs {
+		if ie != nil {
+			failed = append(failed, ie)
+		}
+	}
+	return int(ok.Load()), failed
 }
 
 // forEachClaimed runs fn over the indices [0, n), fanned across up to
@@ -441,7 +519,7 @@ func (db *DB) Remove(id string) error {
 	rec, ok := sh.records[id]
 	if !ok {
 		sh.mu.Unlock()
-		return fmt.Errorf("core: unknown sequence id %q", id)
+		return fmt.Errorf("core: %w %q", ErrUnknownID, id)
 	}
 	delete(sh.records, id)
 	sh.pending[id] = struct{}{}
@@ -459,6 +537,7 @@ func (db *DB) Remove(id string) error {
 	if db.findex != nil {
 		db.findex.remove(rec)
 	}
+	db.gen.Add(1)
 	db.imu.Unlock()
 
 	if db.cfg.Archive != nil {
@@ -484,7 +563,7 @@ func (db *DB) Raw(id string) (seq.Sequence, error) {
 func (db *DB) Reconstruct(id string) (seq.Sequence, error) {
 	rec, ok := db.Record(id)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown sequence id %q", id)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownID, id)
 	}
 	return rec.Rep.Reconstruct()
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"seqrep/internal/feature"
 	"seqrep/internal/rep"
@@ -141,6 +143,57 @@ func (db *DB) SaveTo(w io.Writer) error {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
+}
+
+// SaveFile writes a snapshot to path atomically: the bytes go to a
+// temporary file in path's directory (so the final step is a same-
+// filesystem rename) and the destination is replaced only after the write
+// fully succeeds. A failure mid-write leaves any existing snapshot at path
+// untouched and removes the temporary file.
+//
+// wrap, when non-nil, decorates the underlying writer — the hook the
+// fault-injection and accounting tests use (compare store.CountingArchive);
+// production callers pass nil.
+func (db *DB) SaveFile(path string, wrap func(io.Writer) io.Writer) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var w io.Writer = tmp
+	if wrap != nil {
+		w = wrap(tmp)
+	}
+	if err = db.SaveTo(w); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot file written by SaveFile into a fresh
+// database (see Load for how cfg combines with the stored parameters).
+func LoadFile(path string, cfg Config) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f, cfg)
 }
 
 // Load reads a snapshot into a fresh database. The snapshot's scalar

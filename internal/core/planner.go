@@ -152,12 +152,28 @@ func (db *DB) ValueQueryStats(exemplar seq.Sequence, eps float64) ([]Match, Quer
 	return db.valueScan(exemplar, eps)
 }
 
+// verifyReadError classifies a storedSequence failure during query
+// verification: when the record has since been removed (or replaced) the
+// miss is just the scan's point-in-time snapshot outliving a concurrent
+// Remove — the record is skipped, not an error. A read failure for a
+// record still committed is a genuine storage fault and aborts the
+// query.
+func (db *DB) verifyReadError(rec *Record, err error) error {
+	if cur, ok := db.Record(rec.ID); !ok || cur != rec {
+		return nil
+	}
+	return err
+}
+
 // distanceVerify compares one record's exact samples against the
 // exemplar under m — the shared verification step of both plans.
 func (db *DB) distanceVerify(rec *Record, exemplar seq.Sequence, m dist.Metric, eps float64) (Match, bool, error) {
 	stored, err := db.storedSequence(rec)
 	if err != nil {
-		return Match{}, false, fmt.Errorf("core: distance query reading %q: %w", rec.ID, err)
+		if err = db.verifyReadError(rec, err); err != nil {
+			return Match{}, false, fmt.Errorf("core: distance query reading %q: %w", rec.ID, err)
+		}
+		return Match{}, false, nil // removed mid-scan; skip
 	}
 	d, err := m.Distance(exemplar, stored)
 	if err != nil {
@@ -181,7 +197,10 @@ func (db *DB) distanceVerify(rec *Record, exemplar seq.Sequence, m dist.Metric, 
 func (db *DB) valueVerify(rec *Record, exemplar seq.Sequence, eps float64) (Match, bool, error) {
 	stored, err := db.storedSequence(rec)
 	if err != nil {
-		return Match{}, false, fmt.Errorf("core: value query reading %q: %w", rec.ID, err)
+		if err = db.verifyReadError(rec, err); err != nil {
+			return Match{}, false, fmt.Errorf("core: value query reading %q: %w", rec.ID, err)
+		}
+		return Match{}, false, nil // removed mid-scan; skip
 	}
 	d, within, err := dist.BandDistance(exemplar, stored, eps)
 	if err != nil || !within {

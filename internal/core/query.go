@@ -45,12 +45,23 @@ func totalDeviation(m Match) float64 {
 
 // storedSequence reads the comparison form of a record: raw samples from
 // the archive when one is configured, the representation reconstruction
-// otherwise.
+// otherwise. A failure here is a storage fault, not a bad query — the
+// record is committed but its comparison form is unreadable — so the
+// error wraps ErrStorage for callers (the serving layer) to classify.
 func (db *DB) storedSequence(rec *Record) (seq.Sequence, error) {
+	var (
+		s   seq.Sequence
+		err error
+	)
 	if db.cfg.Archive != nil {
-		return db.Raw(rec.ID)
+		s, err = db.Raw(rec.ID)
+	} else {
+		s, err = rec.Rep.Reconstruct()
 	}
-	return rec.Rep.Reconstruct()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrStorage, err)
+	}
+	return s, nil
 }
 
 // ValueQuery implements the prior-art semantics the paper generalizes away

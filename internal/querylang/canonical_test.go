@@ -1,0 +1,62 @@
+package querylang
+
+import "testing"
+
+// TestCanonical pins the cache-key contract: spelling variants of one
+// statement share a canonical form, distinct statements (including the
+// EXPLAIN'ed variant) do not, and the canonical form is a fixed point.
+func TestCanonical(t *testing.T) {
+	equivalent := [][]string{
+		{`match value like ecg1`, `MATCH VALUE LIKE ecg1`, `  MATCH   VALUE LIKE "ecg1"  `},
+		{`match distance like ecg1`, `MATCH DISTANCE LIKE ecg1 METRIC l2`},
+		{`explain match peaks 2`, `EXPLAIN MATCH PEAKS 2`, `EXPLAIN EXPLAIN MATCH PEAKS 2`},
+		{`find pattern "U+D+"`, `FIND PATTERN 'U+D+'`},
+		{`match interval 135 +- 2`, `MATCH INTERVAL 135.0 +- 2.00`},
+	}
+	for _, group := range equivalent {
+		first, err := Canonical(group[0])
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", group[0], err)
+		}
+		for _, src := range group[1:] {
+			got, err := Canonical(src)
+			if err != nil {
+				t.Fatalf("Canonical(%q): %v", src, err)
+			}
+			if got != first {
+				t.Errorf("Canonical(%q) = %q, want %q (same as %q)", src, got, first, group[0])
+			}
+		}
+		// Fixed point: canonicalizing the canonical form changes nothing.
+		again, err := Canonical(first)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", first, err)
+		}
+		if again != first {
+			t.Errorf("canonical form is not a fixed point: %q -> %q", first, again)
+		}
+	}
+
+	distinct := []string{
+		`MATCH VALUE LIKE ecg1`,
+		`MATCH VALUE LIKE ecg1 EPS 0.5`,
+		`EXPLAIN MATCH VALUE LIKE ecg1`,
+		`MATCH DISTANCE LIKE ecg1 METRIC zl2`,
+		`MATCH PEAKS 2`,
+	}
+	seen := map[string]string{}
+	for _, src := range distinct {
+		got, err := Canonical(src)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", src, err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("distinct statements %q and %q share canonical form %q", src, prev, got)
+		}
+		seen[got] = src
+	}
+
+	if _, err := Canonical(`MATCH NONSENSE`); err == nil {
+		t.Error("Canonical accepted an unparseable statement")
+	}
+}

@@ -53,6 +53,21 @@ func Exec(db Database, src string) (*Result, error) {
 	return q.Run(db)
 }
 
+// Canonical parses src and returns its canonical rendering: the one
+// spelling every equivalent statement normalizes to (keyword casing,
+// default clauses, quoting). Two statements with equal canonical forms
+// execute identically, which makes the canonical form a sound cache key
+// for query results — the property the fuzzer's parse → print → reparse
+// round trip pins. EXPLAIN is part of the form: an EXPLAIN'ed statement
+// answers differently and canonicalizes differently.
+func Canonical(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
 // MatchPatternQuery is MATCH PATTERN "...": whole symbol strings matching
 // a slope-sign regular expression.
 type MatchPatternQuery struct {

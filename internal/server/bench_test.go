@@ -1,0 +1,139 @@
+package server
+
+// BenchmarkServerQuery measures one full HTTP round trip of a planner-
+// routed distance query against a 512-sequence corpus, hot (result cache
+// serving at a stable generation) versus cold (cache disabled, every
+// request re-executes). Both servers wrap the same database, so the gap
+// is purely the cache. The run emits BENCH_server.json, the serving
+// layer's perf-trajectory record (compare BENCH_query.json for the
+// engine-level planner).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"seqrep"
+	"seqrep/api"
+	"seqrep/client"
+)
+
+const benchCorpusN = 512
+
+func benchServers(b *testing.B) (hot, cold *client.Client) {
+	b.Helper()
+	db, err := seqrep.New(seqrep.Config{Archive: seqrep.NewMemArchive()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]seqrep.BatchItem, 0, benchCorpusN)
+	for i := 0; i < benchCorpusN; i++ {
+		first := 5 + float64(i%8)
+		s, err := seqrep.GenerateFever(seqrep.FeverOpts{
+			Samples: 97, FirstPeak: first, SecondPeak: first + 5 + float64(i%5),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, seqrep.BatchItem{
+			ID:  fmt.Sprintf("fever-%04d", i),
+			Seq: s.ShiftValue(float64(i%100) * 0.05),
+		})
+	}
+	if _, err := db.IngestBatch(items); err != nil {
+		b.Fatal(err)
+	}
+	_, hot = testServer(b, Config{DB: db})
+	_, cold = testServer(b, Config{DB: db, CacheSize: -1})
+	return hot, cold
+}
+
+type benchServerReport struct {
+	Benchmark string  `json:"benchmark"`
+	Sequences int     `json:"sequences"`
+	Statement string  `json:"statement"`
+	HotNsOp   float64 `json:"hot_ns_per_op"`
+	ColdNsOp  float64 `json:"cold_ns_per_op"`
+	Speedup   float64 `json:"cache_speedup"`
+	Matches   int     `json:"matches"`
+}
+
+func BenchmarkServerQuery(b *testing.B) {
+	ctx := context.Background()
+	hot, cold := benchServers(b)
+	const stmt = `MATCH DISTANCE LIKE fever-0000 METRIC l2 EPS 2`
+	report := benchServerReport{
+		Benchmark: "ServerQuery",
+		Sequences: benchCorpusN,
+		Statement: stmt,
+	}
+
+	run := func(b *testing.B, c *client.Client, wantCached bool) *api.QueryResponse {
+		b.Helper()
+		// Prime outside the timed region (fills the hot cache; for the
+		// cold server, warms connections).
+		res, err := c.Query(ctx, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res, err = c.Query(ctx, stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Cached != wantCached {
+			b.Fatalf("cached = %v, want %v", res.Cached, wantCached)
+		}
+		return res
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		res := run(b, hot, true)
+		report.HotNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		report.Matches = len(res.IDs)
+	})
+	b.Run("cold", func(b *testing.B) {
+		run(b, cold, false)
+		report.ColdNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	if report.HotNsOp > 0 && report.ColdNsOp > 0 {
+		report.Speedup = report.ColdNsOp / report.HotNsOp
+		b.ReportMetric(report.Speedup, "cache_speedup")
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_server.json", append(blob, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_server.json not written: %v", err)
+		}
+	}
+}
+
+// BenchmarkServerIngest measures the HTTP ingest round trip (pipeline
+// included), the write-side cost a capacity plan needs next to the query
+// numbers.
+func BenchmarkServerIngest(b *testing.B) {
+	ctx := context.Background()
+	db, err := seqrep.New(seqrep.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, c := testServer(b, Config{DB: db})
+	s, err := seqrep.GenerateFever(seqrep.FeverOpts{Samples: 97})
+	if err != nil {
+		b.Fatal(err)
+	}
+	item := api.IngestRequest{Times: s.Times(), Values: s.Values()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		item.ID = fmt.Sprintf("bench-%d", i)
+		if _, err := c.Ingest(ctx, item); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

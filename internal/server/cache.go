@@ -1,0 +1,122 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"seqrep"
+	"seqrep/api"
+)
+
+// resultCache is an LRU cache of query answers keyed by the statement's
+// canonical form, invalidated by the database's mutation generation: an
+// entry is served only while the generation it was computed at is still
+// current. Mutations bump the generation, so a lookup after any committed
+// Ingest/Remove/Load misses (and drops the stale entry) without the cache
+// ever tracking which entries a write affected. Entries also remember
+// which database instance they were computed on: a snapshot load swaps
+// the instance and starts a fresh generation sequence, and the identity
+// check keeps an in-flight query on the old instance from seeding the
+// cache across the swap.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, invalidations int64
+}
+
+type cacheEntry struct {
+	key  string
+	db   *seqrep.DB // instance the answer was computed on
+	gen  uint64
+	resp *api.QueryResponse // immutable once stored
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached answer for key computed on db at generation
+// gen, or nil. A hit refreshes recency; an entry that is stale from the
+// caller's viewpoint (older generation, or another instance) is evicted
+// and counted as an invalidation plus a miss. An entry *newer* than the
+// caller's generation is left alone — the caller read its generation
+// before a write committed and merely lost that race; destroying the
+// fresher answer would waste the faster request's work.
+func (c *resultCache) get(key string, db *seqrep.DB, gen uint64) *api.QueryResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.db == db && ent.gen == gen {
+		c.order.MoveToFront(el)
+		c.hits++
+		return ent.resp
+	}
+	if ent.db != db || ent.gen < gen {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.invalidations++
+	}
+	c.misses++
+	return nil
+}
+
+// put stores resp under key at generation gen, evicting the least
+// recently used entry when full. A same-instance entry computed at a
+// newer generation is kept: a slow request that read an old generation
+// before stalling must not clobber the fresher answer a faster request
+// cached meanwhile.
+func (c *resultCache) put(key string, db *seqrep.DB, gen uint64, resp *api.QueryResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		if ent := el.Value.(*cacheEntry); ent.db == db && ent.gen > gen {
+			return
+		}
+		el.Value = &cacheEntry{key: key, db: db, gen: gen, resp: resp}
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, db: db, gen: gen, resp: resp})
+}
+
+// clear drops every entry (snapshot load swaps the database out from
+// under the generation sequence, so nothing cached remains comparable).
+func (c *resultCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+}
+
+// cacheStats is a snapshot of the counters for /metrics.
+type cacheStats struct {
+	entries, hits, misses, invalidations int64
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		entries:       int64(c.order.Len()),
+		hits:          c.hits,
+		misses:        c.misses,
+		invalidations: c.invalidations,
+	}
+}

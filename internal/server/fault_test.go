@@ -1,0 +1,220 @@
+package server
+
+// Fault injection on the snapshot path: /v1/snapshot/save runs against a
+// writer that dies mid-stream (store.FailAfterWriter, the write-side
+// sibling of CountingArchive) while ingest traffic is in flight. The save
+// must fail loudly (500) — and nothing else: the server keeps serving,
+// the previous snapshot file is byte-identical, no temp litter remains,
+// and the old snapshot still loads.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"seqrep"
+	"seqrep/internal/store"
+)
+
+func TestSnapshotFaultInjectionUnderLoad(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := seqrep.Config{}
+	var failing atomic.Bool
+	snap := &FileSnapshotter{
+		Path:   filepath.Join(dir, "db.bin"),
+		Config: cfg,
+		WrapWriter: func(w io.Writer) io.Writer {
+			if failing.Load() {
+				return store.NewFailAfterWriter(w, 64)
+			}
+			return w
+		},
+	}
+	db, err := seqrep.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := testServer(t, Config{DB: db, Snapshotter: snap})
+
+	for i := 0; i < 4; i++ {
+		if _, err := c.Ingest(ctx, feverItem(t, fmt.Sprintf("keep-%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.SaveSnapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := os.ReadFile(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest load runs while the failing save is attempted.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("load-%d", i)
+			if _, err := c.Ingest(ctx, feverItem(t, id, i)); err != nil {
+				t.Errorf("background ingest: %v", err)
+				return
+			}
+			if _, err := c.Remove(ctx, id); err != nil {
+				t.Errorf("background remove: %v", err)
+				return
+			}
+		}
+	}()
+
+	failing.Store(true)
+	_, saveErr := c.SaveSnapshot(ctx)
+	failing.Store(false)
+	close(stop)
+	wg.Wait()
+
+	if saveErr == nil {
+		t.Fatal("save over a dying writer reported success")
+	}
+	if ae := apiErr(t, saveErr); ae.StatusCode != 500 || !strings.Contains(ae.Message, "injected") {
+		t.Fatalf("failing save = %v, want a 500 carrying the injected error", saveErr)
+	}
+
+	// The server is still healthy and serving.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Sequences != 4 {
+		t.Fatalf("health after failed save = %+v", h)
+	}
+	if _, err := c.Query(ctx, `MATCH PEAKS 2`); err != nil {
+		t.Fatalf("query after failed save: %v", err)
+	}
+
+	// The previous snapshot is byte-identical and free of temp litter.
+	after, err := os.ReadFile(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(goodBytes) {
+		t.Fatal("failed save corrupted the previous snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("snapshot dir litter after failed save: %v", names)
+	}
+	// ... and it still loads the pre-failure state.
+	restored, err := snap.Load()
+	if err != nil {
+		t.Fatalf("old snapshot no longer loads: %v", err)
+	}
+	if restored.Len() != 4 {
+		t.Fatalf("old snapshot restores %d sequences, want 4", restored.Len())
+	}
+
+	// With the fault gone, saving works again.
+	if _, err := c.SaveSnapshot(ctx); err != nil {
+		t.Fatalf("save after clearing the fault: %v", err)
+	}
+}
+
+// TestStorageFaultAnswers500 pins the server-fault classification: a
+// stored record whose raw samples have vanished from the archive (here:
+// a snapshot load rolling the DB — but not the archive — back past a
+// Remove, the documented SERVER.md caveat) turns queries that must read
+// them into 500s, not 4xx, while the server itself stays healthy.
+func TestStorageFaultAnswers500(t *testing.T) {
+	ctx := context.Background()
+	cfg := seqrep.Config{Archive: seqrep.NewMemArchive()}
+	snap := &FileSnapshotter{Path: filepath.Join(t.TempDir(), "db.bin"), Config: cfg}
+	db, err := seqrep.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := testServer(t, Config{DB: db, Snapshotter: snap})
+
+	for _, id := range []string{"keep", "victim"} {
+		if _, err := c.Ingest(ctx, feverItem(t, id, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.SaveSnapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Remove(ctx, "victim"); err != nil { // deletes its raws too
+		t.Fatal(err)
+	}
+	if _, err := c.LoadSnapshot(ctx); err != nil { // restores the record, not the raws
+		t.Fatal(err)
+	}
+
+	_, err = c.Query(ctx, `MATCH VALUE LIKE keep EPS 1000`)
+	if ae := apiErr(t, err); ae.StatusCode != 500 || !strings.Contains(ae.Message, "storage fault") {
+		t.Fatalf("query over a raw-less record = %v, want a 500 storage fault", err)
+	}
+	// The fault is per-query, not per-server.
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health after storage fault = %+v, %v", h, err)
+	}
+	// Re-ingesting the id heals it, after removing the stale record. The
+	// remove unlinks the record but errors on the already-gone raws — the
+	// record must be gone regardless.
+	if _, err := c.Remove(ctx, "victim"); err == nil {
+		t.Fatal("removing a raw-less record hid the archive inconsistency")
+	}
+	if _, err := c.Record(ctx, "victim"); !apiErr(t, err).IsNotFound() {
+		t.Fatal("failed archive delete left the record linked")
+	}
+	if _, err := c.Ingest(ctx, feverItem(t, "victim", 0)); err != nil {
+		t.Fatalf("re-ingest after heal: %v", err)
+	}
+	if _, err := c.Query(ctx, `MATCH VALUE LIKE keep EPS 1000`); err != nil {
+		t.Fatalf("query after re-ingest: %v", err)
+	}
+}
+
+// errorsIsSanity pins that the injected error is what SaveFile surfaced
+// (not some secondary failure), via the exported sentinel.
+func TestFailAfterWriterSentinelThroughSaveFile(t *testing.T) {
+	db, err := seqrep.New(seqrep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := seqrep.GenerateFever(seqrep.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest("x", s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.bin")
+	err = seqrep.SaveFile(db, path, func(w io.Writer) io.Writer { return store.NewFailAfterWriter(w, 8) })
+	if !errors.Is(err, store.ErrInjectedWrite) {
+		t.Fatalf("SaveFile error = %v, want ErrInjectedWrite", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatal("failed first save left a file at the destination")
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metricsRegistry accumulates per-endpoint request counters and latency
+// sums, rendered in Prometheus text exposition format by /metrics.
+// Endpoints are labeled by their route pattern (e.g. "POST /v1/query"),
+// never by raw paths, so cardinality stays bounded.
+type metricsRegistry struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	codes   map[int]int64 // responses by status code
+	seconds float64       // total handling latency
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one handled request.
+func (m *metricsRegistry) observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep, ok := m.endpoints[endpoint]
+	if !ok {
+		ep = &endpointMetrics{codes: make(map[int]int64)}
+		m.endpoints[endpoint] = ep
+	}
+	ep.codes[code]++
+	ep.seconds += d.Seconds()
+}
+
+// render writes the Prometheus text format, deterministically ordered.
+func (m *metricsRegistry) render(w *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP seqserved_requests_total Handled requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE seqserved_requests_total counter\n")
+	for _, name := range names {
+		ep := m.endpoints[name]
+		codes := make([]int, 0, len(ep.codes))
+		for code := range ep.codes {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "seqserved_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, code, ep.codes[code])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP seqserved_request_seconds_sum Total request handling latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE seqserved_request_seconds_sum counter\n")
+	for _, name := range names {
+		ep := m.endpoints[name]
+		var count int64
+		for _, n := range ep.codes {
+			count += n
+		}
+		fmt.Fprintf(w, "seqserved_request_seconds_sum{endpoint=%q} %g\n", name, ep.seconds)
+		fmt.Fprintf(w, "seqserved_request_seconds_count{endpoint=%q} %d\n", name, count)
+	}
+}
+
+// statusRecorder captures the status code a handler writes, for the
+// metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}

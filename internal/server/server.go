@@ -1,0 +1,466 @@
+// Package server exposes a seqrep database over HTTP/JSON: the querylang
+// surface (/v1/query, including EXPLAIN), worker-pool batch ingestion,
+// record CRUD, snapshot save/load, health, and Prometheus metrics. Wire
+// types live in package api; a typed Go client in package client.
+//
+// The server holds one live *seqrep.DB (swappable by a snapshot load)
+// and an LRU result cache keyed on each statement's canonical form. The
+// cache is invalidated by the database's mutation generation: every
+// committed Ingest/Remove/Load bumps the generation, every cache entry
+// remembers the generation it was computed at, and an entry is served
+// only while those agree. Canonicalization makes the key sound — spelling
+// variants of one statement share an entry — and the generation makes it
+// fresh without the cache knowing which entries a write affected.
+//
+// Per docs/ARCHITECTURE.md, this layer calls the façade (package seqrep)
+// only; it never reaches into core internals.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seqrep"
+	"seqrep/api"
+)
+
+// DefaultCacheSize is the result-cache capacity when Config.CacheSize is
+// zero.
+const DefaultCacheSize = 256
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// zero: large enough for six-figure batch ingests, small enough that a
+// hostile POST cannot exhaust server memory.
+const DefaultMaxBodyBytes = 32 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the database to serve (required).
+	DB *seqrep.DB
+	// Snapshotter enables the /v1/snapshot endpoints; nil disables them.
+	Snapshotter Snapshotter
+	// CacheSize bounds the result cache in entries: 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// MaxBodyBytes caps each request body: 0 means DefaultMaxBodyBytes,
+	// negative disables the cap. Oversized requests answer 413.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP serving layer. Create with New, mount via Handler.
+// It is safe for any number of concurrent requests.
+type Server struct {
+	dbMu sync.RWMutex
+	db   *seqrep.DB
+
+	snap      Snapshotter
+	cache     *resultCache // nil when disabled
+	metrics   *metricsRegistry
+	mux       *http.ServeMux
+	bodyLimit int64 // 0 = unlimited
+}
+
+// New builds a server around cfg.DB.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("server: Config.DB is required")
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	limit := cfg.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	s := &Server{
+		db:        cfg.DB,
+		snap:      cfg.Snapshotter,
+		metrics:   newMetricsRegistry(),
+		mux:       http.NewServeMux(),
+		bodyLimit: limit,
+	}
+	if size > 0 {
+		s.cache = newResultCache(size)
+	}
+	s.route("POST /v1/query", s.handleQuery)
+	s.route("POST /v1/ingest", s.handleIngest)
+	s.route("POST /v1/ingest/batch", s.handleIngestBatch)
+	s.route("GET /v1/records/{id}", s.handleGetRecord)
+	s.route("DELETE /v1/records/{id}", s.handleRemoveRecord)
+	s.route("POST /v1/snapshot/save", s.handleSnapshotSave)
+	s.route("POST /v1/snapshot/load", s.handleSnapshotLoad)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DB returns the currently served database (a snapshot load swaps it).
+func (s *Server) DB() *seqrep.DB {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	return s.db
+}
+
+// Snapshot saves the current database through the configured
+// snapshotter — the graceful-shutdown path of cmd/seqserved.
+func (s *Server) Snapshot() error {
+	if s.snap == nil {
+		return fmt.Errorf("server: no snapshotter configured")
+	}
+	return s.snap.Save(s.DB())
+}
+
+// route mounts handler under pattern with the metrics middleware, labeling
+// observations by the route pattern so cardinality stays bounded.
+func (s *Server) route(pattern string, handler http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		if s.bodyLimit > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.bodyLimit)
+		}
+		handler(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		s.metrics.observe(pattern, rec.code, time.Since(start))
+	})
+}
+
+// ---- JSON plumbing ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to salvage
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.ErrorResponse{Error: err.Error()})
+}
+
+// decodeJSON reads one JSON body strictly (unknown fields rejected, no
+// trailing garbage).
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid JSON body: trailing data")
+	}
+	return nil
+}
+
+// decodeStatus classifies a decodeJSON failure: an oversized body (the
+// route middleware's MaxBytesReader tripped) is 413, everything else 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// statusOf maps a database error onto an HTTP status: unknown ids are
+// 404, duplicates 409, storage faults (a stored record whose comparison
+// form cannot be read — the request was fine, the data layer was not)
+// 500, everything else a client-side 422 (the request was well-formed
+// JSON but the engine rejected it).
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, seqrep.ErrStorage):
+		return http.StatusInternalServerError
+	case errors.Is(err, seqrep.ErrUnknownID):
+		return http.StatusNotFound
+	case errors.Is(err, seqrep.ErrDuplicateID):
+		return http.StatusConflict
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// ---- /v1/query ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req api.QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	q, err := seqrep.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := q.String() // canonical form: the cache key
+	db := s.DB()
+	// The generation is read before executing: a write committing during
+	// execution bumps it, so the entry stored below can never be served
+	// after that write — lookups compare against the then-current value.
+	gen := db.Generation()
+	if s.cache != nil {
+		if resp := s.cache.get(key, db, gen); resp != nil {
+			hit := *resp
+			hit.Cached = true
+			writeJSON(w, http.StatusOK, &hit)
+			return
+		}
+	}
+	res, err := seqrep.RunQuery(db, q)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	resp := toQueryResponse(res, key, gen)
+	// The put is skipped when a snapshot load swapped the database while
+	// this query ran: a stale-instance entry could never be served (get
+	// checks the instance) but would clobber fresher entries and keep the
+	// whole swapped-out database reachable from the cache.
+	if s.cache != nil && s.DB() == db {
+		s.cache.put(key, db, gen, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// toQueryResponse converts an engine result into its wire form.
+func toQueryResponse(res *seqrep.QueryResult, canonical string, gen uint64) *api.QueryResponse {
+	resp := &api.QueryResponse{
+		Kind:       res.Kind,
+		Canonical:  canonical,
+		IDs:        res.IDs,
+		Explain:    res.Explain,
+		Generation: gen,
+	}
+	if resp.IDs == nil {
+		resp.IDs = []string{}
+	}
+	for _, m := range res.Matches {
+		resp.Matches = append(resp.Matches, api.Match{ID: m.ID, Exact: m.Exact, Deviations: m.Deviations})
+	}
+	for _, h := range res.Hits {
+		resp.Hits = append(resp.Hits, api.PatternHit{
+			ID: h.ID, SegLo: h.SegLo, SegHi: h.SegHi, TimeLo: h.TimeLo, TimeHi: h.TimeHi,
+		})
+	}
+	for _, iv := range res.Intervals {
+		resp.Intervals = append(resp.Intervals, api.IntervalMatch{
+			ID: iv.ID, Positions: iv.Positions, Intervals: iv.Intervals,
+		})
+	}
+	if res.Stats != nil {
+		resp.Stats = &api.QueryStats{
+			Query:      res.Stats.Query,
+			Metric:     res.Stats.Metric,
+			Plan:       res.Stats.Plan,
+			Examined:   res.Stats.Examined,
+			Candidates: res.Stats.Candidates,
+			Pruned:     res.Stats.Pruned,
+			Matches:    res.Stats.Matches,
+		}
+	}
+	return resp
+}
+
+// ---- /v1/ingest ----
+
+// toSequence builds the engine sequence an IngestRequest describes.
+func toSequence(item api.IngestRequest) (seqrep.Sequence, error) {
+	if item.Times == nil {
+		return seqrep.NewSequence(item.Values), nil
+	}
+	return seqrep.NewSequenceFromSamples(item.Times, item.Values)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req api.IngestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	seqv, err := toSequence(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	db := s.DB()
+	rec, err := db.IngestRecord(req.ID, seqv)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.IngestResponse{
+		ID:         req.ID,
+		Samples:    rec.N,
+		Segments:   rec.Rep.NumSegments(),
+		Symbols:    rec.Profile.Symbols,
+		Generation: db.Generation(),
+	})
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	// Items whose sequence cannot even be constructed (times/values
+	// length mismatch) fail up front; the rest go through the worker
+	// pool. Indexes in the response always refer to the request order.
+	items := make([]seqrep.BatchItem, 0, len(req.Items))
+	requestIndex := make([]int, 0, len(req.Items))
+	var failed []api.BatchItemError
+	for i, item := range req.Items {
+		sv, err := toSequence(item)
+		if err != nil {
+			failed = append(failed, api.BatchItemError{Index: i, ID: item.ID, Error: err.Error()})
+			continue
+		}
+		items = append(items, seqrep.BatchItem{ID: item.ID, Seq: sv})
+		requestIndex = append(requestIndex, i)
+	}
+	db := s.DB()
+	n, itemErrs := db.IngestBatchItems(items)
+	for _, ie := range itemErrs {
+		failed = append(failed, api.BatchItemError{
+			Index: requestIndex[ie.Index],
+			ID:    ie.ID,
+			Error: ie.Err.Error(),
+		})
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Index < failed[j].Index })
+	resp := api.BatchResponse{
+		Requested:  len(req.Items),
+		Ingested:   n,
+		Failed:     failed,
+		Generation: db.Generation(),
+	}
+	code := http.StatusOK
+	if len(failed) > 0 {
+		code = http.StatusMultiStatus
+	}
+	writeJSON(w, code, resp)
+}
+
+// ---- /v1/records/{id} ----
+
+func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.DB().Record(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", seqrep.ErrUnknownID, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RecordResponse{
+		ID:        rec.ID,
+		Samples:   rec.N,
+		Segments:  rec.Rep.NumSegments(),
+		Peaks:     len(rec.Profile.Peaks),
+		Symbols:   rec.Profile.Symbols,
+		Intervals: rec.Profile.Intervals,
+	})
+}
+
+func (s *Server) handleRemoveRecord(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	db := s.DB()
+	if err := db.Remove(id); err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RemoveResponse{
+		ID:         id,
+		Sequences:  db.Len(),
+		Generation: db.Generation(),
+	})
+}
+
+// ---- /v1/snapshot ----
+
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	if s.snap == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("no snapshot store configured"))
+		return
+	}
+	db := s.DB()
+	if err := s.snap.Save(db); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SnapshotResponse{
+		Op:         "save",
+		Sequences:  db.Len(),
+		Generation: db.Generation(),
+	})
+}
+
+func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
+	if s.snap == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("no snapshot store configured"))
+		return
+	}
+	db, err := s.snap.Load()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.dbMu.Lock()
+	s.db = db
+	s.dbMu.Unlock()
+	// The new database starts its own generation sequence, which may
+	// collide with values cached from the old one — drop everything.
+	if s.cache != nil {
+		s.cache.clear()
+	}
+	writeJSON(w, http.StatusOK, api.SnapshotResponse{
+		Op:         "load",
+		Sequences:  db.Len(),
+		Generation: db.Generation(),
+	})
+}
+
+// ---- health + metrics ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:     "ok",
+		Sequences:  db.Len(),
+		Generation: db.Generation(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	var b strings.Builder
+	s.metrics.render(&b)
+	if s.cache != nil {
+		st := s.cache.stats()
+		fmt.Fprintf(&b, "# HELP seqserved_cache_hits_total Result cache hits.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "seqserved_cache_hits_total %d\n", st.hits)
+		fmt.Fprintf(&b, "seqserved_cache_misses_total %d\n", st.misses)
+		fmt.Fprintf(&b, "seqserved_cache_invalidations_total %d\n", st.invalidations)
+		fmt.Fprintf(&b, "seqserved_cache_entries %d\n", st.entries)
+	}
+	fmt.Fprintf(&b, "seqserved_generation %d\n", db.Generation())
+	fmt.Fprintf(&b, "seqserved_sequences %d\n", db.Len())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"seqrep"
+)
+
+// Snapshotter persists and restores whole databases for the /v1/snapshot
+// endpoints and the graceful-shutdown save. Implementations must be safe
+// for concurrent use with serving traffic: Save runs against a live,
+// mutating database (DB.SaveTo is a point-in-time copy), and a failed
+// Save must leave any previous snapshot intact.
+type Snapshotter interface {
+	// Save persists a point-in-time snapshot of db.
+	Save(db *seqrep.DB) error
+	// Load restores the most recent snapshot into a fresh database.
+	Load() (*seqrep.DB, error)
+}
+
+// FileSnapshotter stores snapshots in a single file, written atomically
+// (temp file + rename in the same directory), so a crash or failure
+// mid-save never corrupts the previous snapshot.
+type FileSnapshotter struct {
+	// Path is the snapshot file.
+	Path string
+	// Config supplies the code components (breaker, archive, workers ...)
+	// when loading; scalar parameters come from the snapshot itself.
+	Config seqrep.Config
+	// WrapWriter, when non-nil, decorates the file writer on every save —
+	// the instrumentation hook used by accounting and fault-injection
+	// tests (in the style of store.CountingArchive). Production callers
+	// leave it nil.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+// Save implements Snapshotter.
+func (f *FileSnapshotter) Save(db *seqrep.DB) error {
+	if f.Path == "" {
+		return fmt.Errorf("server: snapshotter has no path")
+	}
+	return seqrep.SaveFile(db, f.Path, f.WrapWriter)
+}
+
+// Load implements Snapshotter.
+func (f *FileSnapshotter) Load() (*seqrep.DB, error) {
+	if f.Path == "" {
+		return nil, fmt.Errorf("server: snapshotter has no path")
+	}
+	return seqrep.LoadFile(f.Path, f.Config)
+}
+
+// Exists reports whether a snapshot file is present (used at boot to
+// decide between loading and starting fresh). A stat failure other than
+// plain absence is returned, not swallowed: treating "cannot tell" as
+// "absent" would boot an empty database whose shutdown snapshot could
+// then overwrite the real one.
+func (f *FileSnapshotter) Exists() (bool, error) {
+	_, err := os.Stat(f.Path)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, fs.ErrNotExist):
+		return false, nil
+	default:
+		return false, fmt.Errorf("server: checking snapshot %s: %w", f.Path, err)
+	}
+}

@@ -1,0 +1,32 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFailAfterWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFailAfterWriter(&buf, 10)
+
+	n, err := w.Write([]byte("01234"))
+	if n != 5 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (5, nil)", n, err)
+	}
+	// Exceeds the budget: the 5 remaining bytes land, then the failure.
+	n, err = w.Write([]byte("56789abc"))
+	if n != 5 || !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("overflowing write = (%d, %v), want (5, ErrInjectedWrite)", n, err)
+	}
+	// Spent: everything fails, nothing passes through.
+	if n, err = w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("post-budget write = (%d, %v), want (0, ErrInjectedWrite)", n, err)
+	}
+	if got := buf.String(); got != "0123456789" {
+		t.Fatalf("inner received %q, want the first 10 bytes", got)
+	}
+	if w.Written() != 10 {
+		t.Fatalf("Written() = %d, want 10", w.Written())
+	}
+}

@@ -79,6 +79,10 @@ type (
 	// BatchItem names one sequence of a concurrent batch ingest
 	// (DB.IngestBatch).
 	BatchItem = core.BatchItem
+	// ItemError ties one failed batch item to its position and id
+	// (DB.IngestBatchItems; the joined error of DB.IngestBatch unwraps to
+	// these via errors.As).
+	ItemError = core.ItemError
 	// Metric is a named distance kernel usable with DB.DistanceQuery.
 	Metric = dist.Metric
 	// Match is one query result with per-dimension deviations.
@@ -115,6 +119,17 @@ type (
 	Archive = store.Archive
 )
 
+// Sentinel errors re-exported for errors.Is branching.
+var (
+	// ErrDuplicateID reports an Ingest under an already-taken id.
+	ErrDuplicateID = core.ErrDuplicateID
+	// ErrUnknownID reports an operation on an id the database lacks.
+	ErrUnknownID = core.ErrUnknownID
+	// ErrStorage reports a server-side storage fault answering a query:
+	// a stored record's comparison form could not be read.
+	ErrStorage = core.ErrStorage
+)
+
 // New creates a database. A zero Config reproduces the paper's setup:
 // interpolation breaking with ε = 0.5, slope threshold δ = 0.25, unit
 // interval buckets, no preprocessing, no archive.
@@ -124,6 +139,19 @@ func New(cfg Config) (*DB, error) { return core.New(cfg) }
 // parameters come from the snapshot; breaker, representer, preprocessing
 // and archive come from cfg.
 func Load(r io.Reader, cfg Config) (*DB, error) { return core.Load(r, cfg) }
+
+// SaveFile writes a database snapshot to path atomically (write to a
+// temporary file in the same directory, then rename): a failure mid-write
+// never corrupts an existing snapshot at path. The wrap hook, when
+// non-nil, decorates the underlying writer (accounting, fault injection);
+// production callers pass nil.
+func SaveFile(db *DB, path string, wrap func(io.Writer) io.Writer) error {
+	return db.SaveFile(path, wrap)
+}
+
+// LoadFile restores a database from a snapshot file written by SaveFile
+// (see Load for how cfg combines with the stored parameters).
+func LoadFile(path string, cfg Config) (*DB, error) { return core.LoadFile(path, cfg) }
 
 // QueryResult is the uniform answer of a textual query.
 type QueryResult = querylang.Result
@@ -142,6 +170,28 @@ type QueryResult = querylang.Result
 func ExecQuery(db *DB, src string) (*QueryResult, error) {
 	return querylang.Exec(db, src)
 }
+
+// CanonicalQuery parses one query-language statement and returns its
+// canonical rendering — the spelling every equivalent statement
+// normalizes to. Statements with equal canonical forms execute
+// identically, so the canonical form is a sound cache key for query
+// results (the serving layer keys its generation-invalidated result
+// cache on it).
+func CanonicalQuery(src string) (string, error) {
+	return querylang.Canonical(src)
+}
+
+// ParsedQuery is one compiled query-language statement: String() is its
+// canonical form, Run executes it. Parsing once and reusing the value
+// avoids re-parsing on hot paths that need both (the serving layer's
+// cache key + execution).
+type ParsedQuery = querylang.Query
+
+// ParseQuery compiles one statement without running it.
+func ParseQuery(src string) (ParsedQuery, error) { return querylang.Parse(src) }
+
+// RunQuery executes a compiled statement against db.
+func RunQuery(db *DB, q ParsedQuery) (*QueryResult, error) { return q.Run(db) }
 
 // NewSequence builds a uniformly sampled sequence from values, with times
 // 0, 1, 2, ...
