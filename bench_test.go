@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"seqrep"
+	"seqrep/internal/dft"
 )
 
 // corpus builds a database of n two-peak fever curves (with varied peak
@@ -460,6 +461,220 @@ func BenchmarkValueQuery10k(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- hot path at 100k: VP-tree vs linear feature scan, incremental
+// ---- sliding-window DFT vs per-window recompute ----
+
+// hotpathBench holds the once-built 100k-sequence databases: one with
+// vantage-point trees over the columnar feature store (the default) and
+// one with the trees disabled (IndexLeaf < 0), pinning candidate
+// generation to the linear feature scan the trees replaced. Identical
+// workloads, so the benchmarks measure only candidate generation.
+var hotpathBench struct {
+	once    sync.Once
+	vptree  *seqrep.DB
+	linear  *seqrep.DB
+	queries []seqrep.Sequence
+	err     error
+}
+
+const hotpathN = 100000
+
+func hotpathDBs(b *testing.B) (vptree, linear *seqrep.DB, queries []seqrep.Sequence) {
+	b.Helper()
+	hotpathBench.once.Do(func() {
+		items := make([]seqrep.BatchItem, 0, hotpathN)
+		for i := 0; i < hotpathN; i++ {
+			first := 5 + float64(i%8)
+			second := first + 5 + float64(i%5)
+			s, err := seqrep.GenerateFever(seqrep.FeverOpts{
+				Samples: 97, FirstPeak: first, SecondPeak: second,
+			})
+			if err != nil {
+				hotpathBench.err = err
+				return
+			}
+			items = append(items, seqrep.BatchItem{
+				ID:  fmt.Sprintf("fever-%06d", i),
+				Seq: s.ShiftValue(float64(i%2000) * 0.05),
+			})
+		}
+		for _, setup := range []struct {
+			dst  **seqrep.DB
+			leaf int
+		}{
+			{&hotpathBench.vptree, 0},  // 0 = default (trees on)
+			{&hotpathBench.linear, -1}, // trees disabled: linear feature scan
+		} {
+			db, err := seqrep.New(seqrep.Config{
+				Archive:   seqrep.NewMemArchive(),
+				IndexLeaf: setup.leaf,
+			})
+			if err != nil {
+				hotpathBench.err = err
+				return
+			}
+			if _, err := db.IngestBatch(items); err != nil {
+				hotpathBench.err = err
+				return
+			}
+			*setup.dst = db
+		}
+		q, err := seqrep.GenerateFever(seqrep.FeverOpts{Samples: 97})
+		if err != nil {
+			hotpathBench.err = err
+			return
+		}
+		hotpathBench.queries = []seqrep.Sequence{q}
+	})
+	if hotpathBench.err != nil {
+		b.Fatal(hotpathBench.err)
+	}
+	return hotpathBench.vptree, hotpathBench.linear, hotpathBench.queries
+}
+
+// benchHotpathReport is the machine-readable record BenchmarkHotpath100k
+// writes to BENCH_hotpath.json: the successor of BENCH_query.json's 10k
+// planner numbers, tracking the sub-linear hot path at 100k sequences.
+type benchHotpathReport struct {
+	Benchmark     string  `json:"benchmark"`
+	Sequences     int     `json:"sequences"`
+	Metric        string  `json:"metric"`
+	Eps           float64 `json:"eps"`
+	VPTreeNsOp    float64 `json:"vptree_ns_per_op"`
+	LinearNsOp    float64 `json:"linear_feature_scan_ns_per_op"`
+	Speedup       float64 `json:"speedup_vs_linear_feature_scan"`
+	Examined      int     `json:"examined"`
+	ExaminedRatio float64 `json:"examined_ratio"` // examined / sequences
+	Candidates    int     `json:"candidates"`
+	Matches       int     `json:"matches"`
+
+	SubseqSamples       int     `json:"subseq_samples"`
+	SubseqWindow        int     `json:"subseq_window"`
+	SubseqIncrementalNs float64 `json:"subseq_incremental_ns_per_op"`
+	SubseqRecomputeNs   float64 `json:"subseq_recompute_ns_per_op"`
+	SubseqSpeedup       float64 `json:"subseq_speedup"`
+}
+
+// BenchmarkHotpath100k measures the rebuilt similarity hot path at 100k
+// stored sequences: vantage-point-tree candidate generation against the
+// linear columnar feature scan (identical answers, see
+// core/equivalence_test.go), plus the incremental sliding-window DFT
+// against its per-window-recompute baseline, and emits
+// BENCH_hotpath.json. Acceptance floors: the tree must examine ≪ N
+// vectors and beat the linear feature scan ≥ 3x; the incremental
+// subsequence search must beat recompute ≥ 5x.
+func BenchmarkHotpath100k(b *testing.B) {
+	if os.Getenv("SEQREP_BENCH_100K") == "" {
+		b.Skip("set SEQREP_BENCH_100K=1 to run (builds two 100k-sequence databases; minutes of setup) — CI's bench-smoke stays a compile-and-run smoke")
+	}
+	vptree, linear, queries := hotpathDBs(b)
+	// eps admits the nearest stored shift level of the exemplar's two-peak
+	// shape (50 sequences at L2 ≈ 1.48) and nothing beyond it, so the
+	// query does real verification work while staying selective — the
+	// regime a similarity index exists for.
+	const eps = 2.0
+	metric := seqrep.EuclideanMetric()
+	report := benchHotpathReport{
+		Benchmark: "Hotpath100k",
+		Sequences: hotpathN,
+		Metric:    metric.Name(),
+		Eps:       eps,
+	}
+	b.Run("query/vptree", func(b *testing.B) {
+		// Warm outside the timed region: the first query after ingest
+		// builds the length group's trees (a one-time cost amortized over
+		// the database's life, not a per-query one).
+		if _, _, err := vptree.DistanceQueryStats(queries[0], metric, eps); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var stats seqrep.QueryStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			if _, stats, err = vptree.DistanceQueryStats(queries[0], metric, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(stats.Examined), "examined/op")
+		b.ReportMetric(float64(stats.Examined)/float64(hotpathN), "examined_ratio")
+		report.VPTreeNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		report.Examined = stats.Examined
+		report.ExaminedRatio = float64(stats.Examined) / float64(hotpathN)
+		report.Candidates = stats.Candidates
+		report.Matches = stats.Matches
+	})
+	b.Run("query/linear", func(b *testing.B) {
+		if _, _, err := linear.DistanceQueryStats(queries[0], metric, eps); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := linear.DistanceQueryStats(queries[0], metric, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report.LinearNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	stored := dftBenchSequence(100000)
+	q := stored.Slice(40000, 40256).Clone()
+	report.SubseqSamples, report.SubseqWindow = len(stored), len(q)
+	b.Run("subseq/incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hits, err := dft.SubsequenceMatch("s", stored, q, 8, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(hits) == 0 {
+				b.Fatal("planted window not found")
+			}
+		}
+		report.SubseqIncrementalNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("subseq/recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hits, err := dft.SubsequenceMatchRecompute("s", stored, q, 8, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(hits) == 0 {
+				b.Fatal("planted window not found")
+			}
+		}
+		report.SubseqRecomputeNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	if report.VPTreeNsOp > 0 && report.LinearNsOp > 0 {
+		report.Speedup = report.LinearNsOp / report.VPTreeNsOp
+		b.ReportMetric(report.Speedup, "speedup")
+	}
+	if report.SubseqIncrementalNs > 0 && report.SubseqRecomputeNs > 0 {
+		report.SubseqSpeedup = report.SubseqRecomputeNs / report.SubseqIncrementalNs
+	}
+	if report.Speedup > 0 && report.SubseqSpeedup > 0 {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_hotpath.json", append(blob, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_hotpath.json not written: %v", err)
+		}
+	}
+}
+
+// dftBenchSequence builds the long stored sequence the subsequence
+// benchmarks slide over: a bounded random walk.
+func dftBenchSequence(n int) seqrep.Sequence {
+	rng := rand.New(rand.NewSource(4242))
+	vals := make([]float64, n)
+	level := 0.0
+	for i := range vals {
+		level = 0.999*level + rng.NormFloat64()
+		vals[i] = level
+	}
+	return seqrep.NewSequence(vals)
 }
 
 // BenchmarkReconstruct measures evaluating a stored representation back

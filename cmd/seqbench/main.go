@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 )
 
@@ -54,16 +55,35 @@ var experiments = []experiment{
 	{"archive", "§2.3 motivation: slow archive vs local representation", expArchive},
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so deferred cleanup (profile flush) survives the
+// error exits, which os.Exit would bypass.
+func run() int {
 	exp := flag.String("exp", "all", "experiment name, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (inspect with go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-12s %s\n", e.name, e.paper)
 		}
-		return
+		return 0
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -74,7 +94,7 @@ func main() {
 		fmt.Println(banner)
 		if err := e.run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "seqbench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(strings.Repeat("-", len(banner)))
 		fmt.Println()
@@ -82,6 +102,7 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "seqbench: unknown experiment %q (use -list)\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

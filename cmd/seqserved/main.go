@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +48,8 @@ func run() error {
 		shards   = flag.Int("shards", 0, "record shard count (0 = default 16)")
 		workers  = flag.Int("workers", 0, "ingest/query worker pool size (0 = GOMAXPROCS)")
 		coeffs   = flag.Int("coeffs", 0, "DFT coefficients in the query-planner feature index (0 = default 8, negative disables)")
+		leaf     = flag.Int("leaf", 0, "vantage-point-tree leaf size in the feature index (0 = default 16, negative pins candidate generation to the linear feature scan)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 		cache    = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
 		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32MiB, negative disables)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
@@ -62,6 +65,7 @@ func run() error {
 		Shards:      *shards,
 		Workers:     *workers,
 		IndexCoeffs: *coeffs,
+		IndexLeaf:   *leaf,
 	}
 	if *archive != "" {
 		arch, err := seqrep.NewFileArchive(*archive)
@@ -118,6 +122,23 @@ func run() error {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTO,
 		IdleTimeout:       *idleTO,
+	}
+
+	// The profiling endpoint listens on its own address so it is never
+	// exposed on the serving port; it shares nothing with the API mux.
+	if *pprofA != "" {
+		dbgMux := http.NewServeMux()
+		dbgMux.HandleFunc("/debug/pprof/", pprof.Index)
+		dbgMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbgMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbgMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbgMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofA)
+			if err := http.ListenAndServe(*pprofA, dbgMux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)

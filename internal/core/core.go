@@ -79,6 +79,15 @@ type Config struct {
 	// (default 8, i.e. 16-dimensional feature vectors; negative disables
 	// the index and every query runs as a shard-parallel scan).
 	IndexCoeffs int
+	// IndexLeaf is the leaf size of the vantage-point trees the feature
+	// index builds over each sequence-length group for sub-linear
+	// candidate generation (default 16). Smaller leaves prune harder at
+	// the cost of deeper trees; length groups below twice the leaf size
+	// are scanned linearly. Negative disables the trees entirely, pinning
+	// candidate generation to the linear columnar feature scan (the
+	// pre-tree behaviour — useful as a benchmark baseline and as an
+	// escape hatch).
+	IndexLeaf int
 }
 
 func (c *Config) withDefaults() Config {
@@ -201,10 +210,10 @@ type DB struct {
 	// peak-interval inverted file, and the symbol-string groups. A
 	// sequence enters these indexes only after its record is committed
 	// to its shard, so index readers never observe a half-built record.
-	// findex is the sharded DFT feature index behind the query planner
-	// (nil when Config.IndexCoeffs < 0). It has its own lock stripes,
-	// which are leaf locks: they may be taken while holding imu (link)
-	// but never the other way around.
+	// findex is the columnar, length-grouped DFT feature store behind
+	// the query planner (nil when Config.IndexCoeffs < 0). Its group
+	// locks are leaf locks: they may be taken while holding imu (link)
+	// but never the other way around; queries take them alone.
 	findex *featIndex
 
 	// gen counts committed mutations (Ingest, Remove, snapshot adoption).
@@ -256,7 +265,7 @@ func New(cfg Config) (*DB, error) {
 		symIndex: make(map[string][]string),
 	}
 	if c.IndexCoeffs > 0 {
-		db.findex = newFeatIndex(c.IndexCoeffs, c.Shards, db.seed)
+		db.findex = newFeatIndex(c.IndexCoeffs, c.IndexLeaf)
 	}
 	return db, nil
 }

@@ -11,7 +11,7 @@ import (
 	"seqrep/internal/synth"
 )
 
-func mustDB(t *testing.T, cfg Config) *DB {
+func mustDB(t testing.TB, cfg Config) *DB {
 	t.Helper()
 	db, err := New(cfg)
 	if err != nil {
@@ -20,7 +20,7 @@ func mustDB(t *testing.T, cfg Config) *DB {
 	return db
 }
 
-func mustIngest(t *testing.T, db *DB, id string, s seq.Sequence) {
+func mustIngest(t testing.TB, db *DB, id string, s seq.Sequence) {
 	t.Helper()
 	if err := db.Ingest(id, s); err != nil {
 		t.Fatalf("ingest %q: %v", id, err)

@@ -73,72 +73,92 @@ func breakersUnderTest() map[string]breaking.Breaker {
 	}
 }
 
+// leafConfigs are the candidate-generation modes under test: the default
+// (trees once groups are large enough), leaf 1 (vantage-point trees
+// forced even on the suite's small groups), and -1 (trees disabled, the
+// linear columnar feature scan).
+var leafConfigs = []int{0, 1, -1}
+
 // TestIndexedQueryEquivalence is the zero-false-dismissal property suite:
-// for every breaker, with and without an archive, under every built-in
-// metric and a spread of tolerances, the planner's answer must equal the
-// brute-force scan's exactly — ids, deviations, exactness and order.
+// for every breaker, with and without an archive, for every candidate-
+// generation mode (vantage-point tree, linear feature scan, default),
+// under every built-in metric and a spread of tolerances, the planner's
+// answer must equal the brute-force scan's exactly — ids, deviations,
+// exactness and order.
 func TestIndexedQueryEquivalence(t *testing.T) {
 	epsCands := []float64{0, 0.3, 1, 4, 16, 64}
 	totalPruned := 0
 	for name, br := range breakersUnderTest() {
 		for _, archived := range []bool{false, true} {
-			t.Run(fmt.Sprintf("%s/archive=%v", name, archived), func(t *testing.T) {
-				rng := rand.New(rand.NewSource(int64(len(name)) * 7779))
-				cfg := Config{Breaker: br}
-				if archived {
-					cfg.Archive = store.NewMemArchive()
-				}
-				db := mustDB(t, cfg)
-				exemplar := equivalenceWorkload(t, db, rng, 64)
-
-				for _, m := range dist.Metrics() {
-					for _, eps := range epsCands {
-						indexed, istats, err := db.DistanceQueryStats(exemplar, m, eps)
-						if err != nil {
-							t.Fatalf("indexed %s eps=%g: %v", m.Name(), eps, err)
+			for _, leaf := range leafConfigs {
+				t.Run(fmt.Sprintf("%s/archive=%v/leaf=%d", name, archived, leaf), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(len(name)) * 7779))
+					cfg := Config{Breaker: br, IndexLeaf: leaf}
+					if archived {
+						cfg.Archive = store.NewMemArchive()
+					}
+					db := mustDB(t, cfg)
+					exemplar := equivalenceWorkload(t, db, rng, 64)
+					if leaf == 1 {
+						// Warm a query so the trees exist, then verify the
+						// tree path is actually engaged.
+						if _, _, err := db.DistanceQueryStats(exemplar, dist.Euclidean, 1); err != nil {
+							t.Fatal(err)
 						}
-						scanned, _, err := db.distanceScan(exemplar, m, eps)
+						if g := db.findex.group(len(exemplar), false); g == nil || g.tree == nil {
+							t.Fatal("vantage-point tree not engaged at leaf=1")
+						}
+					}
+
+					for _, m := range dist.Metrics() {
+						for _, eps := range epsCands {
+							indexed, istats, err := db.DistanceQueryStats(exemplar, m, eps)
+							if err != nil {
+								t.Fatalf("indexed %s eps=%g: %v", m.Name(), eps, err)
+							}
+							scanned, _, err := db.distanceScan(exemplar, m, eps)
+							if err != nil {
+								t.Fatalf("scan %s eps=%g: %v", m.Name(), eps, err)
+							}
+							if !reflect.DeepEqual(indexed, scanned) {
+								t.Errorf("%s eps=%g: indexed %+v != scan %+v", m.Name(), eps, indexed, scanned)
+							}
+							switch m.Name() {
+							case "l2", "zl2":
+								if istats.Plan != PlanIndex {
+									t.Errorf("%s: plan = %q, want index", m.Name(), istats.Plan)
+								}
+								if istats.Candidates+istats.Pruned != istats.Examined {
+									t.Errorf("%s: stats don't add up: %+v", m.Name(), istats)
+								}
+								totalPruned += istats.Pruned
+							default:
+								if istats.Plan != PlanScan {
+									t.Errorf("%s: plan = %q, want scan", m.Name(), istats.Plan)
+								}
+							}
+						}
+					}
+
+					for _, eps := range epsCands {
+						indexed, istats, err := db.ValueQueryStats(exemplar, eps)
 						if err != nil {
-							t.Fatalf("scan %s eps=%g: %v", m.Name(), eps, err)
+							t.Fatalf("indexed value eps=%g: %v", eps, err)
+						}
+						scanned, _, err := db.valueScan(exemplar, eps)
+						if err != nil {
+							t.Fatalf("scan value eps=%g: %v", eps, err)
 						}
 						if !reflect.DeepEqual(indexed, scanned) {
-							t.Errorf("%s eps=%g: indexed %+v != scan %+v", m.Name(), eps, indexed, scanned)
+							t.Errorf("value eps=%g: indexed %+v != scan %+v", eps, indexed, scanned)
 						}
-						switch m.Name() {
-						case "l2", "zl2":
-							if istats.Plan != PlanIndex {
-								t.Errorf("%s: plan = %q, want index", m.Name(), istats.Plan)
-							}
-							if istats.Candidates+istats.Pruned != istats.Examined {
-								t.Errorf("%s: stats don't add up: %+v", m.Name(), istats)
-							}
-							totalPruned += istats.Pruned
-						default:
-							if istats.Plan != PlanScan {
-								t.Errorf("%s: plan = %q, want scan", m.Name(), istats.Plan)
-							}
+						if istats.Plan != PlanIndex {
+							t.Errorf("value: plan = %q, want index", istats.Plan)
 						}
+						totalPruned += istats.Pruned
 					}
-				}
-
-				for _, eps := range epsCands {
-					indexed, istats, err := db.ValueQueryStats(exemplar, eps)
-					if err != nil {
-						t.Fatalf("indexed value eps=%g: %v", eps, err)
-					}
-					scanned, _, err := db.valueScan(exemplar, eps)
-					if err != nil {
-						t.Fatalf("scan value eps=%g: %v", eps, err)
-					}
-					if !reflect.DeepEqual(indexed, scanned) {
-						t.Errorf("value eps=%g: indexed %+v != scan %+v", eps, indexed, scanned)
-					}
-					if istats.Plan != PlanIndex {
-						t.Errorf("value: plan = %q, want index", istats.Plan)
-					}
-					totalPruned += istats.Pruned
-				}
-			})
+				})
+			}
 		}
 	}
 	if totalPruned == 0 {
@@ -147,13 +167,23 @@ func TestIndexedQueryEquivalence(t *testing.T) {
 }
 
 // TestIndexedQueryEquivalenceConcurrentChurn interleaves the equivalence
-// check with concurrent Ingest/Remove churn on a disjoint id space. The
-// two plans snapshot at different instants, so churned ids may
-// legitimately differ between them — but the stable ids must agree
-// exactly in every pair of answers, and fully once the churn stops.
+// check with concurrent Ingest/Remove churn on a disjoint id space, once
+// per candidate-generation mode (churn at leaf=1 hammers the tree
+// tombstone/tail/rebuild machinery under the race detector). The two
+// plans snapshot at different instants, so churned ids may legitimately
+// differ between them — but the stable ids must agree exactly in every
+// pair of answers, and fully once the churn stops.
 func TestIndexedQueryEquivalenceConcurrentChurn(t *testing.T) {
+	for _, leaf := range leafConfigs {
+		t.Run(fmt.Sprintf("leaf=%d", leaf), func(t *testing.T) {
+			churnEquivalence(t, leaf)
+		})
+	}
+}
+
+func churnEquivalence(t *testing.T, leaf int) {
 	rng := rand.New(rand.NewSource(42))
-	db := mustDB(t, Config{Archive: store.NewMemArchive(), IndexCoeffs: 4})
+	db := mustDB(t, Config{Archive: store.NewMemArchive(), IndexCoeffs: 4, IndexLeaf: leaf})
 	base := smoothWalk(rng, 64)
 	for i := 0; i < 16; i++ {
 		mustIngest(t, db, fmt.Sprintf("base-%02d", i), jitter(rng, base, 0.2))

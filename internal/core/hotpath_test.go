@@ -1,0 +1,197 @@
+package core
+
+// Hot-path behaviour of the columnar feature store: the vantage-point
+// trees must survive mutation overlays (tombstones, appended tails,
+// threshold-triggered rebuilds) without ever diverging from the scan,
+// candidate generation must examine far fewer vectors than the
+// population on clustered data, and the planner's per-query allocation
+// cost must not grow with database size.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqrep/internal/dist"
+)
+
+// clusteredDB ingests n sequences of length ln in 50 well-separated
+// amplitude families and returns an exemplar inside family 3.
+func clusteredDB(t testing.TB, cfg Config, n, ln int) (*DB, []BatchItem) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(97))
+	db := mustDB(t, cfg)
+	items := make([]BatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		s := smoothWalk(rng, ln)
+		level := float64(i%50) * 40
+		for j := range s {
+			s[j].V += level
+		}
+		items = append(items, BatchItem{ID: fmt.Sprintf("c-%05d", i), Seq: s})
+	}
+	if got, err := db.IngestBatch(items); err != nil || got != n {
+		t.Fatalf("ingest: %d/%d, %v", got, n, err)
+	}
+	return db, items
+}
+
+// TestFeatureStoreChurnRebuild drives one length group through every
+// overlay transition — tree build, tombstones past the compaction
+// threshold, an appended tail past the invalidation threshold, rebuild —
+// asserting indexed ≡ scan at each step.
+func TestFeatureStoreChurnRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	db := mustDB(t, Config{IndexLeaf: 1})
+	base := smoothWalk(rng, 32)
+	ingest := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mustIngest(t, db, fmt.Sprintf("s-%03d", i), jitter(rng, base, 4))
+		}
+	}
+	exemplar := jitter(rng, base, 0.5)
+	check := func(stage string) QueryStats {
+		t.Helper()
+		indexed, stats, err := db.DistanceQueryStats(exemplar, dist.Euclidean, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		scanned, _, err := db.distanceScan(exemplar, dist.Euclidean, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Fatalf("%s: indexed %+v != scan %+v", stage, indexed, scanned)
+		}
+		return stats
+	}
+
+	ingest(0, 200)
+	check("fresh")
+	g := db.findex.group(32, false)
+	if g == nil || g.tree == nil || g.treeN != 200 {
+		t.Fatalf("trees not built over the full group: %+v", g)
+	}
+
+	// Tombstone below the compaction threshold: rows stay, dead rise.
+	for i := 0; i < 40; i++ {
+		if err := db.Remove(fmt.Sprintf("s-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("tombstoned")
+	if g.deadCount == 0 {
+		t.Fatal("removals did not tombstone")
+	}
+
+	// Cross the threshold: the store compacts along the way (amortized),
+	// leaving 80 live rows and fewer tombstones than removals.
+	for i := 40; i < 120; i++ {
+		if err := db.Remove(fmt.Sprintf("s-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := g.live(); live != 80 {
+		t.Fatalf("live = %d after 120 removals, want 80", live)
+	}
+	if g.deadCount > g.staleMax() {
+		t.Fatalf("tombstones never compacted: dead=%d rows=%d", g.deadCount, len(g.recs))
+	}
+	check("compacted") // rebuilds the trees on demand
+	if g.tree == nil || g.treeN != 80 {
+		t.Fatalf("trees not rebuilt after compaction: treeN=%d", g.treeN)
+	}
+
+	// Append a tail past the invalidation threshold (32 + 80/4 = 52).
+	ingest(200, 260)
+	if g.tree != nil {
+		t.Fatal("oversized tail did not invalidate the trees")
+	}
+	stats := check("tail-rebuilt")
+	if g.tree == nil || g.treeN != 140 {
+		t.Fatalf("trees not rebuilt over the tail: treeN=%d", g.treeN)
+	}
+	if stats.Candidates+stats.Pruned != stats.Examined {
+		t.Fatalf("stats don't add up: %+v", stats)
+	}
+
+	// Draining the group entirely must release its record pointers —
+	// tombstones may never outnumber the live population — and retire
+	// the empty group from the index.
+	for i := 120; i < 260; i++ {
+		if err := db.Remove(fmt.Sprintf("s-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(g.recs) != 0 || g.deadCount != 0 {
+		t.Fatalf("drained group retains %d rows (%d dead)", len(g.recs), g.deadCount)
+	}
+	if !g.retired || db.findex.group(32, false) != nil {
+		t.Fatalf("drained group not retired (retired=%v)", g.retired)
+	}
+	check("drained")
+
+	// Re-ingesting at the same length creates a fresh group and the
+	// planner sees the new records.
+	ingest(300, 305)
+	indexed, err := db.DistanceQuery(exemplar, dist.Euclidean, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed) != 5 {
+		t.Fatalf("after retire+reingest: %d matches, want 5", len(indexed))
+	}
+	check("reborn")
+}
+
+// TestIndexedQuerySubLinear is the tentpole property: on a clustered
+// corpus the tree examines a small fraction of the length group while
+// returning the scan's exact answer.
+func TestIndexedQuerySubLinear(t *testing.T) {
+	const n = 4000
+	db, items := clusteredDB(t, Config{}, n, 64)
+	exemplar := items[3].Seq // family 3
+	indexed, stats, err := db.DistanceQueryStats(exemplar, dist.Euclidean, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != PlanIndex {
+		t.Fatalf("plan = %q", stats.Plan)
+	}
+	if len(indexed) == 0 {
+		t.Fatal("query found nothing in its own family")
+	}
+	if stats.Examined >= n/4 {
+		t.Errorf("examined %d of %d vectors: candidate generation is not sub-linear", stats.Examined, n)
+	}
+	scanned, _, err := db.distanceScan(exemplar, dist.Euclidean, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(indexed, scanned) {
+		t.Fatalf("indexed != scan on clustered corpus")
+	}
+}
+
+// TestIndexedQueryAllocs guards the planner's per-query allocation cost:
+// over a 2000-sequence database the indexed path must stay within a
+// fixed budget — query features, pooled candidate scratch, the worker
+// fan-out and the matches themselves; nothing proportional to N.
+func TestIndexedQueryAllocs(t *testing.T) {
+	db, items := clusteredDB(t, Config{Workers: 2}, 2000, 64)
+	exemplar := items[3].Seq
+	m := dist.Euclidean
+	if _, _, err := db.DistanceQueryStats(exemplar, m, 2); err != nil { // warm: trees + pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := db.DistanceQueryStats(exemplar, m, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 60
+	if allocs > budget {
+		t.Errorf("indexed DistanceQueryStats allocates %.0f per op over 2000 sequences, budget %d", allocs, budget)
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/maphash"
 	"sync"
 
 	"seqrep/internal/dft"
@@ -20,91 +19,300 @@ import (
 // them — with zero false dismissals (the Agrawal/Faloutsos/Swami
 // F-index guarantee; see internal/dft).
 //
-// The index is lock-striped like the record store, and grouped by
-// sequence length within each stripe because whole-sequence queries only
-// ever compare equal lengths. Every committed record of the database is
-// present in its length group; a record whose comparison form could not
-// be read at build time carries nil feature vectors and is simply never
-// pruned. Mutations follow the record store: link adds, Remove deletes.
+// Storage is columnar and grouped by sequence length (whole-sequence
+// queries only ever compare equal lengths): each length group holds one
+// contiguous []float64 of feature rows plus a parallel record table, and
+// lazily builds a vantage-point tree (dft.VPTree) over those rows so
+// candidate generation is sub-linear in the group size instead of a
+// per-id map walk. Mutations are cheap against the trees: adds append
+// rows past the tree's coverage (scanned linearly until the next
+// rebuild), removals tombstone their row, and a group rebuilds its store
+// and trees only when the overlay grows past a fraction of its size.
+// A record whose comparison form could not be read at build time carries
+// nil feature vectors, lives in the group's unindexed set, and is simply
+// never pruned.
 type featIndex struct {
-	k       int // DFT coefficient count (feature vectors are 2k wide)
-	seed    maphash.Seed
-	stripes []*featStripe
+	k    int // DFT coefficient count (feature rows are 2k wide)
+	dim  int
+	leaf int // VP-tree leaf size; negative pins groups to the linear scan
+
+	mu     sync.RWMutex // guards the groups map (not group contents)
+	groups map[int]*featGroup
 }
 
-type featStripe struct {
-	mu    sync.RWMutex
-	byLen map[int]map[string]*Record
+// featGroup is one length group: the columnar feature store, its search
+// trees, and the mutation overlays.
+type featGroup struct {
+	mu sync.RWMutex
+
+	// retired marks a drained group that has been unlinked from the
+	// groups map; writers that captured it before the unlink must
+	// re-look-up instead of inserting into an orphan. Set only while
+	// holding both ix.mu and g.mu, always empty when set.
+	retired bool
+
+	// Columnar store: row i of feats/zfeats belongs to recs[i]; ord maps
+	// a live record id to its row. dead marks tombstoned rows.
+	recs      []*Record
+	feats     []float64
+	zfeats    []float64
+	ord       map[string]int
+	dead      []bool
+	deadCount int
+
+	// unindexed holds committed records without feature vectors; they
+	// are always verification candidates.
+	unindexed map[string]*Record
+
+	// tree/ztree cover rows [0, treeN) of feats/zfeats respectively
+	// (including rows since tombstoned — the search skips them). Rows
+	// appended after the last build are scanned linearly. nil = not
+	// built yet, population too small, or invalidated by a rebuild
+	// threshold.
+	tree, ztree *dft.VPTree
+	treeN       int
 }
 
-func newFeatIndex(k, stripes int, seed maphash.Seed) *featIndex {
-	ix := &featIndex{k: k, seed: seed, stripes: make([]*featStripe, stripes)}
-	for i := range ix.stripes {
-		ix.stripes[i] = &featStripe{byLen: make(map[int]map[string]*Record)}
+func newFeatIndex(k, leaf int) *featIndex {
+	return &featIndex{k: k, dim: 2 * k, leaf: leaf, groups: make(map[int]*featGroup)}
+}
+
+// group returns the length group for n, creating it when create is set.
+func (ix *featIndex) group(n int, create bool) *featGroup {
+	ix.mu.RLock()
+	g := ix.groups[n]
+	ix.mu.RUnlock()
+	if g != nil || !create {
+		return g
 	}
-	return ix
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if g = ix.groups[n]; g == nil {
+		g = &featGroup{ord: make(map[string]int), unindexed: make(map[string]*Record)}
+		ix.groups[n] = g
+	}
+	return g
 }
 
-func (ix *featIndex) stripeOf(id string) *featStripe {
-	return ix.stripes[maphash.String(ix.seed, id)%uint64(len(ix.stripes))]
-}
+// live reports the number of feature-indexed live rows. Callers hold g.mu.
+func (g *featGroup) live() int { return len(g.recs) - g.deadCount }
 
-// add registers a committed record under its comparison length. Records
-// are immutable after commit, so the index stores the pointer.
+// tailMax is how many rows may sit past the trees' coverage before the
+// group forces a rebuild; staleMax the tombstone budget. Both scale with
+// the store so steady churn rebuilds at amortized O(log n) per mutation.
+func (g *featGroup) tailMax() int  { return 32 + g.treeN/4 }
+func (g *featGroup) staleMax() int { return 32 + len(g.recs)/4 }
+
+// add registers a committed record. Records are immutable after commit,
+// so the index stores the pointer and copies its feature vectors into the
+// columnar rows. A group retired between lookup and lock is re-resolved.
 func (ix *featIndex) add(rec *Record) {
-	st := ix.stripeOf(rec.ID)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	group := st.byLen[rec.N]
-	if group == nil {
-		group = make(map[string]*Record)
-		st.byLen[rec.N] = group
-	}
-	group[rec.ID] = rec
-}
-
-// remove drops a record from its length group.
-func (ix *featIndex) remove(rec *Record) {
-	st := ix.stripeOf(rec.ID)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	group := st.byLen[rec.N]
-	delete(group, rec.ID)
-	if len(group) == 0 {
-		delete(st.byLen, rec.N)
-	}
-}
-
-// snapshotLen copies the record pointers of one length group, stripe by
-// stripe, for lock-free filtering (mirrors DB.snapshotRecords).
-func (ix *featIndex) snapshotLen(n int) [][]*Record {
-	out := make([][]*Record, len(ix.stripes))
-	for i, st := range ix.stripes {
-		st.mu.RLock()
-		group := st.byLen[n]
-		recs := make([]*Record, 0, len(group))
-		for _, rec := range group {
-			recs = append(recs, rec)
+	for {
+		g := ix.group(rec.N, true)
+		g.mu.Lock()
+		if g.retired {
+			g.mu.Unlock()
+			continue
 		}
-		st.mu.RUnlock()
-		out[i] = recs
+		if rec.feats == nil || rec.zfeats == nil {
+			g.unindexed[rec.ID] = rec
+		} else {
+			g.ord[rec.ID] = len(g.recs)
+			g.recs = append(g.recs, rec)
+			g.feats = append(g.feats, rec.feats...)
+			g.zfeats = append(g.zfeats, rec.zfeats...)
+			g.dead = append(g.dead, false)
+			if len(g.recs)-g.treeN > g.tailMax() {
+				g.invalidateTrees()
+			}
+		}
+		g.mu.Unlock()
+		return
 	}
-	return out
+}
+
+// remove drops a record from its length group: unindexed records leave
+// immediately, stored rows are tombstoned and compacted once enough
+// accumulate. A group drained to empty is retired from the groups map.
+func (ix *featIndex) remove(rec *Record) {
+	g := ix.group(rec.N, false)
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if _, ok := g.unindexed[rec.ID]; ok {
+		delete(g.unindexed, rec.ID)
+	} else if o, ok := g.ord[rec.ID]; ok && g.recs[o] == rec {
+		delete(g.ord, rec.ID)
+		g.dead[o] = true
+		g.deadCount++
+		// Compact when tombstones pile past the rebuild budget — or past
+		// the live population, so a small or fully-drained group releases
+		// its record pointers instead of retaining them below the
+		// threshold.
+		if g.deadCount > g.staleMax() || g.deadCount > g.live() {
+			g.compact(ix.dim)
+		}
+	}
+	empty := len(g.recs) == 0 && len(g.unindexed) == 0
+	g.mu.Unlock()
+	if empty {
+		ix.retire(rec.N, g)
+	}
+}
+
+// retire unlinks a drained group from the groups map so a workload that
+// cycles through many distinct lengths does not accumulate empty groups.
+// Emptiness is re-checked under both locks (ix.mu before g.mu, the
+// package-wide order); writers that captured the group earlier observe
+// the retired flag and re-resolve.
+func (ix *featIndex) retire(n int, g *featGroup) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.groups[n] != g {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.recs) == 0 && len(g.unindexed) == 0 {
+		g.retired = true
+		delete(ix.groups, n)
+	}
+}
+
+// invalidateTrees drops both trees; the next query rebuilds on demand.
+func (g *featGroup) invalidateTrees() {
+	g.tree, g.ztree = nil, nil
+	g.treeN = 0
+}
+
+// compact rewrites the columnar store without tombstoned rows and drops
+// the trees. Callers hold g.mu.
+func (g *featGroup) compact(dim int) {
+	recs := make([]*Record, 0, g.live())
+	feats := make([]float64, 0, g.live()*dim)
+	zfeats := make([]float64, 0, g.live()*dim)
+	for i, rec := range g.recs {
+		if g.dead[i] {
+			continue
+		}
+		g.ord[rec.ID] = len(recs)
+		recs = append(recs, rec)
+		feats = append(feats, g.feats[i*dim:(i+1)*dim]...)
+		zfeats = append(zfeats, g.zfeats[i*dim:(i+1)*dim]...)
+	}
+	g.recs, g.feats, g.zfeats = recs, feats, zfeats
+	g.dead = make([]bool, len(recs))
+	g.deadCount = 0
+	g.invalidateTrees()
+}
+
+// needTrees reports whether the group's population justifies trees it
+// doesn't currently have. Callers hold g.mu (either mode).
+func (g *featGroup) needTrees(ix *featIndex) bool {
+	if ix.leaf < 0 {
+		return false
+	}
+	leaf := ix.leaf
+	if leaf == 0 {
+		leaf = dft.DefaultVPLeaf
+	}
+	if len(g.recs) < 2*leaf {
+		return false
+	}
+	return g.tree == nil || g.ztree == nil
+}
+
+// buildTrees constructs both trees over the current store (compacting
+// first when tombstones piled up), so their row coverage — treeN — is one
+// number. Callers hold g.mu for writing.
+func (g *featGroup) buildTrees(ix *featIndex) {
+	if !g.needTrees(ix) { // re-check under the write lock
+		return
+	}
+	if g.deadCount > 0 {
+		g.compact(ix.dim)
+	}
+	t, err := dft.NewVPTree(g.feats, ix.dim, max(ix.leaf, 0))
+	if err != nil {
+		return // dim validated at construction; defensive only
+	}
+	zt, err := dft.NewVPTree(g.zfeats, ix.dim, max(ix.leaf, 0))
+	if err != nil {
+		return
+	}
+	g.tree, g.ztree = t, zt
+	g.treeN = len(g.recs)
+}
+
+// collect appends every verification candidate for the exemplar's length
+// group to cands: rows whose feature distance to lb.qf is within
+// lb.bound (generated through the vantage-point tree when one is up,
+// falling back to a linear pass over the columnar rows), rows appended
+// since the last tree build, and every unindexed record. examined counts
+// feature vectors actually compared; pruned those compared and
+// discarded — candidates the caller never has to read.
+func (ix *featIndex) collect(n int, lb lowerBound, cands []*Record) (_ []*Record, examined, pruned int) {
+	g := ix.group(n, false)
+	if g == nil {
+		return cands, 0, 0
+	}
+	g.mu.RLock()
+	if g.needTrees(ix) {
+		g.mu.RUnlock()
+		g.mu.Lock()
+		g.buildTrees(ix)
+		g.mu.Unlock()
+		g.mu.RLock()
+	}
+	defer g.mu.RUnlock()
+
+	tree, pts := g.tree, g.feats
+	if lb.z {
+		tree, pts = g.ztree, g.zfeats
+	}
+	linearFrom := 0
+	if tree != nil {
+		live := 0
+		examined += tree.Search(lb.qf, lb.bound, func(o int32, _ float64) {
+			if !g.dead[o] {
+				cands = append(cands, g.recs[o])
+				live++
+			}
+		})
+		// Tombstoned hits count as examined-and-discarded; so do the
+		// vectors the tree touched and rejected.
+		pruned += examined - live
+		linearFrom = g.treeN
+	}
+	dim := ix.dim
+	for o := linearFrom; o < len(g.recs); o++ {
+		if g.dead[o] {
+			continue
+		}
+		examined++
+		if dft.FeatureDist(lb.qf, pts[o*dim:(o+1)*dim]) > lb.bound {
+			pruned++
+			continue
+		}
+		cands = append(cands, g.recs[o])
+	}
+	for _, rec := range g.unindexed {
+		examined++
+		cands = append(cands, rec)
+	}
+	return cands, examined, pruned
 }
 
 // indexedCount reports how many records carry feature vectors.
 func (ix *featIndex) indexedCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	n := 0
-	for _, st := range ix.stripes {
-		st.mu.RLock()
-		for _, group := range st.byLen {
-			for _, rec := range group {
-				if rec.feats != nil {
-					n++
-				}
-			}
-		}
-		st.mu.RUnlock()
+	for _, g := range ix.groups {
+		g.mu.RLock()
+		n += g.live()
+		g.mu.RUnlock()
 	}
 	return n
 }

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"seqrep/internal/dft"
@@ -14,8 +14,10 @@ import (
 
 // Plan names for QueryStats.Plan.
 const (
-	// PlanIndex is the feature-index route: lower-bound pruning over the
-	// DFT feature table, exact verification of the survivors only.
+	// PlanIndex is the feature-index route: lower-bound candidate
+	// generation over the columnar DFT feature store (through its
+	// vantage-point tree when the length group is large enough), exact
+	// verification of the survivors only.
 	PlanIndex = "index"
 	// PlanScan is the shard-parallel full scan.
 	PlanScan = "scan"
@@ -24,7 +26,10 @@ const (
 // QueryStats reports how a query was executed: which plan the planner
 // chose and how much work each stage did. Candidates + Pruned = Examined
 // on the index plan; the scan plan verifies every length-matching record
-// (Pruned stays 0).
+// (Pruned stays 0). On the index plan Examined counts feature vectors
+// actually compared — with a vantage-point tree up, that is typically far
+// below the length group's population, the rest having been discarded
+// wholesale by the tree's triangle-inequality pruning.
 type QueryStats struct {
 	// Query is the query family: "distance" or "value".
 	Query string
@@ -33,8 +38,9 @@ type QueryStats struct {
 	Metric string
 	// Plan is PlanIndex or PlanScan.
 	Plan string
-	// Examined counts the records the plan looked at: length-matching
-	// records on the index plan, all records on the scan plan.
+	// Examined counts the records the plan looked at: feature vectors
+	// compared (plus unindexed records) on the index plan, all records
+	// on the scan plan.
 	Examined int
 	// Candidates counts the records whose exact samples were compared.
 	Candidates int
@@ -52,12 +58,12 @@ func (st QueryStats) String() string {
 }
 
 // lowerBound is one metric's pruning rule on the feature index: the query
-// feature vector, the feature-space threshold, and which of a record's
-// stored vectors to compare against.
+// feature vector, the feature-space threshold, and whether it compares
+// against the z-normalized rows of the columnar store.
 type lowerBound struct {
 	qf    []float64
 	bound float64
-	feats func(*Record) []float64
+	z     bool
 }
 
 // lbSlack widens a lower-bound threshold by a whisker of floating-point
@@ -87,13 +93,13 @@ func (db *DB) distanceLowerBound(exemplar seq.Sequence, m dist.Metric, eps float
 		if err != nil {
 			return lowerBound{}, false
 		}
-		return lowerBound{qf: qf, bound: lbSlack(eps), feats: func(r *Record) []float64 { return r.feats }}, true
+		return lowerBound{qf: qf, bound: lbSlack(eps)}, true
 	case dist.ZEuclidean.Name():
 		qf, err := dft.Features(dist.ZNormalizeValues(exemplar.Values()), k)
 		if err != nil {
 			return lowerBound{}, false
 		}
-		return lowerBound{qf: qf, bound: lbSlack(eps), feats: func(r *Record) []float64 { return r.zfeats }}, true
+		return lowerBound{qf: qf, bound: lbSlack(eps), z: true}, true
 	}
 	return lowerBound{}, false
 }
@@ -139,11 +145,7 @@ func (db *DB) ValueQueryStats(exemplar seq.Sequence, eps float64) ([]Match, Quer
 	if db.findex != nil {
 		qf, err := dft.Features(exemplar.Values(), db.findex.k)
 		if err == nil {
-			lb := lowerBound{
-				qf:    qf,
-				bound: lbSlack(eps * math.Sqrt(float64(len(exemplar)))),
-				feats: func(r *Record) []float64 { return r.feats },
-			}
+			lb := lowerBound{qf: qf, bound: lbSlack(eps * math.Sqrt(float64(len(exemplar))))}
 			return db.indexedQuery("value", "band", lb, len(exemplar), func(rec *Record) (Match, bool, error) {
 				return db.valueVerify(rec, exemplar, eps)
 			})
@@ -166,7 +168,10 @@ func (db *DB) verifyReadError(rec *Record, err error) error {
 }
 
 // distanceVerify compares one record's exact samples against the
-// exemplar under m — the shared verification step of both plans.
+// exemplar under m — the shared verification step of both plans. The
+// comparison runs through the metric's early-abandoning threshold kernel
+// (squared-space accumulation, mid-loop bail; see dist.DistanceWithin),
+// which returns the same decisions and distances as a full evaluation.
 func (db *DB) distanceVerify(rec *Record, exemplar seq.Sequence, m dist.Metric, eps float64) (Match, bool, error) {
 	stored, err := db.storedSequence(rec)
 	if err != nil {
@@ -175,14 +180,14 @@ func (db *DB) distanceVerify(rec *Record, exemplar seq.Sequence, m dist.Metric, 
 		}
 		return Match{}, false, nil // removed mid-scan; skip
 	}
-	d, err := m.Distance(exemplar, stored)
+	d, within, err := dist.DistanceWithin(m, exemplar, stored, eps)
 	if err != nil {
 		if errors.Is(err, dist.ErrLengthMismatch) {
 			return Match{}, false, nil // reconstruction drifted in length; incomparable
 		}
 		return Match{}, false, fmt.Errorf("core: distance query %q under %s: %w", rec.ID, m.Name(), err)
 	}
-	if d > eps {
+	if !within {
 		return Match{}, false, nil
 	}
 	return Match{
@@ -213,63 +218,63 @@ func (db *DB) valueVerify(rec *Record, exemplar seq.Sequence, eps float64) (Matc
 	}, true, nil
 }
 
+// candPool recycles the planner's candidate scratch so steady-state
+// queries allocate nothing for candidate generation.
+var candPool = sync.Pool{
+	New: func() any {
+		s := make([]*Record, 0, 128)
+		return &s
+	},
+}
+
 // indexedQuery is the index plan shared by distance and value queries:
-// snapshot the exemplar's length group, prune by feature distance, verify
-// survivors exactly — one pass per stripe, fanned across the worker pool.
-// Records without feature vectors are never pruned.
+// generate candidates from the exemplar's length group (vantage-point
+// tree or linear feature pass — identical candidate sets either way),
+// then verify the survivors exactly, fanned across the worker pool.
+// Candidate generation holds only the group's read lock and writes into
+// pooled scratch; verification — the part that reads archives or
+// reconstructs representations — runs outside every lock.
 func (db *DB) indexedQuery(query, metric string, lb lowerBound, n int, verify func(*Record) (Match, bool, error)) ([]Match, QueryStats, error) {
-	stripeRecs := db.findex.snapshotLen(n)
 	stats := QueryStats{Query: query, Metric: metric, Plan: PlanIndex}
+	scratch := candPool.Get().(*[]*Record)
+	cands := (*scratch)[:0]
+	cands, stats.Examined, stats.Pruned = db.findex.collect(n, lb, cands)
+	stats.Candidates = len(cands)
+
 	var (
 		mu       sync.Mutex
 		out      []Match
 		firstErr error
 	)
-	db.forEachClaimed(len(stripeRecs), func(i int) {
+	db.forEachClaimed(len(cands), func(i int) {
 		mu.Lock()
 		bail := firstErr != nil
 		mu.Unlock()
 		if bail {
 			return
 		}
-		var (
-			local                        []Match
-			examined, candidates, pruned int
-		)
-		for _, rec := range stripeRecs[i] {
-			examined++
-			if rf := lb.feats(rec); rf != nil {
-				fd, err := dft.FeatureDistance(lb.qf, rf)
-				if err == nil && fd > lb.bound {
-					pruned++
-					continue
-				}
+		m, ok, err := verify(cands[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
 			}
-			candidates++
-			m, ok, err := verify(rec)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			if ok {
-				local = append(local, m)
-			}
+			mu.Unlock()
+			return
 		}
-		mu.Lock()
-		out = append(out, local...)
-		stats.Examined += examined
-		stats.Candidates += candidates
-		stats.Pruned += pruned
-		mu.Unlock()
+		if ok {
+			mu.Lock()
+			out = append(out, m)
+			mu.Unlock()
+		}
 	})
+	clear(cands) // drop record pointers before pooling the scratch
+	*scratch = cands[:0]
+	candPool.Put(scratch)
 	if firstErr != nil {
 		return nil, QueryStats{}, firstErr
 	}
-	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
+	slices.SortFunc(out, matchCompare)
 	stats.Matches = len(out)
 	return out, stats, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"seqrep/internal/dist"
@@ -33,6 +34,25 @@ func matchLess(a, b Match) bool {
 		return da < dbv
 	}
 	return a.ID < b.ID
+}
+
+// matchCompare is matchLess as a three-way comparison for slices.SortFunc,
+// evaluating each key once per comparison (matchLess twice would walk the
+// Deviations maps up to four times).
+func matchCompare(a, b Match) int {
+	if a.Exact != b.Exact {
+		if a.Exact {
+			return -1
+		}
+		return 1
+	}
+	if da, db := totalDeviation(a), totalDeviation(b); da != db {
+		if da < db {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
 }
 
 func totalDeviation(m Match) float64 {

@@ -162,6 +162,14 @@ func FeatureDistance(a, b []float64) (float64, error) {
 	return math.Sqrt(sum), nil
 }
 
+// FeatureDist returns the Euclidean distance between two feature vectors
+// of pre-validated equal width — the hot-loop form of FeatureDistance for
+// columnar stores whose row stride is fixed by construction, so the
+// per-comparison length check is hoisted out of the scan entirely. It
+// shares FeatureDistance's accumulation order exactly (pruning decisions
+// agree bit-for-bit).
+func FeatureDist(a, b []float64) float64 { return pointDist(a, b) }
+
 // MainFrequency returns the dominant non-DC frequency bin of vals and its
 // magnitude. The paper's §3 argument: under dilation (frequency reduction)
 // or contraction the dominant frequency moves, so frequency-domain

@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"seqrep/internal/dist"
 	"seqrep/internal/seq"
@@ -16,15 +16,40 @@ import (
 // (which cannot cause false dismissals) and then verifies candidates
 // against the raw sequences with the true Euclidean distance.
 //
-// The original work stores the feature points in an R*-tree; this
-// implementation scans the feature table, which preserves the method's
-// filtering semantics (identical candidate sets) at laptop scale.
+// The original work stores the feature points in an R*-tree. This
+// implementation keeps them in a flat columnar table — one contiguous
+// []float64 of 2k-wide rows plus parallel id and raw-sequence tables —
+// and searches them through a vantage-point tree (see VPTree), so
+// candidate generation is sub-linear in the number of stored sequences
+// while preserving the method's filtering semantics exactly (identical
+// candidate sets to a linear feature scan).
+//
+// FIndex is not safe for concurrent use; Query lazily (re)builds the
+// vantage-point tree after mutations.
 type FIndex struct {
 	k       int
-	ids     []string
-	raws    map[string]seq.Sequence
-	feats   map[string][]float64
 	queryLn int
+	dim     int // feature row width, 2k
+
+	// Columnar storage: row i of feats (feats[i*dim:(i+1)*dim]) is the
+	// feature vector of ids[i] / raws[i]; byID maps an id back to its
+	// ordinal. Remove swap-deletes rows, so ordinals are not stable
+	// across mutations.
+	ids   []string
+	raws  []seq.Sequence
+	feats []float64
+	byID  map[string]int
+
+	// tree accelerates Query over rows [0, treeN); rows appended after
+	// the last build are scanned linearly until the tail outgrows its
+	// budget, when the tree is dropped and Query rebuilds on demand
+	// (Remove swap-deletes rows the tree may reference, so it always
+	// invalidates). disableTree pins Query to the linear columnar scan —
+	// the baseline the benchmarks and equivalence tests compare the tree
+	// against.
+	tree        *VPTree
+	treeN       int
+	disableTree bool
 }
 
 // NewFIndex creates an index using the first k DFT coefficients
@@ -34,20 +59,46 @@ func NewFIndex(k int) (*FIndex, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("dft: FIndex needs k >= 1, got %d", k)
 	}
-	return &FIndex{
-		k:     k,
-		raws:  make(map[string]seq.Sequence),
-		feats: make(map[string][]float64),
-	}, nil
+	return &FIndex{k: k, dim: 2 * k, byID: make(map[string]int)}, nil
 }
 
 // Len reports the number of indexed sequences.
 func (ix *FIndex) Len() int { return len(ix.ids) }
 
+// K returns the configured coefficient count.
+func (ix *FIndex) K() int { return ix.k }
+
+// IDs returns the indexed sequence ids in sorted order.
+func (ix *FIndex) IDs() []string {
+	out := append([]string(nil), ix.ids...)
+	slices.Sort(out)
+	return out
+}
+
+// append adds one validated sequence and its feature row to the columnar
+// tables. An existing tree stays up — the new row lands in the linearly
+// scanned tail — until the tail outgrows a fraction of the tree's
+// coverage, at which point the tree is dropped for a rebuild on the next
+// query.
+func (ix *FIndex) append(id string, s seq.Sequence, f []float64) {
+	ix.byID[id] = len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.raws = append(ix.raws, s)
+	ix.feats = append(ix.feats, f...)
+	if ix.tree != nil && len(ix.ids)-ix.treeN > 32+ix.treeN/4 {
+		ix.invalidateTree()
+	}
+}
+
+// invalidateTree drops the tree; Query rebuilds on demand.
+func (ix *FIndex) invalidateTree() {
+	ix.tree, ix.treeN = nil, 0
+}
+
 // Add indexes the sequence under id. It returns an error for duplicate ids
 // or for a length mismatch with previously added sequences.
 func (ix *FIndex) Add(id string, s seq.Sequence) error {
-	if _, dup := ix.raws[id]; dup {
+	if _, dup := ix.byID[id]; dup {
 		return fmt.Errorf("dft: duplicate sequence id %q", id)
 	}
 	if ix.queryLn == 0 {
@@ -62,20 +113,8 @@ func (ix *FIndex) Add(id string, s seq.Sequence) error {
 	if err != nil {
 		return err
 	}
-	ix.ids = append(ix.ids, id)
-	ix.raws[id] = s
-	ix.feats[id] = f
+	ix.append(id, s, f)
 	return nil
-}
-
-// K returns the configured coefficient count.
-func (ix *FIndex) K() int { return ix.k }
-
-// IDs returns the indexed sequence ids in sorted order.
-func (ix *FIndex) IDs() []string {
-	out := append([]string(nil), ix.ids...)
-	sort.Strings(out)
-	return out
 }
 
 // FItem names one sequence of a batch add.
@@ -92,7 +131,7 @@ func (ix *FIndex) AddBatch(items []FItem) error {
 	want := ix.queryLn
 	seen := make(map[string]struct{}, len(items))
 	for _, it := range items {
-		if _, dup := ix.raws[it.ID]; dup {
+		if _, dup := ix.byID[it.ID]; dup {
 			return fmt.Errorf("dft: duplicate sequence id %q", it.ID)
 		}
 		if _, dup := seen[it.ID]; dup {
@@ -118,28 +157,35 @@ func (ix *FIndex) AddBatch(items []FItem) error {
 	}
 	ix.queryLn = want
 	for i, it := range items {
-		ix.ids = append(ix.ids, it.ID)
-		ix.raws[it.ID] = it.Seq
-		ix.feats[it.ID] = feats[i]
+		ix.append(it.ID, it.Seq, feats[i])
 	}
 	return nil
 }
 
 // Remove drops a sequence from the index, reporting whether it was
 // present. Removing the last sequence frees the length constraint, so an
-// emptied index accepts sequences of a new length.
+// emptied index accepts sequences of a new length. The vacated columnar
+// row is filled by the last row (swap-delete), keeping the tables dense.
 func (ix *FIndex) Remove(id string) bool {
-	if _, ok := ix.raws[id]; !ok {
+	ord, ok := ix.byID[id]
+	if !ok {
 		return false
 	}
-	delete(ix.raws, id)
-	delete(ix.feats, id)
-	for i, have := range ix.ids {
-		if have == id {
-			ix.ids = append(ix.ids[:i], ix.ids[i+1:]...)
-			break
-		}
+	last := len(ix.ids) - 1
+	if ord != last {
+		ix.ids[ord] = ix.ids[last]
+		ix.raws[ord] = ix.raws[last]
+		copy(ix.feats[ord*ix.dim:(ord+1)*ix.dim], ix.feats[last*ix.dim:(last+1)*ix.dim])
+		ix.byID[ix.ids[ord]] = ord
 	}
+	ix.ids = ix.ids[:last]
+	ix.raws[last] = nil
+	ix.raws = ix.raws[:last]
+	ix.feats = ix.feats[:last*ix.dim]
+	delete(ix.byID, id)
+	// The swap rewrote a row the tree may cover, so the tree cannot be
+	// kept (unlike appends, which only grow the tail).
+	ix.invalidateTree()
 	if len(ix.ids) == 0 {
 		ix.queryLn = 0
 	}
@@ -158,7 +204,9 @@ func (ix *FIndex) Remove(id string) bool {
 //
 // Feature vectors are recomputed on decode: they are pure functions of
 // the raw samples and k, so storing them would only create a corruption
-// channel the decoder would have to cross-validate anyway.
+// channel the decoder would have to cross-validate anyway. The codec is
+// independent of the in-memory columnar layout, so FIX1 blobs written
+// before the columnar store decode unchanged.
 var fixMagic = [4]byte{'F', 'I', 'X', '1'}
 
 // MarshalBinary encodes the index deterministically (sorted id order).
@@ -179,7 +227,7 @@ func (ix *FIndex) MarshalBinary() ([]byte, error) {
 		}
 		out = binary.LittleEndian.AppendUint16(out, uint16(len(id)))
 		out = append(out, id...)
-		for _, p := range ix.raws[id] {
+		for _, p := range ix.raws[ix.byID[id]] {
 			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.T))
 			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.V))
 		}
@@ -224,9 +272,9 @@ func (ix *FIndex) UnmarshalBinary(data []byte) error {
 	}
 	dec := &FIndex{
 		k:       k,
+		dim:     2 * k,
 		queryLn: queryLn,
-		raws:    make(map[string]seq.Sequence, count),
-		feats:   make(map[string][]float64, count),
+		byID:    make(map[string]int, count),
 	}
 	for i := 0; i < count; i++ {
 		if len(rest) < 2 {
@@ -242,7 +290,7 @@ func (ix *FIndex) UnmarshalBinary(data []byte) error {
 		if id == "" {
 			return fmt.Errorf("dft: unmarshal: empty id (sequence %d)", i)
 		}
-		if _, dup := dec.raws[id]; dup {
+		if _, dup := dec.byID[id]; dup {
 			return fmt.Errorf("dft: unmarshal: duplicate id %q", id)
 		}
 		if len(rest) < 16*queryLn {
@@ -258,9 +306,7 @@ func (ix *FIndex) UnmarshalBinary(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("dft: unmarshal %q: %w", id, err)
 		}
-		dec.ids = append(dec.ids, id)
-		dec.raws[id] = s
-		dec.feats[id] = f
+		dec.append(id, s, f)
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("dft: unmarshal: %d trailing bytes", len(rest))
@@ -275,9 +321,32 @@ type Match struct {
 	Distance float64 // true Euclidean distance to the query
 }
 
+// vpBuildMin is the population below which Query scans the feature table
+// linearly instead of building a tree: at these sizes the scan is a
+// handful of contiguous rows and the tree adds only indirection.
+const vpBuildMin = 2 * DefaultVPLeaf
+
+// ensureTree (re)builds the vantage-point tree when it is stale and the
+// population justifies one.
+func (ix *FIndex) ensureTree() {
+	if ix.tree != nil || ix.disableTree || len(ix.ids) < vpBuildMin {
+		return
+	}
+	t, err := NewVPTree(ix.feats, ix.dim, 0)
+	if err != nil {
+		return // dim is validated at construction; defensive only
+	}
+	ix.tree, ix.treeN = t, len(ix.ids)
+}
+
 // Query returns all sequences within Euclidean distance eps of q, sorted by
 // distance. Candidates reports how many sequences survived the feature
 // filter and needed raw verification (the measure of filter quality).
+//
+// Candidate generation runs through the vantage-point tree (identical
+// candidate sets to a linear feature scan, sub-linear work); each
+// candidate is then verified with an early-abandoning Euclidean kernel
+// that compares squared partial sums against eps² and bails mid-loop.
 func (ix *FIndex) Query(q seq.Sequence, eps float64) (matches []Match, candidates int, err error) {
 	if len(q) != ix.queryLn {
 		return nil, 0, fmt.Errorf("dft: query length %d, index requires %d", len(q), ix.queryLn)
@@ -289,85 +358,55 @@ func (ix *FIndex) Query(q seq.Sequence, eps float64) (matches []Match, candidate
 	if err != nil {
 		return nil, 0, err
 	}
-	for _, id := range ix.ids {
-		fd, err := FeatureDistance(qf, ix.feats[id])
+	verify := func(ord int32) error {
+		candidates++
+		d, within, err := dist.DistanceWithin(dist.Euclidean, q, ix.raws[ord], eps)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
+		if within {
+			matches = append(matches, Match{ID: ix.ids[ord], Distance: d})
+		}
+		return nil
+	}
+	ix.ensureTree()
+	if ix.tree != nil {
+		var verr error
+		ix.tree.Search(qf, eps, func(ord int32, _ float64) {
+			if verr == nil {
+				verr = verify(ord)
+			}
+		})
+		if verr != nil {
+			return nil, 0, verr
+		}
+	}
+	// Rows past the tree's coverage (all rows when there is no tree) are
+	// scanned linearly. Row widths are fixed by construction (every row
+	// is 2k wide), so the scan validates nothing per record: one distance
+	// per row.
+	for ord := ix.treeN; ord < len(ix.ids); ord++ {
+		fd := pointDist(qf, ix.feats[ord*ix.dim:(ord+1)*ix.dim])
 		if fd > eps {
 			continue // safe: feature distance lower-bounds true distance
 		}
-		candidates++
-		d, err := dist.L2(q, ix.raws[id])
-		if err != nil {
+		if err := verify(int32(ord)); err != nil {
 			return nil, 0, err
 		}
-		if d <= eps {
-			matches = append(matches, Match{ID: id, Distance: d})
-		}
 	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Distance != matches[j].Distance {
-			return matches[i].Distance < matches[j].Distance
+	slices.SortFunc(matches, func(a, b Match) int {
+		switch {
+		case a.Distance != b.Distance:
+			if a.Distance < b.Distance {
+				return -1
+			}
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return matches[i].ID < matches[j].ID
+		return 0
 	})
 	return matches, candidates, nil
-}
-
-// WindowMatch is one subsequence-matching hit: the window of the stored
-// sequence starting at Offset matches the query within the tolerance.
-type WindowMatch struct {
-	ID       string
-	Offset   int
-	Distance float64
-}
-
-// SubsequenceMatch implements the FRM94-style sliding-window search over a
-// long stored sequence: every window of len(q) samples is compared to q,
-// with the first-k-coefficient feature distance as the no-false-dismissal
-// prefilter and true Euclidean distance as the verifier. It returns hits in
-// offset order. k is the feature count; eps the Euclidean tolerance.
-func SubsequenceMatch(id string, stored, q seq.Sequence, k int, eps float64) ([]WindowMatch, error) {
-	w := len(q)
-	if w == 0 {
-		return nil, fmt.Errorf("dft: empty query")
-	}
-	if len(stored) < w {
-		return nil, nil
-	}
-	if eps < 0 {
-		return nil, fmt.Errorf("dft: negative tolerance %g", eps)
-	}
-	qf, err := Features(q.Values(), k)
-	if err != nil {
-		return nil, err
-	}
-	var out []WindowMatch
-	qv := q.Values()
-	buf := make([]float64, w)
-	for off := 0; off+w <= len(stored); off++ {
-		for i := 0; i < w; i++ {
-			buf[i] = stored[off+i].V
-		}
-		wf, err := Features(buf, k)
-		if err != nil {
-			return nil, err
-		}
-		fd, err := FeatureDistance(qf, wf)
-		if err != nil {
-			return nil, err
-		}
-		if fd > eps {
-			continue
-		}
-		d, err := dist.L2Values(buf, qv)
-		if err != nil {
-			return nil, err
-		}
-		if d <= eps {
-			out = append(out, WindowMatch{ID: id, Offset: off, Distance: d})
-		}
-	}
-	return out, nil
 }

@@ -2,6 +2,7 @@ package dft
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -117,7 +118,7 @@ func TestFIndexCodecRoundTrip(t *testing.T) {
 	if dec.Len() != ix.Len() || dec.K() != ix.K() {
 		t.Fatalf("decoded Len/K = %d/%d, want %d/%d", dec.Len(), dec.K(), ix.Len(), ix.K())
 	}
-	q := ix.raws["ecg-001"]
+	q := ix.raws[ix.byID["ecg-001"]]
 	want, wantCand, err := ix.Query(q, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -174,5 +175,122 @@ func TestFIndexCodecRejectsCorruption(t *testing.T) {
 		if err := dec.UnmarshalBinary(data); err == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+}
+
+// TestFIndexTreeMatchesLinear: the vantage-point tree path and the linear
+// feature-scan path must return identical matches and candidate counts on
+// randomized corpora large enough that the tree actually engages.
+func TestFIndexTreeMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		tree, _ := NewFIndex(4)
+		linear, _ := NewFIndex(4)
+		linear.disableTree = true
+		n := vpBuildMin * (4 + trial)
+		base := randSeq(rng, 64)
+		for i := 0; i < n; i++ {
+			s := base.Clone()
+			for j := range s {
+				s[j].V += float64(i%37) * 0.3 * rng.Float64()
+			}
+			id := fmt.Sprintf("s-%04d", i)
+			if err := tree.Add(id, s); err != nil {
+				t.Fatal(err)
+			}
+			if err := linear.Add(id, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := base.Clone()
+		for _, eps := range []float64{0, 1, 5, 20, 1e6} {
+			got, gotCand, err := tree.Query(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.tree == nil {
+				t.Fatal("tree path not engaged")
+			}
+			want, wantCand, err := linear.Query(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCand != wantCand || !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d eps=%g: tree (%d cands) %+v != linear (%d cands) %+v",
+					n, eps, gotCand, got, wantCand, want)
+			}
+		}
+		// Adds land in the tree's linearly-scanned tail without dropping
+		// it; answers stay equal to the linear scan.
+		extra := base.Clone()
+		for j := range extra {
+			extra[j].V += 0.1
+		}
+		if err := tree.Add("tail-1", extra); err != nil {
+			t.Fatal(err)
+		}
+		if err := linear.Add("tail-1", extra); err != nil {
+			t.Fatal(err)
+		}
+		if tree.tree == nil || tree.treeN >= tree.Len() {
+			t.Fatalf("small add dropped the tree: treeN=%d len=%d", tree.treeN, tree.Len())
+		}
+		got, _, err := tree.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := linear.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("with tail: tree %+v != linear %+v", got, want)
+		}
+
+		// Removals invalidate (swap-delete rewrites covered rows); the
+		// next query rebuilds transparently.
+		if !tree.Remove("s-0000") || !linear.Remove("s-0000") {
+			t.Fatal("remove failed")
+		}
+		if got, _, err = tree.Query(q, 5); err != nil {
+			t.Fatal(err)
+		}
+		if want, _, err = linear.Query(q, 5); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("after remove: tree %+v != linear %+v", got, want)
+		}
+	}
+}
+
+// TestFIndexQueryAllocs guards the query hot loop: candidate generation
+// over a built tree must cost a fixed handful of allocations (query
+// features + scratch + results), independent of index size.
+func TestFIndexQueryAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ix, _ := NewFIndex(4)
+	base := randSeq(rng, 128)
+	for i := 0; i < 2000; i++ {
+		s := base.Clone()
+		for j := range s {
+			s[j].V += 5 + 10*rng.Float64() + float64(i%13)
+		}
+		if err := ix.Add(fmt.Sprintf("s-%04d", i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := base.Clone()
+	if _, _, err := ix.Query(q, 1); err != nil { // warm: builds the tree
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := ix.Query(q, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 12
+	if allocs > budget {
+		t.Errorf("FIndex.Query allocates %.0f per op over 2000 sequences, budget %d", allocs, budget)
 	}
 }

@@ -66,7 +66,7 @@ func FuzzFIndexCodec(f *testing.F) {
 			t.Fatalf("codec not deterministic: %d vs %d bytes", len(blob), len(blob2))
 		}
 		if ix.Len() > 0 {
-			q := ix.raws[ix.ids[0]]
+			q := ix.raws[0]
 			if _, _, err := ix.Query(q, 1); err != nil {
 				t.Fatalf("decoded index cannot answer a query: %v", err)
 			}

@@ -1,0 +1,179 @@
+package dft
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// linearRange is the brute-force oracle: every ordinal within eps.
+func linearRange(pts []float64, dim int, q []float64, eps float64) []int32 {
+	var out []int32
+	for o := 0; o*dim < len(pts); o++ {
+		if pointDist(q, pts[o*dim:(o+1)*dim]) <= eps {
+			out = append(out, int32(o))
+		}
+	}
+	return out
+}
+
+// TestVPTreeMatchesLinearScan is the tree's core contract: for random
+// point sets (including heavy duplicates) and radii from empty to
+// all-inclusive, Search returns exactly the linear scan's result set with
+// identical distances, while examining at most every point once.
+func TestVPTreeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		dim := 1 + rng.Intn(6)
+		n := rng.Intn(300)
+		pts := make([]float64, n*dim)
+		for i := range pts {
+			pts[i] = math.Round(4 * rng.NormFloat64()) // coarse grid → many ties/duplicates
+		}
+		leaf := 1 + rng.Intn(8)
+		tree, err := NewVPTree(pts, dim, leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = 4 * rng.NormFloat64()
+		}
+		for _, eps := range []float64{0, 0.5, 2, 8, 1e9} {
+			var got []int32
+			examined := tree.Search(q, eps, func(ord int32, d float64) {
+				if want := pointDist(q, pts[int(ord)*dim:(int(ord)+1)*dim]); d != want {
+					t.Fatalf("ord %d: reported d=%v, want %v", ord, d, want)
+				}
+				got = append(got, ord)
+			})
+			if examined > n {
+				t.Fatalf("examined %d of %d points", examined, n)
+			}
+			if examined < len(got) {
+				t.Fatalf("examined %d < %d found", examined, len(got))
+			}
+			slices.Sort(got)
+			want := linearRange(pts, dim, q, eps)
+			if !slices.Equal(got, want) {
+				t.Fatalf("dim=%d n=%d leaf=%d eps=%g: tree %v != scan %v", dim, n, leaf, eps, got, want)
+			}
+		}
+	}
+}
+
+// TestVPTreeSubLinear checks the point of the structure: on a clustered
+// workload with a selective radius, the tree examines far fewer vectors
+// than the population.
+func TestVPTreeSubLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, dim = 4096, 8
+	pts := make([]float64, n*dim)
+	for o := 0; o < n; o++ {
+		center := float64(o%64) * 100 // 64 well-separated clusters
+		for j := 0; j < dim; j++ {
+			pts[o*dim+j] = center + rng.NormFloat64()
+		}
+	}
+	tree, err := NewVPTree(pts, dim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = 300 + rng.NormFloat64() // at cluster 3
+	}
+	var found int
+	examined := tree.Search(q, 10, func(int32, float64) { found++ })
+	if found == 0 {
+		t.Fatal("query found nothing in its own cluster")
+	}
+	if examined > n/4 {
+		t.Errorf("examined %d of %d vectors (found %d): pruning is not sub-linear", examined, n, found)
+	}
+}
+
+// TestVPTreeValidation covers constructor errors and degenerate inputs.
+func TestVPTreeValidation(t *testing.T) {
+	if _, err := NewVPTree(nil, 0, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewVPTree(make([]float64, 5), 2, 0); err == nil {
+		t.Error("non-tiling length accepted")
+	}
+	if _, err := NewVPTree(make([]float64, 4), 2, -1); err == nil {
+		t.Error("negative leaf accepted")
+	}
+	empty, err := NewVPTree(nil, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Search([]float64{0, 0, 0}, 1, func(int32, float64) { t.Error("found in empty tree") }); got != 0 {
+		t.Errorf("empty tree examined %d", got)
+	}
+	one, err := NewVPTree([]float64{1, 2}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	one.Search([]float64{1, 2}, 0, func(ord int32, d float64) { hits++ })
+	if hits != 1 || one.Len() != 1 {
+		t.Errorf("singleton tree: hits=%d len=%d", hits, one.Len())
+	}
+	// Mismatched query width finds nothing rather than panicking.
+	if got := one.Search([]float64{1}, 10, func(int32, float64) {}); got != 0 {
+		t.Errorf("mismatched query examined %d", got)
+	}
+}
+
+// TestVPTreeAllDuplicates: identical points must neither loop forever at
+// build time nor be lost at query time.
+func TestVPTreeAllDuplicates(t *testing.T) {
+	const n, dim = 100, 4
+	pts := make([]float64, n*dim)
+	for i := range pts {
+		pts[i] = 7
+	}
+	tree, err := NewVPTree(pts, dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	tree.Search([]float64{7, 7, 7, 7}, 0, func(int32, float64) { found++ })
+	if found != n {
+		t.Errorf("found %d of %d duplicate points", found, n)
+	}
+}
+
+// TestVPTreeNaNPoints: a non-finite point must not prune clean subtrees —
+// the tree's result over the remaining points matches the linear scan,
+// exactly like the columnar feature scan it replaces.
+func TestVPTreeNaNPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, dim = 400, 4
+	pts := make([]float64, n*dim)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	pts[0] = math.NaN() // poison ordinal 0 — a likely early vantage point
+	pts[57*dim+2] = math.NaN()
+	tree, err := NewVPTree(pts, dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, dim)
+	for _, eps := range []float64{0.5, 2, 1e9} {
+		var got []int32
+		tree.Search(q, eps, func(ord int32, d float64) {
+			if !math.IsNaN(d) {
+				got = append(got, ord)
+			}
+		})
+		slices.Sort(got)
+		want := linearRange(pts, dim, q, eps)
+		if !slices.Equal(got, want) {
+			t.Fatalf("eps=%g: tree %v != scan %v", eps, got, want)
+		}
+	}
+}

@@ -181,8 +181,22 @@ func ZNormalizedL2(a, b seq.Sequence) (float64, error) {
 	return math.Sqrt(sum), nil
 }
 
+// meanStd computes the population mean and standard deviation over the
+// sequence's values directly, without materializing a value slice. The
+// accumulation order is identical to meanStdValues, so the two agree
+// bit-for-bit — the feature-index transform and verification must use the
+// same arithmetic or the lower bound breaks.
 func meanStd(s seq.Sequence) (mean, std float64) {
-	return meanStdValues(s.Values())
+	for _, p := range s {
+		mean += p.V
+	}
+	mean /= float64(len(s))
+	ss := 0.0
+	for _, p := range s {
+		d := p.V - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(s)))
 }
 
 // meanStdValues is the one population mean/std computation every
@@ -268,6 +282,167 @@ func LInfValues(a, b []float64) (float64, error) {
 	return worst, nil
 }
 
+// L2ValuesWithin is the early-abandoning threshold form of L2Values: it
+// reports whether the Euclidean distance between a and b is at most eps,
+// accumulating squared differences and bailing as soon as the partial sum
+// already exceeds eps² — no sqrt is taken on the reject path. When within
+// is true, d equals L2Values(a, b) bit-for-bit; when false, d is only a
+// lower bound on the true distance.
+func L2ValuesWithin(a, b []float64, eps float64) (d float64, within bool, err error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	bail := abandonSq(eps)
+	sum := 0.0
+	for i := range a {
+		dd := a[i] - b[i]
+		sum += dd * dd
+		if sum > bail {
+			return math.Sqrt(sum), false, nil
+		}
+	}
+	d = math.Sqrt(sum)
+	return d, d <= eps, nil
+}
+
+// ---- early-abandoning threshold kernels ----
+//
+// The *Within kernels answer "is the distance at most eps?" cheaper than
+// computing the distance in full: they accumulate in squared (or summed)
+// space, compare against a pre-scaled threshold, and abandon mid-loop the
+// moment the partial accumulation already decides the answer. Abandoning
+// uses a threshold widened by a whisker of floating-point headroom
+// (abandonSlack), while a loop that runs to completion decides with the
+// exact `d <= eps` comparison — so every kernel returns exactly the same
+// accept/reject decision and, on acceptance, bit-identical distances to
+// its full counterpart. Query plans that share these kernels therefore
+// stay byte-equivalent with plans that never abandon.
+
+// abandonSlack widens an abandon threshold so accumulated rounding can
+// never cause a kernel to bail on a pair its full counterpart accepts.
+func abandonSlack(t float64) float64 { return t * (1 + 1e-9) }
+
+// abandonSq is the abandon threshold for squared-space accumulation
+// against tolerance eps.
+func abandonSq(eps float64) float64 { return abandonSlack(eps * eps) }
+
+func l1Within(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	bail := abandonSlack(eps)
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i].V - b[i].V)
+		if sum > bail {
+			return sum, false, nil
+		}
+	}
+	return sum, sum <= eps, nil
+}
+
+func l2Within(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	bail := abandonSq(eps)
+	sum := 0.0
+	for i := range a {
+		d := a[i].V - b[i].V
+		sum += d * d
+		if sum > bail {
+			return math.Sqrt(sum), false, nil
+		}
+	}
+	d := math.Sqrt(sum)
+	return d, d <= eps, nil
+}
+
+func linfWithin(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i].V - b[i].V); d > worst {
+			if d > eps {
+				return d, false, nil
+			}
+			worst = d
+		}
+	}
+	// The final exact comparison (not a bare `true`) keeps the contract
+	// for degenerate tolerances: worst can be 0 while eps is negative.
+	return worst, worst <= eps, nil
+}
+
+func norml1Within(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	if len(a) == 0 {
+		return 0, 0 <= eps, nil
+	}
+	n := float64(len(a))
+	bail := abandonSlack(eps * n)
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i].V - b[i].V)
+		if sum > bail {
+			return sum / n, false, nil
+		}
+	}
+	d := sum / n
+	return d, d <= eps, nil
+}
+
+func norml2Within(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	if len(a) == 0 {
+		return 0, 0 <= eps, nil
+	}
+	n := float64(len(a))
+	bail := abandonSlack(eps * eps * n)
+	sum := 0.0
+	for i := range a {
+		d := a[i].V - b[i].V
+		sum += d * d
+		if sum > bail {
+			return math.Sqrt(sum) / math.Sqrt(n), false, nil
+		}
+	}
+	d := math.Sqrt(sum) / math.Sqrt(n)
+	return d, d <= eps, nil
+}
+
+// zl2Within is the threshold form of ZNormalizedL2: mean/std of each
+// operand are computed in one pass over the Sequence (no value slices are
+// materialized), then the z-normalized squared differences accumulate with
+// early abandoning against eps².
+func zl2Within(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if err := checkLen(len(a), len(b)); err != nil {
+		return 0, false, err
+	}
+	if len(a) == 0 {
+		return 0, 0 <= eps, nil
+	}
+	ma, sa := meanStd(a)
+	mb, sb := meanStd(b)
+	bail := abandonSq(eps)
+	sum := 0.0
+	for i := range a {
+		d := znorm(a[i].V, ma, sa) - znorm(b[i].V, mb, sb)
+		sum += d * d
+		if sum > bail {
+			return math.Sqrt(sum), false, nil
+		}
+	}
+	d := math.Sqrt(sum)
+	return d, d <= eps, nil
+}
+
 // ---- named metrics ----
 
 // Metric is a named distance kernel over sequences, the unit of run-time
@@ -280,28 +455,67 @@ type Metric interface {
 	Distance(a, b seq.Sequence) (float64, error)
 }
 
+// Thresholded is implemented by metrics that can decide "distance within
+// eps?" cheaper than computing the distance in full (early abandoning,
+// squared-space comparison). DistanceWithin must return exactly the same
+// decision as `Distance(a,b) <= eps` and, when within is true, the exact
+// distance; when within is false, d is only a lower bound.
+type Thresholded interface {
+	DistanceWithin(a, b seq.Sequence, eps float64) (d float64, within bool, err error)
+}
+
+// DistanceWithin reports whether m's distance between a and b is at most
+// eps, routing through the metric's early-abandoning kernel when it has
+// one and falling back to a full Distance otherwise. This is the one
+// verification entry point of the query planner's hot path.
+func DistanceWithin(m Metric, a, b seq.Sequence, eps float64) (d float64, within bool, err error) {
+	if tm, ok := m.(Thresholded); ok {
+		return tm.DistanceWithin(a, b, eps)
+	}
+	d, err = m.Distance(a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, d <= eps, nil
+}
+
 type metricFunc struct {
 	name string
 	fn   func(a, b seq.Sequence) (float64, error)
+	// within is the metric's early-abandoning threshold kernel; nil falls
+	// back to a full fn evaluation.
+	within func(a, b seq.Sequence, eps float64) (float64, bool, error)
 }
 
 func (m metricFunc) Name() string                                { return m.name }
 func (m metricFunc) Distance(a, b seq.Sequence) (float64, error) { return m.fn(a, b) }
 
+// DistanceWithin implements Thresholded.
+func (m metricFunc) DistanceWithin(a, b seq.Sequence, eps float64) (float64, bool, error) {
+	if m.within != nil {
+		return m.within(a, b, eps)
+	}
+	d, err := m.fn(a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, d <= eps, nil
+}
+
 // The built-in metrics.
 var (
 	// Manhattan is L1, named "l1".
-	Manhattan Metric = metricFunc{"l1", L1}
+	Manhattan Metric = metricFunc{"l1", L1, l1Within}
 	// Euclidean is L2, named "l2".
-	Euclidean Metric = metricFunc{"l2", L2}
+	Euclidean Metric = metricFunc{"l2", L2, l2Within}
 	// Chebyshev is LInf, named "linf" — the ±ε band semantics.
-	Chebyshev Metric = metricFunc{"linf", LInf}
+	Chebyshev Metric = metricFunc{"linf", LInf, linfWithin}
 	// MeanAbs is length-normalized L1, named "norml1".
-	MeanAbs Metric = metricFunc{"norml1", NormalizedL1}
+	MeanAbs Metric = metricFunc{"norml1", NormalizedL1, norml1Within}
 	// RMS is length-normalized L2, named "norml2".
-	RMS Metric = metricFunc{"norml2", NormalizedL2}
+	RMS Metric = metricFunc{"norml2", NormalizedL2, norml2Within}
 	// ZEuclidean is z-normalized L2, named "zl2".
-	ZEuclidean Metric = metricFunc{"zl2", ZNormalizedL2}
+	ZEuclidean Metric = metricFunc{"zl2", ZNormalizedL2, zl2Within}
 )
 
 // Metrics returns every built-in metric, in a stable order.

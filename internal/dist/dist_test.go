@@ -246,3 +246,129 @@ func BenchmarkLInfFullScan(b *testing.B) {
 		}
 	}
 }
+
+// TestDistanceWithinMatchesDistance is the threshold-kernel contract: for
+// every built-in metric, DistanceWithin must return exactly the decision
+// `Distance(a,b) <= eps` and, on acceptance, the bit-identical distance.
+// eps values are drawn around the true distance so the boundary (where an
+// unsafe early abandon would flip a decision) is exercised heavily.
+func TestDistanceWithinMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randSeq := func(n int) seq.Sequence {
+		s := make(seq.Sequence, n)
+		for i := range s {
+			s[i] = seq.Point{T: float64(i), V: 20 * (rng.Float64() - 0.5)}
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		a, b := randSeq(n), randSeq(n)
+		if trial%5 == 0 {
+			b = a.Clone() // exact pairs hit the d == eps == 0 boundary
+		}
+		for _, m := range Metrics() {
+			want, err := m.Distance(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eps := range []float64{0, want * 0.5, want, want * (1 + 1e-15), want * 2, math.Nextafter(want, 0), math.Nextafter(want, math.Inf(1))} {
+				d, within, err := DistanceWithin(m, a, b, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if within != (want <= eps) {
+					t.Fatalf("%s n=%d eps=%v: within=%v, want %v (d=%v)", m.Name(), n, eps, within, want <= eps, want)
+				}
+				if within && d != want {
+					t.Fatalf("%s n=%d eps=%v: accepted d=%v differs from Distance=%v", m.Name(), n, eps, d, want)
+				}
+			}
+		}
+	}
+}
+
+// TestL2ValuesWithin checks the bare-vector threshold kernel against its
+// full counterpart on the same boundary-heavy workload.
+func TestL2ValuesWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		want, err := L2Values(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0, want, math.Nextafter(want, 0), want * 2} {
+			d, within, err := L2ValuesWithin(a, b, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if within != (want <= eps) {
+				t.Fatalf("n=%d eps=%v: within=%v, want %v", n, eps, within, want <= eps)
+			}
+			if within && d != want {
+				t.Fatalf("n=%d eps=%v: d=%v != %v", n, eps, d, want)
+			}
+		}
+	}
+	if _, _, err := L2ValuesWithin([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestMeanStdOnePass pins the one-pass meanStd to the Values-based
+// computation bit-for-bit (the z-normalized lower bound depends on it).
+func TestMeanStdOnePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		s := make(seq.Sequence, n)
+		for i := range s {
+			s[i] = seq.Point{T: float64(i), V: 1000 * rng.NormFloat64()}
+		}
+		m1, s1 := meanStd(s)
+		m2, s2 := meanStdValues(s.Values())
+		if m1 != m2 || s1 != s2 {
+			t.Fatalf("n=%d: one-pass (%v,%v) != values (%v,%v)", n, m1, s1, m2, s2)
+		}
+	}
+}
+
+// TestDistanceWithinAllocs guards the hot verification kernels against
+// allocation creep: a threshold check must not allocate at all.
+func TestDistanceWithinAllocs(t *testing.T) {
+	a := seq.New(make([]float64, 256))
+	b := a.Clone()
+	for i := range b {
+		b[i].V += 0.001 * float64(i%7)
+	}
+	for _, m := range Metrics() {
+		m := m
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := DistanceWithin(m, a, b, 1e9); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := DistanceWithin(m, a, b, 1e-12); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s: DistanceWithin allocates %.1f per run", m.Name(), allocs)
+		}
+	}
+}
+
+// TestDistanceWithinNegativeEps: the Thresholded contract holds even for
+// degenerate tolerances — identical sequences are not "within" eps < 0.
+func TestDistanceWithinNegativeEps(t *testing.T) {
+	a := seq.New([]float64{1, 2, 3})
+	for _, m := range Metrics() {
+		if _, within, err := DistanceWithin(m, a, a.Clone(), -1); err != nil || within {
+			t.Errorf("%s: within=%v err=%v for eps=-1 on identical sequences", m.Name(), within, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 )
 
@@ -62,6 +63,18 @@ func (s Sequence) Values() []float64 {
 		vs[i] = p.V
 	}
 	return vs
+}
+
+// AppendValues appends the sampled values in order to dst and returns the
+// extended slice — the buffer-reuse variant of Values for hot paths that
+// extract values repeatedly and must not allocate per call. Typical use:
+// keep a scratch slice and call AppendValues(scratch[:0]).
+func (s Sequence) AppendValues(dst []float64) []float64 {
+	dst = slices.Grow(dst, len(s))
+	for _, p := range s {
+		dst = append(dst, p.V)
+	}
+	return dst
 }
 
 // Times returns the sample times in order.

@@ -137,3 +137,56 @@ func BenchmarkServerIngest(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServerQueryHotpath measures the uncached HTTP query round trip
+// against a 16k-sequence corpus with the vantage-point-tree hot path on
+// (default) and off (IndexLeaf < 0, the linear feature scan) — the
+// serving-layer view of the engine's candidate-generation speedup. Cache
+// is disabled on both servers so every request re-executes the planner.
+func BenchmarkServerQueryHotpath(b *testing.B) {
+	ctx := context.Background()
+	const n = 16384
+	items := make([]seqrep.BatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		first := 5 + float64(i%8)
+		s, err := seqrep.GenerateFever(seqrep.FeverOpts{
+			Samples: 97, FirstPeak: first, SecondPeak: first + 5 + float64(i%5),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, seqrep.BatchItem{
+			ID:  fmt.Sprintf("fever-%04d", i),
+			Seq: s.ShiftValue(float64(i%256) * 0.2),
+		})
+	}
+	const stmt = `MATCH DISTANCE LIKE fever-0000 METRIC l2 EPS 2`
+	for _, mode := range []struct {
+		name string
+		leaf int
+	}{{"vptree", 0}, {"linear", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := seqrep.New(seqrep.Config{Archive: seqrep.NewMemArchive(), IndexLeaf: mode.leaf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.IngestBatch(items); err != nil {
+				b.Fatal(err)
+			}
+			_, c := testServer(b, Config{DB: db, CacheSize: -1})
+			res, err := c.Query(ctx, stmt) // warm: connections + trees
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.IDs) == 0 {
+				b.Fatal("no matches")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Query(ctx, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -30,12 +30,15 @@
 //     interval search), ShapeQuery (generalized approximate query with
 //     per-dimension tolerances). ValueQuery and DistanceQuery are routed
 //     through a query planner: metrics with a DFT feature-space lower
-//     bound (l2, zl2, the ±ε band) prune candidates through a sharded
-//     feature index before exact verification — guaranteed zero false
-//     dismissals — and everything else runs as a shard-parallel scan.
-//     The *Stats variants (ValueQueryStats, DistanceQueryStats) report
-//     the chosen plan and its candidate/pruned counts; Config.IndexCoeffs
-//     sizes the index (negative disables it).
+//     bound (l2, zl2, the ±ε band) generate candidates through a
+//     columnar feature store searched by vantage-point trees — sub-linear
+//     in the stored population, with guaranteed zero false dismissals —
+//     before exact early-abandoning verification; everything else runs
+//     as a shard-parallel scan. The *Stats variants (ValueQueryStats,
+//     DistanceQueryStats) report the chosen plan and its examined/
+//     candidate/pruned counts; Config.IndexCoeffs sizes the index
+//     (negative disables it) and Config.IndexLeaf tunes the trees
+//     (negative pins the linear feature scan). See docs/PERFORMANCE.md.
 //   - Distance kernels: Metric, MetricByName, and the EuclideanMetric /
 //     ManhattanMetric / ChebyshevMetric / ZEuclideanMetric constructors
 //     over the internal/dist kernel layer.
