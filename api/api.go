@@ -7,6 +7,7 @@
 // Endpoints (see docs/SERVER.md for examples):
 //
 //	POST   /v1/query          QueryRequest   -> QueryResponse
+//	POST   /v1/query/stream   QueryRequest   -> NDJSON stream of StreamFrame
 //	POST   /v1/ingest         IngestRequest  -> IngestResponse
 //	POST   /v1/ingest/batch   BatchRequest   -> BatchResponse
 //	GET    /v1/records/{id}                  -> RecordResponse
@@ -61,6 +62,10 @@ type QueryStats struct {
 	Candidates int    `json:"candidates"`
 	Pruned     int    `json:"pruned"`
 	Matches    int    `json:"matches"`
+	// Truncated reports that a result bound (LIMIT / TOP n BY DISTANCE,
+	// or the server's -query-limit cap) stopped the query early: the
+	// unbounded answer may hold more matches.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // QueryResponse is the uniform answer of /v1/query.
@@ -84,6 +89,44 @@ type QueryResponse struct {
 	// cache (always at the current generation — a mutation invalidates).
 	Generation uint64 `json:"generation"`
 	Cached     bool   `json:"cached"`
+}
+
+// StreamFrame is one NDJSON line of the /v1/query/stream response. A
+// stream is: one header frame (Canonical set), zero or more item frames
+// (exactly one of Match, Hit, Interval or ID set), then one trailer
+// frame (Done true, with Kind, Stats and Generation) — or an error frame
+// (Error set) terminating the stream early. Similarity matches stream as
+// the engine verifies them (nearest-first under TOP n BY DISTANCE,
+// discovery order otherwise); other result kinds are framed after the
+// statement completes. Streamed answers bypass the server's result cache.
+type StreamFrame struct {
+	// Canonical marks the header frame: the statement's canonical form
+	// (the same string /v1/query would use as its cache key).
+	Canonical string `json:"canonical,omitempty"`
+
+	// Item frames: exactly one field is set.
+	Match    *Match         `json:"match,omitempty"`
+	Hit      *PatternHit    `json:"hit,omitempty"`
+	Interval *IntervalMatch `json:"interval,omitempty"`
+	// ID carries one matching id for kinds without a richer item form
+	// (MATCH PATTERN).
+	ID string `json:"id,omitempty"`
+
+	// Trailer frame.
+	Done bool `json:"done,omitempty"`
+	// Kind names the query family (trailer only).
+	Kind string `json:"kind,omitempty"`
+	// Stats reports the execution plan (trailer; set for planner-routed
+	// and EXPLAIN'ed statements). Stats.Truncated marks a bounded answer.
+	Stats *QueryStats `json:"stats,omitempty"`
+	// Generation is the database mutation generation the answer was
+	// computed at (trailer only).
+	Generation uint64 `json:"generation,omitempty"`
+	Explain    bool   `json:"explain,omitempty"`
+
+	// Error terminates the stream abnormally (the HTTP status is already
+	// 200 by the time a mid-stream failure can occur).
+	Error string `json:"error,omitempty"`
 }
 
 // IngestRequest stores one sequence. Times may be omitted for uniformly

@@ -9,6 +9,7 @@ package seqrep_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -436,6 +437,53 @@ func BenchmarkDistanceQuery10k(b *testing.B) {
 			b.Logf("BENCH_query.json not written: %v", err)
 		}
 	}
+}
+
+// BenchmarkTopK compares TOP-K best-so-far search against the ε-band
+// search it improves on, at small K on the 10k corpus: the K nearest
+// answers under a wide tolerance. The kNN radius feedback must examine
+// strictly fewer feature vectors than the fixed-ε search (the acceptance
+// bar of the bounded-query redesign) — the bench fails otherwise.
+func BenchmarkTopK(b *testing.B) {
+	indexed, _, exemplar := queryBenchDBs(b)
+	// A wide tolerance: the ε-band search verifies the whole admitted
+	// band; TOP 10 shrinks its radius to the 10th-nearest distance.
+	const eps = 8.0
+	metric := seqrep.EuclideanMetric()
+	ctx := context.Background()
+
+	var bandStats, topStats seqrep.QueryStats
+	b.Run("epsband", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			if _, bandStats, err = indexed.DistanceQueryStats(exemplar, metric, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bandStats.Examined), "examined/op")
+		b.ReportMetric(float64(bandStats.Matches), "matches/op")
+	})
+	b.Run("top10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			var matches []seqrep.Match
+			if matches, topStats, err = indexed.DistanceQueryCtx(ctx, exemplar, metric, eps, seqrep.QueryOptions{TopK: 10}); err != nil {
+				b.Fatal(err)
+			}
+			if len(matches) != 10 {
+				b.Fatalf("top-10 returned %d matches", len(matches))
+			}
+		}
+		b.ReportMetric(float64(topStats.Examined), "examined/op")
+	})
+	if topStats.Examined >= bandStats.Examined {
+		b.Fatalf("TOP 10 examined %d vectors, ε-band %d: best-so-far pruning below the bar",
+			topStats.Examined, bandStats.Examined)
+	}
+	b.Logf("TOP 10 examined %d of the ε-band's %d vectors (%.1f%%), verified %d vs %d candidates",
+		topStats.Examined, bandStats.Examined,
+		100*float64(topStats.Examined)/float64(bandStats.Examined),
+		topStats.Candidates, bandStats.Candidates)
 }
 
 // BenchmarkValueQuery10k measures the planner's two ValueQuery plans on

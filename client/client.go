@@ -9,11 +9,13 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"net/url"
 	"strings"
@@ -130,6 +132,142 @@ func (c *Client) Query(ctx context.Context, statement string) (*api.QueryRespons
 	}
 	return &out, nil
 }
+
+// QueryStream is an open /v1/query/stream response: an iterator over the
+// statement's item frames, plus the header and trailer metadata. Close it
+// when done (breaking out of Frames early is fine — Close aborts the
+// stream, which cancels the server-side query).
+type QueryStream struct {
+	body      io.ReadCloser
+	rd        *bufio.Reader
+	canonical string
+	trailer   *api.StreamFrame
+	err       error
+	done      bool
+}
+
+// StreamQuery executes one statement over /v1/query/stream: similarity
+// matches arrive incrementally (nearest-first under TOP n BY DISTANCE),
+// so bounded or abandoned queries never pay for the full answer. The
+// returned stream has already consumed the header frame; iterate Frames
+// (or call Next) for the items, then inspect Trailer.
+func (c *Client) StreamQuery(ctx context.Context, statement string) (*QueryStream, error) {
+	blob, err := json.Marshal(api.QueryRequest{Query: statement})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query/stream", bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		defer res.Body.Close()
+		var apiErr api.ErrorResponse
+		msg := ""
+		if blob, readErr := io.ReadAll(io.LimitReader(res.Body, 1<<16)); readErr == nil {
+			if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+				msg = apiErr.Error
+			} else {
+				msg = strings.TrimSpace(string(blob))
+			}
+		}
+		return nil, &APIError{StatusCode: res.StatusCode, Message: msg}
+	}
+	qs := &QueryStream{body: res.Body, rd: bufio.NewReader(res.Body)}
+	header, err := qs.readFrame()
+	if err != nil {
+		qs.Close()
+		return nil, err
+	}
+	if header == nil || header.Canonical == "" {
+		qs.Close()
+		return nil, fmt.Errorf("client: stream began without a header frame")
+	}
+	qs.canonical = header.Canonical
+	return qs, nil
+}
+
+// readFrame decodes one NDJSON line, or returns (nil, nil) at EOF.
+func (s *QueryStream) readFrame() (*api.StreamFrame, error) {
+	line, err := s.rd.ReadBytes('\n')
+	if len(line) == 0 {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("client: reading stream: %w", err)
+	}
+	var f api.StreamFrame
+	if jsonErr := json.Unmarshal(line, &f); jsonErr != nil {
+		return nil, fmt.Errorf("client: decoding stream frame: %w", jsonErr)
+	}
+	return &f, nil
+}
+
+// Canonical returns the statement's canonical form from the header frame.
+func (s *QueryStream) Canonical() string { return s.canonical }
+
+// Next returns the next item frame, or (nil, nil) when the stream ended
+// normally (Trailer is then available). A server-reported mid-stream
+// failure surfaces as an *APIError; transport failures as other errors.
+func (s *QueryStream) Next() (*api.StreamFrame, error) {
+	if s.done || s.err != nil {
+		return nil, s.err
+	}
+	f, err := s.readFrame()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	switch {
+	case f == nil:
+		s.done = true
+		s.err = fmt.Errorf("client: stream ended without a trailer frame")
+		return nil, s.err
+	case f.Error != "":
+		s.done = true
+		s.err = &APIError{StatusCode: http.StatusOK, Message: f.Error}
+		return nil, s.err
+	case f.Done:
+		s.done = true
+		s.trailer = f
+		return nil, nil
+	}
+	return f, nil
+}
+
+// Frames iterates the item frames; a non-nil error (if any) is the final
+// pair. Breaking out of the loop early is allowed — follow with Close.
+func (s *QueryStream) Frames() iter.Seq2[*api.StreamFrame, error] {
+	return func(yield func(*api.StreamFrame, error) bool) {
+		for {
+			f, err := s.Next()
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if f == nil {
+				return
+			}
+			if !yield(f, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Trailer returns the stream's trailer frame (kind, stats, generation),
+// or nil before the stream has been fully consumed.
+func (s *QueryStream) Trailer() *api.StreamFrame { return s.trailer }
+
+// Close releases the stream. Closing before the trailer aborts the HTTP
+// response, which the server observes as a client disconnect and cancels
+// the running query.
+func (s *QueryStream) Close() error { return s.body.Close() }
 
 // Ingest stores one sequence.
 func (c *Client) Ingest(ctx context.Context, item api.IngestRequest) (*api.IngestResponse, error) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -246,19 +248,37 @@ func cmdQuery(args []string) error {
 	tol := fs.Int("tol", 0, "peak-count tolerance")
 	interval := fs.Float64("interval", 0, "interval query: peak spacing n")
 	eps := fs.Float64("eps", 0, "interval query tolerance ε")
+	limit := fs.Int("limit", 0, "cap the number of results (0 = unlimited); capped answers note the truncation")
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dbPath == "" {
 		return fmt.Errorf("query: -db is required")
 	}
+	if *limit < 0 {
+		return fmt.Errorf("query: negative -limit %d", *limit)
+	}
 	db, err := openDB(*dbPath, seqrep.Config{})
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *q != "" {
-		res, err := seqrep.ExecQuery(db, *q)
+		parsed, err := seqrep.ParseQuery(*q)
 		if err != nil {
+			return err
+		}
+		res, err := seqrep.RunQueryCtx(ctx, db, seqrep.LimitQuery(parsed, *limit))
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("query: timed out after %s", *timeout)
+			}
 			return err
 		}
 		for _, id := range res.IDs {
@@ -273,10 +293,19 @@ func cmdQuery(args []string) error {
 			}
 		}
 		fmt.Printf("%d match(es) [%s]\n", len(res.IDs), res.Kind)
+		reportTruncation(res)
 		if res.Explain && res.Stats != nil {
 			fmt.Println(res.Stats)
 		}
 		return nil
+	}
+	// The direct flag paths materialize their (cheap, fixed-path) answer
+	// and truncate afterwards, reporting exactly how much -limit dropped.
+	capped := func(n int) (int, int) {
+		if *limit > 0 && n > *limit {
+			return *limit, n - *limit
+		}
+		return n, 0
 	}
 	switch {
 	case *pat != "":
@@ -284,45 +313,73 @@ func cmdQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		for _, id := range ids {
+		keep, dropped := capped(len(ids))
+		for _, id := range ids[:keep] {
 			fmt.Println(id)
 		}
-		fmt.Printf("%d match(es)\n", len(ids))
+		fmt.Printf("%d match(es)\n", keep)
+		reportDropped(dropped)
 	case *search != "":
 		hits, err := db.SearchPattern(*search)
 		if err != nil {
 			return err
 		}
-		for _, h := range hits {
+		keep, dropped := capped(len(hits))
+		for _, h := range hits[:keep] {
 			fmt.Printf("%s segments [%d,%d) time [%.3g,%.3g]\n", h.ID, h.SegLo, h.SegHi, h.TimeLo, h.TimeHi)
 		}
-		fmt.Printf("%d hit(s)\n", len(hits))
+		fmt.Printf("%d hit(s)\n", keep)
+		reportDropped(dropped)
 	case *peaks >= 0:
 		matches, err := db.PeakCount(*peaks, *tol)
 		if err != nil {
 			return err
 		}
-		for _, m := range matches {
+		keep, dropped := capped(len(matches))
+		for _, m := range matches[:keep] {
 			kind := "approx"
 			if m.Exact {
 				kind = "exact"
 			}
 			fmt.Printf("%s (%s, deviation %g)\n", m.ID, kind, m.Deviations["peaks"])
 		}
-		fmt.Printf("%d match(es)\n", len(matches))
+		fmt.Printf("%d match(es)\n", keep)
+		reportDropped(dropped)
 	case *interval > 0:
 		matches, err := db.IntervalQuery(*interval, *eps)
 		if err != nil {
 			return err
 		}
-		for _, m := range matches {
+		keep, dropped := capped(len(matches))
+		for _, m := range matches[:keep] {
 			fmt.Printf("%s intervals %v at positions %v\n", m.ID, m.Intervals, m.Positions)
 		}
-		fmt.Printf("%d match(es)\n", len(matches))
+		fmt.Printf("%d match(es)\n", keep)
+		reportDropped(dropped)
 	default:
 		return fmt.Errorf("query: one of -pattern, -search, -peaks, -interval is required")
 	}
 	return nil
+}
+
+// reportDropped notes results a -limit cut from a materialized answer.
+func reportDropped(n int) {
+	if n > 0 {
+		fmt.Printf("(%d result(s) truncated by -limit)\n", n)
+	}
+}
+
+// reportTruncation notes how a bounded statement's answer was cut short:
+// fixed-path statements know exactly how many results the LIMIT dropped;
+// streamed similarity statements stop early instead, so only the fact of
+// truncation is knowable.
+func reportTruncation(res *seqrep.QueryResult) {
+	switch {
+	case res.Dropped > 0:
+		fmt.Printf("(%d result(s) truncated by the limit)\n", res.Dropped)
+	case res.Stats != nil && res.Stats.Truncated:
+		fmt.Println("(results truncated: the bound stopped the query early; more matches may exist)")
+	}
 }
 
 func cmdRemove(args []string) error {

@@ -13,6 +13,8 @@
 //	seqdb query    -db db.bin -peaks 2 -tol 1
 //	seqdb query    -db db.bin -interval 135 -eps 2
 //	seqdb query    -db db.bin -q 'EXPLAIN MATCH DISTANCE LIKE ecg1 METRIC l2 EPS 3'
+//	seqdb query    -db db.bin -q 'MATCH DISTANCE LIKE ecg1 TOP 5 BY DISTANCE' -timeout 2s
+//	seqdb query    -db db.bin -pattern "U+F*D" -limit 10
 //	seqdb stats    -db db.bin
 //
 // The database file is created on first ingest. Scalar parameters
@@ -75,6 +77,7 @@ commands:
   list      -db FILE
   segments  -db FILE -id NAME
   query     -db FILE [-q STMT | -pattern P | -peaks K [-tol T] | -interval N [-eps E]]
+            [-limit N] [-timeout DUR]   (bounded/cancellable; statements also take LIMIT / TOP n BY DISTANCE)
   remove    -db FILE -id NAME
   export    -db FILE -id NAME -out FILE   (reconstructed from the representation)
   stats     -db FILE`)

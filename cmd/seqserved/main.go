@@ -52,6 +52,8 @@ func run() error {
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 		cache    = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
 		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32MiB, negative disables)")
+		queryTO  = flag.Duration("query-timeout", 0, "per-statement execution cap for /v1/query and /v1/query/stream (0 disables; exceeded queries answer 504 / an error frame)")
+		queryLim = flag.Int("query-limit", 0, "server-wide cap on results per statement (0 disables; capped answers report stats.truncated)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 		readTO   = flag.Duration("read-timeout", time.Minute, "per-request read timeout (headers + body; 0 disables)")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 disables)")
@@ -103,7 +105,13 @@ func run() error {
 		}
 	}
 
-	srvCfg := server.Config{DB: db, CacheSize: *cache, MaxBodyBytes: *maxBody}
+	srvCfg := server.Config{
+		DB:           db,
+		CacheSize:    *cache,
+		MaxBodyBytes: *maxBody,
+		QueryTimeout: *queryTO,
+		QueryLimit:   *queryLim,
+	}
 	if snap != nil {
 		srvCfg.Snapshotter = snap
 	}

@@ -1,0 +1,367 @@
+package core
+
+// Tests for the bounded, cancellable query path: TOP-K exactness (the
+// bounded answer is literally the unbounded answer sorted and
+// truncated, across every metric and plan), best-so-far pruning (the
+// index examines strictly fewer vectors under a small K), LIMIT
+// semantics, and cancellation hygiene (ctx.Err() surfaces promptly and
+// no goroutine outlives a cancelled query). Run with -race.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"seqrep/internal/dist"
+	"seqrep/internal/seq"
+	"seqrep/internal/store"
+)
+
+// peakySeq builds a two-peak curve riding at the given baseline shift, so
+// shape queries have peaked records and exemplars to work with.
+func peakySeq(shift float64) seq.Sequence {
+	vals := make([]float64, 60)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = shift + 5*math.Exp(-(x-15)*(x-15)/20) + 4*math.Exp(-(x-40)*(x-40)/30)
+	}
+	return seq.New(vals)
+}
+
+// sortTrunc is the TOP-K oracle: the unbounded result in canonical
+// order, cut to k.
+func sortTrunc(matches []Match, k int) []Match {
+	out := append([]Match(nil), matches...)
+	SortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// TestTopKEquivalence pins the satellite property: TOP n over any metric,
+// with the index on or off, equals sorting the unbounded result and
+// truncating — including n larger than the match count and an unbounded
+// (+Inf) radius.
+func TestTopKEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, coeffs := range []int{0, -1} { // 0 = default index on, -1 = off
+		t.Run(fmt.Sprintf("coeffs=%d", coeffs), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4242))
+			db := mustDB(t, Config{IndexCoeffs: coeffs, Archive: store.NewMemArchive()})
+			exemplar := equivalenceWorkload(t, db, rng, 64)
+
+			for _, m := range dist.Metrics() {
+				for _, eps := range []float64{1, 16, math.Inf(1)} {
+					full, _, err := db.DistanceQueryCtx(ctx, exemplar, m, eps, QueryOptions{})
+					if err != nil {
+						t.Fatalf("unbounded %s eps=%g: %v", m.Name(), eps, err)
+					}
+					for _, k := range []int{1, 3, 10, 1000} {
+						got, stats, err := db.DistanceQueryCtx(ctx, exemplar, m, eps, QueryOptions{TopK: k})
+						if err != nil {
+							t.Fatalf("top-%d %s eps=%g: %v", k, m.Name(), eps, err)
+						}
+						want := sortTrunc(full, k)
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("%s eps=%g top-%d: got %+v, want %+v", m.Name(), eps, k, got, want)
+						}
+						// Truncated is exact except at len(full) == k, where
+						// post-fill pruning cannot be told apart from true
+						// non-matches (conservative true is allowed).
+						switch {
+						case len(full) > k && !stats.Truncated:
+							t.Errorf("%s eps=%g top-%d: %d matches cut but Truncated not reported", m.Name(), eps, k, len(full))
+						case len(full) < k && stats.Truncated:
+							t.Errorf("%s eps=%g top-%d: nothing cut but Truncated reported", m.Name(), eps, k)
+						}
+					}
+				}
+			}
+
+			for _, eps := range []float64{0.3, 2, 8} {
+				full, _, err := db.ValueQueryCtx(ctx, exemplar, eps, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, k := range []int{1, 4, 100} {
+					got, _, err := db.ValueQueryCtx(ctx, exemplar, eps, QueryOptions{TopK: k})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := sortTrunc(full, k); !reflect.DeepEqual(got, want) {
+						t.Errorf("value eps=%g top-%d: got %+v, want %+v", eps, k, got, want)
+					}
+				}
+			}
+
+			// Shape queries need a peaked exemplar; the smooth walks above
+			// may break without peaks, so add a two-peak family.
+			for i := 0; i < 6; i++ {
+				mustIngest(t, db, fmt.Sprintf("peak-%d", i), peakySeq(float64(i)))
+			}
+			shapeEx := peakySeq(0.5)
+			tol := ShapeTolerance{Peaks: 2, Height: 1, Spacing: 1}
+			full, err := db.ShapeQuery(shapeEx, tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(full) < 3 {
+				t.Fatalf("shape workload too sparse: %d matches", len(full))
+			}
+			for _, k := range []int{1, 5} {
+				got, _, err := db.ShapeQueryCtx(ctx, shapeEx, tol, QueryOptions{TopK: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := sortTrunc(full, k); !reflect.DeepEqual(got, want) {
+					t.Errorf("shape top-%d: got %+v, want %+v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKIndexExaminesFewer pins the acceptance criterion behind
+// best-so-far pruning: on a clustered corpus, TOP n BY DISTANCE through
+// the index examines strictly fewer feature vectors than the equivalent
+// unbounded query — the shrinking radius cuts subtrees the fixed radius
+// must visit.
+func TestTopKIndexExaminesFewer(t *testing.T) {
+	db, items := clusteredDB(t, Config{Workers: 2}, 2000, 64)
+	exemplar := items[7].Seq
+	// eps admits every cluster (inter-cluster feature distance is a few
+	// hundred), so the unbounded search must examine the whole group
+	// while top-5 shrinks its radius to within-cluster scale after the
+	// first verified handful.
+	const eps = 5000
+
+	_, full, err := db.DistanceQueryStats(exemplar, dist.Euclidean, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Plan != PlanIndex {
+		t.Fatalf("unbounded plan = %q, want index", full.Plan)
+	}
+	got, topk, err := db.DistanceQueryCtx(context.Background(), exemplar, dist.Euclidean, eps, QueryOptions{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("top-5 returned %d matches", len(got))
+	}
+	if topk.Plan != PlanIndex {
+		t.Fatalf("top-k plan = %q, want index", topk.Plan)
+	}
+	if topk.Examined >= full.Examined {
+		t.Errorf("top-5 examined %d vectors, unbounded %d: best-so-far pruning is not engaged",
+			topk.Examined, full.Examined)
+	}
+}
+
+// TestQueryLimit pins LIMIT semantics on both plans: at most n matches,
+// every one a member of the unbounded answer, truncation reported
+// exactly when the bound bit.
+func TestQueryLimit(t *testing.T) {
+	ctx := context.Background()
+	for _, coeffs := range []int{0, -1} {
+		rng := rand.New(rand.NewSource(99))
+		db := mustDB(t, Config{IndexCoeffs: coeffs})
+		exemplar := equivalenceWorkload(t, db, rng, 64)
+		full, _, err := db.DistanceQueryCtx(ctx, exemplar, dist.Euclidean, 64, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) < 4 {
+			t.Fatalf("workload too sparse: %d matches", len(full))
+		}
+		members := map[string]bool{}
+		for _, m := range full {
+			members[m.ID] = true
+		}
+		limited, stats, err := db.DistanceQueryCtx(ctx, exemplar, dist.Euclidean, 64, QueryOptions{Limit: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(limited) != 3 {
+			t.Fatalf("coeffs=%d: limit 3 returned %d matches", coeffs, len(limited))
+		}
+		if !stats.Truncated {
+			t.Errorf("coeffs=%d: limit hit but Truncated not reported", coeffs)
+		}
+		for _, m := range limited {
+			if !members[m.ID] {
+				t.Errorf("coeffs=%d: limited result %q not in the unbounded answer", coeffs, m.ID)
+			}
+		}
+		// A limit the answer never reaches changes nothing.
+		loose, stats, err := db.DistanceQueryCtx(ctx, exemplar, dist.Euclidean, 64, QueryOptions{Limit: len(full) + 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(loose, full) {
+			t.Errorf("coeffs=%d: unreached limit altered the answer", coeffs)
+		}
+		if stats.Truncated {
+			t.Errorf("coeffs=%d: unreached limit reported Truncated", coeffs)
+		}
+	}
+}
+
+// slowDB builds an archived database whose reads cost readLatency, so a
+// query's verification phase is slow enough to cancel mid-flight.
+func slowDB(t testing.TB, n int, readLatency time.Duration) (*DB, seq.Sequence) {
+	t.Helper()
+	arch := store.NewMemArchive()
+	db := mustDB(t, Config{Archive: arch, Workers: 2})
+	rng := rand.New(rand.NewSource(5150))
+	var exemplar seq.Sequence
+	for i := 0; i < n; i++ {
+		s := smoothWalk(rng, 48)
+		if i == 0 {
+			exemplar = s.Clone()
+		}
+		mustIngest(t, db, fmt.Sprintf("slow-%04d", i), s)
+	}
+	arch.ReadLatency = readLatency // after ingest: only query reads pay it
+	return db, exemplar
+}
+
+// settleGoroutines polls until the goroutine count returns to (near) the
+// baseline, tolerating runtime background goroutines.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancelled query: baseline %d, now %d\n%s",
+				baseline, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueryCancellation is the cancellation-hygiene guard: a query
+// cancelled mid-scan returns ctx.Err() promptly — within one
+// verification batch, not after finishing the scan — and leaves zero
+// goroutines behind.
+func TestQueryCancellation(t *testing.T) {
+	const perRead = 2 * time.Millisecond
+	db, exemplar := slowDB(t, 400, perRead)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	yielded := 0
+	start := time.Now()
+	_, err := db.DistanceQueryStream(ctx, exemplar, dist.Euclidean, math.Inf(1), QueryOptions{}, func(Match) bool {
+		yielded++
+		cancel() // cancel as soon as the first match arrives
+		return true
+	})
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("cancelled query returned %v, want context.Canceled (after %d yields)", err, yielded)
+	}
+	// The full scan costs ~400 reads × 2ms / 2 workers ≈ 400ms; a prompt
+	// cancellation stops after a handful of in-flight verifications.
+	if elapsed > 250*time.Millisecond {
+		t.Errorf("cancelled query took %s, want well under the full-scan cost", elapsed)
+	}
+	settleGoroutines(t, baseline)
+
+	// A context cancelled before the query starts never scans at all.
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, _, err := db.DistanceQueryCtx(pre, exemplar, dist.Euclidean, 1, QueryOptions{}); err != context.Canceled {
+		t.Fatalf("pre-cancelled query returned %v", err)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestQueryDeadline: a deadline context surfaces DeadlineExceeded.
+func TestQueryDeadline(t *testing.T) {
+	db, exemplar := slowDB(t, 300, 2*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := db.DistanceQueryCtx(ctx, exemplar, dist.Euclidean, math.Inf(1), QueryOptions{})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("deadline query returned %v", err)
+	}
+}
+
+// TestQuerySeqEarlyBreak: breaking out of the iterator form cancels the
+// underlying query and leaks nothing; the break is not an error.
+func TestQuerySeqEarlyBreak(t *testing.T) {
+	db, exemplar := slowDB(t, 300, time.Millisecond)
+	baseline := runtime.NumGoroutine()
+	seen := 0
+	for m, err := range db.DistanceQuerySeq(context.Background(), exemplar, dist.Euclidean, math.Inf(1), QueryOptions{}) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if m.ID == "" {
+			t.Fatal("empty match")
+		}
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("saw %d matches before break", seen)
+	}
+	settleGoroutines(t, baseline)
+
+	// Full consumption delivers the whole (sorted, under TopK) answer.
+	var ids []string
+	for m, err := range db.DistanceQuerySeq(context.Background(), exemplar, dist.Euclidean, math.Inf(1), QueryOptions{TopK: 3}) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		ids = append(ids, m.ID)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("top-3 iterator yielded %v", ids)
+	}
+	want, _, err := db.DistanceQueryCtx(context.Background(), exemplar, dist.Euclidean, math.Inf(1), QueryOptions{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range want {
+		if ids[i] != m.ID {
+			t.Fatalf("iterator order %v != materialized %+v", ids, want)
+		}
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestQueryOptionsValidation rejects nonsense bounds.
+func TestQueryOptionsValidation(t *testing.T) {
+	db := mustDB(t, Config{})
+	mustIngest(t, db, "one", smoothWalk(rand.New(rand.NewSource(1)), 32))
+	ex, err := db.Reconstruct("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.DistanceQueryCtx(context.Background(), ex, dist.Euclidean, 1, QueryOptions{Limit: -1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, _, err := db.DistanceQueryCtx(context.Background(), ex, dist.Euclidean, 1, QueryOptions{TopK: -2}); err == nil {
+		t.Error("negative top-k accepted")
+	}
+	if _, _, err := db.DistanceQueryCtx(context.Background(), ex, dist.Euclidean, math.NaN(), QueryOptions{}); err == nil {
+		t.Error("NaN tolerance accepted")
+	}
+}

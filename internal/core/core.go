@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"hash/maphash"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -635,49 +634,4 @@ func (db *DB) snapshotRecords() [][]*Record {
 		out[i] = recs
 	}
 	return out
-}
-
-// scanMatches runs fn over every stored record with the configured worker
-// pool, shard-partitioned: each worker claims whole shard snapshots. fn
-// returns the match, whether the record matched, and any hard error; the
-// first hard error aborts the scan's result. Matches come back sorted by
-// matchLess.
-func (db *DB) scanMatches(fn func(*Record) (Match, bool, error)) ([]Match, error) {
-	shardRecs := db.snapshotRecords()
-	var (
-		mu       sync.Mutex
-		out      []Match
-		firstErr error
-	)
-	db.forEachClaimed(len(shardRecs), func(i int) {
-		mu.Lock()
-		bail := firstErr != nil
-		mu.Unlock()
-		if bail {
-			return
-		}
-		var local []Match
-		for _, rec := range shardRecs[i] {
-			m, ok, err := fn(rec)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			if ok {
-				local = append(local, m)
-			}
-		}
-		mu.Lock()
-		out = append(out, local...)
-		mu.Unlock()
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j]) })
-	return out, nil
 }

@@ -245,18 +245,10 @@ func (g *featGroup) buildTrees(ix *featIndex) {
 	g.treeN = len(g.recs)
 }
 
-// collect appends every verification candidate for the exemplar's length
-// group to cands: rows whose feature distance to lb.qf is within
-// lb.bound (generated through the vantage-point tree when one is up,
-// falling back to a linear pass over the columnar rows), rows appended
-// since the last tree build, and every unindexed record. examined counts
-// feature vectors actually compared; pruned those compared and
-// discarded — candidates the caller never has to read.
-func (ix *featIndex) collect(n int, lb lowerBound, cands []*Record) (_ []*Record, examined, pruned int) {
-	g := ix.group(n, false)
-	if g == nil {
-		return cands, 0, 0
-	}
+// lockSearchable read-locks g with its trees built (briefly upgrading to
+// the write lock when a build is due) and returns the tree and columnar
+// rows lb selects. Callers must g.mu.RUnlock when done.
+func (g *featGroup) lockSearchable(ix *featIndex, lb lowerBound) (tree *dft.VPTree, pts []float64) {
 	g.mu.RLock()
 	if g.needTrees(ix) {
 		g.mu.RUnlock()
@@ -265,16 +257,43 @@ func (ix *featIndex) collect(n int, lb lowerBound, cands []*Record) (_ []*Record
 		g.mu.Unlock()
 		g.mu.RLock()
 	}
-	defer g.mu.RUnlock()
-
-	tree, pts := g.tree, g.feats
+	tree, pts = g.tree, g.feats
 	if lb.z {
 		tree, pts = g.ztree, g.zfeats
 	}
+	return tree, pts
+}
+
+// collect appends every verification candidate for the exemplar's length
+// group to cands: rows whose feature distance to lb.qf is within
+// lb.bound (generated through the vantage-point tree when one is up,
+// falling back to a linear pass over the columnar rows), rows appended
+// since the last tree build, and every unindexed record. examined counts
+// feature vectors actually compared; pruned those compared and
+// discarded — candidates the caller never has to read. stop is the
+// cooperative-cancellation probe: when it reports true the collection
+// returns early with whatever it has (the caller discards the partial
+// result, so over-collection is harmless and under-collection fine).
+func (ix *featIndex) collect(n int, lb lowerBound, cands []*Record, stop func() bool) (_ []*Record, examined, pruned int) {
+	g := ix.group(n, false)
+	if g == nil {
+		return cands, 0, 0
+	}
+	tree, pts := g.lockSearchable(ix, lb)
+	defer g.mu.RUnlock()
+
 	linearFrom := 0
 	if tree != nil {
 		live := 0
-		examined += tree.Search(lb.qf, lb.bound, func(o int32, _ float64) {
+		// The radius is fixed at lb.bound; the probe only aborts (negative
+		// radius unwinds the traversal immediately).
+		radius := func() float64 {
+			if stop != nil && stop() {
+				return -1
+			}
+			return lb.bound
+		}
+		examined += tree.SearchShrink(lb.qf, radius, func(o int32, _ float64) {
 			if !g.dead[o] {
 				cands = append(cands, g.recs[o])
 				live++
@@ -287,6 +306,9 @@ func (ix *featIndex) collect(n int, lb lowerBound, cands []*Record) (_ []*Record
 	}
 	dim := ix.dim
 	for o := linearFrom; o < len(g.recs); o++ {
+		if stop != nil && o%64 == 0 && stop() {
+			return cands, examined, pruned
+		}
 		if g.dead[o] {
 			continue
 		}
@@ -302,6 +324,75 @@ func (ix *featIndex) collect(n int, lb lowerBound, cands []*Record) (_ []*Record
 		cands = append(cands, rec)
 	}
 	return cands, examined, pruned
+}
+
+// collectStream is collect's interleaved form for top-K searches: instead
+// of materializing the candidate set, it hands each candidate to emit
+// while the traversal is still running, re-reading bound() at every tree
+// node so a radius the caller tightens (the best-so-far K-th distance)
+// prunes subtrees mid-flight. A negative bound aborts the collection, as
+// does emit returning false. Runs under the group's read lock for its
+// whole duration — concurrent queries proceed, mutations of this length
+// group wait.
+func (ix *featIndex) collectStream(n int, lb lowerBound, bound func() float64, emit func(*Record) bool) (examined, pruned, cands int) {
+	g := ix.group(n, false)
+	if g == nil {
+		return 0, 0, 0
+	}
+	tree, pts := g.lockSearchable(ix, lb)
+	defer g.mu.RUnlock()
+
+	linearFrom := 0
+	if tree != nil {
+		live := 0
+		aborted := false
+		examined += tree.SearchShrink(lb.qf, bound, func(o int32, _ float64) {
+			if aborted || g.dead[o] {
+				return
+			}
+			if !emit(g.recs[o]) {
+				aborted = true
+				return
+			}
+			live++
+		})
+		pruned += examined - live
+		cands += live
+		if aborted {
+			return examined, pruned, cands
+		}
+		linearFrom = g.treeN
+	}
+	dim := ix.dim
+	for o := linearFrom; o < len(g.recs); o++ {
+		if g.dead[o] {
+			continue
+		}
+		b := bound()
+		if b < 0 {
+			return examined, pruned, cands
+		}
+		examined++
+		if dft.FeatureDist(lb.qf, pts[o*dim:(o+1)*dim]) > b {
+			pruned++
+			continue
+		}
+		if !emit(g.recs[o]) {
+			return examined, pruned, cands
+		}
+		cands++
+	}
+	for _, rec := range g.unindexed {
+		if bound() < 0 {
+			return examined, pruned, cands
+		}
+		examined++
+		if !emit(rec) {
+			return examined, pruned, cands
+		}
+		cands++
+	}
+	return examined, pruned, cands
 }
 
 // indexedCount reports how many records carry feature vectors.

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// QueryOptions bounds a similarity query's answer. The zero value asks
+// for the classic unbounded behaviour: every match within the tolerance.
+//
+// Limit caps the number of matches returned; once the cap is reached the
+// query stops generating and verifying work. Without TopK the retained
+// matches are the first Limit found (scan order is unspecified), so two
+// runs of the same limited query may keep different members of the full
+// match set.
+//
+// TopK keeps only the K nearest matches, ordered nearest-first (the same
+// exact-first, smallest-deviation, then id order every materialized query
+// returns). Unlike Limit it is deterministic — it is exactly the
+// unbounded result sorted and truncated to K — and it feeds the
+// best-so-far distance back into the search as a shrinking pruning
+// radius: once K matches are held, no candidate further than the current
+// K-th best is verified, and on the index plan the feature-space bound
+// tightens mid-traversal (the classic kNN optimization).
+//
+// When both are set the effective bound is min(TopK, Limit).
+type QueryOptions struct {
+	// Limit caps the result count (0 = unlimited).
+	Limit int
+	// TopK keeps the K nearest matches by distance (0 = off).
+	TopK int
+}
+
+func (o QueryOptions) validate() error {
+	if o.Limit < 0 {
+		return fmt.Errorf("core: negative query limit %d", o.Limit)
+	}
+	if o.TopK < 0 {
+		return fmt.Errorf("core: negative top-k %d", o.TopK)
+	}
+	return nil
+}
+
+// bound returns the effective result cap: min of the set bounds, 0 when
+// neither is set.
+func (o QueryOptions) bound() int {
+	switch {
+	case o.TopK > 0 && o.Limit > 0:
+		return min(o.TopK, o.Limit)
+	case o.TopK > 0:
+		return o.TopK
+	default:
+		return o.Limit
+	}
+}
+
+// matchHeap is a bounded worst-at-root heap ordered by matchCompare, so
+// the root is the match the next better candidate evicts.
+type matchHeap []Match
+
+func (h matchHeap) Len() int           { return len(h) }
+func (h matchHeap) Less(i, j int) bool { return matchCompare(h[i], h[j]) > 0 }
+func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)        { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() any          { old := *h; n := len(old); m := old[n-1]; *h = old[:n-1]; return m }
+
+// collector funnels verified matches from the query workers into the
+// caller: it enforces Limit, maintains the TopK heap and its pruning
+// radius, serializes the yield callback, and carries the stop flag and
+// first hard error of a run. One collector lives per query execution.
+type collector struct {
+	yield func(Match) bool // serialized under mu; nil while heaping
+
+	k      int  // TopK heap size (0 = streaming mode)
+	limit  int  // emit cap in streaming mode (0 = unlimited)
+	prunes bool // whether the heap radius feeds back into verification
+
+	// radiusBits holds math.Float64bits of the current pruning radius —
+	// the query tolerance, shrunk to the K-th best distance once the heap
+	// fills. Read lock-free on the hot path; updated under mu.
+	radiusBits atomic.Uint64
+
+	// halted flags a voluntary stop (limit reached, or the yield callback
+	// returned false); haltCh unblocks channel-based producers. aborted
+	// flags an involuntary stop: a producer observed the caller's context
+	// done and bailed, so runQuery must report ctx.Err().
+	halted   atomic.Bool
+	haltOnce sync.Once
+	haltCh   chan struct{}
+	aborted  atomic.Bool
+
+	mu        sync.Mutex
+	heap      matchHeap
+	emitted   int
+	truncated bool
+	firstErr  error
+}
+
+func newCollector(opts QueryOptions, initRadius float64, prunes bool, yield func(Match) bool) *collector {
+	c := &collector{
+		yield:  yield,
+		limit:  opts.Limit,
+		prunes: prunes,
+		haltCh: make(chan struct{}),
+	}
+	if opts.TopK > 0 {
+		c.k = opts.bound()
+		c.limit = 0 // folded into k
+	}
+	c.radiusBits.Store(math.Float64bits(initRadius))
+	return c
+}
+
+// radius returns the current verification radius. It only ever shrinks.
+func (c *collector) radius() float64 {
+	return math.Float64frombits(c.radiusBits.Load())
+}
+
+func (c *collector) halt() {
+	c.halted.Store(true)
+	c.haltOnce.Do(func() { close(c.haltCh) })
+}
+
+// stopped reports whether producers should stop generating work.
+func (c *collector) stopped() bool { return c.halted.Load() }
+
+// noteTruncated records that work beyond the result bound was discarded
+// (a candidate rejected at a radius the top-K feedback tightened below
+// the query's own tolerance — it might have been an unbounded match).
+func (c *collector) noteTruncated() {
+	c.mu.Lock()
+	c.truncated = true
+	c.mu.Unlock()
+}
+
+// fail records the first hard verification error and stops the run.
+func (c *collector) fail(err error) {
+	c.mu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.mu.Unlock()
+	c.halt()
+}
+
+func (c *collector) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstErr
+}
+
+// found accepts one verified match from a worker. In top-K mode it feeds
+// the bounded heap (tightening the pruning radius once full); in
+// streaming mode it yields immediately, stopping the run at the limit.
+func (c *collector) found(m Match) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.halted.Load() {
+		return
+	}
+	if c.k > 0 {
+		if len(c.heap) < c.k {
+			heap.Push(&c.heap, m)
+		} else if matchCompare(m, c.heap[0]) < 0 {
+			c.heap[0] = m
+			heap.Fix(&c.heap, 0)
+			c.truncated = true
+		} else {
+			c.truncated = true
+			return
+		}
+		if len(c.heap) == c.k && c.prunes {
+			c.radiusBits.Store(math.Float64bits(totalDeviation(c.heap[0])))
+		}
+		return
+	}
+	if c.limit > 0 && c.emitted >= c.limit {
+		c.truncated = true
+		c.halt()
+		return
+	}
+	c.emitted++
+	if !c.yield(m) {
+		c.halt()
+		return
+	}
+	if c.limit > 0 && c.emitted == c.limit {
+		c.truncated = true
+		c.halt()
+	}
+}
+
+// drain empties the top-K heap in nearest-first order through yield.
+// Called once, after every producer has finished.
+func (c *collector) drain() {
+	if c.k == 0 {
+		return
+	}
+	c.mu.Lock()
+	ordered := make([]Match, len(c.heap))
+	for i := len(c.heap) - 1; i >= 0; i-- {
+		ordered[i] = heap.Pop(&c.heap).(Match)
+	}
+	yield := c.yield
+	c.mu.Unlock()
+	for _, m := range ordered {
+		c.emitted++
+		if !yield(m) {
+			c.halt()
+			return
+		}
+	}
+}

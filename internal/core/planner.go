@@ -1,10 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
-	"slices"
 	"sync"
 
 	"seqrep/internal/dft"
@@ -49,12 +48,25 @@ type QueryStats struct {
 	Pruned int
 	// Matches counts the results returned.
 	Matches int
+	// Truncated reports that a result bound (QueryOptions.Limit or TopK)
+	// took effect: the query stopped before enumerating the full match
+	// set, so the unbounded answer may hold more (or, under TopK, other)
+	// matches. It is exact for Limit; under TopK it is conservative —
+	// once the pruning radius has tightened, discarded work can no longer
+	// be told apart from true non-matches, so Truncated may be true even
+	// when the unbounded answer held exactly K matches. Counts above
+	// describe only the work actually performed.
+	Truncated bool
 }
 
 // String renders the stats as one EXPLAIN-style line.
 func (st QueryStats) String() string {
-	return fmt.Sprintf("plan=%s query=%s metric=%s examined=%d candidates=%d pruned=%d matches=%d",
+	s := fmt.Sprintf("plan=%s query=%s metric=%s examined=%d candidates=%d pruned=%d matches=%d",
 		st.Plan, st.Query, st.Metric, st.Examined, st.Candidates, st.Pruned, st.Matches)
+	if st.Truncated {
+		s += " truncated=true"
+	}
+	return s
 }
 
 // lowerBound is one metric's pruning rule on the feature index: the query
@@ -73,8 +85,10 @@ type lowerBound struct {
 func lbSlack(bound float64) float64 { return bound*(1+1e-9) + 1e-12 }
 
 // distanceLowerBound returns the feature-space pruning rule for metric m
-// on this exemplar, or ok=false when m admits no valid lower bound from
-// the stored features and the planner must scan.
+// on this exemplar — plus the mapping from a verification radius onto
+// the feature-space bound, for top-K searches that tighten the radius
+// mid-flight — or ok=false when m admits no valid lower bound from the
+// stored features and the planner must scan.
 //
 // The metric is recognized by its canonical name, and the rule is sound
 // for the built-in semantics bearing that name:
@@ -85,23 +99,23 @@ func lbSlack(bound float64) float64 { return bound*(1+1e-9) + 1e-12 }
 // L1 and L∞ fall through — the feature distance lower-bounds L2, which
 // neither bounds L∞ from below nor is worth routing for L1 — as do the
 // length-normalized variants and any custom metric.
-func (db *DB) distanceLowerBound(exemplar seq.Sequence, m dist.Metric, eps float64) (lowerBound, bool) {
+func (db *DB) distanceLowerBound(exemplar seq.Sequence, m dist.Metric, eps float64) (*lowerBound, func(float64) float64, bool) {
 	k := db.findex.k
 	switch m.Name() {
 	case dist.Euclidean.Name():
 		qf, err := dft.Features(exemplar.Values(), k)
 		if err != nil {
-			return lowerBound{}, false
+			return nil, nil, false
 		}
-		return lowerBound{qf: qf, bound: lbSlack(eps)}, true
+		return &lowerBound{qf: qf, bound: lbSlack(eps)}, lbSlack, true
 	case dist.ZEuclidean.Name():
 		qf, err := dft.Features(dist.ZNormalizeValues(exemplar.Values()), k)
 		if err != nil {
-			return lowerBound{}, false
+			return nil, nil, false
 		}
-		return lowerBound{qf: qf, bound: lbSlack(eps), z: true}, true
+		return &lowerBound{qf: qf, bound: lbSlack(eps), z: true}, lbSlack, true
 	}
-	return lowerBound{}, false
+	return nil, nil, false
 }
 
 // DistanceQueryStats is DistanceQuery plus execution statistics. The
@@ -111,23 +125,7 @@ func (db *DB) distanceLowerBound(exemplar seq.Sequence, m dist.Metric, eps float
 // back to the shard-parallel scan for everything else. Both plans return
 // byte-identical match sets.
 func (db *DB) DistanceQueryStats(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, QueryStats, error) {
-	if len(exemplar) == 0 {
-		return nil, QueryStats{}, fmt.Errorf("core: empty exemplar")
-	}
-	if m == nil {
-		return nil, QueryStats{}, fmt.Errorf("core: nil metric")
-	}
-	if eps < 0 {
-		return nil, QueryStats{}, fmt.Errorf("core: negative tolerance %g", eps)
-	}
-	if db.findex != nil {
-		if lb, ok := db.distanceLowerBound(exemplar, m, eps); ok {
-			return db.indexedQuery("distance", m.Name(), lb, len(exemplar), func(rec *Record) (Match, bool, error) {
-				return db.distanceVerify(rec, exemplar, m, eps)
-			})
-		}
-	}
-	return db.distanceScan(exemplar, m, eps)
+	return db.DistanceQueryCtx(context.Background(), exemplar, m, eps, QueryOptions{})
 }
 
 // ValueQueryStats is ValueQuery plus execution statistics. The ±ε band
@@ -136,22 +134,7 @@ func (db *DB) DistanceQueryStats(exemplar seq.Sequence, m dist.Metric, eps float
 // prunes with the scaled bound and verifies survivors with the same
 // early-abandoning band kernel as the scan.
 func (db *DB) ValueQueryStats(exemplar seq.Sequence, eps float64) ([]Match, QueryStats, error) {
-	if len(exemplar) == 0 {
-		return nil, QueryStats{}, fmt.Errorf("core: empty exemplar")
-	}
-	if eps < 0 {
-		return nil, QueryStats{}, fmt.Errorf("core: negative tolerance %g", eps)
-	}
-	if db.findex != nil {
-		qf, err := dft.Features(exemplar.Values(), db.findex.k)
-		if err == nil {
-			lb := lowerBound{qf: qf, bound: lbSlack(eps * math.Sqrt(float64(len(exemplar))))}
-			return db.indexedQuery("value", "band", lb, len(exemplar), func(rec *Record) (Match, bool, error) {
-				return db.valueVerify(rec, exemplar, eps)
-			})
-		}
-	}
-	return db.valueScan(exemplar, eps)
+	return db.ValueQueryCtx(context.Background(), exemplar, eps, QueryOptions{})
 }
 
 // verifyReadError classifies a storedSequence failure during query
@@ -225,56 +208,4 @@ var candPool = sync.Pool{
 		s := make([]*Record, 0, 128)
 		return &s
 	},
-}
-
-// indexedQuery is the index plan shared by distance and value queries:
-// generate candidates from the exemplar's length group (vantage-point
-// tree or linear feature pass — identical candidate sets either way),
-// then verify the survivors exactly, fanned across the worker pool.
-// Candidate generation holds only the group's read lock and writes into
-// pooled scratch; verification — the part that reads archives or
-// reconstructs representations — runs outside every lock.
-func (db *DB) indexedQuery(query, metric string, lb lowerBound, n int, verify func(*Record) (Match, bool, error)) ([]Match, QueryStats, error) {
-	stats := QueryStats{Query: query, Metric: metric, Plan: PlanIndex}
-	scratch := candPool.Get().(*[]*Record)
-	cands := (*scratch)[:0]
-	cands, stats.Examined, stats.Pruned = db.findex.collect(n, lb, cands)
-	stats.Candidates = len(cands)
-
-	var (
-		mu       sync.Mutex
-		out      []Match
-		firstErr error
-	)
-	db.forEachClaimed(len(cands), func(i int) {
-		mu.Lock()
-		bail := firstErr != nil
-		mu.Unlock()
-		if bail {
-			return
-		}
-		m, ok, err := verify(cands[i])
-		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-			return
-		}
-		if ok {
-			mu.Lock()
-			out = append(out, m)
-			mu.Unlock()
-		}
-	})
-	clear(cands) // drop record pointers before pooling the scratch
-	*scratch = cands[:0]
-	candPool.Put(scratch)
-	if firstErr != nil {
-		return nil, QueryStats{}, firstErr
-	}
-	slices.SortFunc(out, matchCompare)
-	stats.Matches = len(out)
-	return out, stats, nil
 }

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"seqrep/internal/dist"
 	"seqrep/internal/feature"
@@ -63,6 +64,14 @@ func totalDeviation(m Match) float64 {
 	return t
 }
 
+// SortMatches orders matches the way every materialized query returns
+// them: exact matches first, then by total deviation, ties broken by id.
+// Callers of the streaming query forms (which yield in discovery order
+// unless TopK is set) use it to restore the canonical order.
+func SortMatches(matches []Match) {
+	slices.SortFunc(matches, matchCompare)
+}
+
 // storedSequence reads the comparison form of a record: raw samples from
 // the archive when one is configured, the representation reconstruction
 // otherwise. A failure here is a storage fault, not a bad query — the
@@ -101,28 +110,15 @@ func (db *DB) ValueQuery(exemplar seq.Sequence, eps float64) ([]Match, error) {
 
 // valueScan is ValueQuery's full-scan plan: shard-parallel across the
 // configured worker pool, early-abandoning each candidate at the first
-// sample outside the band.
+// sample outside the band. It exists for tests and benchmarks that pin
+// the scan plan regardless of the index configuration.
 func (db *DB) valueScan(exemplar seq.Sequence, eps float64) ([]Match, QueryStats, error) {
-	var examined, candidates atomic.Int64
-	matches, err := db.scanMatches(func(rec *Record) (Match, bool, error) {
-		examined.Add(1)
-		if rec.N != len(exemplar) {
-			return Match{}, false, nil
-		}
-		candidates.Add(1)
-		return db.valueVerify(rec, exemplar, eps)
-	})
+	spec, err := db.valueSpec(exemplar, eps)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return matches, QueryStats{
-		Query:      "value",
-		Metric:     "band",
-		Plan:       PlanScan,
-		Examined:   int(examined.Load()),
-		Candidates: int(candidates.Load()),
-		Matches:    len(matches),
-	}, nil
+	spec.lb = nil // pin the scan plan
+	return db.collectSorted(context.Background(), spec, QueryOptions{})
 }
 
 // DistanceQuery queries the database under an arbitrary distance metric
@@ -140,28 +136,15 @@ func (db *DB) DistanceQuery(exemplar seq.Sequence, m dist.Metric, eps float64) (
 }
 
 // distanceScan is DistanceQuery's full-scan plan, shard-parallel across
-// the configured worker pool.
+// the configured worker pool. It exists for tests and benchmarks that
+// pin the scan plan regardless of the index configuration.
 func (db *DB) distanceScan(exemplar seq.Sequence, m dist.Metric, eps float64) ([]Match, QueryStats, error) {
-	var examined, candidates atomic.Int64
-	matches, err := db.scanMatches(func(rec *Record) (Match, bool, error) {
-		examined.Add(1)
-		if rec.N != len(exemplar) {
-			return Match{}, false, nil
-		}
-		candidates.Add(1)
-		return db.distanceVerify(rec, exemplar, m, eps)
-	})
+	spec, err := db.distanceSpec(exemplar, m, eps)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return matches, QueryStats{
-		Query:      "distance",
-		Metric:     m.Name(),
-		Plan:       PlanScan,
-		Examined:   int(examined.Load()),
-		Candidates: int(candidates.Load()),
-		Matches:    len(matches),
-	}, nil
+	spec.lb = nil // pin the scan plan
+	return db.collectSorted(context.Background(), spec, QueryOptions{})
 }
 
 // MatchPattern returns the ids of sequences whose whole slope-sign symbol
@@ -347,50 +330,45 @@ type ShapeTolerance struct {
 // dilation). The exemplar is pushed through the same representation
 // pipeline as stored data; candidates are compared feature-wise with
 // per-dimension tolerances. The candidate scan is shard-parallel across
-// the configured worker pool.
+// the configured worker pool; ShapeQueryCtx adds cancellation and result
+// bounds.
 func (db *DB) ShapeQuery(exemplar seq.Sequence, tol ShapeTolerance) ([]Match, error) {
-	if tol.Peaks < 0 || tol.Height < 0 || tol.Spacing < 0 {
-		return nil, fmt.Errorf("core: negative shape tolerance %+v", tol)
-	}
-	qf, err := db.profileOf(exemplar)
-	if err != nil {
-		return nil, err
-	}
-	qSig, err := shapeSignature(qf.peaks, qf.span, qf.base)
-	if err != nil {
-		return nil, fmt.Errorf("core: exemplar: %w", err)
-	}
-	return db.scanMatches(func(rec *Record) (Match, bool, error) {
-		span := rec.Rep.Segments[len(rec.Rep.Segments)-1].EndT - rec.Rep.Segments[0].StartT
-		base := baselineOf(rec)
-		rSig, err := shapeSignature(peakPoints(rec), span, base)
-		if err != nil {
-			return Match{}, false, nil // featureless sequence cannot match a shaped exemplar
-		}
+	matches, _, err := db.ShapeQueryCtx(context.Background(), exemplar, tol, QueryOptions{})
+	return matches, err
+}
 
-		devPeaks := math.Abs(float64(len(rSig.spacing)+1) - float64(len(qSig.spacing)+1))
-		if devPeaks > float64(tol.Peaks) {
+// shapeVerify compares one record's feature signature against the
+// exemplar's — ShapeQuery's verification kernel.
+func shapeVerify(rec *Record, qSig sig, tol ShapeTolerance) (Match, bool, error) {
+	span := rec.Rep.Segments[len(rec.Rep.Segments)-1].EndT - rec.Rep.Segments[0].StartT
+	base := baselineOf(rec)
+	rSig, err := shapeSignature(peakPoints(rec), span, base)
+	if err != nil {
+		return Match{}, false, nil // featureless sequence cannot match a shaped exemplar
+	}
+
+	devPeaks := math.Abs(float64(len(rSig.spacing)+1) - float64(len(qSig.spacing)+1))
+	if devPeaks > float64(tol.Peaks) {
+		return Match{}, false, nil
+	}
+	devHeight, devSpacing := 0.0, 0.0
+	if devPeaks == 0 {
+		devHeight = relDeviation(qSig.heights, rSig.heights)
+		devSpacing = relDeviation(qSig.spacing, rSig.spacing)
+		if devHeight > tol.Height+1e-12 || devSpacing > tol.Spacing+1e-12 {
 			return Match{}, false, nil
 		}
-		devHeight, devSpacing := 0.0, 0.0
-		if devPeaks == 0 {
-			devHeight = relDeviation(qSig.heights, rSig.heights)
-			devSpacing = relDeviation(qSig.spacing, rSig.spacing)
-			if devHeight > tol.Height+1e-12 || devSpacing > tol.Spacing+1e-12 {
-				return Match{}, false, nil
-			}
-		}
-		const exactSlack = 1e-9
-		return Match{
-			ID:    rec.ID,
-			Exact: devPeaks == 0 && devHeight <= exactSlack && devSpacing <= exactSlack,
-			Deviations: map[string]float64{
-				"peaks":   devPeaks,
-				"height":  devHeight,
-				"spacing": devSpacing,
-			},
-		}, true, nil
-	})
+	}
+	const exactSlack = 1e-9
+	return Match{
+		ID:    rec.ID,
+		Exact: devPeaks == 0 && devHeight <= exactSlack && devSpacing <= exactSlack,
+		Deviations: map[string]float64{
+			"peaks":   devPeaks,
+			"height":  devHeight,
+			"spacing": devSpacing,
+		},
+	}, true, nil
 }
 
 // queryProfile carries the exemplar's extracted features.

@@ -38,12 +38,12 @@ type VPTree struct {
 // the tree's ords array; internal nodes hold the vantage ordinal, the two
 // pruning radii and child node indexes (-1 = absent).
 type vpNode struct {
-	vp       int32
-	inR      float64
-	outR     float64
-	inside   int32
-	outside  int32
-	lo, hi   int32
+	vp      int32
+	inR     float64
+	outR    float64
+	inside  int32
+	outside int32
+	lo, hi  int32
 }
 
 // DefaultVPLeaf is the leaf capacity used when a builder passes 0: small
@@ -176,11 +176,65 @@ func (t *VPTree) Search(q []float64, eps float64, found func(ord int32, d float6
 	return t.search(t.root, q, eps, found)
 }
 
-// All comparisons below are inverted ("not provably excludable") so a
-// NaN distance — a non-finite point or query — falls through to
-// visitation and to the found callback rather than silently pruning
-// subtrees or dropping points the linear feature scan would have handed
-// to exact verification. For finite data the decisions are identical.
+// All comparisons in the traversals below are inverted ("not provably
+// excludable") so a NaN distance — a non-finite point or query — falls
+// through to visitation and to the found callback rather than silently
+// pruning subtrees or dropping points the linear feature scan would
+// have handed to exact verification. For finite data the decisions are
+// identical.
+
+// SearchShrink is Search with a caller-controlled radius: radius() is
+// re-read at every node entry (and after every reported point), so a
+// caller that tightens it as verified results accumulate — the kNN
+// best-so-far loop — prunes subtrees the initial radius would have
+// visited. A negative radius aborts the traversal immediately, which
+// doubles as the cooperative-cancellation hook. With a constant radius
+// the visited set and examined count are identical to Search's.
+func (t *VPTree) SearchShrink(q []float64, radius func() float64, found func(ord int32, d float64)) (examined int) {
+	if t.root < 0 || len(q) != t.dim {
+		return 0
+	}
+	return t.searchShrink(t.root, q, radius, found)
+}
+
+func (t *VPTree) searchShrink(ni int32, q []float64, radius func() float64, found func(int32, float64)) int {
+	eps := radius()
+	if eps < 0 {
+		return 0
+	}
+	node := &t.nodes[ni]
+	if node.vp < 0 { // leaf
+		examined := 0
+		for _, o := range t.ords[node.lo:node.hi] {
+			d := pointDist(q, t.row(o))
+			examined++
+			if !(d > eps) {
+				found(o, d)
+				if eps = radius(); eps < 0 {
+					return examined
+				}
+			}
+		}
+		return examined
+	}
+	d := pointDist(q, t.row(node.vp))
+	examined := 1
+	if !(d > eps) {
+		found(node.vp, d)
+		if eps = radius(); eps < 0 {
+			return examined
+		}
+	}
+	// Same inverted, NaN-robust descent tests as search (see below).
+	if node.inside >= 0 && !(d > vpTraverseSlack(node.inR+eps)) {
+		examined += t.searchShrink(node.inside, q, radius, found)
+	}
+	if node.outside >= 0 && !(vpTraverseSlack(d+eps) < node.outR) {
+		examined += t.searchShrink(node.outside, q, radius, found)
+	}
+	return examined
+}
+
 func (t *VPTree) search(ni int32, q []float64, eps float64, found func(int32, float64)) int {
 	node := &t.nodes[ni]
 	if node.vp < 0 { // leaf

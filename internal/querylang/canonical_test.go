@@ -12,6 +12,13 @@ func TestCanonical(t *testing.T) {
 		{`explain match peaks 2`, `EXPLAIN MATCH PEAKS 2`, `EXPLAIN EXPLAIN MATCH PEAKS 2`},
 		{`find pattern "U+D+"`, `FIND PATTERN 'U+D+'`},
 		{`match interval 135 +- 2`, `MATCH INTERVAL 135.0 +- 2.00`},
+		// Bound clauses: case-insensitive keywords, number spellings and
+		// clause order all canonicalize identically (the cache-key
+		// stability the server depends on).
+		{`MATCH VALUE LIKE ecg1 LIMIT 5`, `match value like ecg1 limit 5`, `MATCH VALUE LIKE ecg1 LIMIT 5.0`},
+		{`MATCH DISTANCE LIKE ecg1 TOP 3 BY DISTANCE`, `match distance like ecg1 top 3 by distance`},
+		{`MATCH PEAKS 2 TOP 3 BY DISTANCE LIMIT 5`, `MATCH PEAKS 2 LIMIT 5 TOP 3 BY DISTANCE`},
+		{`explain match value like ecg1 limit 5`, `EXPLAIN MATCH VALUE LIKE ecg1 LIMIT 5`},
 	}
 	for _, group := range equivalent {
 		first, err := Canonical(group[0])
@@ -43,6 +50,11 @@ func TestCanonical(t *testing.T) {
 		`EXPLAIN MATCH VALUE LIKE ecg1`,
 		`MATCH DISTANCE LIKE ecg1 METRIC zl2`,
 		`MATCH PEAKS 2`,
+		`MATCH VALUE LIKE ecg1 LIMIT 5`,
+		`MATCH VALUE LIKE ecg1 LIMIT 6`,
+		`MATCH VALUE LIKE ecg1 TOP 5 BY DISTANCE`,
+		`MATCH VALUE LIKE ecg1 TOP 5 BY DISTANCE LIMIT 5`,
+		`EXPLAIN MATCH VALUE LIKE ecg1 LIMIT 5`,
 	}
 	seen := map[string]string{}
 	for _, src := range distinct {

@@ -1,7 +1,9 @@
 package querylang
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -12,15 +14,18 @@ import (
 
 // Database is the engine surface the language executes against; *core.DB
 // satisfies it. Defined as an interface so the language can be tested with
-// fakes and reused over facades.
+// fakes and reused over facades. The similarity queries are exposed in
+// their streaming, context-first form — the language's materialized
+// statements collect and sort, its streamed statements pass the caller's
+// yield through.
 type Database interface {
 	MatchPattern(pattern string) ([]string, error)
 	SearchPattern(pattern string) ([]core.PatternHit, error)
 	PeakCount(k, tol int) ([]core.Match, error)
 	IntervalQuery(n, eps float64) ([]core.IntervalMatch, error)
-	ValueQueryStats(exemplar seq.Sequence, eps float64) ([]core.Match, core.QueryStats, error)
-	DistanceQueryStats(exemplar seq.Sequence, m dist.Metric, eps float64) ([]core.Match, core.QueryStats, error)
-	ShapeQuery(exemplar seq.Sequence, tol core.ShapeTolerance) ([]core.Match, error)
+	ValueQueryStream(ctx context.Context, exemplar seq.Sequence, eps float64, opts core.QueryOptions, yield func(core.Match) bool) (core.QueryStats, error)
+	DistanceQueryStream(ctx context.Context, exemplar seq.Sequence, m dist.Metric, eps float64, opts core.QueryOptions, yield func(core.Match) bool) (core.QueryStats, error)
+	ShapeQueryStream(ctx context.Context, exemplar seq.Sequence, tol core.ShapeTolerance, opts core.QueryOptions, yield func(core.Match) bool) (core.QueryStats, error)
 	Raw(id string) (seq.Sequence, error)
 	Reconstruct(id string) (seq.Sequence, error)
 	Config() core.Config
@@ -37,28 +42,44 @@ type Result struct {
 	Hits      []core.PatternHit    // FIND queries
 	Intervals []core.IntervalMatch // interval queries
 	// Stats reports the execution plan for planner-routed statements
-	// (MATCH VALUE, MATCH DISTANCE) and for every EXPLAIN'ed statement.
+	// (MATCH VALUE, MATCH DISTANCE, MATCH SHAPE) and for every EXPLAIN'ed
+	// statement. Stats.Truncated marks an answer a LIMIT or TOP bound cut
+	// short.
 	Stats *core.QueryStats
 	// Explain marks a statement run under EXPLAIN: Stats is then always
 	// set, synthesized for query kinds with a fixed access path.
 	Explain bool
+	// Dropped counts materialized results a LIMIT clause discarded, when
+	// that number is known exactly (the fixed-path kinds, which compute
+	// the full answer before truncating). Streamed kinds stop early
+	// instead and report Stats.Truncated without a count.
+	Dropped int
 }
 
-// Exec parses and runs src against db in one call.
+// Exec parses and runs src against db in one call, without cancellation
+// (see ExecContext).
 func Exec(db Database, src string) (*Result, error) {
+	return ExecContext(context.Background(), db, src)
+}
+
+// ExecContext parses and runs one statement under ctx: the similarity
+// statements (MATCH VALUE / DISTANCE / SHAPE) stop at the context's
+// cancellation or deadline and return ctx.Err().
+func ExecContext(ctx context.Context, db Database, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return q.Run(db)
+	return q.Run(ctx, db)
 }
 
 // Canonical parses src and returns its canonical rendering: the one
 // spelling every equivalent statement normalizes to (keyword casing,
-// default clauses, quoting). Two statements with equal canonical forms
-// execute identically, which makes the canonical form a sound cache key
-// for query results — the property the fuzzer's parse → print → reparse
-// round trip pins. EXPLAIN is part of the form: an EXPLAIN'ed statement
+// default clauses, quoting, bound-clause order). Two statements with
+// equal canonical forms execute identically, which makes the canonical
+// form a sound cache key for query results — the property the fuzzer's
+// parse → print → reparse round trip pins. EXPLAIN and the LIMIT /
+// TOP n BY DISTANCE bounds are part of the form: a bounded statement
 // answers differently and canonicalizes differently.
 func Canonical(src string) (string, error) {
 	q, err := Parse(src)
@@ -66,6 +87,91 @@ func Canonical(src string) (string, error) {
 		return "", err
 	}
 	return q.String(), nil
+}
+
+// StreamFunc receives one similarity match at a time from a streamed
+// statement. Calls are serialized but may arrive on any goroutine;
+// returning false stops the statement early without error.
+type StreamFunc func(m core.Match) bool
+
+// Streamer is implemented by statements whose matches can be produced
+// incrementally (the similarity statements, their bounded forms, and
+// EXPLAIN wrappers around them). RunStream yields every match through
+// yield instead of materializing it; the returned Result carries the
+// kind, stats and EXPLAIN flag with Matches and IDs left empty.
+type Streamer interface {
+	RunStream(ctx context.Context, db Database, yield StreamFunc) (*Result, error)
+}
+
+// RunStream executes q with incremental match delivery: statements that
+// implement Streamer yield each match as the engine verifies it; all
+// other statements materialize normally, then deliver their matches (if
+// the kind has any) through yield for a uniform consumption model. In
+// both cases the returned Result has Matches and IDs stripped — matches
+// travelled through yield — while kind-specific payloads without a
+// streamed form (pattern ids, FIND hits, interval matches) stay on the
+// Result.
+func RunStream(ctx context.Context, db Database, q Query, yield StreamFunc) (*Result, error) {
+	if st, ok := q.(Streamer); ok {
+		return st.RunStream(ctx, db, yield)
+	}
+	res, err := q.Run(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return drainMatches(res, yield), nil
+}
+
+// drainMatches pushes a materialized result's matches through yield and
+// strips them (and the ids mirroring them) from the result. The match
+// count is preserved in Stats before the strip — an EXPLAIN wrapper (or
+// the stream trailer) synthesizing stats afterwards would otherwise see
+// an empty result and report matches=0 for frames it just delivered.
+func drainMatches(res *Result, yield StreamFunc) *Result {
+	for _, m := range res.Matches {
+		if !yield(m) {
+			break
+		}
+	}
+	if len(res.Matches) > 0 {
+		if res.Stats == nil {
+			res.Stats = &core.QueryStats{
+				Query:   res.Kind,
+				Plan:    fixedPlans[res.Kind],
+				Matches: len(res.Matches),
+			}
+		} else if res.Stats.Matches == 0 {
+			res.Stats.Matches = len(res.Matches)
+		}
+		res.Matches, res.IDs = nil, nil
+	}
+	return res
+}
+
+// WithLimit caps q's result count at n (a server-side guard rail): a
+// statement without its own LIMIT gains one, a statement with a looser
+// LIMIT is tightened, a tighter LIMIT wins. n <= 0 returns q unchanged.
+// The wrapper is inserted inside any EXPLAIN so the canonical structure
+// (EXPLAIN outermost, bounds innermost) is preserved; note the returned
+// query's String() differs from the original statement's, so cache keys
+// must be computed before applying the cap.
+func WithLimit(q Query, n int) Query {
+	if n <= 0 {
+		return q
+	}
+	switch t := q.(type) {
+	case *ExplainQuery:
+		return &ExplainQuery{Inner: WithLimit(t.Inner, n)}
+	case *BoundedQuery:
+		if t.Limit > 0 && t.Limit <= n {
+			return t
+		}
+		nb := *t
+		nb.Limit = n
+		return &nb
+	default:
+		return &BoundedQuery{Inner: q, Limit: n}
+	}
 }
 
 // MatchPatternQuery is MATCH PATTERN "...": whole symbol strings matching
@@ -78,7 +184,7 @@ type MatchPatternQuery struct {
 func (q *MatchPatternQuery) String() string { return "MATCH PATTERN " + quoteString(q.Pattern) }
 
 // Run implements Query.
-func (q *MatchPatternQuery) Run(db Database) (*Result, error) {
+func (q *MatchPatternQuery) Run(ctx context.Context, db Database) (*Result, error) {
 	ids, err := db.MatchPattern(q.Pattern)
 	if err != nil {
 		return nil, err
@@ -96,7 +202,7 @@ type FindPatternQuery struct {
 func (q *FindPatternQuery) String() string { return "FIND PATTERN " + quoteString(q.Pattern) }
 
 // Run implements Query.
-func (q *FindPatternQuery) Run(db Database) (*Result, error) {
+func (q *FindPatternQuery) Run(ctx context.Context, db Database) (*Result, error) {
 	hits, err := db.SearchPattern(q.Pattern)
 	if err != nil {
 		return nil, err
@@ -119,7 +225,7 @@ func (q *PeaksQuery) String() string {
 }
 
 // Run implements Query.
-func (q *PeaksQuery) Run(db Database) (*Result, error) {
+func (q *PeaksQuery) Run(ctx context.Context, db Database) (*Result, error) {
 	matches, err := db.PeakCount(q.Count, q.Tolerance)
 	if err != nil {
 		return nil, err
@@ -139,7 +245,7 @@ func (q *IntervalQuery) String() string {
 }
 
 // Run implements Query.
-func (q *IntervalQuery) Run(db Database) (*Result, error) {
+func (q *IntervalQuery) Run(ctx context.Context, db Database) (*Result, error) {
 	matches, err := db.IntervalQuery(q.N, q.Eps)
 	if err != nil {
 		return nil, err
@@ -149,6 +255,42 @@ func (q *IntervalQuery) Run(db Database) (*Result, error) {
 		ids = append(ids, m.ID)
 	}
 	return &Result{Kind: "interval", IDs: ids, Intervals: matches}, nil
+}
+
+// effectiveEps resolves a statement's tolerance: an explicit EPS wins;
+// without one, TOP n BY DISTANCE means pure nearest-neighbour search
+// (unbounded radius) and everything else inherits the database's ε.
+func effectiveEps(db Database, eps float64, opts core.QueryOptions) float64 {
+	if eps >= 0 {
+		return eps
+	}
+	if opts.TopK > 0 {
+		return math.Inf(1)
+	}
+	return db.Config().Epsilon
+}
+
+// collectMatches materializes a streamed similarity statement: collect,
+// sort into the canonical order, build the Result.
+func collectMatches(kind string, run func(yield StreamFunc) (core.QueryStats, error)) (*Result, error) {
+	var matches []core.Match
+	stats, err := run(func(m core.Match) bool {
+		matches = append(matches, m)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	core.SortMatches(matches)
+	return &Result{Kind: kind, IDs: matchIDs(matches), Matches: matches, Stats: &stats}, nil
+}
+
+// streamResult wraps a streamed similarity statement's stats.
+func streamResult(kind string, stats core.QueryStats, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: kind, Stats: &stats}, nil
 }
 
 // ValueQuery is MATCH VALUE LIKE id [EPS e]: the prior-art ±ε query with a
@@ -167,27 +309,40 @@ func (q *ValueQuery) String() string {
 }
 
 // Run implements Query.
-func (q *ValueQuery) Run(db Database) (*Result, error) {
+func (q *ValueQuery) Run(ctx context.Context, db Database) (*Result, error) {
+	return q.runBounded(ctx, db, core.QueryOptions{})
+}
+
+func (q *ValueQuery) runBounded(ctx context.Context, db Database, opts core.QueryOptions) (*Result, error) {
 	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
 		return nil, err
 	}
-	eps := q.Eps
-	if eps < 0 {
-		eps = db.Config().Epsilon
-	}
-	matches, stats, err := db.ValueQueryStats(exemplar, eps)
+	return collectMatches("value", func(yield StreamFunc) (core.QueryStats, error) {
+		return db.ValueQueryStream(ctx, exemplar, effectiveEps(db, q.Eps, opts), opts, yield)
+	})
+}
+
+// RunStream implements Streamer.
+func (q *ValueQuery) RunStream(ctx context.Context, db Database, yield StreamFunc) (*Result, error) {
+	return q.streamBounded(ctx, db, core.QueryOptions{}, yield)
+}
+
+func (q *ValueQuery) streamBounded(ctx context.Context, db Database, opts core.QueryOptions, yield StreamFunc) (*Result, error) {
+	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Kind: "value", IDs: matchIDs(matches), Matches: matches, Stats: &stats}, nil
+	stats, err := db.ValueQueryStream(ctx, exemplar, effectiveEps(db, q.Eps, opts), opts, yield)
+	return streamResult("value", stats, err)
 }
 
 // DistanceQuery is MATCH DISTANCE LIKE id [METRIC m] [EPS e]: a
 // whole-sequence similarity query under a named distance metric, routed
 // through the query planner (feature-index pruning for l2/zl2, full scan
-// otherwise). Metric defaults to "l2"; Eps < 0 means "use the database's
-// ε".
+// otherwise). Metric defaults to "l2". Eps < 0 means "use the database's
+// ε" — except under TOP n BY DISTANCE, where it means an unbounded
+// search radius (the K nearest whatever their distance).
 type DistanceQuery struct {
 	ExemplarID string
 	Metric     string
@@ -205,61 +360,44 @@ func (q *DistanceQuery) String() string {
 }
 
 // Run implements Query.
-func (q *DistanceQuery) Run(db Database) (*Result, error) {
+func (q *DistanceQuery) Run(ctx context.Context, db Database) (*Result, error) {
+	return q.runBounded(ctx, db, core.QueryOptions{})
+}
+
+func (q *DistanceQuery) runBounded(ctx context.Context, db Database, opts core.QueryOptions) (*Result, error) {
+	m, exemplar, err := q.operands(db)
+	if err != nil {
+		return nil, err
+	}
+	return collectMatches("distance", func(yield StreamFunc) (core.QueryStats, error) {
+		return db.DistanceQueryStream(ctx, exemplar, m, effectiveEps(db, q.Eps, opts), opts, yield)
+	})
+}
+
+// RunStream implements Streamer.
+func (q *DistanceQuery) RunStream(ctx context.Context, db Database, yield StreamFunc) (*Result, error) {
+	return q.streamBounded(ctx, db, core.QueryOptions{}, yield)
+}
+
+func (q *DistanceQuery) streamBounded(ctx context.Context, db Database, opts core.QueryOptions, yield StreamFunc) (*Result, error) {
+	m, exemplar, err := q.operands(db)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := db.DistanceQueryStream(ctx, exemplar, m, effectiveEps(db, q.Eps, opts), opts, yield)
+	return streamResult("distance", stats, err)
+}
+
+func (q *DistanceQuery) operands(db Database) (dist.Metric, seq.Sequence, error) {
 	m, err := dist.ByName(q.Metric)
 	if err != nil {
-		return nil, fmt.Errorf("querylang: %w", err)
+		return nil, nil, fmt.Errorf("querylang: %w", err)
 	}
 	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	eps := q.Eps
-	if eps < 0 {
-		eps = db.Config().Epsilon
-	}
-	matches, stats, err := db.DistanceQueryStats(exemplar, m, eps)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Kind: "distance", IDs: matchIDs(matches), Matches: matches, Stats: &stats}, nil
-}
-
-// ExplainQuery wraps any statement under EXPLAIN: the inner query runs
-// normally and the result additionally carries its execution plan. Query
-// kinds the planner does not route report their fixed access path.
-type ExplainQuery struct {
-	Inner Query
-}
-
-// String implements Query.
-func (q *ExplainQuery) String() string { return "EXPLAIN " + q.Inner.String() }
-
-// fixedPlans names the access path of every statement the planner has no
-// routing decision for.
-var fixedPlans = map[string]string{
-	"pattern":  "symbol-index",
-	"find":     "symbol-index",
-	"peaks":    "record-scan",
-	"interval": "inverted-index",
-	"shape":    "record-scan",
-}
-
-// Run implements Query.
-func (q *ExplainQuery) Run(db Database) (*Result, error) {
-	res, err := q.Inner.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	res.Explain = true
-	if res.Stats == nil {
-		res.Stats = &core.QueryStats{
-			Query:   res.Kind,
-			Plan:    fixedPlans[res.Kind],
-			Matches: len(res.IDs),
-		}
-	}
-	return res, nil
+	return m, exemplar, nil
 }
 
 // ShapeQuery is MATCH SHAPE LIKE id [PEAKS p] [HEIGHT h] [SPACING s]: the
@@ -287,21 +425,203 @@ func (q *ShapeQuery) String() string {
 	return b.String()
 }
 
+func (q *ShapeQuery) tolerance() core.ShapeTolerance {
+	return core.ShapeTolerance{Peaks: q.PeaksTol, Height: q.HeightTol, Spacing: q.SpacingTol}
+}
+
 // Run implements Query.
-func (q *ShapeQuery) Run(db Database) (*Result, error) {
+func (q *ShapeQuery) Run(ctx context.Context, db Database) (*Result, error) {
+	return q.runBounded(ctx, db, core.QueryOptions{})
+}
+
+func (q *ShapeQuery) runBounded(ctx context.Context, db Database, opts core.QueryOptions) (*Result, error) {
 	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
 		return nil, err
 	}
-	matches, err := db.ShapeQuery(exemplar, core.ShapeTolerance{
-		Peaks:   q.PeaksTol,
-		Height:  q.HeightTol,
-		Spacing: q.SpacingTol,
+	return collectMatches("shape", func(yield StreamFunc) (core.QueryStats, error) {
+		return db.ShapeQueryStream(ctx, exemplar, q.tolerance(), opts, yield)
 	})
+}
+
+// RunStream implements Streamer.
+func (q *ShapeQuery) RunStream(ctx context.Context, db Database, yield StreamFunc) (*Result, error) {
+	return q.streamBounded(ctx, db, core.QueryOptions{}, yield)
+}
+
+func (q *ShapeQuery) streamBounded(ctx context.Context, db Database, opts core.QueryOptions, yield StreamFunc) (*Result, error) {
+	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Kind: "shape", IDs: matchIDs(matches), Matches: matches}, nil
+	stats, err := db.ShapeQueryStream(ctx, exemplar, q.tolerance(), opts, yield)
+	return streamResult("shape", stats, err)
+}
+
+// BoundedQuery wraps a statement with the result bounds of its trailing
+// clauses: TOP n BY DISTANCE (the n nearest matches, nearest-first, with
+// best-so-far pruning pushed into the engine) and LIMIT n (stop after n
+// matches). For the similarity statements the bounds execute inside the
+// engine; for the other match-producing kinds (MATCH PEAKS) the full
+// answer is computed, ordered and truncated. Parse only attaches bounds
+// to statements that support them.
+type BoundedQuery struct {
+	Inner Query
+	// TopK is the TOP n BY DISTANCE clause (0 = absent).
+	TopK int
+	// Limit is the LIMIT n clause (0 = absent).
+	Limit int
+}
+
+// String implements Query.
+func (q *BoundedQuery) String() string {
+	var b strings.Builder
+	b.WriteString(q.Inner.String())
+	if q.TopK > 0 {
+		fmt.Fprintf(&b, " TOP %d BY DISTANCE", q.TopK)
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+func (q *BoundedQuery) opts() core.QueryOptions {
+	return core.QueryOptions{Limit: q.Limit, TopK: q.TopK}
+}
+
+// Run implements Query.
+func (q *BoundedQuery) Run(ctx context.Context, db Database) (*Result, error) {
+	switch inner := q.Inner.(type) {
+	case *ValueQuery:
+		return inner.runBounded(ctx, db, q.opts())
+	case *DistanceQuery:
+		return inner.runBounded(ctx, db, q.opts())
+	case *ShapeQuery:
+		return inner.runBounded(ctx, db, q.opts())
+	}
+	res, err := q.Inner.Run(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return q.truncate(res), nil
+}
+
+// RunStream implements Streamer.
+func (q *BoundedQuery) RunStream(ctx context.Context, db Database, yield StreamFunc) (*Result, error) {
+	switch inner := q.Inner.(type) {
+	case *ValueQuery:
+		return inner.streamBounded(ctx, db, q.opts(), yield)
+	case *DistanceQuery:
+		return inner.streamBounded(ctx, db, q.opts(), yield)
+	case *ShapeQuery:
+		return inner.streamBounded(ctx, db, q.opts(), yield)
+	}
+	res, err := q.Run(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return drainMatches(res, yield), nil
+}
+
+// truncate applies the bounds to a materialized fixed-path result. The
+// kind's primary item list is cut (matches already arrive in the
+// exact-first, smallest-deviation order, so TOP n is literally the first
+// n) and the id list rebuilt from what remains.
+func (q *BoundedQuery) truncate(res *Result) *Result {
+	keep := q.Limit
+	if q.TopK > 0 && (keep == 0 || q.TopK < keep) {
+		keep = q.TopK
+	}
+	if keep <= 0 {
+		return res
+	}
+	cut := func(have int) int {
+		if have > keep {
+			res.Dropped += have - keep
+			return keep
+		}
+		return have
+	}
+	switch {
+	case res.Matches != nil:
+		res.Matches = res.Matches[:cut(len(res.Matches))]
+		res.IDs = matchIDs(res.Matches)
+	case res.Hits != nil:
+		res.Hits = res.Hits[:cut(len(res.Hits))]
+		res.IDs = distinctHitIDs(res.Hits)
+	case res.Intervals != nil:
+		res.Intervals = res.Intervals[:cut(len(res.Intervals))]
+		ids := make([]string, 0, len(res.Intervals))
+		for _, m := range res.Intervals {
+			ids = append(ids, m.ID)
+		}
+		res.IDs = ids
+	default:
+		res.IDs = res.IDs[:cut(len(res.IDs))]
+	}
+	if res.Dropped > 0 {
+		if res.Stats == nil {
+			res.Stats = &core.QueryStats{
+				Query:   res.Kind,
+				Plan:    fixedPlans[res.Kind],
+				Matches: len(res.IDs),
+			}
+		}
+		res.Stats.Truncated = true
+	}
+	return res
+}
+
+// ExplainQuery wraps any statement under EXPLAIN: the inner query runs
+// normally and the result additionally carries its execution plan. Query
+// kinds the planner does not route report their fixed access path.
+type ExplainQuery struct {
+	Inner Query
+}
+
+// String implements Query.
+func (q *ExplainQuery) String() string { return "EXPLAIN " + q.Inner.String() }
+
+// fixedPlans names the access path of every statement the planner has no
+// routing decision for.
+var fixedPlans = map[string]string{
+	"pattern":  "symbol-index",
+	"find":     "symbol-index",
+	"peaks":    "record-scan",
+	"interval": "inverted-index",
+}
+
+// explain marks a result as EXPLAIN'ed, synthesizing stats for kinds
+// with a fixed access path.
+func explain(res *Result) *Result {
+	res.Explain = true
+	if res.Stats == nil {
+		res.Stats = &core.QueryStats{
+			Query:   res.Kind,
+			Plan:    fixedPlans[res.Kind],
+			Matches: len(res.IDs),
+		}
+	}
+	return res
+}
+
+// Run implements Query.
+func (q *ExplainQuery) Run(ctx context.Context, db Database) (*Result, error) {
+	res, err := q.Inner.Run(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return explain(res), nil
+}
+
+// RunStream implements Streamer.
+func (q *ExplainQuery) RunStream(ctx context.Context, db Database, yield StreamFunc) (*Result, error) {
+	res, err := RunStream(ctx, db, q.Inner, yield)
+	if err != nil {
+		return nil, err
+	}
+	return explain(res), nil
 }
 
 // keywords every statement position may consume; identifiers spelled like
@@ -311,6 +631,7 @@ var reservedWords = map[string]bool{
 	"peaks": true, "tolerance": true, "interval": true, "value": true,
 	"distance": true, "shape": true, "like": true, "eps": true,
 	"metric": true, "height": true, "spacing": true,
+	"limit": true, "top": true, "by": true,
 }
 
 // quoteString renders a pattern string in lexer syntax: raw content

@@ -1,6 +1,7 @@
 package querylang
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -28,6 +29,12 @@ var queryLangSeeds = []string{
 	`MATCH SHAPE LIKE "quoted id" SPACING 0.1`,
 	`MATCH VALUE LIKE two`,
 	`FIND PATTERN 'U{2,4}D'`,
+	`MATCH VALUE LIKE ecg1 LIMIT 5`,
+	`MATCH DISTANCE LIKE ecg1 TOP 10 BY DISTANCE`,
+	`MATCH DISTANCE LIKE two METRIC zl2 EPS 3 TOP 5 BY DISTANCE LIMIT 3`,
+	`EXPLAIN MATCH PEAKS 2 TOP 1 BY DISTANCE`,
+	`match shape like two height 0.25 top 2 by distance limit 9`,
+	`MATCH VALUE LIKE "limit" LIMIT 1`,
 }
 
 // fuzzDB lazily builds one small database per fuzz process so statements
@@ -84,6 +91,6 @@ func FuzzParseExec(f *testing.F) {
 		if got := q2.String(); got != canonical {
 			t.Fatalf("unstable canonical form: %q -> %q -> %q", src, canonical, got)
 		}
-		_, _ = q.Run(fuzzDB()) // must not panic; errors are expected
+		_, _ = q.Run(context.Background(), fuzzDB()) // must not panic; errors are expected
 	})
 }

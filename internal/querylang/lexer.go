@@ -10,12 +10,18 @@
 //	MATCH VALUE LIKE ecg1 EPS 0.5
 //	MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3
 //	MATCH SHAPE LIKE exemplar PEAKS 0 HEIGHT 0.25 SPACING 0.3
+//	MATCH DISTANCE LIKE ecg1 TOP 10 BY DISTANCE
+//	MATCH PEAKS 2 LIMIT 5
 //	EXPLAIN MATCH VALUE LIKE ecg1
 //
 // Keywords are case-insensitive; identifiers name stored sequences;
 // pattern strings are quoted with single or double quotes. Any statement
 // may be prefixed with EXPLAIN, which additionally reports the execution
 // plan (index vs scan, candidate and pruned counts) in Result.Stats.
+// Statements may carry trailing result bounds: LIMIT n stops after n
+// matches, and TOP n BY DISTANCE (on the match-producing statements)
+// returns the n nearest matches, pushed into the engine as a shrinking
+// best-so-far pruning radius.
 //
 // The full grammar, with one worked example per statement, is documented
 // in docs/QUERYLANG.md at the repository root.

@@ -1,6 +1,7 @@
 package querylang
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,8 +9,10 @@ import (
 
 // Query is one parsed, executable query.
 type Query interface {
-	// Run executes the query against a database.
-	Run(db Database) (*Result, error)
+	// Run executes the query against a database. The similarity
+	// statements honor ctx's cancellation and deadline; the fixed-path
+	// statements complete regardless (they are index lookups, not scans).
+	Run(ctx context.Context, db Database) (*Result, error)
 	// String renders the query back in canonical language form.
 	String() string
 }
@@ -113,7 +116,11 @@ func (p *parser) parseQuery() (Query, error) {
 		}
 		return &ExplainQuery{Inner: inner}, nil
 	case p.acceptKeyword("MATCH"):
-		return p.parseMatchBody()
+		q, err := p.parseMatchBody()
+		if err != nil {
+			return nil, err
+		}
+		return p.parseBounds(q)
 	case p.acceptKeyword("FIND"):
 		if err := p.expectKeyword("PATTERN"); err != nil {
 			return nil, err
@@ -122,7 +129,7 @@ func (p *parser) parseQuery() (Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &FindPatternQuery{Pattern: pat}, nil
+		return p.parseBounds(&FindPatternQuery{Pattern: pat})
 	default:
 		t := p.peek()
 		return nil, fmt.Errorf("querylang: expected EXPLAIN, MATCH or FIND at position %d, got %q", t.pos, t.text)
@@ -259,5 +266,65 @@ func (p *parser) parseMatchBody() (Query, error) {
 	default:
 		t := p.peek()
 		return nil, fmt.Errorf("querylang: expected PATTERN, PEAKS, INTERVAL, VALUE, DISTANCE or SHAPE at position %d, got %q", t.pos, t.text)
+	}
+}
+
+// supportsTopK reports whether a statement produces distance-ordered
+// matches TOP n BY DISTANCE can rank.
+func supportsTopK(q Query) bool {
+	switch q.(type) {
+	case *PeaksQuery, *ValueQuery, *DistanceQuery, *ShapeQuery:
+		return true
+	}
+	return false
+}
+
+// parseBounds parses the optional trailing result-bound clauses —
+// TOP n BY DISTANCE and LIMIT n, in either order, each at most once —
+// wrapping q in a BoundedQuery when any is present. The canonical
+// rendering orders TOP before LIMIT.
+func (p *parser) parseBounds(q Query) (Query, error) {
+	var topK, limit int
+	for {
+		switch {
+		case p.acceptKeyword("TOP"):
+			if topK > 0 {
+				return nil, fmt.Errorf("querylang: duplicate TOP clause at position %d", p.peek().pos)
+			}
+			n, err := p.expectNumber("top-k count")
+			if err != nil {
+				return nil, err
+			}
+			if n != float64(int(n)) || n < 1 {
+				return nil, fmt.Errorf("querylang: TOP count must be a positive integer, got %v", n)
+			}
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("DISTANCE"); err != nil {
+				return nil, err
+			}
+			if !supportsTopK(q) {
+				return nil, fmt.Errorf("querylang: TOP n BY DISTANCE applies only to statements returning matches with deviations (MATCH PEAKS, VALUE, DISTANCE, SHAPE)")
+			}
+			topK = int(n)
+		case p.acceptKeyword("LIMIT"):
+			if limit > 0 {
+				return nil, fmt.Errorf("querylang: duplicate LIMIT clause at position %d", p.peek().pos)
+			}
+			n, err := p.expectNumber("limit")
+			if err != nil {
+				return nil, err
+			}
+			if n != float64(int(n)) || n < 1 {
+				return nil, fmt.Errorf("querylang: LIMIT must be a positive integer, got %v", n)
+			}
+			limit = int(n)
+		default:
+			if topK == 0 && limit == 0 {
+				return q, nil
+			}
+			return &BoundedQuery{Inner: q, TopK: topK, Limit: limit}, nil
+		}
 	}
 }

@@ -95,3 +95,11 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	}
 	return r.ResponseWriter.Write(p)
 }
+
+// Flush forwards to the underlying writer so streaming handlers
+// (/v1/query/stream) can push NDJSON frames through the middleware.
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

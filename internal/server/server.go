@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +52,15 @@ type Config struct {
 	// MaxBodyBytes caps each request body: 0 means DefaultMaxBodyBytes,
 	// negative disables the cap. Oversized requests answer 413.
 	MaxBodyBytes int64
+	// QueryTimeout caps the execution time of each /v1/query and
+	// /v1/query/stream statement (0 = no cap). A non-streamed query that
+	// exceeds it answers 504; a stream emits an error frame.
+	QueryTimeout time.Duration
+	// QueryLimit caps the number of results any single statement may
+	// return (0 = no cap): statements without their own LIMIT are
+	// tightened to it server-side. Capped answers report
+	// stats.truncated.
+	QueryLimit int
 }
 
 // Server is the HTTP serving layer. Create with New, mount via Handler.
@@ -59,11 +69,13 @@ type Server struct {
 	dbMu sync.RWMutex
 	db   *seqrep.DB
 
-	snap      Snapshotter
-	cache     *resultCache // nil when disabled
-	metrics   *metricsRegistry
-	mux       *http.ServeMux
-	bodyLimit int64 // 0 = unlimited
+	snap         Snapshotter
+	cache        *resultCache // nil when disabled
+	metrics      *metricsRegistry
+	mux          *http.ServeMux
+	bodyLimit    int64 // 0 = unlimited
+	queryTimeout time.Duration
+	queryLimit   int
 }
 
 // New builds a server around cfg.DB.
@@ -83,16 +95,19 @@ func New(cfg Config) (*Server, error) {
 		limit = 0
 	}
 	s := &Server{
-		db:        cfg.DB,
-		snap:      cfg.Snapshotter,
-		metrics:   newMetricsRegistry(),
-		mux:       http.NewServeMux(),
-		bodyLimit: limit,
+		db:           cfg.DB,
+		snap:         cfg.Snapshotter,
+		metrics:      newMetricsRegistry(),
+		mux:          http.NewServeMux(),
+		bodyLimit:    limit,
+		queryTimeout: cfg.QueryTimeout,
+		queryLimit:   cfg.QueryLimit,
 	}
 	if size > 0 {
 		s.cache = newResultCache(size)
 	}
 	s.route("POST /v1/query", s.handleQuery)
+	s.route("POST /v1/query/stream", s.handleQueryStream)
 	s.route("POST /v1/ingest", s.handleIngest)
 	s.route("POST /v1/ingest/batch", s.handleIngestBatch)
 	s.route("GET /v1/records/{id}", s.handleGetRecord)
@@ -181,12 +196,19 @@ func decodeStatus(err error) int {
 // statusOf maps a database error onto an HTTP status: unknown ids are
 // 404, duplicates 409, storage faults (a stored record whose comparison
 // form cannot be read — the request was fine, the data layer was not)
-// 500, everything else a client-side 422 (the request was well-formed
-// JSON but the engine rejected it).
+// 500, a query that outran the server's -query-timeout 504, a request
+// whose client hung up mid-query 499 (the nginx convention — nobody
+// receives the response, but the metrics should not call it a client or
+// server fault), everything else a client-side 422 (the request was
+// well-formed JSON but the engine rejected it).
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, seqrep.ErrStorage):
 		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
 	case errors.Is(err, seqrep.ErrUnknownID):
 		return http.StatusNotFound
 	case errors.Is(err, seqrep.ErrDuplicateID):
@@ -197,6 +219,16 @@ func statusOf(err error) int {
 }
 
 // ---- /v1/query ----
+
+// queryCtx derives a statement's execution context from the request:
+// client disconnects cancel it, and the configured QueryTimeout bounds
+// it.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.queryTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req api.QueryRequest
@@ -209,7 +241,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := q.String() // canonical form: the cache key
+	key := q.String() // canonical form: the cache key (before the server cap)
 	db := s.DB()
 	// The generation is read before executing: a write committing during
 	// execution bumps it, so the entry stored below can never be served
@@ -223,7 +255,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := seqrep.RunQuery(db, q)
+	// The server-wide result cap is a constant of this server instance,
+	// so caching the capped answer under the uncapped canonical form is
+	// sound: every request through this cache gets the same cap.
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	res, err := seqrep.RunQueryCtx(ctx, db, seqrep.LimitQuery(q, s.queryLimit))
 	if err != nil {
 		writeError(w, statusOf(err), err)
 		return
@@ -265,17 +302,23 @@ func toQueryResponse(res *seqrep.QueryResult, canonical string, gen uint64) *api
 		})
 	}
 	if res.Stats != nil {
-		resp.Stats = &api.QueryStats{
-			Query:      res.Stats.Query,
-			Metric:     res.Stats.Metric,
-			Plan:       res.Stats.Plan,
-			Examined:   res.Stats.Examined,
-			Candidates: res.Stats.Candidates,
-			Pruned:     res.Stats.Pruned,
-			Matches:    res.Stats.Matches,
-		}
+		resp.Stats = toAPIStats(res.Stats)
 	}
 	return resp
+}
+
+// toAPIStats converts engine query stats into their wire form.
+func toAPIStats(st *seqrep.QueryStats) *api.QueryStats {
+	return &api.QueryStats{
+		Query:      st.Query,
+		Metric:     st.Metric,
+		Plan:       st.Plan,
+		Examined:   st.Examined,
+		Candidates: st.Candidates,
+		Pruned:     st.Pruned,
+		Matches:    st.Matches,
+		Truncated:  st.Truncated,
+	}
 }
 
 // ---- /v1/ingest ----

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"seqrep"
+	"seqrep/api"
+)
+
+// streamFlushInterval is how often the NDJSON stream is flushed to the
+// client while item frames are being produced; the header and trailer
+// flush unconditionally, so short streams arrive promptly and long ones
+// amortize the flush cost.
+const streamFlushInterval = 100 * time.Millisecond
+
+// streamWriter serializes api.StreamFrame lines onto an NDJSON response
+// with periodic flushes. Frames may arrive from the engine's worker
+// goroutines (serialized by the engine) and then from the handler
+// goroutine — never concurrently. The first write error sticks: further
+// frames report failure, which propagates as a false yield into the
+// engine and cancels the query.
+type streamWriter struct {
+	enc       *json.Encoder
+	fl        http.Flusher
+	lastFlush time.Time
+	err       error
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	fl, _ := w.(http.Flusher)
+	return &streamWriter{enc: json.NewEncoder(w), fl: fl}
+}
+
+// frame writes one NDJSON line, flushing if the flush interval elapsed.
+// It reports whether the stream is still writable.
+func (sw *streamWriter) frame(f *api.StreamFrame) bool {
+	if sw.err != nil {
+		return false
+	}
+	if err := sw.enc.Encode(f); err != nil {
+		sw.err = err
+		return false
+	}
+	if sw.fl != nil && time.Since(sw.lastFlush) >= streamFlushInterval {
+		sw.flush()
+	}
+	return true
+}
+
+func (sw *streamWriter) flush() {
+	if sw.fl != nil {
+		sw.fl.Flush()
+		sw.lastFlush = time.Now()
+	}
+}
+
+// handleQueryStream is POST /v1/query/stream: the statement's answer as
+// an NDJSON stream of api.StreamFrame lines — header (canonical form),
+// items as the engine produces them, trailer (kind, stats, generation).
+// Similarity matches stream incrementally, so a LIMIT/TOP-bounded or
+// cancelled statement never materializes the full answer; a client that
+// disconnects mid-stream cancels the query through the request context
+// and the failed write, freeing the handler promptly. Streamed answers
+// bypass the result cache in both directions: they are not served from
+// it and not stored into it.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req api.QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	q, err := seqrep.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canonical := q.String()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	db := s.DB()
+	gen := db.Generation()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	sw := newStreamWriter(w)
+	sw.frame(&api.StreamFrame{Canonical: canonical})
+	sw.flush()
+
+	yield := func(m seqrep.Match) bool {
+		return sw.frame(&api.StreamFrame{
+			Match: &api.Match{ID: m.ID, Exact: m.Exact, Deviations: m.Deviations},
+		})
+	}
+	res, err := seqrep.StreamQuery(ctx, db, seqrep.LimitQuery(q, s.queryLimit), yield)
+	if err != nil {
+		sw.frame(&api.StreamFrame{Error: err.Error()})
+		sw.flush()
+		return
+	}
+	// Kinds without a streamed item form arrive materialized on the
+	// result; frame them now. For FIND and INTERVAL the ids mirror the
+	// richer items, so only the richer form is framed.
+	switch {
+	case len(res.Hits) > 0:
+		for _, h := range res.Hits {
+			sw.frame(&api.StreamFrame{Hit: &api.PatternHit{
+				ID: h.ID, SegLo: h.SegLo, SegHi: h.SegHi, TimeLo: h.TimeLo, TimeHi: h.TimeHi,
+			}})
+		}
+	case len(res.Intervals) > 0:
+		for _, iv := range res.Intervals {
+			sw.frame(&api.StreamFrame{Interval: &api.IntervalMatch{
+				ID: iv.ID, Positions: iv.Positions, Intervals: iv.Intervals,
+			}})
+		}
+	default:
+		for _, id := range res.IDs {
+			sw.frame(&api.StreamFrame{ID: id})
+		}
+	}
+	trailer := &api.StreamFrame{Done: true, Kind: res.Kind, Generation: gen, Explain: res.Explain}
+	if res.Stats != nil {
+		trailer.Stats = toAPIStats(res.Stats)
+	}
+	sw.frame(trailer)
+	sw.flush()
+}

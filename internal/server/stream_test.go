@@ -1,0 +1,276 @@
+package server
+
+// Tests for /v1/query/stream: NDJSON framing (header → items → trailer),
+// the typed client's streaming iterator, error frames, the server-side
+// result cap and query timeout, and the disconnect contract — a client
+// that drops mid-stream frees the handler promptly (observed through the
+// request metrics, which only record a request when its handler
+// returns).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seqrep"
+	"seqrep/api"
+	"seqrep/client"
+)
+
+// streamServer is testServer, additionally exposing the raw base URL for
+// assertions the typed client hides (headers, wire bytes).
+func streamServer(t testing.TB, cfg Config) (*httptest.Server, *client.Client) {
+	t.Helper()
+	if cfg.DB == nil {
+		db, err := seqrep.New(seqrep.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.DB = db
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, client.New(ts.URL)
+}
+
+func ingestFevers(t testing.TB, c *client.Client, n int) {
+	t.Helper()
+	items := make([]api.IngestRequest, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, feverItem(t, fmt.Sprintf("f-%03d", i), i))
+	}
+	res, err := c.IngestBatch(context.Background(), items)
+	if err != nil || len(res.Failed) > 0 {
+		t.Fatalf("batch ingest: %v, failed %+v", err, res)
+	}
+}
+
+func TestQueryStreamEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	ts, c := streamServer(t, Config{})
+	ingestFevers(t, c, 12)
+
+	// Raw wire check: NDJSON content type, header first, trailer last.
+	res, err := http.Post(ts.URL+"/v1/query/stream", "application/json",
+		strings.NewReader(`{"query":"match distance like f-000 metric l2 top 3 by distance"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	blob, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 5 { // header + 3 matches + trailer
+		t.Fatalf("got %d NDJSON lines: %q", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], `"canonical":"MATCH DISTANCE LIKE f-000 METRIC l2 TOP 3 BY DISTANCE"`) {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"done":true`) {
+		t.Errorf("trailer = %s", lines[len(lines)-1])
+	}
+
+	// Typed client: nearest-first matches, trailer carries kind + stats.
+	qs, err := c.StreamQuery(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 TOP 3 BY DISTANCE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	if qs.Canonical() != `MATCH DISTANCE LIKE f-000 METRIC l2 TOP 3 BY DISTANCE` {
+		t.Errorf("canonical = %q", qs.Canonical())
+	}
+	var ids []string
+	var lastDev float64
+	for f, err := range qs.Frames() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Match == nil {
+			t.Fatalf("unexpected frame %+v", f)
+		}
+		dev := f.Match.Deviations["l2"]
+		if dev < lastDev {
+			t.Errorf("matches not nearest-first: %g after %g", dev, lastDev)
+		}
+		lastDev = dev
+		ids = append(ids, f.Match.ID)
+	}
+	if len(ids) != 3 || ids[0] != "f-000" {
+		t.Errorf("top-3 stream = %v", ids)
+	}
+	tr := qs.Trailer()
+	if tr == nil || tr.Kind != "distance" || tr.Stats == nil || tr.Stats.Plan == "" {
+		t.Fatalf("trailer = %+v", tr)
+	}
+
+	// The streamed answer agrees with the non-streamed endpoint's.
+	direct, err := c.Query(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 TOP 3 BY DISTANCE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range direct.Matches {
+		if ids[i] != m.ID {
+			t.Errorf("stream order %v != direct %v", ids, direct.IDs)
+			break
+		}
+	}
+
+	// A pattern statement frames ids; EXPLAIN survives the trailer.
+	qs2, err := c.StreamQuery(ctx, `EXPLAIN MATCH PEAKS 2 LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs2.Close()
+	n := 0
+	for f, err := range qs2.Frames() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Match == nil {
+			t.Fatalf("peaks stream frame = %+v", f)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("LIMIT 4 streamed %d matches", n)
+	}
+	// The trailer's stats must count the frames actually streamed, not
+	// the stripped materialized result.
+	if tr := qs2.Trailer(); tr == nil || !tr.Explain || tr.Stats == nil || tr.Stats.Matches != 4 {
+		t.Fatalf("explain trailer = %+v", qs2.Trailer())
+	}
+
+	// Statement errors before any result become an error frame.
+	qs3, err := c.StreamQuery(ctx, `MATCH VALUE LIKE no-such-id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs3.Close()
+	if _, err := qs3.Next(); err == nil || !strings.Contains(err.Error(), "no-such-id") {
+		t.Fatalf("missing-exemplar stream error = %v", err)
+	}
+
+	// Unparseable statements still fail fast with a plain 400.
+	if _, err := c.StreamQuery(ctx, `NONSENSE`); err == nil {
+		t.Fatal("unparseable statement accepted")
+	}
+}
+
+// TestQueryStreamDisconnect pins the handler-release contract: a client
+// that walks away mid-stream frees the handler promptly — the query's
+// context aborts the scan instead of burning through the remaining
+// records. Handler completion is observed through the metrics
+// middleware, which records a request only when its handler returns.
+func TestQueryStreamDisconnect(t *testing.T) {
+	arch := seqrep.NewMemArchive()
+	db, err := seqrep.New(seqrep.Config{Archive: arch, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var items []seqrep.BatchItem
+	for i := 0; i < 400; i++ {
+		items = append(items, seqrep.BatchItem{ID: fmt.Sprintf("s-%03d", i), Seq: smoothWalk(rng, 32)})
+	}
+	if n, err := db.IngestBatch(items); err != nil || n != len(items) {
+		t.Fatalf("ingest: %d, %v", n, err)
+	}
+	arch.ReadLatency = 2 * time.Millisecond // slow verification from here on
+
+	ts, c := streamServer(t, Config{DB: db})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	qs, err := c.StreamQuery(ctx, `MATCH DISTANCE LIKE s-000 METRIC l2 EPS 999999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one frame so the query is demonstrably in flight, then vanish.
+	if _, err := qs.Next(); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	cancel()
+	qs.Close()
+
+	// The full scan would take ~400 × 2ms / 2 workers ≈ 400ms of archive
+	// reads alone; a released handler shows up in the metrics much
+	// sooner. Poll for the stream request being recorded.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		metrics, err := client.New(ts.URL).Metrics(context.Background())
+		if err == nil && strings.Contains(metrics, `endpoint="POST /v1/query/stream"`) {
+			return // handler returned and was observed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream handler not released within 3s of client disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestQueryServerBounds covers the seqserved -query-limit / -query-timeout
+// plumbing: the server-wide cap tightens unbounded statements (and the
+// capped answer still caches soundly under the uncapped canonical form),
+// and a statement outrunning the timeout answers 504.
+func TestQueryServerBounds(t *testing.T) {
+	ctx := context.Background()
+	_, c := streamServer(t, Config{QueryLimit: 2})
+	ingestFevers(t, c, 8)
+
+	res, err := c.Query(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 EPS 999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("server cap returned %d matches", len(res.Matches))
+	}
+	if res.Stats == nil || !res.Stats.Truncated {
+		t.Errorf("capped answer stats = %+v, want truncated", res.Stats)
+	}
+	again, err := c.Query(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 EPS 999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || len(again.Matches) != 2 {
+		t.Errorf("capped answer did not cache: cached=%v matches=%d", again.Cached, len(again.Matches))
+	}
+
+	// Timeout: a slow archive makes the scan outrun a 10ms budget.
+	arch := seqrep.NewMemArchive()
+	db, err := seqrep.New(seqrep.Config{Archive: arch, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var items []seqrep.BatchItem
+	for i := 0; i < 200; i++ {
+		items = append(items, seqrep.BatchItem{ID: fmt.Sprintf("t-%03d", i), Seq: smoothWalk(rng, 32)})
+	}
+	if n, err := db.IngestBatch(items); err != nil || n != len(items) {
+		t.Fatalf("ingest: %d, %v", n, err)
+	}
+	arch.ReadLatency = 2 * time.Millisecond
+	_, slow := streamServer(t, Config{DB: db, QueryTimeout: 10 * time.Millisecond, CacheSize: -1})
+	_, err = slow.Query(ctx, `MATCH DISTANCE LIKE t-000 METRIC l2 EPS 999999`)
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out query returned %v, want 504", err)
+	}
+}

@@ -39,6 +39,15 @@
 //     candidate/pruned counts; Config.IndexCoeffs sizes the index
 //     (negative disables it) and Config.IndexLeaf tunes the trees
 //     (negative pins the linear feature scan). See docs/PERFORMANCE.md.
+//   - Bounded, cancellable, streaming queries: every similarity query
+//     has context-first variants taking QueryOptions — materialized
+//     (DistanceQueryCtx, ValueQueryCtx, ShapeQueryCtx), streaming with
+//     a yield callback (DistanceQueryStream, ...), and Go 1.23
+//     iterators (DistanceQuerySeq, ...). QueryOptions.Limit stops after
+//     N matches; QueryOptions.TopK returns the K nearest, feeding the
+//     best-so-far distance back into the index as a shrinking pruning
+//     radius. Cancelling the context aborts the scan, tree traversal
+//     and verification fan-out promptly with no goroutine leaks.
 //   - Distance kernels: Metric, MetricByName, and the EuclideanMetric /
 //     ManhattanMetric / ChebyshevMetric / ZEuclideanMetric constructors
 //     over the internal/dist kernel layer.
@@ -50,6 +59,7 @@
 package seqrep
 
 import (
+	"context"
 	"io"
 
 	"seqrep/internal/breaking"
@@ -91,9 +101,15 @@ type (
 	// Match is one query result with per-dimension deviations.
 	Match = core.Match
 	// QueryStats reports how a planner-routed query executed: the chosen
-	// plan (index vs scan) and its examined/candidate/pruned counts
-	// (DB.DistanceQueryStats, DB.ValueQueryStats, EXPLAIN statements).
+	// plan (index vs scan), its examined/candidate/pruned counts, and
+	// whether a result bound truncated the answer (DB.DistanceQueryStats,
+	// DB.ValueQueryStats, the *Ctx/*Stream variants, EXPLAIN statements).
 	QueryStats = core.QueryStats
+	// QueryOptions bounds a similarity query's answer: Limit stops after
+	// N matches, TopK keeps the K nearest (ordered by distance, with
+	// best-so-far pruning fed back into the index search). Accepted by
+	// every *Ctx, *Stream and *Seq query variant on DB.
+	QueryOptions = core.QueryOptions
 	// IntervalMatch is one result of an interval query.
 	IntervalMatch = core.IntervalMatch
 	// PatternHit locates a pattern occurrence inside a sequence.
@@ -160,7 +176,8 @@ func LoadFile(path string, cfg Config) (*DB, error) { return core.LoadFile(path,
 type QueryResult = querylang.Result
 
 // ExecQuery parses and runs one statement of the textual query language
-// against db. The language covers every query type:
+// against db. The language covers every query type, each optionally
+// bounded by trailing LIMIT / TOP n BY DISTANCE clauses:
 //
 //	MATCH PATTERN "UF*D(F|D)*UF*D"
 //	FIND PATTERN "U+D+"
@@ -168,10 +185,19 @@ type QueryResult = querylang.Result
 //	MATCH INTERVAL 135 +- 2
 //	MATCH VALUE LIKE ecg1 EPS 0.5
 //	MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3
+//	MATCH DISTANCE LIKE ecg1 TOP 10 BY DISTANCE
 //	MATCH SHAPE LIKE exemplar HEIGHT 0.25 SPACING 0.3
+//	MATCH PEAKS 2 LIMIT 5
 //	EXPLAIN MATCH VALUE LIKE ecg1
 func ExecQuery(db *DB, src string) (*QueryResult, error) {
 	return querylang.Exec(db, src)
+}
+
+// ExecQueryCtx is ExecQuery under a context: the similarity statements
+// (MATCH VALUE / DISTANCE / SHAPE, bounded or not) stop at the context's
+// cancellation or deadline and return ctx.Err().
+func ExecQueryCtx(ctx context.Context, db *DB, src string) (*QueryResult, error) {
+	return querylang.ExecContext(ctx, db, src)
 }
 
 // CanonicalQuery parses one query-language statement and returns its
@@ -193,8 +219,40 @@ type ParsedQuery = querylang.Query
 // ParseQuery compiles one statement without running it.
 func ParseQuery(src string) (ParsedQuery, error) { return querylang.Parse(src) }
 
-// RunQuery executes a compiled statement against db.
-func RunQuery(db *DB, q ParsedQuery) (*QueryResult, error) { return q.Run(db) }
+// RunQuery executes a compiled statement against db without cancellation
+// (see RunQueryCtx).
+func RunQuery(db *DB, q ParsedQuery) (*QueryResult, error) {
+	return q.Run(context.Background(), db)
+}
+
+// RunQueryCtx executes a compiled statement under ctx: the similarity
+// statements stop at the context's cancellation or deadline and return
+// ctx.Err(); fixed-path statements (pattern, peaks, interval) complete
+// regardless.
+func RunQueryCtx(ctx context.Context, db *DB, q ParsedQuery) (*QueryResult, error) {
+	return q.Run(ctx, db)
+}
+
+// StreamQuery executes a compiled statement with incremental match
+// delivery: similarity statements yield each match as the engine
+// verifies it (nearest-first under TOP n BY DISTANCE, discovery order
+// otherwise — yield may run on any goroutine, calls are serialized, and
+// returning false stops the query without error); other kinds
+// materialize first and then deliver their matches through yield. The
+// returned result carries the kind, stats and EXPLAIN flag; matches that
+// travelled through yield are stripped from it, while payloads without a
+// streamed form (pattern ids, FIND hits, interval matches) remain. This
+// is the serving layer's engine hook for /v1/query/stream.
+func StreamQuery(ctx context.Context, db *DB, q ParsedQuery, yield func(Match) bool) (*QueryResult, error) {
+	return querylang.RunStream(ctx, db, q, querylang.StreamFunc(yield))
+}
+
+// LimitQuery caps a compiled statement's result count at n (a server-side
+// guard rail): statements without their own LIMIT gain one, looser LIMITs
+// tighten, tighter ones win; n <= 0 returns q unchanged. The returned
+// statement canonicalizes differently from the original, so cache keys
+// must come from the uncapped form.
+func LimitQuery(q ParsedQuery, n int) ParsedQuery { return querylang.WithLimit(q, n) }
 
 // NewSequence builds a uniformly sampled sequence from values, with times
 // 0, 1, 2, ...
