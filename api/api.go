@@ -20,6 +20,8 @@
 // Errors are returned as ErrorResponse with a non-2xx status code.
 package api
 
+import "math"
+
 // QueryRequest executes one query-language statement.
 type QueryRequest struct {
 	// Query is the statement, e.g. `MATCH DISTANCE LIKE ecg1 METRIC l2
@@ -62,10 +64,42 @@ type QueryStats struct {
 	Candidates int    `json:"candidates"`
 	Pruned     int    `json:"pruned"`
 	Matches    int    `json:"matches"`
+	// Sketched counts the records banded at the progressive sketch tier
+	// (progressive plan only).
+	Sketched int `json:"sketched,omitempty"`
+	// BandAccepted counts matches accepted on their error band alone,
+	// without exact verification (progressive plan only).
+	BandAccepted int `json:"band_accepted,omitempty"`
 	// Truncated reports that a result bound (LIMIT / TOP n BY DISTANCE,
 	// or the server's -query-limit cap) stopped the query early: the
 	// unbounded answer may hold more matches.
 	Truncated bool `json:"truncated,omitempty"`
+}
+
+// RefineFrame is one progressive refinement notice inside a
+// /v1/query/stream response to a statement carrying WITHIN ERROR /
+// APPROX. Each frame reports the current two-sided error band around
+// one record's true distance at the quality tier that produced it
+// ("sketch", "candidate" or "exact"). Bands for a record only ever
+// tighten as the stream progresses, and the true distance always lies
+// inside them. Final frames (Final true) are the record's verdict:
+// accepted records additionally carry the item frame's Match in the
+// same StreamFrame; rejected records end with just the band that ruled
+// them out.
+type RefineFrame struct {
+	// ID is the record the band describes.
+	ID string `json:"id"`
+	// Tier is the cascade level that produced this band: "sketch",
+	// "candidate" or "exact".
+	Tier string `json:"tier"`
+	// Lo is the band's lower edge: the true distance is ≥ Lo.
+	Lo float64 `json:"lo"`
+	// Hi is the band's upper edge: the true distance is ≤ Hi. Nil means
+	// unbounded above (no upper estimate at this tier yet).
+	Hi *float64 `json:"hi,omitempty"`
+	// Final marks the record's last frame: its verdict is settled and no
+	// further frames for it will arrive.
+	Final bool `json:"final,omitempty"`
 }
 
 // QueryResponse is the uniform answer of /v1/query.
@@ -104,10 +138,16 @@ type StreamFrame struct {
 	// (the same string /v1/query would use as its cache key).
 	Canonical string `json:"canonical,omitempty"`
 
-	// Item frames: exactly one field is set.
+	// Item frames: exactly one field is set — except a progressive final
+	// accept, where Refine (the verdict band) and Match (the result)
+	// arrive together.
 	Match    *Match         `json:"match,omitempty"`
 	Hit      *PatternHit    `json:"hit,omitempty"`
 	Interval *IntervalMatch `json:"interval,omitempty"`
+	// Refine is one progressive refinement notice (statements with
+	// WITHIN ERROR / APPROX only): a tier-tagged error band around one
+	// record's true distance, tightening monotonically across frames.
+	Refine *RefineFrame `json:"refine,omitempty"`
 	// ID carries one matching id for kinds without a richer item form
 	// (MATCH PATTERN).
 	ID string `json:"id,omitempty"`
@@ -127,6 +167,18 @@ type StreamFrame struct {
 	// Error terminates the stream abnormally (the HTTP status is already
 	// 200 by the time a mid-stream failure can occur).
 	Error string `json:"error,omitempty"`
+}
+
+// Width returns the band's current width Hi − Lo, or +Inf while the
+// band is still unbounded above. It is the client-side early-stop test:
+// once every open record's Width is below the caller's tolerance, the
+// remaining frames can only confirm what is already known and the
+// stream may be abandoned.
+func (f *RefineFrame) Width() float64 {
+	if f.Hi == nil {
+		return math.Inf(1)
+	}
+	return *f.Hi - f.Lo
 }
 
 // IngestRequest stores one sequence. Times may be omitted for uniformly

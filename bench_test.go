@@ -736,3 +736,132 @@ func BenchmarkReconstruct(b *testing.B) {
 		}
 	}
 }
+
+// benchProgressiveReport is the machine-readable record
+// BenchmarkProgressiveQuery writes to BENCH_progressive.json: the
+// sketch tier's first-answer latency against the exact scan it
+// short-circuits, with the recall of the band-accepted answer.
+type benchProgressiveReport struct {
+	Benchmark      string  `json:"benchmark"`
+	Sequences      int     `json:"sequences"`
+	Metric         string  `json:"metric"`
+	Eps            float64 `json:"eps"`
+	SketchNsOp     float64 `json:"sketch_ns_per_op"`
+	ExactScanNsOp  float64 `json:"exact_scan_ns_per_op"`
+	Speedup        float64 `json:"speedup_vs_exact_scan"`
+	Sketched       int     `json:"sketched"`
+	BandAccepted   int     `json:"band_accepted"`
+	ExactMatches   int     `json:"exact_matches"`
+	Recall         float64 `json:"recall_within_band"`
+	FalsePositives int     `json:"band_false_positives"`
+}
+
+// BenchmarkProgressiveQuery measures the progressive cascade's sketch
+// tier on the 10k corpus: the time to a complete first answer (every
+// record banded and finalized at APPROX sketch) against the exact scan
+// plan answering the same statement, and emits BENCH_progressive.json.
+// Acceptance floors: the sketch tier must answer ≥ 10x faster than the
+// exact scan, and its band-accepted answer must have full recall — the
+// per-record band guarantee means an exact match can never be dismissed
+// at any tier (the property suite in core/progressive_test.go proves
+// this bit-level; here it gates the benchmark too).
+func BenchmarkProgressiveQuery(b *testing.B) {
+	indexed, scan, exemplar := queryBenchDBs(b)
+	// The same regime as BenchmarkDistanceQuery10k: eps admits the
+	// 0.15-shifted members of the exemplar's two-peak family.
+	const eps = 2.0
+	metric := seqrep.EuclideanMetric()
+	ctx := context.Background()
+	sketchOpts := seqrep.QueryOptions{MaxTier: seqrep.TierSketch}
+	report := benchProgressiveReport{
+		Benchmark: "ProgressiveQuery10k",
+		Sequences: queryBenchN,
+		Metric:    metric.Name(),
+		Eps:       eps,
+	}
+
+	// Ground truth and recall, outside the timed regions.
+	exact, _, err := scan.DistanceQueryStats(exemplar, metric, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exactIDs := make(map[string]bool, len(exact))
+	for _, m := range exact {
+		exactIDs[m.ID] = true
+	}
+	accepted := make(map[string]bool)
+	if _, err := indexed.DistanceQueryProgressive(ctx, exemplar, metric, eps, sketchOpts, func(pm seqrep.ProgressiveMatch) bool {
+		if pm.Final && pm.Match != nil {
+			accepted[pm.ID] = true
+		}
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	recalled := 0
+	for id := range exactIDs {
+		if accepted[id] {
+			recalled++
+		}
+	}
+	report.ExactMatches = len(exactIDs)
+	report.BandAccepted = len(accepted)
+	report.FalsePositives = len(accepted) - recalled
+	if len(exactIDs) > 0 {
+		report.Recall = float64(recalled) / float64(len(exactIDs))
+	}
+	if recalled != len(exactIDs) {
+		b.Fatalf("sketch tier dismissed %d of %d exact matches — the band guarantee is broken",
+			len(exactIDs)-recalled, len(exactIDs))
+	}
+
+	measured := true // false under -benchtime=1x: CI's compile-and-run smoke
+	b.Run("sketch", func(b *testing.B) {
+		var stats seqrep.QueryStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			if stats, err = indexed.DistanceQueryProgressive(ctx, exemplar, metric, eps, sketchOpts, func(pm seqrep.ProgressiveMatch) bool {
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		measured = measured && b.N > 1
+		if stats.Plan != "progressive" {
+			b.Fatalf("plan = %q, want progressive", stats.Plan)
+		}
+		b.ReportMetric(float64(stats.Sketched), "sketched/op")
+		b.ReportMetric(float64(stats.BandAccepted), "band_accepted/op")
+		report.SketchNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		report.Sketched = stats.Sketched
+	})
+	b.Run("exact/scan", func(b *testing.B) {
+		var stats seqrep.QueryStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			if _, stats, err = scan.DistanceQueryStats(exemplar, metric, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if stats.Plan != "scan" {
+			b.Fatalf("plan = %q, want scan", stats.Plan)
+		}
+		report.ExactScanNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		measured = measured && b.N > 1
+	})
+
+	if report.SketchNsOp > 0 && report.ExactScanNsOp > 0 {
+		report.Speedup = report.ExactScanNsOp / report.SketchNsOp
+		b.ReportMetric(report.Speedup, "speedup")
+		if measured && report.Speedup < 10 {
+			b.Fatalf("sketch tier %.1fx faster than the exact scan, want >= 10x", report.Speedup)
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_progressive.json", append(blob, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_progressive.json not written: %v", err)
+		}
+	}
+}

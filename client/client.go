@@ -151,6 +151,13 @@ type QueryStream struct {
 // so bounded or abandoned queries never pay for the full answer. The
 // returned stream has already consumed the header frame; iterate Frames
 // (or call Next) for the items, then inspect Trailer.
+//
+// Statements carrying WITHIN ERROR / APPROX answer progressively: item
+// frames then carry Refine — a tier-tagged error band around one
+// record's true distance that only ever tightens — and final accepted
+// records arrive with Refine and Match set together. Closing the stream
+// once every band is tight enough (see api.RefineFrame.Width) abandons
+// the remaining refinement work on the server.
 func (c *Client) StreamQuery(ctx context.Context, statement string) (*QueryStream, error) {
 	blob, err := json.Marshal(api.QueryRequest{Query: statement})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -274,6 +275,13 @@ func cmdQuery(args []string) error {
 		if err != nil {
 			return err
 		}
+		if seqrep.IsProgressiveQuery(parsed) {
+			err := runProgressiveQuery(ctx, db, seqrep.LimitQuery(parsed, *limit))
+			if err != nil && errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("query: timed out after %s", *timeout)
+			}
+			return err
+		}
 		res, err := seqrep.RunQueryCtx(ctx, db, seqrep.LimitQuery(parsed, *limit))
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -358,6 +366,39 @@ func cmdQuery(args []string) error {
 		reportDropped(dropped)
 	default:
 		return fmt.Errorf("query: one of -pattern, -search, -peaks, -interval is required")
+	}
+	return nil
+}
+
+// runProgressiveQuery executes a WITHIN ERROR / APPROX statement with
+// frame-level printing: every refinement frame appears as it is
+// produced, tagged with its quality tier, so the terminal shows the
+// coarse sketch bands first and watches them tighten toward verdicts.
+func runProgressiveQuery(ctx context.Context, db *seqrep.DB, q seqrep.ParsedQuery) error {
+	accepted := 0
+	res, err := seqrep.StreamQueryProgressive(ctx, db, q, func(pm seqrep.ProgressiveMatch) bool {
+		hi := "?"
+		if !math.IsInf(pm.Band.Hi, 1) {
+			hi = fmt.Sprintf("%.4g", pm.Band.Hi)
+		}
+		switch {
+		case pm.Final && pm.Match != nil:
+			accepted++
+			fmt.Printf("[%s] %s band [%.4g, %s] ACCEPT\n", pm.Tier, pm.ID, pm.Band.Lo, hi)
+		case pm.Final:
+			fmt.Printf("[%s] %s band [%.4g, %s] reject\n", pm.Tier, pm.ID, pm.Band.Lo, hi)
+		default:
+			fmt.Printf("[%s] %s band [%.4g, %s]\n", pm.Tier, pm.ID, pm.Band.Lo, hi)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d match(es) [%s]\n", accepted, res.Kind)
+	reportTruncation(res)
+	if res.Stats != nil {
+		fmt.Println(res.Stats)
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package breaking
+
+// Golden segmentations of the paper's evaluation workloads: the exact
+// breakpoints each breaker produces on a fixed-seed ECG and a rendered
+// melody are pinned, so any change to the breaking math shows up as a
+// diff here rather than as silent drift in downstream representations
+// (and in the progressive sketches built from them).
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seqrep/internal/seq"
+	"seqrep/internal/synth"
+)
+
+func TestGoldenSegmentations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ecg, _, err := synth.ECG(rng, synth.ECGOpts{Samples: 260})
+	if err != nil {
+		t.Fatal(err)
+	}
+	melody, err := synth.Melody([]int{2, 2, -4, 5, -2, 3}, synth.MelodyOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		b     Breaker
+		input seq.Sequence
+		want  []int
+	}{
+		// ECG at the paper's ε=10 scale: the interpolation breaker cuts
+		// at the QRS extrema of both beats, regression fragments the
+		// steep R spikes, Bézier spans each beat with two curves.
+		{"ecg/interpolation", Interpolation(10), ecg, []int{57, 65, 72, 77, 187, 195, 203}},
+		{"ecg/regression", Regression(10), ecg, []int{59, 60, 61, 62, 63, 64, 65, 66, 68, 70, 72, 188, 189, 190, 191, 192, 193, 194, 195, 197, 199, 201, 202, 203}},
+		{"ecg/bezier", Bezier(10), ecg, []int{65, 73, 187, 195}},
+		// Melody at ε=0.5 (semitone scale): every breaker cuts near the
+		// note transitions of the six-interval line.
+		{"melody/interpolation", Interpolation(0.5), melody, []int{8, 10, 18, 20, 28, 31, 38, 41, 48, 50, 57, 61}},
+		{"melody/regression", Regression(0.5), melody, []int{8, 9, 19, 20, 28, 29, 30, 38, 39, 40, 48, 49, 58, 59, 60}},
+		{"melody/bezier", Bezier(0.5), melody, []int{10, 20, 27, 37, 40, 47, 57}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			segs, err := tc.b.Break(tc.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(segs, len(tc.input)); err != nil {
+				t.Fatal(err)
+			}
+			if got := Breakpoints(segs); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("breakpoints drifted:\n got  %v\n want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBreakersRejectNonFinite pins the degenerate-input contract: a NaN
+// or Inf sample is a hard, descriptive error from every breaker — never
+// a panic, never a silent segmentation over garbage.
+func TestBreakersRejectNonFinite(t *testing.T) {
+	inputs := map[string]seq.Sequence{
+		"nan":    seq.New([]float64{1, 2, math.NaN(), 4, 5, 6, 7, 8}),
+		"posinf": seq.New([]float64{1, 2, math.Inf(1), 4, 5, 6, 7, 8}),
+		"neginf": seq.New([]float64{1, math.Inf(-1), 3, 4, 5, 6, 7, 8}),
+	}
+	breakers := []Breaker{
+		Interpolation(0.5), Regression(0.5), Bezier(0.5),
+		NewOnline(0.5), &DP{SegmentCost: 1},
+	}
+	for name, s := range inputs {
+		for _, b := range breakers {
+			segs, err := b.Break(s)
+			if err == nil {
+				t.Errorf("%s / %s: accepted non-finite input (%d segments)", name, b.Name(), len(segs))
+				continue
+			}
+			if !strings.Contains(err.Error(), "non-finite") {
+				t.Errorf("%s / %s: undescriptive error %q", name, b.Name(), err)
+			}
+		}
+	}
+}
+
+// TestBreakersShortInputs pins behaviour below the shortest interesting
+// length: empty input errors, one and two points segment trivially.
+func TestBreakersShortInputs(t *testing.T) {
+	breakers := []Breaker{Interpolation(0.5), Regression(0.5), Bezier(0.5)}
+	for _, b := range breakers {
+		if _, err := b.Break(nil); err == nil {
+			t.Errorf("%s: empty input accepted", b.Name())
+		}
+		for n := 1; n < 3; n++ {
+			s := synth.Const(n, 7)
+			segs, err := b.Break(s)
+			if err != nil {
+				t.Errorf("%s / len=%d: %v", b.Name(), n, err)
+				continue
+			}
+			if len(segs) != 1 {
+				t.Errorf("%s / len=%d: %d segments, want 1", b.Name(), n, len(segs))
+			}
+			if err := Validate(segs, n); err != nil {
+				t.Errorf("%s / len=%d: %v", b.Name(), n, err)
+			}
+		}
+	}
+}

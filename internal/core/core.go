@@ -34,6 +34,7 @@ import (
 	"seqrep/internal/filter"
 	"seqrep/internal/fit"
 	"seqrep/internal/index/inverted"
+	"seqrep/internal/multires"
 	"seqrep/internal/rep"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
@@ -87,6 +88,12 @@ type Config struct {
 	// pre-tree behaviour — useful as a benchmark baseline and as an
 	// escape hatch).
 	IndexLeaf int
+	// SketchBlock is the block size of the per-record multiresolution
+	// sketch behind progressive queries (default 16 samples per block;
+	// negative disables sketches, pinning the progressive sketch tier to
+	// uninformative bands). Smaller blocks band tighter at the cost of
+	// more stored means per record.
+	SketchBlock int
 }
 
 func (c *Config) withDefaults() Config {
@@ -111,6 +118,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.IndexCoeffs == 0 {
 		out.IndexCoeffs = 8
+	}
+	if out.SketchBlock == 0 {
+		out.SketchBlock = 16
 	}
 	return out
 }
@@ -147,6 +157,13 @@ type Record struct {
 	// pruned). Immutable after commit, like everything else here.
 	feats  []float64
 	zfeats []float64
+
+	// sketch is the record's block-mean multiresolution sketch over the
+	// same comparison form, built at ingest for the progressive query
+	// cascade (nil when sketches are disabled or the comparison form
+	// could not be read — such records get an uninformative band and are
+	// never dismissed early).
+	sketch *multires.Sketch
 }
 
 // shard is one lock stripe of the record store. pending holds ids whose
@@ -345,12 +362,17 @@ func (db *DB) build(id string, s seq.Sequence) (*Record, error) {
 		return nil, fmt.Errorf("core: extracting features of %q: %w", id, err)
 	}
 	rec := &Record{ID: id, N: len(s), Rep: fs, Profile: profile}
-	if db.findex != nil {
-		// The DFT feature vectors are part of the build so they, too, run
-		// outside every lock; s is the raw sequence just archived, saving
-		// the archive round-trip.
+	if db.findex != nil || db.cfg.SketchBlock > 0 {
+		// The DFT feature vectors and the progressive sketch are part of
+		// the build so they, too, run outside every lock; s is the raw
+		// sequence just archived, saving the archive round-trip.
 		if vals, ok := db.comparisonValues(rec, s); ok {
-			db.findex.computeFeatures(rec, vals)
+			if db.findex != nil {
+				db.findex.computeFeatures(rec, vals)
+			}
+			if db.cfg.SketchBlock > 0 {
+				rec.sketch = multires.BuildSketch(vals, db.cfg.SketchBlock)
+			}
 		}
 	}
 	return rec, nil

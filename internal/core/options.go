@@ -27,11 +27,26 @@ import (
 // tightens mid-traversal (the classic kNN optimization).
 //
 // When both are set the effective bound is min(TopK, Limit).
+//
+// MaxError and MaxTier only affect the progressive entry points
+// (DistanceQueryProgressive, ValueQueryProgressive); the exact query paths
+// ignore them. Progressive execution is incompatible with TopK — a
+// band-accepted answer has no exact distance to rank by.
 type QueryOptions struct {
 	// Limit caps the result count (0 = unlimited).
 	Limit int
 	// TopK keeps the K nearest matches by distance (0 = off).
 	TopK int
+	// MaxError is the progressive quality knob: a record whose error band
+	// has tightened to width ≤ MaxError may be accepted without exact
+	// verification, so any false positive is within eps+MaxError of the
+	// exemplar. 0 demands exact answers (the progressive run then returns
+	// exactly the exact query's matches).
+	MaxError float64
+	// MaxTier caps how deep the progressive cascade refines: TierSketch
+	// or TierCandidate answer from bands alone, TierExact (or 0) refines
+	// all the way to exact verification.
+	MaxTier Tier
 }
 
 func (o QueryOptions) validate() error {
@@ -40,6 +55,12 @@ func (o QueryOptions) validate() error {
 	}
 	if o.TopK < 0 {
 		return fmt.Errorf("core: negative top-k %d", o.TopK)
+	}
+	if math.IsNaN(o.MaxError) || o.MaxError < 0 {
+		return fmt.Errorf("core: invalid max error %g", o.MaxError)
+	}
+	if o.MaxTier < 0 || o.MaxTier > TierExact {
+		return fmt.Errorf("core: invalid quality tier %d", o.MaxTier)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"seqrep/internal/feature"
+	"seqrep/internal/multires"
 	"seqrep/internal/rep"
 )
 
@@ -20,24 +21,31 @@ import (
 // from archived raws the loading process cannot necessarily re-read (and
 // reloading must not change what the planner prunes).
 //
-//	magic   "SDB2" (4 bytes)
+//	magic   "SDB3" (4 bytes)
 //	epsilon f64
 //	delta   f64
 //	bucket  f64
 //	icoeffs i64 (IndexCoeffs; <= 0 means the feature index was disabled)
 //	fsource u8  (comparison source of the feature vectors: featSource*)
+//	sblock  i64 (SketchBlock; <= 0 means sketches were disabled)
+//	ssource u8  (comparison source of the sketches: featSource*)
 //	count   u32
 //	per record:
 //	  idLen u16, id bytes
 //	  blobLen u32, FunctionSeries blob
 //	  featLen u32, featLen f64s   (0 = record had no feature vector)
 //	  zfeatLen u32, zfeatLen f64s
+//	  sketch  u8 (0 = absent); if 1:
+//	    meanLen u32, meanLen f64s, r1 f64, r2 f64, rinf f64   (plain)
+//	    zmeanLen u32, zmeanLen f64s, zr1 f64, zr2 f64, zrinf f64
 //
-// Loading also accepts the legacy "SDB1" layout (no icoeffs, no feature
-// vectors); feature vectors are then rebuilt from each record's
-// comparison form.
+// Loading also accepts the legacy "SDB2" layout (no sketch block or
+// per-record sketches; sketches are rebuilt from each record's comparison
+// form) and "SDB1" (no icoeffs and no feature vectors either; both are
+// rebuilt).
 var (
-	dbMagic   = [4]byte{'S', 'D', 'B', '2'}
+	dbMagic   = [4]byte{'S', 'D', 'B', '3'}
+	dbMagicV2 = [4]byte{'S', 'D', 'B', '2'}
 	dbMagicV1 = [4]byte{'S', 'D', 'B', '1'}
 )
 
@@ -56,6 +64,21 @@ const (
 func (db *DB) featSource() byte {
 	switch {
 	case db.findex == nil:
+		return featSourceNone
+	case db.cfg.Archive != nil:
+		return featSourceArchive
+	default:
+		return featSourceRecon
+	}
+}
+
+// sketchSource names the comparison source the db's progressive sketches
+// derive from — the same soundness rule as featSource: a sketch bands
+// distances against the form it summarized, so restoring one against a
+// different comparison form could dismiss true matches.
+func (db *DB) sketchSource() byte {
+	switch {
+	case db.cfg.SketchBlock <= 0:
 		return featSourceNone
 	case db.cfg.Archive != nil:
 		return featSourceArchive
@@ -95,6 +118,17 @@ func (db *DB) SaveTo(w io.Writer) error {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	if err := bw.WriteByte(db.featSource()); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	sblock := int64(db.cfg.SketchBlock)
+	if sblock <= 0 {
+		sblock = -1
+	}
+	binary.LittleEndian.PutUint64(f64[:], uint64(sblock))
+	if _, err := bw.Write(f64[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := bw.WriteByte(db.sketchSource()); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	var u32 [4]byte
@@ -137,6 +171,9 @@ func (db *DB) SaveTo(w io.Writer) error {
 					return fmt.Errorf("core: save: %w", err)
 				}
 			}
+		}
+		if err := saveSketch(bw, rec.sketch); err != nil {
+			return fmt.Errorf("core: save %q sketch: %w", id, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -215,7 +252,8 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("core: load magic: %w", err)
 	}
 	legacy := magic == dbMagicV1
-	if magic != dbMagic && !legacy {
+	v2 := magic == dbMagicV2
+	if magic != dbMagic && !v2 && !legacy {
 		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
 	}
 	var f64 [8]byte
@@ -251,6 +289,31 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("core: unknown feature-vector source %d", source)
 		}
 	}
+	var ssource byte
+	hasSketches := magic == dbMagic
+	if hasSketches {
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return nil, fmt.Errorf("core: load sketch block: %w", err)
+		}
+		sblock := int64(binary.LittleEndian.Uint64(f64[:]))
+		const maxBlock = 1 << 20
+		if sblock > maxBlock {
+			return nil, fmt.Errorf("core: implausible sketch block size %d", sblock)
+		}
+		if sblock <= 0 {
+			cfg.SketchBlock = -1
+		} else {
+			cfg.SketchBlock = int(sblock)
+		}
+		var b [1]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("core: load sketch source: %w", err)
+		}
+		ssource = b[0]
+		if ssource > featSourceRecon {
+			return nil, fmt.Errorf("core: unknown sketch source %d", ssource)
+		}
+	}
 	db, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -258,7 +321,9 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 	// Stored vectors are only sound against the comparison form this
 	// configuration will verify with; on a source mismatch (archive added
 	// or dropped since the save) they are discarded and rebuilt by adopt.
+	// The same rule governs the progressive sketches.
 	restoreVectors := source == db.featSource()
+	restoreSketches := hasSketches && ssource == db.sketchSource()
 
 	var u32 [4]byte
 	if _, err := io.ReadFull(br, u32[:]); err != nil {
@@ -311,11 +376,109 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 				feats, zfeats = nil, nil
 			}
 		}
-		if err := db.adopt(id, &fs, feats, zfeats); err != nil {
+		var sk *multires.Sketch
+		if hasSketches {
+			if sk, err = loadSketch(br, id, fs.N, db.cfg.SketchBlock); err != nil {
+				return nil, err
+			}
+			if !restoreSketches {
+				sk = nil
+			}
+		}
+		if err := db.adopt(id, &fs, feats, zfeats, sk); err != nil {
 			return nil, err
 		}
 	}
 	return db, nil
+}
+
+// saveSketch writes one record's sketch payload (a presence byte, then
+// both halves of the summary).
+func saveSketch(bw *bufio.Writer, sk *multires.Sketch) error {
+	if sk == nil {
+		return bw.WriteByte(0)
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	var f64 [8]byte
+	for _, half := range []struct {
+		means []float64
+		norms [3]float64
+	}{
+		{sk.Means, [3]float64{sk.R1, sk.R2, sk.Rinf}},
+		{sk.ZMeans, [3]float64{sk.ZR1, sk.ZR2, sk.ZRinf}},
+	} {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(half.means)))
+		if _, err := bw.Write(u32[:]); err != nil {
+			return err
+		}
+		for _, v := range half.means {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+			if _, err := bw.Write(f64[:]); err != nil {
+				return err
+			}
+		}
+		for _, v := range half.norms {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+			if _, err := bw.Write(f64[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadSketch reads one record's sketch payload, validating the mean
+// counts against the record's length and the snapshot's block size.
+func loadSketch(br io.Reader, id string, n, block int) (*multires.Sketch, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return nil, fmt.Errorf("core: load %q sketch: %w", id, err)
+	}
+	if b[0] == 0 {
+		return nil, nil
+	}
+	if b[0] != 1 {
+		return nil, fmt.Errorf("core: load %q: bad sketch marker %d", id, b[0])
+	}
+	want := 0
+	if block > 0 {
+		want = multires.NumBlocks(n, block)
+	}
+	sk := &multires.Sketch{N: n, Block: block}
+	var u32 [4]byte
+	var f64 [8]byte
+	for half := 0; half < 2; half++ {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return nil, fmt.Errorf("core: load %q sketch: %w", id, err)
+		}
+		got := binary.LittleEndian.Uint32(u32[:])
+		if int(got) != want {
+			return nil, fmt.Errorf("core: load %q: sketch has %d means, want %d", id, got, want)
+		}
+		means := make([]float64, got)
+		for i := range means {
+			if _, err := io.ReadFull(br, f64[:]); err != nil {
+				return nil, fmt.Errorf("core: load %q sketch: %w", id, err)
+			}
+			means[i] = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+		}
+		norms := [3]float64{}
+		for i := range norms {
+			if _, err := io.ReadFull(br, f64[:]); err != nil {
+				return nil, fmt.Errorf("core: load %q sketch: %w", id, err)
+			}
+			norms[i] = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+		}
+		if half == 0 {
+			sk.Means, sk.R1, sk.R2, sk.Rinf = means, norms[0], norms[1], norms[2]
+		} else {
+			sk.ZMeans, sk.ZR1, sk.ZR2, sk.ZRinf = means, norms[0], norms[1], norms[2]
+		}
+	}
+	return sk, nil
 }
 
 // loadVector reads one length-prefixed feature vector, validating its
@@ -350,10 +513,11 @@ func loadVector(br io.Reader, db *DB, id string) ([]float64, error) {
 
 // adopt installs an already-built representation, rebuilding features and
 // index postings (used by Load). It follows the same reserve → commit →
-// link protocol as Ingest. Snapshot-supplied feature vectors are restored
-// verbatim; with none (legacy snapshots), the vectors are recomputed from
-// the record's comparison form.
-func (db *DB) adopt(id string, fs *rep.FunctionSeries, feats, zfeats []float64) error {
+// link protocol as Ingest. Snapshot-supplied feature vectors and sketches
+// are restored verbatim; with none (legacy snapshots, or a comparison-
+// source mismatch), they are recomputed from the record's comparison
+// form.
+func (db *DB) adopt(id string, fs *rep.FunctionSeries, feats, zfeats []float64, sk *multires.Sketch) error {
 	profile, err := feature.Extract(fs, db.cfg.Delta)
 	if err != nil {
 		return fmt.Errorf("core: adopting %q: %w", id, err)
@@ -362,10 +526,17 @@ func (db *DB) adopt(id string, fs *rep.FunctionSeries, feats, zfeats []float64) 
 	if !sh.reserve(id) {
 		return fmt.Errorf("core: duplicate id %q in snapshot", id)
 	}
-	rec := &Record{ID: id, N: fs.N, Rep: fs, Profile: profile, feats: feats, zfeats: zfeats}
-	if db.findex != nil && rec.feats == nil {
+	rec := &Record{ID: id, N: fs.N, Rep: fs, Profile: profile, feats: feats, zfeats: zfeats, sketch: sk}
+	needFeats := db.findex != nil && rec.feats == nil
+	needSketch := db.cfg.SketchBlock > 0 && rec.sketch == nil
+	if needFeats || needSketch {
 		if vals, ok := db.comparisonValues(rec, nil); ok {
-			db.findex.computeFeatures(rec, vals)
+			if needFeats {
+				db.findex.computeFeatures(rec, vals)
+			}
+			if needSketch {
+				rec.sketch = multires.BuildSketch(vals, db.cfg.SketchBlock)
+			}
 		}
 	}
 	sh.commit(rec)

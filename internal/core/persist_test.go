@@ -2,12 +2,15 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"seqrep/internal/dist"
+	"seqrep/internal/multires"
 	"seqrep/internal/pattern"
 	"seqrep/internal/store"
 	"seqrep/internal/synth"
@@ -277,5 +280,163 @@ func TestSaveEmptyDB(t *testing.T) {
 	}
 	if loaded.Len() != 0 {
 		t.Errorf("loaded %d records from empty snapshot", loaded.Len())
+	}
+}
+
+// TestSaveLoadRestoresSketches pins the SDB3 restore path: with the
+// comparison source unchanged across the round trip, every record's
+// progressive sketch is restored bit-for-bit from the snapshot rather
+// than rebuilt, and progressive queries on the loaded database behave
+// identically.
+func TestSaveLoadRestoresSketches(t *testing.T) {
+	db := mustDB(t, Config{}) // no archive: sketches over reconstructions
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "fever", fever)
+	mustIngest(t, db, "near", fever.ShiftValue(0.5))
+	mustIngest(t, db, "far", fever.ShiftValue(50))
+
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Config().SketchBlock; got != db.cfg.SketchBlock {
+		t.Fatalf("SketchBlock = %d, want %d", got, db.cfg.SketchBlock)
+	}
+	for _, id := range db.IDs() {
+		orig, _ := db.Record(id)
+		got, ok := loaded.Record(id)
+		if !ok {
+			t.Fatalf("%q missing after load", id)
+		}
+		if orig.sketch == nil {
+			t.Fatalf("%q had no sketch before the save", id)
+		}
+		if !reflect.DeepEqual(got.sketch, orig.sketch) {
+			t.Errorf("%q: sketch not restored bit-for-bit:\n got  %+v\n want %+v", id, got.sketch, orig.sketch)
+		}
+	}
+
+	// The loaded database answers progressively with the same accepts.
+	exemplar, err := db.Reconstruct("fever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepts []string
+	_, err = loaded.DistanceQueryProgressive(context.Background(), exemplar, dist.Euclidean, 5, QueryOptions{}, func(pm ProgressiveMatch) bool {
+		if pm.Final && pm.Match != nil {
+			accepts = append(accepts, pm.ID)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(accepts)
+	matches, err := db.DistanceQuery(exemplar, dist.Euclidean, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, m := range matches {
+		want = append(want, m.ID)
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(accepts, want) {
+		t.Errorf("progressive accepts after load %v, want %v", accepts, want)
+	}
+}
+
+// TestLoadRebuildsSketchesOnSourceChange pins the soundness rule for
+// sketches across a comparison-source change: a snapshot saved from an
+// archive-backed database loaded without the archive must not trust the
+// stored sketches (they band raw values the new configuration cannot
+// verify against) — it rebuilds them from the reconstructions instead.
+func TestLoadRebuildsSketchesOnSourceChange(t *testing.T) {
+	db := feverDB(t) // archive-backed: sketches over raw values
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := 0
+	for _, id := range loaded.IDs() {
+		rec, _ := loaded.Record(id)
+		if rec.sketch == nil {
+			t.Fatalf("%q: sketch missing after source-change load", id)
+		}
+		// The rebuilt sketch must equal one built fresh from the loaded
+		// database's own comparison form...
+		vals, ok := loaded.comparisonValues(rec, nil)
+		if !ok {
+			t.Fatalf("%q: no comparison values", id)
+		}
+		want := multires.BuildSketch(vals, loaded.cfg.SketchBlock)
+		if !reflect.DeepEqual(rec.sketch, want) {
+			t.Errorf("%q: sketch does not match the reconstruction form", id)
+		}
+		// ...and differ from the raw-value sketch wherever lossy
+		// representation actually moved the signal.
+		orig, _ := db.Record(id)
+		if !reflect.DeepEqual(rec.sketch, orig.sketch) {
+			rebuilt++
+		}
+	}
+	if rebuilt == 0 {
+		t.Error("every sketch survived a comparison-source change verbatim; rebuild path untested")
+	}
+}
+
+// TestSaveLoadSketchesDisabled pins the disabled configuration: a
+// snapshot from a SketchBlock<0 database round-trips with sketches still
+// off, and progressive queries degrade gracefully (uninformative sketch
+// tier, exact answers).
+func TestSaveLoadSketchesDisabled(t *testing.T) {
+	db := mustDB(t, Config{SketchBlock: -1})
+	fever, err := synth.Fever(synth.FeverOpts{Samples: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "fever", fever)
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Config().SketchBlock; got > 0 {
+		t.Fatalf("SketchBlock = %d after disabled round trip", got)
+	}
+	rec, _ := loaded.Record("fever")
+	if rec.sketch != nil {
+		t.Error("disabled configuration restored a sketch")
+	}
+	exemplar, err := loaded.Reconstruct("fever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	_, err = loaded.DistanceQueryProgressive(context.Background(), exemplar, dist.Euclidean, 5, QueryOptions{}, func(pm ProgressiveMatch) bool {
+		if pm.ID == "fever" && pm.Final && pm.Match != nil {
+			found = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("sketchless progressive query lost the matching record")
 	}
 }

@@ -20,6 +20,9 @@ const (
 	PlanIndex = "index"
 	// PlanScan is the shard-parallel full scan.
 	PlanScan = "scan"
+	// PlanProgressive is the coarse-to-fine cascade: sketch bands, then
+	// DFT candidate pruning, then exact verification (see progressive.go).
+	PlanProgressive = "progressive"
 )
 
 // QueryStats reports how a query was executed: which plan the planner
@@ -48,6 +51,12 @@ type QueryStats struct {
 	Pruned int
 	// Matches counts the results returned.
 	Matches int
+	// Sketched counts the records banded at the progressive sketch tier
+	// (0 on non-progressive plans and when sketches are disabled).
+	Sketched int
+	// BandAccepted counts matches accepted on their error band alone —
+	// finalized at a non-exact tier without reading samples.
+	BandAccepted int
 	// Truncated reports that a result bound (QueryOptions.Limit or TopK)
 	// took effect: the query stopped before enumerating the full match
 	// set, so the unbounded answer may hold more (or, under TopK, other)
@@ -63,6 +72,9 @@ type QueryStats struct {
 func (st QueryStats) String() string {
 	s := fmt.Sprintf("plan=%s query=%s metric=%s examined=%d candidates=%d pruned=%d matches=%d",
 		st.Plan, st.Query, st.Metric, st.Examined, st.Candidates, st.Pruned, st.Matches)
+	if st.Sketched > 0 || st.BandAccepted > 0 {
+		s += fmt.Sprintf(" sketched=%d band_accepted=%d", st.Sketched, st.BandAccepted)
+	}
 	if st.Truncated {
 		s += " truncated=true"
 	}

@@ -55,8 +55,8 @@ func TestParseBounds(t *testing.T) {
 	}
 
 	// Identifiers spelled like the new keywords must quote to round-trip.
-	for _, id := range []string{"limit", "top", "by"} {
-		q := &ValueQuery{ExemplarID: id, Eps: -1}
+	for _, id := range []string{"limit", "top", "by", "within", "error", "approx"} {
+		q := &ValueQuery{ExemplarID: id, Eps: -1, MaxError: -1}
 		q2, err := Parse(q.String())
 		if err != nil {
 			t.Fatalf("reparse of quoted %q: %v", id, err)

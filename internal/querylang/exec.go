@@ -33,6 +33,29 @@ type Database interface {
 
 var _ Database = (*core.DB)(nil)
 
+// ProgressiveDatabase is the optional engine surface behind the
+// WITHIN ERROR / APPROX clauses: coarse-to-fine execution delivering
+// per-record error bands that only tighten (see core/progressive.go).
+// It is a separate interface so Database fakes without a progressive
+// engine keep compiling; statements carrying a progressive clause fail
+// with a clear error against a plain Database.
+type ProgressiveDatabase interface {
+	Database
+	ValueQueryProgressive(ctx context.Context, exemplar seq.Sequence, eps float64, opts core.QueryOptions, yield func(core.ProgressiveMatch) bool) (core.QueryStats, error)
+	DistanceQueryProgressive(ctx context.Context, exemplar seq.Sequence, m dist.Metric, eps float64, opts core.QueryOptions, yield func(core.ProgressiveMatch) bool) (core.QueryStats, error)
+}
+
+var _ ProgressiveDatabase = (*core.DB)(nil)
+
+// progressiveDB narrows a Database to its progressive surface.
+func progressiveDB(db Database) (ProgressiveDatabase, error) {
+	pd, ok := db.(ProgressiveDatabase)
+	if !ok {
+		return nil, fmt.Errorf("querylang: database does not support progressive answers (WITHIN ERROR / APPROX)")
+	}
+	return pd, nil
+}
+
 // Result is the uniform answer of every query kind: the distinct matching
 // ids plus the kind-specific detail.
 type Result struct {
@@ -120,6 +143,84 @@ func RunStream(ctx context.Context, db Database, q Query, yield StreamFunc) (*Re
 		return nil, err
 	}
 	return drainMatches(res, yield), nil
+}
+
+// ProgressiveFunc receives one progressive refinement frame at a time:
+// sketch-tier bands first, then candidate-tier tightenings, then final
+// verdicts (Final set; Match set on accepts). Calls are serialized but
+// may arrive on any goroutine; returning false stops the query early
+// without error.
+type ProgressiveFunc func(core.ProgressiveMatch) bool
+
+// IsProgressive reports whether q carries a WITHIN ERROR or APPROX
+// clause (through any EXPLAIN / bound wrappers) and so answers through
+// the progressive cascade. Progressive and exact spellings of the same
+// MATCH body canonicalize differently, keeping canonical-form caches
+// sound.
+func IsProgressive(q Query) bool {
+	switch t := q.(type) {
+	case *ExplainQuery:
+		return IsProgressive(t.Inner)
+	case *BoundedQuery:
+		return IsProgressive(t.Inner)
+	case *ValueQuery:
+		return t.progressive()
+	case *DistanceQuery:
+		return t.progressive()
+	}
+	return false
+}
+
+// RunProgressive executes a progressive statement with frame-level
+// delivery: every refinement frame — not just final matches — flows
+// through yield, tagged with its quality tier. Only statements
+// IsProgressive reports true for qualify; everything else errors. The
+// returned Result carries kind, stats and the EXPLAIN flag with Matches
+// and IDs left empty (matches travelled through yield inside their
+// final frames).
+func RunProgressive(ctx context.Context, db Database, q Query, yield ProgressiveFunc) (*Result, error) {
+	switch t := q.(type) {
+	case *ExplainQuery:
+		res, err := RunProgressive(ctx, db, t.Inner, yield)
+		if err != nil {
+			return nil, err
+		}
+		return explain(res), nil
+	case *BoundedQuery:
+		return runProgressiveInner(ctx, db, t.Inner, t.opts(), yield)
+	default:
+		return runProgressiveInner(ctx, db, q, core.QueryOptions{}, yield)
+	}
+}
+
+func runProgressiveInner(ctx context.Context, db Database, q Query, opts core.QueryOptions, yield ProgressiveFunc) (*Result, error) {
+	switch t := q.(type) {
+	case *ValueQuery:
+		if t.progressive() {
+			return t.streamProgressive(ctx, db, opts, yield)
+		}
+	case *DistanceQuery:
+		if t.progressive() {
+			return t.streamProgressive(ctx, db, opts, yield)
+		}
+	}
+	return nil, fmt.Errorf("querylang: statement %q is not progressive (no WITHIN ERROR or APPROX clause)", q.String())
+}
+
+// progressiveOpts folds a statement's quality clauses into the engine
+// options: WITHIN ERROR sets the acceptance band width, APPROX caps the
+// cascade depth.
+func progressiveOpts(opts core.QueryOptions, maxErr float64, approx string) core.QueryOptions {
+	if maxErr > 0 {
+		opts.MaxError = maxErr
+	}
+	if approx != "" {
+		t, err := core.ParseTier(approx)
+		if err == nil {
+			opts.MaxTier = t
+		}
+	}
+	return opts
 }
 
 // drainMatches pushes a materialized result's matches through yield and
@@ -285,6 +386,51 @@ func collectMatches(kind string, run func(yield StreamFunc) (core.QueryStats, er
 	return &Result{Kind: kind, IDs: matchIDs(matches), Matches: matches, Stats: &stats}, nil
 }
 
+// appendProgressive renders the canonical progressive clauses: WITHIN
+// ERROR first, then APPROX.
+func appendProgressive(b *strings.Builder, maxErr float64, approx string) {
+	if maxErr >= 0 {
+		fmt.Fprintf(b, " WITHIN ERROR %g", maxErr)
+	}
+	if approx != "" {
+		fmt.Fprintf(b, " APPROX %s", quoteIdent(approx))
+	}
+}
+
+// finalMatchesOnly adapts a match-level StreamFunc to the frame-level
+// cascade: intermediate band frames are dropped and only final accepted
+// matches flow through — the view a non-progressive-aware consumer
+// expects.
+func finalMatchesOnly(yield StreamFunc) ProgressiveFunc {
+	return func(pm core.ProgressiveMatch) bool {
+		if pm.Final && pm.Match != nil {
+			return yield(*pm.Match)
+		}
+		return true
+	}
+}
+
+// collectProgressive materializes a progressive statement: final
+// accepted matches are collected and sorted into the canonical order,
+// intermediate frames discarded.
+func collectProgressive(kind string, run func(yield ProgressiveFunc) (*Result, error)) (*Result, error) {
+	var matches []core.Match
+	res, err := run(func(pm core.ProgressiveMatch) bool {
+		if pm.Final && pm.Match != nil {
+			matches = append(matches, *pm.Match)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	core.SortMatches(matches)
+	res.Kind = kind
+	res.IDs = matchIDs(matches)
+	res.Matches = matches
+	return res, nil
+}
+
 // streamResult wraps a streamed similarity statement's stats.
 func streamResult(kind string, stats core.QueryStats, err error) (*Result, error) {
 	if err != nil {
@@ -293,19 +439,36 @@ func streamResult(kind string, stats core.QueryStats, err error) (*Result, error
 	return &Result{Kind: kind, Stats: &stats}, nil
 }
 
-// ValueQuery is MATCH VALUE LIKE id [EPS e]: the prior-art ±ε query with a
-// stored sequence as the exemplar. Eps < 0 means "use the database's ε".
+// ValueQuery is MATCH VALUE LIKE id [EPS e] [WITHIN ERROR w] [APPROX t]:
+// the prior-art ±ε query with a stored sequence as the exemplar. Eps < 0
+// means "use the database's ε". MaxError ≥ 0 (WITHIN ERROR) or a
+// non-empty Approx (APPROX) routes execution through the progressive
+// cascade — note the parser constructs MaxError as -1 when the clause is
+// absent, so a zero-valued struct literal reads as WITHIN ERROR 0 (the
+// exact-equivalent progressive run).
 type ValueQuery struct {
 	ExemplarID string
 	Eps        float64
+	// MaxError is the WITHIN ERROR bound (-1 = clause absent): accept a
+	// record once its error band is at most this wide.
+	MaxError float64
+	// Approx caps the cascade depth ("" = absent): "sketch", "candidate"
+	// or "exact".
+	Approx string
 }
+
+// progressive reports whether the statement carries a quality clause.
+func (q *ValueQuery) progressive() bool { return q.MaxError >= 0 || q.Approx != "" }
 
 // String implements Query.
 func (q *ValueQuery) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MATCH VALUE LIKE %s", quoteIdent(q.ExemplarID))
 	if q.Eps >= 0 {
-		return fmt.Sprintf("MATCH VALUE LIKE %s EPS %g", quoteIdent(q.ExemplarID), q.Eps)
+		fmt.Fprintf(&b, " EPS %g", q.Eps)
 	}
-	return fmt.Sprintf("MATCH VALUE LIKE %s", quoteIdent(q.ExemplarID))
+	appendProgressive(&b, q.MaxError, q.Approx)
+	return b.String()
 }
 
 // Run implements Query.
@@ -314,6 +477,11 @@ func (q *ValueQuery) Run(ctx context.Context, db Database) (*Result, error) {
 }
 
 func (q *ValueQuery) runBounded(ctx context.Context, db Database, opts core.QueryOptions) (*Result, error) {
+	if q.progressive() {
+		return collectProgressive("value", func(yield ProgressiveFunc) (*Result, error) {
+			return q.streamProgressive(ctx, db, opts, yield)
+		})
+	}
 	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
 		return nil, err
@@ -329,11 +497,30 @@ func (q *ValueQuery) RunStream(ctx context.Context, db Database, yield StreamFun
 }
 
 func (q *ValueQuery) streamBounded(ctx context.Context, db Database, opts core.QueryOptions, yield StreamFunc) (*Result, error) {
+	if q.progressive() {
+		return q.streamProgressive(ctx, db, opts, finalMatchesOnly(yield))
+	}
 	exemplar, err := loadExemplar(db, q.ExemplarID)
 	if err != nil {
 		return nil, err
 	}
 	stats, err := db.ValueQueryStream(ctx, exemplar, effectiveEps(db, q.Eps, opts), opts, yield)
+	return streamResult("value", stats, err)
+}
+
+// streamProgressive runs the statement through the cascade with
+// frame-level delivery.
+func (q *ValueQuery) streamProgressive(ctx context.Context, db Database, opts core.QueryOptions, yield ProgressiveFunc) (*Result, error) {
+	pd, err := progressiveDB(db)
+	if err != nil {
+		return nil, err
+	}
+	exemplar, err := loadExemplar(db, q.ExemplarID)
+	if err != nil {
+		return nil, err
+	}
+	opts = progressiveOpts(opts, q.MaxError, q.Approx)
+	stats, err := pd.ValueQueryProgressive(ctx, exemplar, effectiveEps(db, q.Eps, opts), opts, yield)
 	return streamResult("value", stats, err)
 }
 
@@ -347,7 +534,16 @@ type DistanceQuery struct {
 	ExemplarID string
 	Metric     string
 	Eps        float64
+	// MaxError is the WITHIN ERROR bound (-1 = clause absent); see
+	// ValueQuery.MaxError for the zero-value caveat.
+	MaxError float64
+	// Approx caps the cascade depth ("" = absent): "sketch", "candidate"
+	// or "exact".
+	Approx string
 }
+
+// progressive reports whether the statement carries a quality clause.
+func (q *DistanceQuery) progressive() bool { return q.MaxError >= 0 || q.Approx != "" }
 
 // String implements Query.
 func (q *DistanceQuery) String() string {
@@ -356,6 +552,7 @@ func (q *DistanceQuery) String() string {
 	if q.Eps >= 0 {
 		fmt.Fprintf(&b, " EPS %g", q.Eps)
 	}
+	appendProgressive(&b, q.MaxError, q.Approx)
 	return b.String()
 }
 
@@ -365,6 +562,11 @@ func (q *DistanceQuery) Run(ctx context.Context, db Database) (*Result, error) {
 }
 
 func (q *DistanceQuery) runBounded(ctx context.Context, db Database, opts core.QueryOptions) (*Result, error) {
+	if q.progressive() {
+		return collectProgressive("distance", func(yield ProgressiveFunc) (*Result, error) {
+			return q.streamProgressive(ctx, db, opts, yield)
+		})
+	}
 	m, exemplar, err := q.operands(db)
 	if err != nil {
 		return nil, err
@@ -380,11 +582,30 @@ func (q *DistanceQuery) RunStream(ctx context.Context, db Database, yield Stream
 }
 
 func (q *DistanceQuery) streamBounded(ctx context.Context, db Database, opts core.QueryOptions, yield StreamFunc) (*Result, error) {
+	if q.progressive() {
+		return q.streamProgressive(ctx, db, opts, finalMatchesOnly(yield))
+	}
 	m, exemplar, err := q.operands(db)
 	if err != nil {
 		return nil, err
 	}
 	stats, err := db.DistanceQueryStream(ctx, exemplar, m, effectiveEps(db, q.Eps, opts), opts, yield)
+	return streamResult("distance", stats, err)
+}
+
+// streamProgressive runs the statement through the cascade with
+// frame-level delivery.
+func (q *DistanceQuery) streamProgressive(ctx context.Context, db Database, opts core.QueryOptions, yield ProgressiveFunc) (*Result, error) {
+	pd, err := progressiveDB(db)
+	if err != nil {
+		return nil, err
+	}
+	m, exemplar, err := q.operands(db)
+	if err != nil {
+		return nil, err
+	}
+	opts = progressiveOpts(opts, q.MaxError, q.Approx)
+	stats, err := pd.DistanceQueryProgressive(ctx, exemplar, m, effectiveEps(db, q.Eps, opts), opts, yield)
 	return streamResult("distance", stats, err)
 }
 
@@ -632,6 +853,7 @@ var reservedWords = map[string]bool{
 	"distance": true, "shape": true, "like": true, "eps": true,
 	"metric": true, "height": true, "spacing": true,
 	"limit": true, "top": true, "by": true,
+	"within": true, "error": true, "approx": true,
 }
 
 // quoteString renders a pattern string in lexer syntax: raw content

@@ -35,6 +35,12 @@ var queryLangSeeds = []string{
 	`EXPLAIN MATCH PEAKS 2 TOP 1 BY DISTANCE`,
 	`match shape like two height 0.25 top 2 by distance limit 9`,
 	`MATCH VALUE LIKE "limit" LIMIT 1`,
+	`MATCH VALUE LIKE ecg1 EPS 0.5 WITHIN ERROR 0.1`,
+	`MATCH DISTANCE LIKE ecg1 METRIC l2 EPS 3 WITHIN ERROR 0.5 APPROX candidate`,
+	`MATCH DISTANCE LIKE two EPS 2 APPROX sketch`,
+	`match value like two approx exact limit 3`,
+	`EXPLAIN MATCH DISTANCE LIKE two METRIC zl2 EPS 3 WITHIN ERROR 0`,
+	`MATCH DISTANCE LIKE ecg1 APPROX candidate WITHIN ERROR 1.5`,
 }
 
 // fuzzDB lazily builds one small database per fuzz process so statements

@@ -191,13 +191,16 @@ func (p *parser) parseMatchBody() (Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		q := &ValueQuery{ExemplarID: id, Eps: -1}
+		q := &ValueQuery{ExemplarID: id, Eps: -1, MaxError: -1}
 		if p.acceptKeyword("EPS") {
 			eps, err := p.expectNumber("eps")
 			if err != nil {
 				return nil, err
 			}
 			q.Eps = eps
+		}
+		if err := p.parseProgressive(&q.MaxError, &q.Approx); err != nil {
+			return nil, err
 		}
 		return q, nil
 
@@ -209,7 +212,7 @@ func (p *parser) parseMatchBody() (Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		q := &DistanceQuery{ExemplarID: id, Metric: "l2", Eps: -1}
+		q := &DistanceQuery{ExemplarID: id, Metric: "l2", Eps: -1, MaxError: -1}
 		if p.acceptKeyword("METRIC") {
 			name, err := p.expectIdent("metric name")
 			if err != nil {
@@ -223,6 +226,9 @@ func (p *parser) parseMatchBody() (Query, error) {
 				return nil, err
 			}
 			q.Eps = eps
+		}
+		if err := p.parseProgressive(&q.MaxError, &q.Approx); err != nil {
+			return nil, err
 		}
 		return q, nil
 
@@ -269,6 +275,51 @@ func (p *parser) parseMatchBody() (Query, error) {
 	}
 }
 
+// parseProgressive parses the optional progressive-quality clauses —
+// WITHIN ERROR e and APPROX tier, in either order, each at most once —
+// into the query's MaxError (-1 stays "absent") and Approx ("" stays
+// "absent") fields. The canonical rendering orders WITHIN ERROR before
+// APPROX.
+func (p *parser) parseProgressive(maxErr *float64, approx *string) error {
+	for {
+		switch {
+		case p.acceptKeyword("WITHIN"):
+			if *maxErr >= 0 {
+				return fmt.Errorf("querylang: duplicate WITHIN ERROR clause at position %d", p.peek().pos)
+			}
+			if err := p.expectKeyword("ERROR"); err != nil {
+				return err
+			}
+			v, err := p.expectNumber("error bound")
+			if err != nil {
+				return err
+			}
+			if v < 0 {
+				return fmt.Errorf("querylang: WITHIN ERROR bound must be non-negative, got %v", v)
+			}
+			*maxErr = v
+		case p.acceptKeyword("APPROX"):
+			if *approx != "" {
+				return fmt.Errorf("querylang: duplicate APPROX clause at position %d", p.peek().pos)
+			}
+			t := p.peek()
+			name, err := p.expectIdent("quality tier")
+			if err != nil {
+				return err
+			}
+			name = strings.ToLower(name)
+			switch name {
+			case "sketch", "candidate", "exact":
+			default:
+				return fmt.Errorf("querylang: unknown APPROX tier %q at position %d (want sketch, candidate or exact)", name, t.pos)
+			}
+			*approx = name
+		default:
+			return nil
+		}
+	}
+}
+
 // supportsTopK reports whether a statement produces distance-ordered
 // matches TOP n BY DISTANCE can rank.
 func supportsTopK(q Query) bool {
@@ -306,6 +357,9 @@ func (p *parser) parseBounds(q Query) (Query, error) {
 			}
 			if !supportsTopK(q) {
 				return nil, fmt.Errorf("querylang: TOP n BY DISTANCE applies only to statements returning matches with deviations (MATCH PEAKS, VALUE, DISTANCE, SHAPE)")
+			}
+			if IsProgressive(q) {
+				return nil, fmt.Errorf("querylang: TOP n BY DISTANCE cannot combine with WITHIN ERROR / APPROX — a band-accepted answer has no exact distance to rank by")
 			}
 			topK = int(n)
 		case p.acceptKeyword("LIMIT"):

@@ -310,14 +310,16 @@ func toQueryResponse(res *seqrep.QueryResult, canonical string, gen uint64) *api
 // toAPIStats converts engine query stats into their wire form.
 func toAPIStats(st *seqrep.QueryStats) *api.QueryStats {
 	return &api.QueryStats{
-		Query:      st.Query,
-		Metric:     st.Metric,
-		Plan:       st.Plan,
-		Examined:   st.Examined,
-		Candidates: st.Candidates,
-		Pruned:     st.Pruned,
-		Matches:    st.Matches,
-		Truncated:  st.Truncated,
+		Query:        st.Query,
+		Metric:       st.Metric,
+		Plan:         st.Plan,
+		Examined:     st.Examined,
+		Candidates:   st.Candidates,
+		Pruned:       st.Pruned,
+		Matches:      st.Matches,
+		Sketched:     st.Sketched,
+		BandAccepted: st.BandAccepted,
+		Truncated:    st.Truncated,
 	}
 }
 

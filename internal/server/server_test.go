@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"strings"
@@ -291,6 +292,83 @@ func TestQueryCache(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics lack %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestCacheExactVsProgressive is the regression test for cache
+// separation between exact and progressive spellings of the same match:
+// a cached exact answer must never be served for a WITHIN ERROR / APPROX
+// statement and vice versa — the canonical forms differ, so each
+// spelling owns its own cache entry, while re-runs of the same spelling
+// still hit.
+func TestCacheExactVsProgressive(t *testing.T) {
+	ctx := context.Background()
+	_, c := testServer(t, Config{})
+	for i, id := range []string{"a", "b", "c"} {
+		if _, err := c.Ingest(ctx, feverItem(t, id, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const exact = `MATCH DISTANCE LIKE a METRIC l2 EPS 5`
+	variants := []string{
+		exact + ` WITHIN ERROR 0.25`,
+		exact + ` APPROX candidate`,
+		exact + ` WITHIN ERROR 0.25 APPROX candidate`,
+	}
+
+	warm, err := c.Query(ctx, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cached {
+		t.Fatal("first exact execution reported Cached")
+	}
+	for _, v := range variants {
+		res, err := c.Query(ctx, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.Cached {
+			t.Errorf("%s: served the cached exact answer", v)
+		}
+		if res.Canonical == warm.Canonical {
+			t.Errorf("%s: canonical form collapsed to the exact spelling %q", v, res.Canonical)
+		}
+		// The reverse direction: the progressive entry just stored must
+		// not leak back into the exact spelling…
+		back, err := c.Query(ctx, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Canonical != warm.Canonical {
+			t.Errorf("exact statement re-canonicalized to %q after %s", back.Canonical, v)
+		}
+		// …and each spelling's own re-run does hit its own entry.
+		again, err := c.Query(ctx, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Cached {
+			t.Errorf("%s: identical re-run missed its own cache entry", v)
+		}
+		if again.Canonical != res.Canonical {
+			t.Errorf("%s: unstable canonical form %q vs %q", v, again.Canonical, res.Canonical)
+		}
+	}
+	// The exact entry survived all of the progressive traffic.
+	final, err := c.Query(ctx, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Cached {
+		t.Fatal("exact entry evicted or clobbered by progressive statements")
+	}
+	// Progressive and exact spellings of the same match agree on the
+	// accepted IDs (WITHIN ERROR only widens how early a record may be
+	// accepted, never which records match at full refinement).
+	if fmt.Sprintf("%v", final.IDs) != fmt.Sprintf("%v", warm.IDs) {
+		t.Fatalf("exact IDs drifted: %v vs %v", final.IDs, warm.IDs)
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"time"
 
@@ -56,6 +57,23 @@ func (sw *streamWriter) flush() {
 	}
 }
 
+// toRefineFrame converts one engine refinement frame to its wire form.
+// An unbounded upper edge (+Inf before any sample- or feature-derived
+// estimate exists) becomes a nil Hi — JSON has no infinity.
+func toRefineFrame(pm seqrep.ProgressiveMatch) *api.RefineFrame {
+	rf := &api.RefineFrame{
+		ID:    pm.ID,
+		Tier:  pm.Tier.String(),
+		Lo:    pm.Band.Lo,
+		Final: pm.Final,
+	}
+	if !math.IsInf(pm.Band.Hi, 1) {
+		hi := pm.Band.Hi
+		rf.Hi = &hi
+	}
+	return rf
+}
+
 // handleQueryStream is POST /v1/query/stream: the statement's answer as
 // an NDJSON stream of api.StreamFrame lines — header (canonical form),
 // items as the engine produces them, trailer (kind, stats, generation).
@@ -88,12 +106,26 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	sw.frame(&api.StreamFrame{Canonical: canonical})
 	sw.flush()
 
-	yield := func(m seqrep.Match) bool {
-		return sw.frame(&api.StreamFrame{
-			Match: &api.Match{ID: m.ID, Exact: m.Exact, Deviations: m.Deviations},
+	var res *seqrep.QueryResult
+	if seqrep.IsProgressiveQuery(q) {
+		// Progressive statements stream every refinement frame, tagged
+		// with its quality tier; final accepts carry the Match alongside
+		// the verdict band in the same frame.
+		res, err = seqrep.StreamQueryProgressive(ctx, db, seqrep.LimitQuery(q, s.queryLimit), func(pm seqrep.ProgressiveMatch) bool {
+			f := &api.StreamFrame{Refine: toRefineFrame(pm)}
+			if pm.Final && pm.Match != nil {
+				f.Match = &api.Match{ID: pm.Match.ID, Exact: pm.Match.Exact, Deviations: pm.Match.Deviations}
+			}
+			return sw.frame(f)
 		})
+	} else {
+		yield := func(m seqrep.Match) bool {
+			return sw.frame(&api.StreamFrame{
+				Match: &api.Match{ID: m.ID, Exact: m.Exact, Deviations: m.Deviations},
+			})
+		}
+		res, err = seqrep.StreamQuery(ctx, db, seqrep.LimitQuery(q, s.queryLimit), yield)
 	}
-	res, err := seqrep.StreamQuery(ctx, db, seqrep.LimitQuery(q, s.queryLimit), yield)
 	if err != nil {
 		sw.frame(&api.StreamFrame{Error: err.Error()})
 		sw.flush()

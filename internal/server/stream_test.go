@@ -11,9 +11,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -171,6 +173,178 @@ func TestQueryStreamEndToEnd(t *testing.T) {
 	// Unparseable statements still fail fast with a plain 400.
 	if _, err := c.StreamQuery(ctx, `NONSENSE`); err == nil {
 		t.Fatal("unparseable statement accepted")
+	}
+}
+
+// TestQueryStreamProgressive pins the wire contract of the progressive
+// cascade: WITHIN ERROR / APPROX statements stream Refine frames tagged
+// with their quality tier, every record refines monotonically (tiers
+// never regress, bands only tighten) and closes with exactly one final
+// frame — the accepted finals carrying the Match in the same frame — and
+// with WITHIN ERROR 0 the accepted set is bit-equal to the exact
+// spelling's answer.
+func TestQueryStreamProgressive(t *testing.T) {
+	ctx := context.Background()
+	ts, c := streamServer(t, Config{})
+	ingestFevers(t, c, 12)
+
+	// Raw wire check: refine frames carry tier + band, hi present while
+	// bounded, match only on final accepts.
+	res, err := http.Post(ts.URL+"/v1/query/stream", "application/json",
+		strings.NewReader(`{"query":"MATCH DISTANCE LIKE f-000 METRIC l2 EPS 2 WITHIN ERROR 0"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	blob, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if !strings.Contains(lines[0], `"canonical":"MATCH DISTANCE LIKE f-000 METRIC l2 EPS 2 WITHIN ERROR 0"`) {
+		t.Errorf("header = %s", lines[0])
+	}
+	sawRefine := false
+	for _, line := range lines[1 : len(lines)-1] {
+		if !strings.Contains(line, `"refine"`) {
+			t.Fatalf("item frame without refine: %s", line)
+		}
+		sawRefine = true
+		if strings.Contains(line, `"match"`) && !strings.Contains(line, `"final":true`) {
+			t.Errorf("non-final frame carries a match: %s", line)
+		}
+	}
+	if !sawRefine {
+		t.Fatal("no refine frames streamed")
+	}
+
+	// Typed client: per-record monotone refinement, one final per id.
+	qs, err := c.StreamQuery(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 EPS 2 WITHIN ERROR 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	tierRank := map[string]int{"sketch": 1, "candidate": 2, "exact": 3}
+	type state struct {
+		tier  int
+		width float64
+		final bool
+	}
+	seen := map[string]*state{}
+	var accepted []string
+	for f, err := range qs.Frames() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf := f.Refine
+		if rf == nil {
+			t.Fatalf("progressive stream frame lacks refine: %+v", f)
+		}
+		rank, ok := tierRank[rf.Tier]
+		if !ok {
+			t.Fatalf("unknown tier %q", rf.Tier)
+		}
+		st := seen[rf.ID]
+		if st == nil {
+			st = &state{width: math.Inf(1)}
+			seen[rf.ID] = st
+		}
+		if st.final {
+			t.Errorf("%s: frame after final", rf.ID)
+		}
+		if rank < st.tier {
+			t.Errorf("%s: tier regressed to %s", rf.ID, rf.Tier)
+		}
+		if w := rf.Width(); w > st.width {
+			t.Errorf("%s: band widened %g -> %g", rf.ID, st.width, w)
+		} else {
+			st.width = w
+		}
+		st.tier = rank
+		if rf.Final {
+			st.final = true
+			if f.Match != nil {
+				if f.Match.ID != rf.ID {
+					t.Errorf("final frame match id %q != refine id %q", f.Match.ID, rf.ID)
+				}
+				accepted = append(accepted, rf.ID)
+			}
+		} else if f.Match != nil {
+			t.Errorf("%s: match on a non-final frame", rf.ID)
+		}
+	}
+	for id, st := range seen {
+		if !st.final {
+			t.Errorf("%s: stream ended without a final frame", id)
+		}
+	}
+	tr := qs.Trailer()
+	if tr == nil || tr.Stats == nil || tr.Stats.Plan != "progressive" {
+		t.Fatalf("trailer = %+v", tr)
+	}
+
+	// WITHIN ERROR 0 forces full refinement: the accepted set matches
+	// the exact spelling's answer exactly.
+	direct, err := c.Query(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 EPS 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(accepted)
+	want := append([]string(nil), direct.IDs...)
+	sort.Strings(want)
+	if fmt.Sprintf("%v", accepted) != fmt.Sprintf("%v", want) {
+		t.Errorf("progressive accepts %v != exact matches %v", accepted, want)
+	}
+
+	// A sketch-tier cap still finalizes every record (earlier, wider).
+	qs2, err := c.StreamQuery(ctx, `MATCH DISTANCE LIKE f-000 METRIC l2 EPS 2 APPROX sketch`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs2.Close()
+	finals := 0
+	for f, err := range qs2.Frames() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Refine == nil {
+			t.Fatalf("frame lacks refine: %+v", f)
+		}
+		if f.Refine.Tier != "sketch" {
+			t.Errorf("APPROX sketch streamed tier %q", f.Refine.Tier)
+		}
+		if f.Refine.Final {
+			finals++
+		}
+	}
+	if finals == 0 {
+		t.Error("APPROX sketch stream produced no final frames")
+	}
+}
+
+// TestRefineFrameHiEncoding pins the +Inf rule: an unbounded band edge
+// is omitted from the wire (JSON cannot carry Inf), and Width() reads it
+// back as +Inf.
+func TestRefineFrameHiEncoding(t *testing.T) {
+	open := toRefineFrame(seqrep.ProgressiveMatch{
+		ID: "r", Tier: seqrep.TierSketch,
+		Band: seqrep.Band{Lo: 1, Hi: math.Inf(1)},
+	})
+	if open.Hi != nil {
+		t.Fatalf("unbounded Hi encoded as %v", *open.Hi)
+	}
+	if !math.IsInf(open.Width(), 1) {
+		t.Errorf("open band width = %v, want +Inf", open.Width())
+	}
+	closed := toRefineFrame(seqrep.ProgressiveMatch{
+		ID: "r", Tier: seqrep.TierExact,
+		Band: seqrep.Band{Lo: 1, Hi: 2.5},
+	})
+	if closed.Hi == nil || *closed.Hi != 2.5 {
+		t.Fatalf("bounded Hi = %v, want 2.5", closed.Hi)
+	}
+	if w := closed.Width(); math.Abs(w-1.5) > 1e-12 {
+		t.Errorf("width = %v, want 1.5", w)
 	}
 }
 

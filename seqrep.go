@@ -110,6 +110,16 @@ type (
 	// best-so-far pruning fed back into the index search). Accepted by
 	// every *Ctx, *Stream and *Seq query variant on DB.
 	QueryOptions = core.QueryOptions
+	// Tier names one quality level of the progressive cascade: TierSketch,
+	// TierCandidate, TierExact (TierNone = no cap).
+	Tier = core.Tier
+	// Band is a two-sided error interval around a record's true distance;
+	// progressive refinement only ever tightens it.
+	Band = core.Band
+	// ProgressiveMatch is one frame of a progressive query: the record's
+	// current band, the tier that produced it, and — on final accepted
+	// frames — the Match itself.
+	ProgressiveMatch = core.ProgressiveMatch
 	// IntervalMatch is one result of an interval query.
 	IntervalMatch = core.IntervalMatch
 	// PatternHit locates a pattern occurrence inside a sequence.
@@ -185,6 +195,8 @@ type QueryResult = querylang.Result
 //	MATCH INTERVAL 135 +- 2
 //	MATCH VALUE LIKE ecg1 EPS 0.5
 //	MATCH DISTANCE LIKE ecg1 METRIC zl2 EPS 3
+//	MATCH DISTANCE LIKE ecg1 EPS 3 WITHIN ERROR 0.5
+//	MATCH VALUE LIKE ecg1 EPS 0.5 APPROX sketch
 //	MATCH DISTANCE LIKE ecg1 TOP 10 BY DISTANCE
 //	MATCH SHAPE LIKE exemplar HEIGHT 0.25 SPACING 0.3
 //	MATCH PEAKS 2 LIMIT 5
@@ -245,6 +257,31 @@ func RunQueryCtx(ctx context.Context, db *DB, q ParsedQuery) (*QueryResult, erro
 // is the serving layer's engine hook for /v1/query/stream.
 func StreamQuery(ctx context.Context, db *DB, q ParsedQuery, yield func(Match) bool) (*QueryResult, error) {
 	return querylang.RunStream(ctx, db, q, querylang.StreamFunc(yield))
+}
+
+// Progressive cascade tiers, re-exported for switch statements over
+// ProgressiveMatch.Tier and QueryOptions.MaxTier.
+const (
+	TierNone      = core.TierNone
+	TierSketch    = core.TierSketch
+	TierCandidate = core.TierCandidate
+	TierExact     = core.TierExact
+)
+
+// IsProgressiveQuery reports whether a compiled statement carries a
+// WITHIN ERROR or APPROX clause (through any EXPLAIN / bound wrappers)
+// and so should be served through StreamQueryProgressive.
+func IsProgressiveQuery(q ParsedQuery) bool { return querylang.IsProgressive(q) }
+
+// StreamQueryProgressive executes a progressive statement (one carrying
+// WITHIN ERROR / APPROX) with frame-level delivery: every refinement
+// frame — sketch-tier bands, candidate tightenings, final verdicts —
+// flows through yield tagged with its quality tier. Bands for a record
+// only ever tighten, the true distance always lies inside them, and a
+// client may stop consuming once the bands are tight enough. This is
+// the serving layer's engine hook for progressive /v1/query/stream.
+func StreamQueryProgressive(ctx context.Context, db *DB, q ParsedQuery, yield func(ProgressiveMatch) bool) (*QueryResult, error) {
+	return querylang.RunProgressive(ctx, db, q, querylang.ProgressiveFunc(yield))
 }
 
 // LimitQuery caps a compiled statement's result count at n (a server-side
