@@ -243,12 +243,19 @@ type RemoveResponse struct {
 
 // SnapshotResponse reports a snapshot save or load.
 type SnapshotResponse struct {
-	// Op is "save" or "load".
+	// Op is "save", "load" — or "checkpoint" when the server runs a
+	// durable data-dir database, where a save also truncates the
+	// write-ahead log it just covered.
 	Op        string `json:"op"`
 	Sequences int    `json:"sequences"`
 	// Generation is the database generation after the operation (for a
 	// load: of the freshly restored database).
 	Generation uint64 `json:"generation"`
+	// WALRecords/WALBytes report the write-ahead log's depth after a
+	// checkpoint (durable servers only; normally near zero — writes
+	// committed during the checkpoint remain).
+	WALRecords uint64 `json:"wal_records,omitempty"`
+	WALBytes   int64  `json:"wal_bytes,omitempty"`
 }
 
 // HealthResponse is /healthz.
@@ -256,6 +263,21 @@ type HealthResponse struct {
 	Status     string `json:"status"`
 	Sequences  int    `json:"sequences"`
 	Generation uint64 `json:"generation"`
+	// Durable reports a data-dir server: writes are write-ahead-logged
+	// and fsync'd before acknowledgement. The WAL* fields below are only
+	// set when Durable.
+	Durable bool `json:"durable,omitempty"`
+	// WALRecords is the log depth: records a crash right now would
+	// replay (appends since the last checkpoint).
+	WALRecords uint64 `json:"wal_records,omitempty"`
+	// WALBytes is the retained log size on disk.
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// WALSegments is the retained log segment file count.
+	WALSegments int `json:"wal_segments,omitempty"`
+	// LastCheckpointAgeSeconds is the time since the last completed
+	// checkpoint (at boot: since the recovered snapshot was written).
+	// Nil when the database has never checkpointed.
+	LastCheckpointAgeSeconds *float64 `json:"last_checkpoint_age_seconds,omitempty"`
 }
 
 // ErrorResponse carries any non-2xx outcome.

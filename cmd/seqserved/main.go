@@ -1,16 +1,21 @@
 // Seqserved serves a seqrep sequence database over HTTP/JSON: the full
 // query language (including EXPLAIN), worker-pool batch ingestion, record
-// CRUD, snapshot save/load, health and Prometheus metrics — see
-// docs/SERVER.md for the endpoint reference.
+// CRUD, checkpointing, health and Prometheus metrics — see
+// docs/SERVER.md for the endpoint reference and docs/DURABILITY.md for
+// the durability contract.
 //
 // Usage:
 //
-//	seqserved -addr :8080 -snapshot db.bin -archive ./raws
+//	seqserved -addr :8080 -data-dir ./data -archive ./raws
 //
-// With -snapshot, an existing snapshot is loaded at boot, /v1/snapshot
-// save/load operate on the same file, and a final snapshot is written
-// during graceful shutdown. On SIGINT/SIGTERM the server stops accepting
-// connections, drains in-flight requests (up to -drain), then saves.
+// With -data-dir, the database is durable: boot recovers the directory's
+// snapshot plus the write-ahead-log tail to the exact acknowledged
+// pre-crash state, every write is WAL-appended and fsync'd (group
+// commit) before it is acknowledged, and checkpoints — snapshot, then
+// log truncation — run on the -checkpoint-interval timer, on
+// /v1/snapshot/save, and during graceful shutdown. On SIGINT/SIGTERM the
+// server stops accepting connections, drains in-flight requests (up to
+// -drain), checkpoints, and closes the log.
 package main
 
 import (
@@ -39,9 +44,10 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		snapshot = flag.String("snapshot", "", "snapshot file: loaded at boot when present, written by /v1/snapshot/save and on shutdown")
-		archive  = flag.String("archive", "", "directory for a file-backed raw-sequence archive (empty = no archive)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data-dir", "", "durable data directory (snapshot + write-ahead log): recovered at boot, WAL-appended on every write, checkpointed on the timer, on /v1/snapshot/save and at shutdown (empty = in-memory only)")
+		ckptIvl = flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint period for -data-dir (0 disables the timer; checkpoints still run on /v1/snapshot/save and shutdown)")
+		archive = flag.String("archive", "", "directory for a file-backed raw-sequence archive (empty = no archive)")
 		epsilon  = flag.Float64("epsilon", 0, "breaking tolerance for a new database (0 = default 0.5)")
 		delta    = flag.Float64("delta", 0, "slope threshold for a new database (0 = default 0.25)")
 		bucket   = flag.Float64("bucket", 0, "interval-index bucket width for a new database (0 = default 1)")
@@ -77,33 +83,27 @@ func run() error {
 		cfg.Archive = arch
 	}
 
-	var snap *server.FileSnapshotter
-	if *snapshot != "" {
-		snap = &server.FileSnapshotter{Path: *snapshot, Config: cfg}
-	}
-
 	var (
-		db  *seqrep.DB
-		err error
+		db   *seqrep.DB
+		snap *server.DirSnapshotter
+		err  error
 	)
-	haveSnap := false
-	if snap != nil {
-		if haveSnap, err = snap.Exists(); err != nil {
-			return err // "cannot tell" must not silently boot empty
-		}
-	}
-	if haveSnap {
-		db, err = snap.Load()
+	if *dataDir != "" {
+		snap = &server.DirSnapshotter{Dir: *dataDir, Config: cfg}
+		db, err = snap.Open()
 		if err != nil {
-			return fmt.Errorf("loading snapshot: %w", err)
+			return fmt.Errorf("opening data dir: %w", err)
 		}
-		log.Printf("loaded snapshot %s: %d sequences", *snapshot, db.Len())
+		rec := db.Recovery()
+		log.Printf("recovered %s: %d sequences (wal replayed %d records: %d applied, %d covered by snapshot, %d failed)",
+			*dataDir, db.Len(), rec.Replayed, rec.Applied, rec.SkippedDuplicate+rec.SkippedMissing, rec.Failed)
 	} else {
 		db, err = seqrep.New(cfg)
 		if err != nil {
 			return err
 		}
 	}
+	defer db.Close()
 
 	srvCfg := server.Config{
 		DB:           db,
@@ -118,6 +118,23 @@ func run() error {
 	srv, err := server.New(srvCfg)
 	if err != nil {
 		return err
+	}
+
+	// Background checkpoints bound the log replay a crash would cost.
+	// The loop stops with the process; a checkpoint racing shutdown's
+	// final checkpoint is safe (they serialize inside the engine).
+	if snap != nil && *ckptIvl > 0 {
+		ticker := time.NewTicker(*ckptIvl)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if err := srv.Snapshot(); err != nil {
+					log.Printf("background checkpoint: %v", err)
+				} else if st, ok := srv.DB().WALStats(); ok {
+					log.Printf("checkpoint complete: %d sequences, wal depth %d records", srv.DB().Len(), st.Records)
+				}
+			}
+		}()
 	}
 
 	// ReadTimeout covers the body too (a slow-body client cannot pin a
@@ -171,10 +188,12 @@ func run() error {
 		log.Printf("drain incomplete: %v", err)
 	}
 	if snap != nil {
+		// Every acknowledged write is already WAL-durable; the final
+		// checkpoint just makes the next boot replay-free.
 		if err := srv.Snapshot(); err != nil {
-			return fmt.Errorf("final snapshot: %w", err)
+			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		log.Printf("snapshot saved to %s (%d sequences)", *snapshot, srv.DB().Len())
+		log.Printf("checkpoint saved to %s (%d sequences)", *dataDir, srv.DB().Len())
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seqrep/internal/breaking"
 	"seqrep/internal/feature"
@@ -38,6 +39,7 @@ import (
 	"seqrep/internal/rep"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
+	"seqrep/internal/wal"
 )
 
 // Config parameterizes a DB. The zero value is usable: it yields the
@@ -238,6 +240,21 @@ type DB struct {
 	// signal behind the serving layer's result cache.
 	gen atomic.Uint64
 
+	// Durable write path (OpenDir; nil/zero otherwise). wal is the
+	// write-ahead log every Ingest/Remove appends to — and waits for the
+	// fsync — before its in-memory commit. ckptMu brackets each
+	// append→commit window for reading; Checkpoint takes it exclusively
+	// around the log rotation so every record in a sealed (about to be
+	// snapshotted and truncated) segment is committed in memory first.
+	// ckptRun serializes whole checkpoints; lastCkpt and recovery feed
+	// health reporting.
+	wal      *wal.WAL
+	dataDir  string
+	ckptMu   sync.RWMutex
+	ckptRun  sync.Mutex
+	lastCkpt atomic.Pointer[time.Time]
+	recovery RecoveryStats
+
 	imu     sync.RWMutex
 	ids     []string // sorted
 	rrIndex *inverted.Index
@@ -435,6 +452,25 @@ func (db *DB) IngestRecord(id string, s seq.Sequence) (*Record, error) {
 		sh.abort(id)
 		return nil, err
 	}
+	if db.wal != nil {
+		// Write-ahead: the operation is fsync-durable before the commit
+		// that makes it observable, so an acknowledged ingest can always
+		// be replayed. ckptMu (read) spans append→commit: a checkpoint
+		// may not seal this record away into a truncatable segment until
+		// the commit it describes is snapshot-visible.
+		payload, err := encodeWALIngest(id, s)
+		if err != nil {
+			sh.abort(id)
+			return nil, err
+		}
+		db.ckptMu.RLock()
+		if err := db.walAppend(walOpIngest, payload); err != nil {
+			db.ckptMu.RUnlock()
+			sh.abort(id)
+			return nil, err
+		}
+		defer db.ckptMu.RUnlock()
+	}
 	sh.commit(rec)
 	if err := db.link(rec); err != nil {
 		sh.drop(id)
@@ -555,6 +591,25 @@ func (db *DB) Remove(id string) error {
 	sh.pending[id] = struct{}{}
 	sh.mu.Unlock()
 	defer sh.abort(id) // release the hold when the unlink is done
+
+	if db.wal != nil {
+		// Write-ahead, mirroring Ingest: the removal is fsync-durable
+		// before the unlink, under the same checkpoint exclusion. On a
+		// log failure the record is restored — the removal was never
+		// acknowledged and must stay invisible to recovery.
+		payload, err := encodeWALRemove(id)
+		if err != nil {
+			sh.commit(rec)
+			return err
+		}
+		db.ckptMu.RLock()
+		if err := db.walAppend(walOpRemove, payload); err != nil {
+			db.ckptMu.RUnlock()
+			sh.commit(rec)
+			return err
+		}
+		defer db.ckptMu.RUnlock()
+	}
 
 	db.imu.Lock()
 	db.ids = removeSorted(db.ids, id)

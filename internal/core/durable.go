@@ -1,0 +1,318 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seqrep/internal/seq"
+	"seqrep/internal/store"
+	"seqrep/internal/wal"
+)
+
+// Durable write path (docs/DURABILITY.md): a database opened with
+// OpenDir owns a write-ahead log next to its snapshot. Every Ingest and
+// Remove appends its operation to the log — and waits for the fsync —
+// before the in-memory commit, so an acknowledged write survives any
+// crash; boot recovers the snapshot and replays the log tail back to the
+// exact acknowledged state. Checkpoint folds the log into a fresh
+// snapshot and truncates it.
+
+// Data-directory layout.
+const (
+	// SnapshotFileName is the snapshot inside an OpenDir data directory.
+	SnapshotFileName = "snapshot.sdb"
+	// WALDirName is the write-ahead-log subdirectory.
+	WALDirName = "wal"
+)
+
+// WAL record ops. Payload layouts are versioned implicitly by these
+// constants: a new layout gets a new op.
+const (
+	walOpIngest byte = 1 // idLen u16 | id | n u32 | (t f64, v f64) × n
+	walOpRemove byte = 2 // idLen u16 | id
+)
+
+// RecoveryStats reports what a boot-time WAL replay did. Skips are the
+// normal overlap between a checkpoint snapshot and the log records it
+// covers (replay is idempotent); Failed counts records whose pipeline
+// failed again during replay exactly as it did (unacknowledged) before
+// the crash.
+type RecoveryStats struct {
+	// Replayed is the number of log records examined.
+	Replayed int
+	// Applied is the number of operations re-executed.
+	Applied int
+	// SkippedDuplicate counts ingests whose id the snapshot already held.
+	SkippedDuplicate int
+	// SkippedMissing counts removes whose id was already gone.
+	SkippedMissing int
+	// Failed counts operations that errored during replay (deterministic
+	// pipeline failures — the original call returned the same error and
+	// was never acknowledged).
+	Failed int
+}
+
+// OpenDir opens (creating if needed) a durable database rooted at dir:
+// layout dir/snapshot.sdb + dir/wal/. It loads the snapshot when
+// present, replays the write-ahead log tail on top of it — truncating a
+// torn final record, skipping records the snapshot already covers — and
+// leaves the log attached, so every subsequent Ingest/Remove is
+// fsync-durable before it is acknowledged. The caller owns the returned
+// database and must Close it to release the log.
+//
+// cfg contributes the code components exactly as in Load; when a
+// snapshot exists its stored scalar parameters win.
+func OpenDir(dir string, cfg Config) (*DB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating data dir: %w", err)
+	}
+	snapPath := filepath.Join(dir, SnapshotFileName)
+	var (
+		db       *DB
+		err      error
+		snapTime time.Time
+	)
+	switch info, statErr := os.Stat(snapPath); {
+	case statErr == nil:
+		if db, err = LoadFile(snapPath, cfg); err != nil {
+			return nil, err
+		}
+		snapTime = info.ModTime()
+	case errors.Is(statErr, fs.ErrNotExist):
+		if db, err = New(cfg); err != nil {
+			return nil, err
+		}
+	default:
+		// "Cannot tell" must not silently boot empty: replaying the WAL
+		// over a fresh database when a snapshot actually exists would
+		// resurrect only the tail of the data.
+		return nil, fmt.Errorf("core: checking snapshot %s: %w", snapPath, statErr)
+	}
+	w, err := wal.Open(filepath.Join(dir, WALDirName), wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Replay(db.applyWALRecord); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("core: replaying wal: %w", err)
+	}
+	db.wal = w
+	db.dataDir = dir
+	if !snapTime.IsZero() {
+		db.lastCkpt.Store(&snapTime)
+	}
+	return db, nil
+}
+
+// applyWALRecord re-executes one logged operation during boot replay.
+// Replay is idempotent on top of any checkpoint state: an ingest whose
+// id is already stored is skipped (the snapshot covered it — per id,
+// operations are serialized and only acknowledged ones are logged, so
+// the stored value is either this record's or that of a later logged
+// ingest that will overwrite it via the interleaved remove), and a
+// remove of an absent id is skipped likewise. db.wal is still nil here,
+// so the re-executed operations do not re-append themselves.
+func (db *DB) applyWALRecord(r wal.Record) error {
+	db.recovery.Replayed++
+	switch r.Op {
+	case walOpIngest:
+		id, s, err := decodeWALIngest(r.Payload)
+		if err != nil {
+			return fmt.Errorf("core: wal record %d: %w", r.LSN, err)
+		}
+		if _, ok := db.Record(id); ok {
+			db.recovery.SkippedDuplicate++
+			return nil
+		}
+		if _, err := db.IngestRecord(id, s); err != nil {
+			// The same deterministic failure the original caller saw: the
+			// operation was logged but never acknowledged, so skipping it
+			// reproduces the pre-crash state.
+			db.recovery.Failed++
+			return nil
+		}
+	case walOpRemove:
+		id, err := decodeWALRemove(r.Payload)
+		if err != nil {
+			return fmt.Errorf("core: wal record %d: %w", r.LSN, err)
+		}
+		if _, ok := db.Record(id); !ok {
+			db.recovery.SkippedMissing++
+			return nil
+		}
+		if err := db.Remove(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+			// The in-memory removal succeeded (the id was present above);
+			// only an archive fault can land here. A missing raw is the
+			// expected replay overlap — the original remove already
+			// deleted it — anything else is a real storage fault.
+			db.recovery.Failed++
+			return nil
+		}
+	default:
+		return fmt.Errorf("core: wal record %d: unknown op %d", r.LSN, r.Op)
+	}
+	db.recovery.Applied++
+	return nil
+}
+
+// Recovery reports what the boot-time replay did (zero value when the
+// database was not opened via OpenDir or had nothing to replay).
+func (db *DB) Recovery() RecoveryStats { return db.recovery }
+
+// walAppend logs one operation and waits until it is fsync-durable,
+// stamping the current mutation generation into the record. Called with
+// db.ckptMu held for reading: the append→commit window must complete
+// before a checkpoint may rotate the log (otherwise a record could land
+// in a sealed segment while its in-memory commit misses the snapshot —
+// truncation would then lose an acknowledged write).
+func (db *DB) walAppend(op byte, payload []byte) error {
+	if _, err := db.wal.Append(op, db.gen.Load(), payload); err != nil {
+		return fmt.Errorf("core: wal append: %w", err)
+	}
+	return nil
+}
+
+func encodeWALIngest(id string, s seq.Sequence) ([]byte, error) {
+	if len(id) > math.MaxUint16 {
+		return nil, fmt.Errorf("core: id of %d bytes exceeds the wal record limit", len(id))
+	}
+	buf := make([]byte, 0, 2+len(id)+4+16*len(s))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	for _, p := range s {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.T))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.V))
+	}
+	return buf, nil
+}
+
+func decodeWALIngest(payload []byte) (string, seq.Sequence, error) {
+	if len(payload) < 2 {
+		return "", nil, fmt.Errorf("truncated ingest payload")
+	}
+	idLen := int(binary.LittleEndian.Uint16(payload))
+	payload = payload[2:]
+	if len(payload) < idLen+4 {
+		return "", nil, fmt.Errorf("truncated ingest payload")
+	}
+	id := string(payload[:idLen])
+	payload = payload[idLen:]
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if len(payload) != 16*n {
+		return "", nil, fmt.Errorf("ingest payload holds %d bytes for %d samples", len(payload), n)
+	}
+	s := make(seq.Sequence, n)
+	for i := range s {
+		s[i].T = math.Float64frombits(binary.LittleEndian.Uint64(payload[16*i:]))
+		s[i].V = math.Float64frombits(binary.LittleEndian.Uint64(payload[16*i+8:]))
+	}
+	return id, s, nil
+}
+
+func encodeWALRemove(id string) ([]byte, error) {
+	if len(id) > math.MaxUint16 {
+		return nil, fmt.Errorf("core: id of %d bytes exceeds the wal record limit", len(id))
+	}
+	buf := make([]byte, 0, 2+len(id))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	return append(buf, id...), nil
+}
+
+func decodeWALRemove(payload []byte) (string, error) {
+	if len(payload) < 2 {
+		return "", fmt.Errorf("truncated remove payload")
+	}
+	idLen := int(binary.LittleEndian.Uint16(payload))
+	if len(payload) != 2+idLen {
+		return "", fmt.Errorf("remove payload holds %d bytes for a %d-byte id", len(payload)-2, idLen)
+	}
+	return string(payload[2:]), nil
+}
+
+// Checkpoint folds the write-ahead log into a fresh snapshot:
+//
+//  1. rotate the log (briefly excluding the append→commit windows, so
+//     every record in the sealed segments is committed in memory),
+//  2. save a point-in-time snapshot — it covers at least every sealed
+//     record,
+//  3. truncate the sealed segments.
+//
+// A crash between any two steps is safe: before the truncation the old
+// snapshot plus the full log still replay to the acknowledged state
+// (records the new snapshot also holds are skipped idempotently), and
+// the snapshot write itself is atomic-and-durable (temp file, fsync,
+// rename, directory sync). Checkpoints serialize; concurrent writes keep
+// committing throughout except during the rotation itself.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return fmt.Errorf("core: database has no write-ahead log (not opened via OpenDir)")
+	}
+	db.ckptRun.Lock()
+	defer db.ckptRun.Unlock()
+	db.ckptMu.Lock()
+	base, err := db.wal.Rotate()
+	db.ckptMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := db.SaveFile(filepath.Join(db.dataDir, SnapshotFileName), nil); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := db.wal.TruncateBefore(base); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	now := time.Now()
+	db.lastCkpt.Store(&now)
+	return nil
+}
+
+// WALStats describes the durable write path's current depth, for health
+// reporting and checkpoint scheduling.
+type WALStats struct {
+	// Records is the number of log records a crash right now would
+	// replay (appends since the last completed checkpoint).
+	Records uint64
+	// Bytes is the on-disk size of the retained log segments.
+	Bytes int64
+	// Segments is the retained segment file count.
+	Segments int
+	// LastCheckpoint is when the last checkpoint completed — at boot,
+	// the loaded snapshot's modification time. Zero when this database
+	// has never checkpointed and booted without a snapshot.
+	LastCheckpoint time.Time
+}
+
+// WALStats reports the write-ahead log's depth; ok is false when the
+// database has no log (not opened via OpenDir).
+func (db *DB) WALStats() (WALStats, bool) {
+	if db.wal == nil {
+		return WALStats{}, false
+	}
+	st := db.wal.Stats()
+	out := WALStats{Records: st.Records, Bytes: st.Bytes, Segments: st.Segments}
+	if t := db.lastCkpt.Load(); t != nil {
+		out.LastCheckpoint = *t
+	}
+	return out, true
+}
+
+// Close releases the write-ahead log (flushing and syncing its tail).
+// Writes racing with Close fail unacknowledged; queries are unaffected.
+// A database without a log closes trivially.
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
+}

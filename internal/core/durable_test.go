@@ -1,0 +1,409 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+// durSeq builds a small but non-trivial sequence (two bumps over a
+// baseline) that exercises the full ingest pipeline.
+func durSeq(seed int) seq.Sequence {
+	s := make(seq.Sequence, 48)
+	for i := range s {
+		v := 98.0 + 0.1*float64(seed%7)
+		v += 2.5 * math.Exp(-math.Pow(float64(i)-12, 2)/8)
+		v += 1.5 * math.Exp(-math.Pow(float64(i)-34, 2)/6)
+		s[i] = seq.Point{T: float64(i), V: v}
+	}
+	return s
+}
+
+func mustOpenDir(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := OpenDir(dir, Config{})
+	if err != nil {
+		t.Fatalf("OpenDir(%s): %v", dir, err)
+	}
+	return db
+}
+
+func TestOpenDirFreshReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	for i := 0; i < 3; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	if st, ok := db.WALStats(); !ok || st.Records != 3 {
+		t.Fatalf("WALStats = %+v, %v; want 3 records", st, ok)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No checkpoint ever ran: boot state comes entirely from the log.
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFileName)); !os.IsNotExist(err) {
+		t.Fatalf("snapshot exists before any checkpoint: %v", err)
+	}
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 3 {
+		t.Fatalf("recovered Len = %d, want 3", db2.Len())
+	}
+	rec := db2.Recovery()
+	if rec.Replayed != 3 || rec.Applied != 3 || rec.Failed != 0 {
+		t.Fatalf("Recovery = %+v", rec)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := db2.Record(fmt.Sprintf("r%d", i)); !ok {
+			t.Fatalf("r%d missing after recovery", i)
+		}
+	}
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	for i := 0; i < 3; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st, ok := db.WALStats()
+	if !ok || st.Records != 0 {
+		t.Fatalf("after checkpoint WALStats = %+v; want empty log", st)
+	}
+	if st.LastCheckpoint.IsZero() {
+		t.Fatal("LastCheckpoint not stamped")
+	}
+	// Post-checkpoint mutations land in the (now short) log.
+	mustIngest(t, db, "r3", durSeq(3))
+	mustIngest(t, db, "r4", durSeq(4))
+	if err := db.Remove("r0"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 4 {
+		t.Fatalf("recovered Len = %d, want 4", db2.Len())
+	}
+	rec := db2.Recovery()
+	if rec.Replayed != 3 || rec.Applied != 3 {
+		t.Fatalf("Recovery = %+v; want exactly the 3 post-checkpoint records replayed", rec)
+	}
+	if _, ok := db2.Record("r0"); ok {
+		t.Fatal("r0 resurrected: the replayed remove was lost")
+	}
+	for _, id := range []string{"r1", "r2", "r3", "r4"} {
+		if _, ok := db2.Record(id); !ok {
+			t.Fatalf("%s missing after recovery", id)
+		}
+	}
+	if st, _ := db2.WALStats(); st.LastCheckpoint.IsZero() {
+		t.Fatal("boot did not adopt the snapshot time as LastCheckpoint")
+	}
+}
+
+// TestReplayIdempotentOverlap simulates a crash in the checkpoint window
+// after the snapshot was written but before the log was truncated: every
+// log record is also in the snapshot, and replay must skip them all —
+// no duplicate ingests.
+func TestReplayIdempotentOverlap(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	for i := 0; i < 3; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	if err := db.SaveFile(filepath.Join(dir, SnapshotFileName), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 3 {
+		t.Fatalf("recovered Len = %d, want 3", db2.Len())
+	}
+	rec := db2.Recovery()
+	if rec.Replayed != 3 || rec.SkippedDuplicate != 3 || rec.Applied != 0 {
+		t.Fatalf("Recovery = %+v; want all 3 skipped as duplicates", rec)
+	}
+}
+
+// TestReplaySkipsRemoveOfAbsent covers the other overlap direction: the
+// snapshot already reflects a remove that is still in the log.
+func TestReplaySkipsRemoveOfAbsent(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	mustIngest(t, db, "victim", durSeq(1))
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove("victim"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-window snapshot: state after the remove, log still holding it.
+	if err := db.SaveFile(filepath.Join(dir, SnapshotFileName), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 0 {
+		t.Fatalf("recovered Len = %d, want 0", db2.Len())
+	}
+	rec := db2.Recovery()
+	if rec.SkippedMissing != 1 || rec.Applied != 0 {
+		t.Fatalf("Recovery = %+v; want the remove skipped as missing", rec)
+	}
+}
+
+// TestRecoverTornWALTail: garbage appended to the live segment (what a
+// crash mid-append leaves) must not cost any acknowledged record.
+func TestRecoverTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	mustIngest(t, db, "a", durSeq(1))
+	mustIngest(t, db, "b", durSeq(2))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, WALDirName, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("wal segments: %v, %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", db2.Len())
+	}
+	// And the recovered database keeps writing durably.
+	mustIngest(t, db2, "c", durSeq(3))
+}
+
+// TestCrashCutPrefixes cuts the WAL at a spread of byte offsets —
+// including mid-frame — and requires every prefix to boot to exactly the
+// records whose frames are wholly before the cut, with nothing
+// duplicated and nothing partial. (The exhaustive every-offset sweep
+// lives in internal/wal; this asserts the same property end-to-end
+// through OpenDir.)
+func TestCrashCutPrefixes(t *testing.T) {
+	src := t.TempDir()
+	db := mustOpenDir(t, src)
+	const n = 3
+	for i := 0; i < n; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(src, WALDirName, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("wal segments: %v, %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+
+	// Walk the frames to find each record's end offset (13-byte segment
+	// header, then crc u32 | blen u32 | body frames).
+	var whole []int
+	off := 13
+	for off < len(data) {
+		blen := int(binary.LittleEndian.Uint32(data[off+4:]))
+		off += 8 + blen
+		whole = append(whole, off)
+	}
+	if len(whole) != n || off != len(data) {
+		t.Fatalf("frame walk found %d records ending at %d (file %d bytes)", len(whole), off, len(data))
+	}
+
+	for cut := 0; cut <= len(data); cut += 11 {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, WALDirName), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, WALDirName, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dbc := mustOpenDir(t, dir)
+		want := 0
+		for want < n && whole[want] <= cut {
+			want++
+		}
+		if dbc.Len() != want {
+			t.Fatalf("cut %d: Len = %d, want %d", cut, dbc.Len(), want)
+		}
+		for i := 0; i < want; i++ {
+			if _, ok := dbc.Record(fmt.Sprintf("r%d", i)); !ok {
+				t.Fatalf("cut %d: acknowledged r%d lost", cut, i)
+			}
+		}
+		dbc.Close()
+	}
+}
+
+// TestConcurrentIngestAndCheckpoint races writers against checkpoints
+// (run under -race in CI): every acknowledged write must survive the
+// final reboot, however the checkpoint windows interleaved.
+func TestConcurrentIngestAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	const (
+		writers = 4
+		each    = 6
+	)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		acked []string
+	)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := fmt.Sprintf("w%d-%d", g, i)
+				if err := db.Ingest(id, durSeq(g*each+i)); err != nil {
+					t.Errorf("ingest %s: %v", id, err)
+					return
+				}
+				mu.Lock()
+				acked = append(acked, id)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	ckptDone := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 4 && err == nil; i++ {
+			err = db.Checkpoint()
+		}
+		ckptDone <- err
+	}()
+	wg.Wait()
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("concurrent checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != len(acked) {
+		t.Fatalf("recovered Len = %d, want %d", db2.Len(), len(acked))
+	}
+	for _, id := range acked {
+		if _, ok := db2.Record(id); !ok {
+			t.Fatalf("acknowledged %s lost across checkpointed reboot", id)
+		}
+	}
+}
+
+func TestWALCodecRoundTrip(t *testing.T) {
+	s := durSeq(5)
+	payload, err := encodeWALIngest("some-id", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, got, err := decodeWALIngest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "some-id" || len(got) != len(s) {
+		t.Fatalf("decoded id %q, %d samples", id, len(got))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], s[i])
+		}
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, err := decodeWALIngest(payload[:cut]); err == nil && cut < len(payload) {
+			t.Fatalf("truncated ingest payload (%d of %d bytes) decoded", cut, len(payload))
+		}
+	}
+
+	rp, err := encodeWALRemove("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := decodeWALRemove(rp)
+	if err != nil || rid != "gone" {
+		t.Fatalf("remove round trip: %q, %v", rid, err)
+	}
+	if _, err := decodeWALRemove(rp[:1]); err == nil {
+		t.Fatal("truncated remove payload decoded")
+	}
+}
+
+func TestDurableValidation(t *testing.T) {
+	if _, err := OpenDir("", Config{}); err == nil {
+		t.Fatal("OpenDir(\"\") succeeded")
+	}
+	db := mustDB(t, Config{})
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a log-less database succeeded")
+	}
+	if _, ok := db.WALStats(); ok {
+		t.Fatal("WALStats ok on a log-less database")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close on a log-less database: %v", err)
+	}
+}
+
+// TestWritesFailAfterClose: a closed durable database must refuse writes
+// rather than acknowledge them without logging.
+func TestWritesFailAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDir(t, dir)
+	mustIngest(t, db, "a", durSeq(1))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest("b", durSeq(2)); err == nil {
+		t.Fatal("Ingest after Close acknowledged")
+	}
+	if err := db.Remove("a"); err == nil {
+		t.Fatal("Remove after Close acknowledged")
+	}
+	// The unacknowledged post-Close writes must not surface at boot.
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 1 {
+		t.Fatalf("recovered Len = %d, want 1", db2.Len())
+	}
+	if _, ok := db2.Record("a"); !ok {
+		t.Fatal("a missing")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"seqrep/internal/feature"
 	"seqrep/internal/multires"
 	"seqrep/internal/rep"
+	"seqrep/internal/store"
 )
 
 // Database snapshot format. Representations and the query-planner feature
@@ -217,6 +218,13 @@ func (db *DB) SaveFile(path string, wrap func(io.Writer) io.Writer) (err error) 
 		return fmt.Errorf("core: save %s: %w", path, err)
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	// The rename put the snapshot's name into the directory, but that
+	// entry lives in directory metadata: without syncing the directory a
+	// power loss can forget the rename even though the file's bytes were
+	// fsync'd above.
+	if err = store.SyncDir(dir); err != nil {
 		return fmt.Errorf("core: save %s: %w", path, err)
 	}
 	return nil

@@ -1,0 +1,117 @@
+package server
+
+// Durable-mode server tests: a DirSnapshotter-backed server must report
+// the write-ahead log in /healthz and /metrics, turn /v1/snapshot/save
+// into a checkpoint, refuse /v1/snapshot/load (409), and recover every
+// acknowledged write across a reboot of the same data directory.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"seqrep"
+	"seqrep/client"
+)
+
+func durableServer(t *testing.T, dir string) (*Server, *client.Client, *DirSnapshotter) {
+	t.Helper()
+	snap := &DirSnapshotter{Dir: dir, Config: seqrep.Config{}}
+	db, err := snap.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, cl := testServer(t, Config{DB: db, Snapshotter: snap})
+	return srv, cl, snap
+}
+
+func TestDurableServerLifecycle(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	srv, cl, snap := durableServer(t, dir)
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Durable || h.WALRecords != 0 || h.LastCheckpointAgeSeconds != nil {
+		t.Fatalf("fresh durable health = %+v", h)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Ingest(ctx, feverItem(t, "rec"+string(rune('a'+i)), i)); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	h, err = cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WALRecords != 3 || h.WALBytes == 0 || h.WALSegments == 0 {
+		t.Fatalf("health after 3 ingests = %+v", h)
+	}
+
+	// Save runs as a checkpoint: log truncated, operation renamed.
+	sr, err := cl.SaveSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Op != "checkpoint" || sr.Sequences != 3 || sr.WALRecords != 0 {
+		t.Fatalf("SaveSnapshot = %+v", sr)
+	}
+	h, err = cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WALRecords != 0 || h.LastCheckpointAgeSeconds == nil {
+		t.Fatalf("health after checkpoint = %+v", h)
+	}
+
+	// Hot-swapping a live log is refused, loudly.
+	if _, err := cl.LoadSnapshot(ctx); err == nil || !strings.Contains(err.Error(), "durable") {
+		t.Fatalf("LoadSnapshot against durable server: %v, want a 409 refusal", err)
+	}
+
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seqserved_wal_records", "seqserved_wal_bytes", "seqserved_wal_segments", "seqserved_last_checkpoint_age_seconds"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// Write after the checkpoint, then reboot the directory: both the
+	// checkpointed and the logged-only records must come back.
+	if _, err := cl.Ingest(ctx, feverItem(t, "late", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DB().Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := snap.Open()
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != 4 {
+		t.Fatalf("rebooted Len = %d, want 4", db2.Len())
+	}
+	rec := db2.Recovery()
+	if rec.Replayed != 1 || rec.Applied != 1 {
+		t.Fatalf("reboot Recovery = %+v; want exactly the post-checkpoint ingest", rec)
+	}
+}
+
+func TestHealthNotDurableByDefault(t *testing.T) {
+	_, cl := testServer(t, Config{})
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Durable || h.WALRecords != 0 || h.LastCheckpointAgeSeconds != nil {
+		t.Fatalf("in-memory health reports durability: %+v", h)
+	}
+}

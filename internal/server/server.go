@@ -448,11 +448,19 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.SnapshotResponse{
+	resp := api.SnapshotResponse{
 		Op:         "save",
 		Sequences:  db.Len(),
 		Generation: db.Generation(),
-	})
+	}
+	// Against a durable database the save ran as a checkpoint: name it,
+	// and report the (freshly truncated) log depth.
+	if st, ok := db.WALStats(); ok {
+		resp.Op = "checkpoint"
+		resp.WALRecords = st.Records
+		resp.WALBytes = st.Bytes
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
@@ -462,7 +470,11 @@ func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	db, err := s.snap.Load()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrSwapUnsupported) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
 		return
 	}
 	s.dbMu.Lock()
@@ -484,11 +496,22 @@ func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	db := s.DB()
-	writeJSON(w, http.StatusOK, api.HealthResponse{
+	resp := api.HealthResponse{
 		Status:     "ok",
 		Sequences:  db.Len(),
 		Generation: db.Generation(),
-	})
+	}
+	if st, ok := db.WALStats(); ok {
+		resp.Durable = true
+		resp.WALRecords = st.Records
+		resp.WALBytes = st.Bytes
+		resp.WALSegments = st.Segments
+		if !st.LastCheckpoint.IsZero() {
+			age := time.Since(st.LastCheckpoint).Seconds()
+			resp.LastCheckpointAgeSeconds = &age
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -506,6 +529,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(&b, "seqserved_generation %d\n", db.Generation())
 	fmt.Fprintf(&b, "seqserved_sequences %d\n", db.Len())
+	if st, ok := db.WALStats(); ok {
+		fmt.Fprintf(&b, "# HELP seqserved_wal_records Write-ahead-log records a crash would replay.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_wal_records gauge\n")
+		fmt.Fprintf(&b, "seqserved_wal_records %d\n", st.Records)
+		fmt.Fprintf(&b, "seqserved_wal_bytes %d\n", st.Bytes)
+		fmt.Fprintf(&b, "seqserved_wal_segments %d\n", st.Segments)
+		if !st.LastCheckpoint.IsZero() {
+			fmt.Fprintf(&b, "seqserved_last_checkpoint_age_seconds %g\n", time.Since(st.LastCheckpoint).Seconds())
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -54,6 +54,43 @@ func (f *FileSnapshotter) Load() (*seqrep.DB, error) {
 	return seqrep.LoadFile(f.Path, f.Config)
 }
 
+// ErrSwapUnsupported reports a /v1/snapshot/load against a durable
+// (data-dir) database: the live write-ahead log cannot be hot-swapped
+// out from under in-flight writers, and the state is already durable —
+// recovery happens at boot. The handler maps it to 409.
+var ErrSwapUnsupported = errors.New("server: a durable data-dir database cannot hot-swap snapshots; restart to recover")
+
+// DirSnapshotter adapts a durable data-dir database (seqrep.OpenDir) to
+// the Snapshotter surface: Save runs a checkpoint — snapshot, then
+// write-ahead-log truncation — instead of a bare file write, so
+// /v1/snapshot/save and the graceful-shutdown save also reclaim the log.
+// Load is unsupported (ErrSwapUnsupported): durable state recovers at
+// boot, not by swapping a live log.
+type DirSnapshotter struct {
+	// Dir is the data directory (snapshot + wal/).
+	Dir string
+	// Config supplies the code components when opening; scalar
+	// parameters come from the snapshot itself.
+	Config seqrep.Config
+}
+
+// Open recovers (or creates) the durable database — cmd/seqserved's boot
+// path.
+func (d *DirSnapshotter) Open() (*seqrep.DB, error) {
+	return seqrep.OpenDir(d.Dir, d.Config)
+}
+
+// Save implements Snapshotter by checkpointing: the snapshot covers
+// every acknowledged write, then the covered log segments are truncated.
+func (d *DirSnapshotter) Save(db *seqrep.DB) error {
+	return db.Checkpoint()
+}
+
+// Load implements Snapshotter; it always fails with ErrSwapUnsupported.
+func (d *DirSnapshotter) Load() (*seqrep.DB, error) {
+	return nil, ErrSwapUnsupported
+}
+
 // Exists reports whether a snapshot file is present (used at boot to
 // decide between loading and starting fresh). A stat failure other than
 // plain absence is returned, not swallowed: treating "cannot tell" as

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqrep/internal/seq"
+)
+
+func durSample() seq.Sequence {
+	s := make(seq.Sequence, 32)
+	for i := range s {
+		s[i] = seq.Point{T: float64(i), V: float64(i % 5)}
+	}
+	return s
+}
+
+// TestPutSyncsBeforeRename pins the fsync ordering of the atomic write:
+// the temp file's bytes must be durable BEFORE the rename publishes the
+// final name (renaming un-synced bytes can surface an empty or partial
+// file under the final name after a power loss), and the directory must
+// be fsync'd after it.
+func TestPutSyncsBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := fsyncFile
+	defer func() { fsyncFile = orig }()
+
+	final := filepath.Join(dir, "ecg.sraw")
+	var calls []string
+	finalExistedAtFileSync := false
+	fsyncFile = func(f *os.File) error {
+		calls = append(calls, f.Name())
+		if len(calls) == 1 {
+			if _, err := os.Stat(final); err == nil {
+				finalExistedAtFileSync = true
+			}
+		}
+		return orig(f)
+	}
+	if err := a.Put("ecg", durSample()); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("fsync called %d times (%v), want temp file then directory", len(calls), calls)
+	}
+	if !strings.HasPrefix(filepath.Base(calls[0]), "put-") {
+		t.Errorf("first fsync hit %q, want the temp file", calls[0])
+	}
+	if calls[1] != dir {
+		t.Errorf("second fsync hit %q, want the directory %q", calls[1], dir)
+	}
+	if finalExistedAtFileSync {
+		t.Error("final name already existed when the data fsync ran: rename preceded sync")
+	}
+}
+
+// TestPutFsyncFailureKeepsOldValue: when the data fsync fails, Put must
+// fail without touching the final name — the previously stored value
+// stays readable and no temp litter is left behind.
+func TestPutFsyncFailureKeepsOldValue(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := durSample()
+	if err := a.Put("ecg", old); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := fsyncFile
+	defer func() { fsyncFile = orig }()
+	injected := errors.New("injected fsync failure")
+	fsyncFile = func(f *os.File) error { return injected }
+
+	replacement := durSample()
+	replacement[0].V = 999
+	if err := a.Put("ecg", replacement); !errors.Is(err, injected) {
+		t.Fatalf("Put with failing fsync: %v, want the injected error", err)
+	}
+	fsyncFile = orig
+
+	got, err := a.Get("ecg")
+	if err != nil {
+		t.Fatalf("Get after failed Put: %v", err)
+	}
+	if got[0].V != old[0].V {
+		t.Fatalf("failed Put replaced the stored value: V[0] = %v", got[0].V)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "put-") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestPutDyingWriterNeverSurfaces drives Put through the dying-writer
+// harness: a write stream that fails mid-body must never let the partial
+// file reach the final name, and must leave an existing value intact.
+func TestPutDyingWriterNeverSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := durSample()
+	if err := a.Put("ecg", old); err != nil {
+		t.Fatal(err)
+	}
+
+	a.WrapWriter = func(w io.Writer) io.Writer { return NewFailAfterWriter(w, 11) }
+	replacement := durSample()
+	replacement[0].V = 999
+	if err := a.Put("ecg", replacement); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("Put through dying writer: %v, want ErrInjectedWrite", err)
+	}
+	a.WrapWriter = nil
+
+	got, err := a.Get("ecg")
+	if err != nil {
+		t.Fatalf("Get after dying-writer Put: %v", err)
+	}
+	if len(got) != len(old) || got[0].V != old[0].V {
+		t.Fatal("partial write surfaced under the final name")
+	}
+
+	// And for a brand-new id the failure must leave nothing at all.
+	a.WrapWriter = func(w io.Writer) io.Writer { return NewFailAfterWriter(w, 11) }
+	if err := a.Put("fresh", durSample()); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("Put through dying writer: %v", err)
+	}
+	a.WrapWriter = nil
+	if _, err := a.Get("fresh"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of never-committed id: %v, want ErrNotFound", err)
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}

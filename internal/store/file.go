@@ -20,6 +20,12 @@ import (
 type FileArchive struct {
 	dir string
 	mu  sync.Mutex
+
+	// WrapWriter, when non-nil, decorates the temp-file writer on every
+	// Put — the fault-injection hook used by the dying-writer tests (in
+	// the style of FileSnapshotter.WrapWriter and CountingArchive).
+	// Production callers leave it nil.
+	WrapWriter func(io.Writer) io.Writer
 }
 
 // Raw-sequence file format:
@@ -31,6 +37,28 @@ type FileArchive struct {
 var rawMagic = [4]byte{'S', 'R', 'A', 'W'}
 
 const rawVersion = 1
+
+// fsyncFile is an indirection over (*os.File).Sync so the fault tests
+// can fail or observe the sync that must precede every rename (compare
+// FailAfterWriter). Production code never replaces it.
+var fsyncFile = (*os.File).Sync
+
+// SyncDir fsyncs a directory, making the renames, creates and removes
+// inside it durable. A rename alone moves bytes safely, but the new
+// directory entry lives in the directory's own metadata — without this
+// sync a power loss can forget the rename even though the file's
+// contents were fsync'd, leaving the old name (or nothing) behind.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := fsyncFile(d); err != nil {
+		return fmt.Errorf("store: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
 
 // NewFileArchive opens (creating if needed) a directory-backed archive.
 func NewFileArchive(dir string) (*FileArchive, error) {
@@ -55,8 +83,11 @@ func (a *FileArchive) path(id string) (string, error) {
 	return filepath.Join(a.dir, id+".sraw"), nil
 }
 
-// Put implements Archive. The write is atomic: data lands in a temp file
-// renamed into place.
+// Put implements Archive. The write is atomic AND durable: data lands in
+// a temp file that is fsync'd before the rename (a rename of un-synced
+// bytes can surface a zero-length or partial file under the final name
+// after a power loss), and the directory is fsync'd after it so the new
+// entry itself survives the crash.
 func (a *FileArchive) Put(id string, s seq.Sequence) error {
 	p, err := a.path(id)
 	if err != nil {
@@ -69,9 +100,17 @@ func (a *FileArchive) Put(id string, s seq.Sequence) error {
 		return fmt.Errorf("store: temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := writeRaw(tmp, s); err != nil {
+	var w io.Writer = tmp
+	if a.WrapWriter != nil {
+		w = a.WrapWriter(tmp)
+	}
+	if err := writeRaw(w, s); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing %q: %w", id, err)
+	}
+	if err := fsyncFile(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %q: %w", id, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: closing %q: %w", id, err)
@@ -79,7 +118,7 @@ func (a *FileArchive) Put(id string, s seq.Sequence) error {
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return fmt.Errorf("store: committing %q: %w", id, err)
 	}
-	return nil
+	return SyncDir(a.dir)
 }
 
 // Get implements Archive.

@@ -1,0 +1,87 @@
+package wal
+
+// BenchmarkWALIngest measures the group commit at the log layer: many
+// concurrent appenders sharing fsyncs against one appender paying a full
+// fsync per record. The workload is pure append — the payload is a
+// typical small ingest record — so the ratio isolates what group commit
+// buys the durable write path. The run emits BENCH_wal.json; CI gates on
+// group_commit_speedup >= 5.
+//
+// (internal/core's BenchmarkDurableIngest measures the same two shapes
+// end-to-end through the ingest pipeline, where representation building
+// shares the clock with the fsyncs.)
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync/atomic"
+	"testing"
+)
+
+type benchWALReport struct {
+	Benchmark         string  `json:"benchmark"`
+	PayloadBytes      int     `json:"payload_bytes"`
+	Appenders         int     `json:"appenders"`
+	GroupNsPerRecord  float64 `json:"group_ns_per_record"`
+	SerialNsPerRecord float64 `json:"serial_ns_per_record"`
+	GroupSpeedup      float64 `json:"group_commit_speedup"`
+}
+
+func BenchmarkWALIngest(b *testing.B) {
+	const appenders = 16
+	payload := bytes.Repeat([]byte{0x42}, 256)
+	report := benchWALReport{Benchmark: "WALIngest", PayloadBytes: len(payload), Appenders: appenders}
+
+	open := func(b *testing.B) *WAL {
+		b.Helper()
+		w, err := Open(b.TempDir(), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		return w
+	}
+
+	b.Run("GroupCommit", func(b *testing.B) {
+		w := open(b)
+		var gen atomic.Uint64
+		b.SetParallelism(appenders)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := w.Append(1, gen.Add(1), payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		report.GroupNsPerRecord = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(report.GroupNsPerRecord, "ns/record")
+	})
+	b.Run("PerWriteFsync", func(b *testing.B) {
+		w := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Append(1, uint64(i), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report.SerialNsPerRecord = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(report.SerialNsPerRecord, "ns/record")
+	})
+
+	if report.GroupNsPerRecord > 0 && report.SerialNsPerRecord > 0 {
+		report.GroupSpeedup = report.SerialNsPerRecord / report.GroupNsPerRecord
+		b.ReportMetric(report.GroupSpeedup, "group_commit_speedup")
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_wal.json", append(blob, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_wal.json not written: %v", err)
+		}
+	}
+}

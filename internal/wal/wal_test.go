@@ -1,0 +1,513 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// appendAll logs each payload as op=1, gen=index and returns the LSNs.
+func appendAll(t *testing.T, w *WAL, payloads [][]byte) []uint64 {
+	t.Helper()
+	lsns := make([]uint64, len(payloads))
+	for i, p := range payloads {
+		lsn, err := w.Append(1, uint64(i), p)
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		lsns[i] = lsn
+	}
+	return lsns
+}
+
+// collect replays w into a slice.
+func collect(t *testing.T, w *WAL) []Record {
+	t.Helper()
+	var recs []Record
+	if err := w.Replay(func(r Record) error {
+		// Payload aliases the replay buffer per record; copy for keeping.
+		r.Payload = append([]byte(nil), r.Payload...)
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello, wal"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	lsns := appendAll(t, w, payloads)
+	for i, lsn := range lsns {
+		if want := uint64(i + 1); lsn != want {
+			t.Errorf("LSN[%d] = %d, want %d", i, lsn, want)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs := collect(t, w2)
+	if len(recs) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.Op != 1 || r.Gen != uint64(i) || r.LSN != uint64(i+1) {
+			t.Errorf("record %d = op %d gen %d lsn %d", i, r.Op, r.Gen, r.LSN)
+		}
+		if !bytes.Equal(r.Payload, payloads[i]) {
+			t.Errorf("record %d payload mismatch", i)
+		}
+	}
+	// The recovered log keeps accepting appends at the next LSN.
+	lsn, err := w2.Append(2, 99, []byte("after recovery"))
+	if err != nil {
+		t.Fatalf("Append after replay: %v", err)
+	}
+	if want := uint64(len(payloads) + 1); lsn != want {
+		t.Errorf("post-recovery LSN = %d, want %d", lsn, want)
+	}
+}
+
+// TestTornTailEveryOffset is the crash-interruption property suite: a log
+// of records is cut at EVERY byte offset — inside the segment header,
+// inside frame headers, inside bodies, and on clean frame boundaries —
+// and each prefix must (a) recover without error, (b) replay exactly the
+// records whose frames lie wholly before the cut (acknowledged writes
+// never vanish, partial writes never surface), and (c) accept new
+// appends at the correct next LSN.
+func TestTornTailEveryOffset(t *testing.T) {
+	// Build the reference log. NoSync keeps the suite fast; Close flushes.
+	src := t.TempDir()
+	w, err := Open(src, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		[]byte("first"),
+		nil,
+		[]byte("third-record-with-a-longer-payload"),
+		bytes.Repeat([]byte{0x5A}, 64),
+		[]byte("five"),
+	}
+	appendAll(t, w, payloads)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segName := fmt.Sprintf("%s%016x%s", segPrefix, 1, segSuffix)
+	data, err := os.ReadFile(filepath.Join(src, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries: whole[i] is the offset at which record i is
+	// wholly on disk.
+	whole := make([]int64, len(payloads)+1)
+	whole[0] = headerSize
+	for i, p := range payloads {
+		whole[i+1] = whole[i] + int64(frameHead+1+8+len(p))
+	}
+	if whole[len(payloads)] != int64(len(data)) {
+		t.Fatalf("frame accounting: computed end %d, file is %d bytes", whole[len(payloads)], len(data))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wc, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		recs := collect(t, wc)
+
+		wantN := 0
+		for wantN < len(payloads) && whole[wantN+1] <= int64(cut) {
+			wantN++
+		}
+		if len(recs) != wantN {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if !bytes.Equal(recs[i].Payload, payloads[i]) || recs[i].LSN != uint64(i+1) {
+				t.Fatalf("cut %d: record %d corrupted by recovery", cut, i)
+			}
+		}
+		// Recovery truncated the torn bytes; the next append must land
+		// on a clean boundary and survive its own replay.
+		lsn, err := wc.Append(7, 7, []byte("resumed"))
+		if err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if want := uint64(wantN + 1); lsn != want {
+			t.Fatalf("cut %d: resumed LSN = %d, want %d", cut, lsn, want)
+		}
+		if err := wc.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		wr, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		recs = collect(t, wr)
+		if len(recs) != wantN+1 || string(recs[wantN].Payload) != "resumed" {
+			t.Fatalf("cut %d: after resume replayed %d records", cut, len(recs))
+		}
+		wr.Close()
+	}
+}
+
+// TestCorruptMiddleFails: the torn-tail tolerance must not extend to
+// damage before the tail — a flipped byte in an interior record is real
+// corruption and recovery must refuse, not silently drop the record.
+func TestCorruptMiddleFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("one"), []byte("two"), []byte("three")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, 1, segSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the FIRST record's body (offset headerSize +
+	// frameHead lands on its op byte).
+	data[headerSize+frameHead] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wc, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	// The damaged record is followed by intact frames, so this is not a
+	// crash tear: truncating here would silently drop the acknowledged
+	// records behind it. Recovery must refuse.
+	if err := wc.Replay(func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay of interior damage: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptLastFrameTruncates: a CRC failure on the physically last
+// frame IS a crash tear (out-of-order page writeback can persist a
+// frame's length before its body) and recovery truncates it, keeping
+// everything before.
+func TestCorruptLastFrameTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("one"), []byte("two"), []byte("three")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, 1, segSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // inside the last record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wc, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	recs := collect(t, wc)
+	if len(recs) != 2 || string(recs[0].Payload) != "one" || string(recs[1].Payload) != "two" {
+		t.Fatalf("after tail-frame damage replayed %d records", len(recs))
+	}
+	if lsn, err := w.Append(1, 0, nil); err == nil || lsn != 0 {
+		t.Fatalf("Append on the closed source log: lsn %d, err %v", lsn, err)
+	}
+	if lsn, err := wc.Append(1, 9, []byte("resumed")); err != nil || lsn != 3 {
+		t.Fatalf("resume after tail truncation: lsn %d, err %v", lsn, err)
+	}
+}
+
+// TestCorruptNonFinalSegmentFails: damage in a sealed (non-final)
+// segment is never repairable — every record there was acknowledged.
+func TestCorruptNonFinalSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("one"), []byte("two")})
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("three")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shear the tail off the FIRST segment.
+	path := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, 1, segSuffix))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wc, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if err := wc.Replay(func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay of sheared sealed segment: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotateAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny SegmentBytes forces organic rotation as well.
+	var payloads [][]byte
+	for i := 0; i < 20; i++ {
+		payloads = append(payloads, bytes.Repeat([]byte{byte(i)}, 16))
+	}
+	appendAll(t, w, payloads)
+	st := w.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d, want rotation to have happened", st.Segments)
+	}
+	if st.Records != 20 || st.NextLSN != 21 {
+		t.Fatalf("Stats = %+v", st)
+	}
+
+	// Checkpoint protocol: rotate, then truncate everything below the
+	// returned base.
+	base, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 21 {
+		t.Fatalf("Rotate base = %d, want 21", base)
+	}
+	if err := w.TruncateBefore(base); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Stats()
+	if st.Records != 0 || st.Segments != 1 {
+		t.Fatalf("after truncation Stats = %+v", st)
+	}
+
+	// Post-truncation appends continue the LSN sequence and survive
+	// reopen; the truncated records are gone.
+	lsn, err := w.Append(1, 0, []byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 21 {
+		t.Fatalf("post-truncation LSN = %d, want 21", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs := collect(t, w2)
+	if len(recs) != 1 || string(recs[0].Payload) != "fresh" || recs[0].LSN != 21 {
+		t.Fatalf("after truncation replay = %+v", recs)
+	}
+}
+
+// TestRotateEmptySegment: rotating an empty segment is a no-op so
+// back-to-back checkpoints do not litter empty files.
+func TestRotateEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	b1, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != 1 || b2 != 1 {
+		t.Fatalf("empty rotations returned %d, %d, want 1, 1", b1, b2)
+	}
+	if st := w.Stats(); st.Segments != 1 {
+		t.Fatalf("empty rotations created segments: %+v", st)
+	}
+}
+
+// TestGroupCommitConcurrent exercises the group-commit path with real
+// fsyncs: concurrent appenders must each get a unique LSN and every
+// acknowledged record must replay. Run under -race this also checks the
+// waiter/syncer handoff.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	lsns := make([][]uint64, writers)
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				payload := []byte(fmt.Sprintf("writer %d record %d", g, i))
+				lsn, err := w.Append(1, uint64(g), payload)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				lsns[g] = append(lsns[g], lsn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", g, err)
+		}
+	}
+	seen := make(map[uint64]bool)
+	for _, ls := range lsns {
+		for _, l := range ls {
+			if seen[l] {
+				t.Fatalf("duplicate LSN %d", l)
+			}
+			seen[l] = true
+		}
+	}
+	if len(seen) != writers*each {
+		t.Fatalf("%d unique LSNs, want %d", len(seen), writers*each)
+	}
+	for l := uint64(1); l <= writers*each; l++ {
+		if !seen[l] {
+			t.Fatalf("LSN %d missing: sequence not contiguous", l)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if recs := collect(t, w2); len(recs) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*each)
+	}
+}
+
+func TestAppendBeforeReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("x")})
+	w.Close()
+
+	w2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := w2.Append(1, 0, nil); err == nil {
+		t.Fatal("Append before Replay on a non-empty log succeeded")
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := w.Append(1, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log: %v, want ErrClosed", err)
+	}
+	if _, err := w.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Rotate on closed log: %v, want ErrClosed", err)
+	}
+	if err := w.Replay(func(Record) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Replay on closed log: %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-zzzz.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open with unparseable segment name succeeded")
+	}
+}
+
+func TestStatsFresh(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	st := w.Stats()
+	if st.Records != 0 || st.Segments != 1 || st.NextLSN != 1 || st.Bytes != headerSize {
+		t.Fatalf("fresh Stats = %+v", st)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync on fresh log: %v", err)
+	}
+}

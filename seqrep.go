@@ -182,6 +182,25 @@ func SaveFile(db *DB, path string, wrap func(io.Writer) io.Writer) error {
 // (see Load for how cfg combines with the stored parameters).
 func LoadFile(path string, cfg Config) (*DB, error) { return core.LoadFile(path, cfg) }
 
+// OpenDir opens (creating if needed) a durable database rooted at a data
+// directory (layout: dir/snapshot.sdb + dir/wal/). It recovers the
+// snapshot plus the write-ahead-log tail to the exact acknowledged
+// pre-crash state — truncating a torn final record, skipping records the
+// snapshot already covers — and leaves the log attached: every
+// subsequent Ingest/Remove is appended and fsync'd (group-committed
+// across concurrent writers) before it is acknowledged. Checkpoint with
+// DB.Checkpoint; release the log with DB.Close. See docs/DURABILITY.md.
+func OpenDir(dir string, cfg Config) (*DB, error) { return core.OpenDir(dir, cfg) }
+
+// WALStats describes a durable database's write-ahead-log depth
+// (DB.WALStats): records/bytes a crash would replay and the last
+// checkpoint time.
+type WALStats = core.WALStats
+
+// RecoveryStats reports what OpenDir's boot-time replay did
+// (DB.Recovery).
+type RecoveryStats = core.RecoveryStats
+
 // QueryResult is the uniform answer of a textual query.
 type QueryResult = querylang.Result
 
