@@ -587,29 +587,38 @@ func (db *DB) Remove(id string) error {
 		sh.mu.Unlock()
 		return fmt.Errorf("core: %w %q", ErrUnknownID, id)
 	}
-	delete(sh.records, id)
+	if _, busy := sh.pending[id]; busy {
+		// Another Remove of this id is in flight (an ingest cannot be:
+		// reserve fails while the record is stored). Linearize behind it.
+		sh.mu.Unlock()
+		return fmt.Errorf("core: %w %q", ErrUnknownID, id)
+	}
 	sh.pending[id] = struct{}{}
 	sh.mu.Unlock()
 	defer sh.abort(id) // release the hold when the unlink is done
 
 	if db.wal != nil {
 		// Write-ahead, mirroring Ingest: the removal is fsync-durable
-		// before the unlink, under the same checkpoint exclusion. On a
-		// log failure the record is restored — the removal was never
-		// acknowledged and must stay invisible to recovery.
+		// before it becomes observable. The record stays in its shard
+		// (pending blocks re-ingest) until the log record lands — were it
+		// dropped first, a checkpoint in that window would snapshot the
+		// state without the record and truncate the covering ingest while
+		// no remove was yet logged, so a crash (or a failed append) could
+		// lose the acknowledged ingest for a removal never acknowledged.
+		// ckptMu (read) then spans append→unlink, as in Ingest.
 		payload, err := encodeWALRemove(id)
 		if err != nil {
-			sh.commit(rec)
 			return err
 		}
 		db.ckptMu.RLock()
 		if err := db.walAppend(walOpRemove, payload); err != nil {
 			db.ckptMu.RUnlock()
-			sh.commit(rec)
 			return err
 		}
 		defer db.ckptMu.RUnlock()
 	}
+
+	sh.drop(id)
 
 	db.imu.Lock()
 	db.ids = removeSorted(db.ids, id)

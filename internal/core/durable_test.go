@@ -2,12 +2,14 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"seqrep/internal/seq"
 )
@@ -406,4 +408,63 @@ func TestWritesFailAfterClose(t *testing.T) {
 	if _, ok := db2.Record("a"); !ok {
 		t.Fatal("a missing")
 	}
+}
+
+// TestRemoveInvisibleUntilDurable pins the write-ahead ordering of
+// Remove: the record must stay observable until the remove's log record
+// is fsync-durable. Were it dropped from its shard first, a checkpoint
+// in that window would snapshot the state without the record and
+// truncate the covering ingest while no remove was yet logged — a crash
+// then (or a failed append) loses an acknowledged ingest for a removal
+// that was never acknowledged.
+func TestRemoveInvisibleUntilDurable(t *testing.T) {
+	db := mustOpenDir(t, t.TempDir())
+	defer db.Close()
+	mustIngest(t, db, "x", durSeq(1))
+
+	// Hold the checkpoint lock: Remove's append→unlink window takes it
+	// for reading, so the removal parks right before its WAL append —
+	// exactly where a crash or checkpoint could interleave.
+	db.ckptMu.Lock()
+	done := make(chan error, 1)
+	go func() { done <- db.Remove("x") }()
+
+	sh := db.shardOf("x")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sh.mu.RLock()
+		_, parked := sh.pending["x"]
+		sh.mu.RUnlock()
+		if parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Remove never reached its write-ahead append")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The removal is in flight but not yet durable: the record must
+	// still be observable, and the in-flight removal must hold the id —
+	// a duplicate Remove linearizes behind it and sees the id as gone.
+	if _, ok := db.Record("x"); !ok {
+		t.Fatal("record vanished before its remove was durable")
+	}
+	if err := db.Remove("x"); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("concurrent duplicate Remove: %v, want ErrUnknownID", err)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Remove returned while the checkpoint lock was held: %v", err)
+	default:
+	}
+
+	db.ckptMu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, ok := db.Record("x"); ok {
+		t.Fatal("record still observable after Remove returned")
+	}
+	// The id is free again: a fresh ingest must succeed.
+	mustIngest(t, db, "x", durSeq(2))
 }

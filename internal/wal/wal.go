@@ -122,6 +122,7 @@ type WAL struct {
 	w        *bufio.Writer // buffers frames into f
 	segBase  uint64        // LSN of the active segment's first record
 	segSize  int64         // bytes written to the active segment
+	segGen   uint64        // bumped whenever f is flushed+fsynced and retired (rotation, close)
 	nextLSN  uint64        // LSN the next Append will take
 	truncLSN uint64        // every record with LSN < truncLSN is checkpointed away
 	sealed   []sealedSeg   // older segments, ascending by base
@@ -273,6 +274,17 @@ var errTornHeader = errors.New("torn segment header")
 // (nothing after it) from mid-file corruption (intact bytes follow).
 var errBadCRC = errors.New("crc mismatch")
 
+// errBadLen and errTornBody tag a frame whose length field is implausible
+// or points past the readable bytes. Either is what a torn tail looks
+// like when the crash cut inside the frame header or body — but it is
+// also what bit rot in a mid-file frame's length field looks like, where
+// the bogus length swallows the intact frames that follow. Recovery
+// distinguishes them by probing the remaining bytes for whole frames.
+var (
+	errBadLen   = errors.New("implausible body length")
+	errTornBody = errors.New("torn frame body")
+)
+
 // replaySegment streams one segment's records to fn. It returns the
 // offset just past the last whole record and the record count. In the
 // final segment a torn tail is truncated (file shortened and synced);
@@ -309,14 +321,29 @@ func (w *WAL) replaySegment(seg sealedSeg, lsn uint64, final bool, fn func(Recor
 		}
 		if err != nil {
 			// A crash tears the tail: a short frame, a garbage length, or
-			// a CRC-failing frame with nothing after it. A CRC failure
-			// FOLLOWED by more bytes is different — intact frames after
-			// the damage mean mid-file corruption (bit rot, truncated
-			// copy), and "repairing" it would silently drop acknowledged
-			// records.
+			// a CRC-failing frame with nothing after it. Intact data after
+			// the damage is different — it means mid-file corruption (bit
+			// rot, truncated copy), and "repairing" it would silently drop
+			// acknowledged records. For a CRC failure any byte past the
+			// frame's end proves that; for a corrupted length field the
+			// frame's end is itself a lie (a bogus length swallows the
+			// following frames as body, or points past them), so probe the
+			// remaining bytes for a whole CRC-valid frame instead.
 			torn := final
 			if torn && errors.Is(err, errBadCRC) {
 				if _, e := br.ReadByte(); e == nil {
+					torn = false
+				}
+			}
+			if torn && (errors.Is(err, errBadCRC) || errors.Is(err, errBadLen) || errors.Is(err, errTornBody)) {
+				// A CRC failure with nothing after it still probes: a
+				// corrupted length can swallow the following frames as
+				// body exactly to EOF, failing their CRC collectively.
+				intact, perr := tailHoldsFrames(seg.path, offset)
+				if perr != nil {
+					return 0, 0, perr
+				}
+				if intact {
 					torn = false
 				}
 			}
@@ -354,11 +381,11 @@ func readFrame(br *bufio.Reader) (Record, int64, error) {
 	crc := binary.LittleEndian.Uint32(head[:4])
 	blen := binary.LittleEndian.Uint32(head[4:])
 	if blen < 1+8 || blen > maxBody {
-		return Record{}, 0, fmt.Errorf("implausible body length %d", blen)
+		return Record{}, 0, fmt.Errorf("%w %d", errBadLen, blen)
 	}
 	body := make([]byte, blen)
 	if _, err := io.ReadFull(br, body); err != nil {
-		return Record{}, 0, fmt.Errorf("torn frame body: %w", err)
+		return Record{}, 0, fmt.Errorf("%w: %w", errTornBody, err)
 	}
 	if got := crc32.Checksum(body, crcTable); got != crc {
 		return Record{}, 0, fmt.Errorf("%w: stored %08x, computed %08x", errBadCRC, crc, got)
@@ -368,6 +395,41 @@ func readFrame(br *bufio.Reader) (Record, int64, error) {
 		Gen:     binary.LittleEndian.Uint64(body[1:9]),
 		Payload: body[9:],
 	}, int64(frameHead) + int64(blen), nil
+}
+
+// tailHoldsFrames reports whether a whole, CRC-valid frame starts
+// anywhere strictly after the damaged frame at offset — evidence that
+// the damage is a corrupted length field in an acknowledged frame (bit
+// rot) rather than a tail torn by a crash, so truncating would drop the
+// intact records behind it. A bogus length leaves no trustworthy frame
+// boundary to resume from, so every byte position is probed; the CRC is
+// only computed for lengths that fit the remaining bytes, which random
+// torn-frame garbage rarely satisfies.
+func tailHoldsFrames(path string, offset int64) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("wal: reopening %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return false, fmt.Errorf("wal: seeking %s: %w", path, err)
+	}
+	tail, err := io.ReadAll(f)
+	if err != nil {
+		return false, fmt.Errorf("wal: reading tail of %s: %w", path, err)
+	}
+	for p := 1; p+frameHead+1+8 <= len(tail); p++ {
+		crc := binary.LittleEndian.Uint32(tail[p : p+4])
+		blen := binary.LittleEndian.Uint32(tail[p+4 : p+8])
+		if blen < 1+8 || int64(blen) > int64(len(tail)-p-frameHead) {
+			continue
+		}
+		body := tail[p+frameHead : p+frameHead+int(blen)]
+		if crc32.Checksum(body, crcTable) == crc {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 func truncateTo(path string, offset int64) error {
@@ -446,10 +508,12 @@ func (w *WAL) Append(op byte, gen uint64, payload []byte) (uint64, error) {
 		w.mu.Unlock()
 		return 0, err
 	}
-	if w.segSize > w.opts.SegmentBytes {
+	if w.segSize > w.opts.SegmentBytes && w.segSize > headerSize {
 		// Seal the oversized segment before this record. rotateLocked
 		// flushes, syncs and releases the current waiters itself, so no
-		// acknowledged bytes are left behind in the old file.
+		// acknowledged bytes are left behind in the old file. An empty
+		// segment is never rotated (mirroring Rotate): its successor
+		// would claim the same base LSN.
 		if err := w.rotateLocked(); err != nil {
 			w.mu.Unlock()
 			return 0, err
@@ -535,7 +599,7 @@ func (w *WAL) syncer() {
 		} else if err = w.w.Flush(); err != nil {
 			w.fail(err)
 		}
-		f := w.f
+		f, gen := w.f, w.segGen
 		w.mu.Unlock()
 		// The fsync runs outside the mutex: concurrent appends keep
 		// buffering (and rotation keeps its own sync) while the disk
@@ -543,7 +607,20 @@ func (w *WAL) syncer() {
 		if err == nil {
 			if err = f.Sync(); err != nil {
 				w.mu.Lock()
-				w.fail(err)
+				if w.segGen != gen {
+					// The segment was retired while this fsync was in
+					// flight: the generation advances only after a
+					// successful flush+fsync of the old file (rotation, or
+					// Close's final sync), so every byte this group put in
+					// f — flushed above, under the same lock hold that
+					// captured gen — is already durable. The failure
+					// (os.ErrClosed from the retirer's Close) is benign;
+					// poisoning the log here would fail durable appends
+					// forever.
+					err = nil
+				} else {
+					w.fail(err)
+				}
 				w.mu.Unlock()
 			}
 		}
@@ -577,8 +654,11 @@ func (w *WAL) rotateLocked() error {
 		}
 	}
 	// Everything buffered so far is durable: the waiters' records all
-	// live in the just-synced file.
+	// live in the just-synced file. Advance the generation before the
+	// close so an in-flight group-commit fsync on this file knows its
+	// bytes were covered and treats a closed-file failure as success.
 	w.releaseLocked(nil)
+	w.segGen++
 	if err := w.f.Close(); err != nil {
 		w.fail(err)
 		return err
@@ -738,6 +818,12 @@ func (w *WAL) Close() error {
 	if w.f != nil && w.err == nil {
 		if err = w.w.Flush(); err == nil && !w.opts.NoSync {
 			err = w.f.Sync()
+		}
+		if err == nil {
+			// As in rotation: the file is fully flushed (+fsynced), so a
+			// group-commit fsync racing this Close reports success to its
+			// waiters instead of a spurious closed-file error.
+			w.segGen++
 		}
 	}
 	w.releaseLocked(ErrClosed)

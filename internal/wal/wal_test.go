@@ -511,3 +511,134 @@ func TestStatsFresh(t *testing.T) {
 		t.Fatalf("Sync on fresh log: %v", err)
 	}
 }
+
+// TestCorruptLengthFieldFails: bit rot in a non-tail frame's length
+// field must not pass as a torn tail. A bogus length swallows the
+// intact frames behind it as body (or points past them), so naive
+// torn-tail truncation would silently drop acknowledged records;
+// recovery must probe the remaining bytes for whole frames and refuse.
+func TestCorruptLengthFieldFails(t *testing.T) {
+	build := func(t *testing.T) (string, []byte, []int) {
+		dir := t.TempDir()
+		w, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads := [][]byte{[]byte("one"), []byte("two-longer"), []byte("three")}
+		appendAll(t, w, payloads)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, 1, segSuffix))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs := make([]int, len(payloads)+1)
+		offs[0] = headerSize
+		for i, p := range payloads {
+			offs[i+1] = offs[i] + frameHead + 1 + 8 + len(p)
+		}
+		return dir, data, offs
+	}
+	cases := []struct {
+		name string
+		blen func(data []byte, offs []int) uint32
+	}{
+		// Too small to hold op+gen: fails the plausibility check while
+		// the intact frames sit right behind the lying header.
+		{"tiny", func([]byte, []int) uint32 { return 0 }},
+		// Far past EOF: the swallowed read hits EOF mid-"body".
+		{"huge", func([]byte, []int) uint32 { return maxBody }},
+		// Exactly to EOF: the remaining frames are consumed as one body
+		// whose CRC fails with no trailing byte to betray it.
+		{"exact", func(data []byte, offs []int) uint32 {
+			return uint32(len(data) - offs[1] - frameHead)
+		}},
+		// Partway into the next frame: CRC fails with bytes following.
+		{"partial", func(data []byte, offs []int) uint32 {
+			return uint32(offs[2]-offs[1]-frameHead) + 4
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, data, offs := build(t)
+			// Overwrite the SECOND frame's length field (the first and
+			// third frames stay intact and acknowledged).
+			blen := tc.blen(data, offs)
+			data[offs[1]+4] = byte(blen)
+			data[offs[1]+5] = byte(blen >> 8)
+			data[offs[1]+6] = byte(blen >> 16)
+			data[offs[1]+7] = byte(blen >> 24)
+			path := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, 1, segSuffix))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			wc, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer wc.Close()
+			if err := wc.Replay(func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Replay with corrupted length: %v, want ErrCorrupt", err)
+			}
+			// Nothing may have been truncated away by the refused replay.
+			if got, err := os.ReadFile(path); err != nil || len(got) != len(data) {
+				t.Fatalf("refused replay changed the file: %d -> %d bytes (%v)", len(data), len(got), err)
+			}
+		})
+	}
+}
+
+// TestRotationDuringGroupCommit hammers the race between segment
+// rotation (which fsyncs, releases and CLOSES the active file under the
+// log mutex) and the group-commit syncer (which fsyncs the file it
+// captured outside the mutex): a rotation completing between capture
+// and fsync used to surface as a spurious "file already closed" error
+// that poisoned the log for every later append, even though rotation
+// had already made the group's bytes durable.
+func TestRotationDuringGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1 forces a rotation before every append, maximizing
+	// collisions with in-flight group fsyncs. Syncs stay ON — the race
+	// lives between two real fsync paths.
+	w, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*each)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := w.Append(1, uint64(g), []byte(fmt.Sprintf("w%d-%d", g, i))); err != nil {
+					errs <- fmt.Errorf("writer %d append %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Every acknowledged append must replay.
+	wr, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wr.Close()
+	if recs := collect(t, wr); len(recs) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*each)
+	}
+}
