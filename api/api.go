@@ -275,9 +275,28 @@ type HealthResponse struct {
 	// WALSegments is the retained log segment file count.
 	WALSegments int `json:"wal_segments,omitempty"`
 	// LastCheckpointAgeSeconds is the time since the last completed
-	// checkpoint (at boot: since the recovered snapshot was written).
-	// Nil when the database has never checkpointed.
+	// checkpoint (at boot: since the recovered segment manifest — or
+	// legacy snapshot — was written). Nil when the database has never
+	// checkpointed; clamped at zero against clock skew and
+	// restored-from-backup file times.
 	LastCheckpointAgeSeconds *float64 `json:"last_checkpoint_age_seconds,omitempty"`
+	// CheckpointFailures counts checkpoints that failed since boot. A
+	// growing count alongside growing WALRecords/WALBytes means the log
+	// is no longer being truncated — the unbounded-disk alarm.
+	CheckpointFailures uint64 `json:"checkpoint_failures,omitempty"`
+	// LastCheckpointError is the most recent checkpoint failure, cleared
+	// by the next success.
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+	// SegmentCount/SegmentEntries/SegmentTombstones/SegmentBytes report
+	// the on-disk segment tier checkpoints flush into (durable servers
+	// only): live segment files, entries across them, tombstone debt
+	// compaction will drop, and the tier's byte footprint.
+	SegmentCount      int   `json:"segment_count,omitempty"`
+	SegmentEntries    int   `json:"segment_entries,omitempty"`
+	SegmentTombstones int   `json:"segment_tombstones,omitempty"`
+	SegmentBytes      int64 `json:"segment_bytes,omitempty"`
+	// Compactions counts segment-tier compactions run since boot.
+	Compactions uint64 `json:"compactions,omitempty"`
 }
 
 // ErrorResponse carries any non-2xx outcome.

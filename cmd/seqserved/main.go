@@ -9,13 +9,17 @@
 //	seqserved -addr :8080 -data-dir ./data -archive ./raws
 //
 // With -data-dir, the database is durable: boot recovers the directory's
-// snapshot plus the write-ahead-log tail to the exact acknowledged
-// pre-crash state, every write is WAL-appended and fsync'd (group
-// commit) before it is acknowledged, and checkpoints — snapshot, then
-// log truncation — run on the -checkpoint-interval timer, on
-// /v1/snapshot/save, and during graceful shutdown. On SIGINT/SIGTERM the
-// server stops accepting connections, drains in-flight requests (up to
-// -drain), checkpoints, and closes the log.
+// on-disk segment tier plus the write-ahead-log tail to the exact
+// acknowledged pre-crash state, every write is WAL-appended and fsync'd
+// (group commit) before it is acknowledged, and checkpoints — a delta
+// segment flush, then log truncation, then threshold compaction — run on
+// the -checkpoint-interval timer, on /v1/snapshot/save, and during
+// graceful shutdown (see docs/STORAGE.md). Failed checkpoints are logged
+// and surface in /healthz (checkpoint_failures, last_checkpoint_error)
+// and /metrics (seqserved_checkpoint_failures_total) so unbounded log
+// growth cannot go unnoticed. On SIGINT/SIGTERM the server stops
+// accepting connections, drains in-flight requests (up to -drain),
+// checkpoints, and closes the log.
 package main
 
 import (
@@ -44,10 +48,12 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataDir = flag.String("data-dir", "", "durable data directory (snapshot + write-ahead log): recovered at boot, WAL-appended on every write, checkpointed on the timer, on /v1/snapshot/save and at shutdown (empty = in-memory only)")
-		ckptIvl = flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint period for -data-dir (0 disables the timer; checkpoints still run on /v1/snapshot/save and shutdown)")
-		archive = flag.String("archive", "", "directory for a file-backed raw-sequence archive (empty = no archive)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataDir  = flag.String("data-dir", "", "durable data directory (on-disk segments + write-ahead log): recovered at boot, WAL-appended on every write, checkpointed on the timer, on /v1/snapshot/save and at shutdown (empty = in-memory only)")
+		ckptIvl  = flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint period for -data-dir (0 disables the timer; checkpoints still run on /v1/snapshot/save and shutdown)")
+		compact  = flag.Int("compact-threshold", 0, "segment count at which a checkpoint compacts the on-disk tier (0 = default 8, negative disables compaction)")
+		segCach  = flag.Int64("segment-cache", 0, "segment payload LRU cache bytes (0 = default 32MiB, negative disables)")
+		archive  = flag.String("archive", "", "directory for a file-backed raw-sequence archive (empty = no archive)")
 		epsilon  = flag.Float64("epsilon", 0, "breaking tolerance for a new database (0 = default 0.5)")
 		delta    = flag.Float64("delta", 0, "slope threshold for a new database (0 = default 0.25)")
 		bucket   = flag.Float64("bucket", 0, "interval-index bucket width for a new database (0 = default 1)")
@@ -67,13 +73,15 @@ func run() error {
 	flag.Parse()
 
 	cfg := seqrep.Config{
-		Epsilon:     *epsilon,
-		Delta:       *delta,
-		BucketWidth: *bucket,
-		Shards:      *shards,
-		Workers:     *workers,
-		IndexCoeffs: *coeffs,
-		IndexLeaf:   *leaf,
+		Epsilon:           *epsilon,
+		Delta:             *delta,
+		BucketWidth:       *bucket,
+		Shards:            *shards,
+		Workers:           *workers,
+		IndexCoeffs:       *coeffs,
+		IndexLeaf:         *leaf,
+		CompactThreshold:  *compact,
+		SegmentCacheBytes: *segCach,
 	}
 	if *archive != "" {
 		arch, err := seqrep.NewFileArchive(*archive)

@@ -37,6 +37,7 @@ import (
 	"seqrep/internal/index/inverted"
 	"seqrep/internal/multires"
 	"seqrep/internal/rep"
+	"seqrep/internal/segment"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
 	"seqrep/internal/wal"
@@ -96,6 +97,16 @@ type Config struct {
 	// uninformative bands). Smaller blocks band tighter at the cost of
 	// more stored means per record.
 	SketchBlock int
+	// CompactThreshold is the on-disk segment count at which a checkpoint
+	// triggers a full-merge compaction of the segment tier (OpenDir
+	// databases only; default segment.DefaultCompactThreshold, negative
+	// disables compaction — segments then accumulate one per checkpoint).
+	CompactThreshold int
+	// SegmentCacheBytes bounds the shared LRU through which record
+	// payloads are read from on-disk segments (OpenDir databases only;
+	// default 32 MiB, negative disables caching so every segment read
+	// goes to disk).
+	SegmentCacheBytes int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -245,15 +256,29 @@ type DB struct {
 	// fsync — before its in-memory commit. ckptMu brackets each
 	// append→commit window for reading; Checkpoint takes it exclusively
 	// around the log rotation so every record in a sealed (about to be
-	// snapshotted and truncated) segment is committed in memory first.
-	// ckptRun serializes whole checkpoints; lastCkpt and recovery feed
-	// health reporting.
+	// flushed and truncated) segment is committed in memory first.
+	// ckptRun serializes whole checkpoints; lastCkpt, ckptFails, ckptErr
+	// and recovery feed health reporting.
 	wal      *wal.WAL
 	dataDir  string
 	ckptMu   sync.RWMutex
 	ckptRun  sync.Mutex
 	lastCkpt atomic.Pointer[time.Time]
 	recovery RecoveryStats
+
+	// segs is the on-disk segment tier checkpoints flush into (OpenDir
+	// only). dirty is the id set mutated since the last checkpoint — true
+	// for a live upsert, false for a removal that must become a tombstone
+	// — making checkpoint cost O(delta); nil disables tracking (non-
+	// durable databases, and the boot window while segments are adopted).
+	// dirtyMu guards the map itself: writers mark while holding ckptMu
+	// only for *reading*, so concurrent marks race with each other even
+	// though they cannot race the checkpoint's swap.
+	segs      *segment.Store
+	dirtyMu   sync.Mutex
+	dirty     map[string]bool
+	ckptFails atomic.Uint64
+	ckptErr   atomic.Pointer[string]
 
 	imu     sync.RWMutex
 	ids     []string // sorted
@@ -413,6 +438,11 @@ func (db *DB) link(rec *Record) error {
 		db.findex.add(rec)
 	}
 	db.gen.Add(1)
+	// The record is now committed: mark it for the next checkpoint's
+	// delta flush. For WAL'd writes this runs inside the caller's ckptMu
+	// read window, so the mark lands in the same dirty epoch as the log
+	// record (the checkpoint's rotate+swap cannot fall between them).
+	db.markDirty(rec.ID, true)
 	return nil
 }
 
@@ -633,6 +663,11 @@ func (db *DB) Remove(id string) error {
 	}
 	db.gen.Add(1)
 	db.imu.Unlock()
+
+	// Mark the removal for the next checkpoint (a tombstone in the delta
+	// flush). As in link, the WAL'd path runs this inside the ckptMu read
+	// window taken above, pinning the mark to the log record's epoch.
+	db.markDirty(id, false)
 
 	if db.cfg.Archive != nil {
 		if err := db.cfg.Archive.Delete(id); err != nil {

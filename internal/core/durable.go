@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -10,22 +11,29 @@ import (
 	"path/filepath"
 	"time"
 
+	"seqrep/internal/segment"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
 	"seqrep/internal/wal"
 )
 
-// Durable write path (docs/DURABILITY.md): a database opened with
-// OpenDir owns a write-ahead log next to its snapshot. Every Ingest and
-// Remove appends its operation to the log — and waits for the fsync —
-// before the in-memory commit, so an acknowledged write survives any
-// crash; boot recovers the snapshot and replays the log tail back to the
-// exact acknowledged state. Checkpoint folds the log into a fresh
-// snapshot and truncates it.
+// Durable write path (docs/DURABILITY.md, docs/STORAGE.md): a database
+// opened with OpenDir owns a write-ahead log and an on-disk segment
+// tier. Every Ingest and Remove appends its operation to the log — and
+// waits for the fsync — before the in-memory commit, so an acknowledged
+// write survives any crash; boot loads the segment tier's manifest and
+// records, replays the log tail on top, and leaves the log attached.
+// Checkpoint flushes only the records dirtied since the last checkpoint
+// into a new segment (removals as tombstones) and truncates the log —
+// O(delta) in the churn, not O(database).
 
 // Data-directory layout.
 const (
-	// SnapshotFileName is the snapshot inside an OpenDir data directory.
+	// SnapshotFileName is the legacy monolithic snapshot inside an
+	// OpenDir data directory. Databases that last checkpointed before
+	// the segment tier existed boot from it once (every record enters
+	// the dirty set, so the first checkpoint migrates them into
+	// segments) and it is removed after that checkpoint commits.
 	SnapshotFileName = "snapshot.sdb"
 	// WALDirName is the write-ahead-log subdirectory.
 	WALDirName = "wal"
@@ -59,15 +67,18 @@ type RecoveryStats struct {
 }
 
 // OpenDir opens (creating if needed) a durable database rooted at dir:
-// layout dir/snapshot.sdb + dir/wal/. It loads the snapshot when
-// present, replays the write-ahead log tail on top of it — truncating a
-// torn final record, skipping records the snapshot already covers — and
-// leaves the log attached, so every subsequent Ingest/Remove is
-// fsync-durable before it is acknowledged. The caller owns the returned
-// database and must Close it to release the log.
+// layout dir/segments/ + dir/wal/ (plus a legacy dir/snapshot.sdb the
+// first post-upgrade checkpoint migrates away). Boot loads the segment
+// manifest and adopts every live record, replays the write-ahead log
+// tail on top — truncating a torn final record, skipping records the
+// segments already cover — then reclaims any sealed log segments the
+// manifest's LSN shows are covered (the stranded leftovers of a
+// checkpoint that died between its rotation and its truncation). The
+// caller owns the returned database and must Close it to release the
+// log and the segment files.
 //
 // cfg contributes the code components exactly as in Load; when a
-// snapshot exists its stored scalar parameters win.
+// manifest (or legacy snapshot) exists its stored scalar parameters win.
 func OpenDir(dir string, cfg Config) (*DB, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("core: empty data directory")
@@ -75,28 +86,69 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: creating data dir: %w", err)
 	}
+	cache := segment.NewCache(segCacheBytes(cfg.SegmentCacheBytes))
+	segs, err := segment.Open(filepath.Join(dir, SegmentsDirName), cache, cfg.CompactThreshold)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			segs.Close()
+		}
+	}()
+
 	snapPath := filepath.Join(dir, SnapshotFileName)
 	var (
 		db       *DB
-		err      error
-		snapTime time.Time
+		ckptTime time.Time
+		migrated []string // legacy snapshot ids to seed the dirty set with
 	)
-	switch info, statErr := os.Stat(snapPath); {
-	case statErr == nil:
-		if db, err = LoadFile(snapPath, cfg); err != nil {
+	if segs.HasManifest() {
+		// The manifest is the commit point of the newest checkpoint: it
+		// wins over any leftover snapshot (a migration that crashed after
+		// its first segment flush but before deleting the old file).
+		if db, err = bootFromSegments(segs, cfg); err != nil {
 			return nil, err
 		}
-		snapTime = info.ModTime()
-	case errors.Is(statErr, fs.ErrNotExist):
-		if db, err = New(cfg); err != nil {
-			return nil, err
+		if err := os.Remove(snapPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("core: removing stale snapshot %s: %w", snapPath, err)
 		}
-	default:
-		// "Cannot tell" must not silently boot empty: replaying the WAL
-		// over a fresh database when a snapshot actually exists would
-		// resurrect only the tail of the data.
-		return nil, fmt.Errorf("core: checking snapshot %s: %w", snapPath, statErr)
+		if info, statErr := os.Stat(filepath.Join(filepath.Join(dir, SegmentsDirName), segment.ManifestFileName)); statErr == nil {
+			ckptTime = info.ModTime()
+		}
+	} else {
+		switch info, statErr := os.Stat(snapPath); {
+		case statErr == nil:
+			// Legacy layout: boot from the monolithic snapshot, then mark
+			// every record dirty so the first checkpoint migrates the whole
+			// database into the segment tier.
+			if db, err = LoadFile(snapPath, cfg); err != nil {
+				return nil, err
+			}
+			migrated = db.IDs()
+			ckptTime = info.ModTime()
+		case errors.Is(statErr, fs.ErrNotExist):
+			if db, err = New(cfg); err != nil {
+				return nil, err
+			}
+		default:
+			// "Cannot tell" must not silently boot empty: replaying the WAL
+			// over a fresh database when a snapshot actually exists would
+			// resurrect only the tail of the data.
+			return nil, fmt.Errorf("core: checking snapshot %s: %w", snapPath, statErr)
+		}
 	}
+
+	// Arm delta tracking after adoption (the manifest covers those
+	// records) and before replay: a WAL record is by definition not yet
+	// in a committed segment, so everything replay applies must flush at
+	// the next checkpoint — were it not marked, truncation would lose it.
+	db.enableDirtyTracking()
+	for _, id := range migrated {
+		db.markDirty(id, true)
+	}
+
 	w, err := wal.Open(filepath.Join(dir, WALDirName), wal.Options{})
 	if err != nil {
 		return nil, err
@@ -105,11 +157,23 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 		w.Close()
 		return nil, fmt.Errorf("core: replaying wal: %w", err)
 	}
-	db.wal = w
-	db.dataDir = dir
-	if !snapTime.IsZero() {
-		db.lastCkpt.Store(&snapTime)
+	// Reclaim sealed log segments the manifest already covers — the
+	// crash window between a checkpoint's rotation and its truncation
+	// strands them; their records were just replayed idempotently (and
+	// any that actually mattered are in the dirty set now).
+	if segs.HasManifest() {
+		if err := w.TruncateBefore(segs.LSN()); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("core: reclaiming covered wal segments: %w", err)
+		}
 	}
+	db.wal = w
+	db.segs = segs
+	db.dataDir = dir
+	if !ckptTime.IsZero() {
+		db.lastCkpt.Store(&ckptTime)
+	}
+	ok = true
 	return db, nil
 }
 
@@ -240,40 +304,93 @@ func decodeWALRemove(payload []byte) (string, error) {
 	return string(payload[2:]), nil
 }
 
-// Checkpoint folds the write-ahead log into a fresh snapshot:
+// Checkpoint flushes the records dirtied since the last checkpoint into
+// a new immutable segment and truncates the write-ahead log:
 //
-//  1. rotate the log (briefly excluding the append→commit windows, so
-//     every record in the sealed segments is committed in memory),
-//  2. save a point-in-time snapshot — it covers at least every sealed
-//     record,
-//  3. truncate the sealed segments.
+//  1. rotate the log and swap out the dirty set, atomically (briefly
+//     excluding the append→commit windows, so every record in the
+//     sealed log segments is committed in memory and marked dirty),
+//  2. encode the dirty records — current payload for live ids,
+//     tombstones for removed ones — and flush them as one segment, the
+//     manifest committing both the segment and the covered log offset,
+//  3. truncate the sealed log segments,
+//  4. compact the segment tier if it has reached threshold.
 //
-// A crash between any two steps is safe: before the truncation the old
-// snapshot plus the full log still replay to the acknowledged state
-// (records the new snapshot also holds are skipped idempotently), and
-// the snapshot write itself is atomic-and-durable (temp file, fsync,
-// rename, directory sync). Checkpoints serialize; concurrent writes keep
-// committing throughout except during the rotation itself.
+// Cost is O(delta): only churned records are written, however large the
+// database. A crash between any two steps is safe: before the manifest
+// commits, the old segment set plus the full log still replay to the
+// acknowledged state; after it, truncation is bookkeeping boot redoes
+// from the manifest's LSN. On failure the swapped-out dirty set is
+// merged back (the next attempt re-flushes those records — without this
+// a later checkpoint would truncate their log entries unflushed) and
+// the error is retained for WALStats until a checkpoint succeeds.
+// Checkpoints serialize; concurrent writes keep committing throughout
+// except during the rotation itself.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return fmt.Errorf("core: database has no write-ahead log (not opened via OpenDir)")
 	}
 	db.ckptRun.Lock()
 	defer db.ckptRun.Unlock()
+	if err := db.checkpoint(); err != nil {
+		db.ckptFails.Add(1)
+		msg := err.Error()
+		db.ckptErr.Store(&msg)
+		return err
+	}
+	db.ckptErr.Store(nil)
+	now := time.Now()
+	db.lastCkpt.Store(&now)
+	return nil
+}
+
+// checkpoint is Checkpoint's body, with failure accounting left to the
+// caller. ckptRun is held.
+func (db *DB) checkpoint() error {
 	db.ckptMu.Lock()
 	base, err := db.wal.Rotate()
+	var dirty map[string]bool
+	if err == nil {
+		dirty = db.swapDirty()
+	}
 	db.ckptMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	if err := db.SaveFile(filepath.Join(db.dataDir, SnapshotFileName), nil); err != nil {
+
+	entries, err := db.encodeDirty(dirty)
+	if err != nil {
+		db.restoreDirty(dirty)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
+	meta, err := json.Marshal(db.manifestMeta())
+	if err != nil {
+		db.restoreDirty(dirty)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := db.segs.Flush(entries, base, meta); err != nil {
+		db.restoreDirty(dirty)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	// The manifest has committed: the dirty records are durably in the
+	// segment tier, so the swapped-out set is retired for good. What
+	// follows is reclamation — a failure here leaves only garbage (extra
+	// sealed log segments, an uncompacted tier, a stale legacy snapshot),
+	// which boot and the next checkpoint clean up.
 	if err := db.wal.TruncateBefore(base); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	now := time.Now()
-	db.lastCkpt.Store(&now)
+	snapPath := filepath.Join(db.dataDir, SnapshotFileName)
+	if err := os.Remove(snapPath); err == nil {
+		if err := store.SyncDir(db.dataDir); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("core: checkpoint: removing legacy snapshot: %w", err)
+	}
+	if _, err := db.segs.Compact(); err != nil {
+		return fmt.Errorf("core: checkpoint: compacting segments: %w", err)
+	}
 	return nil
 }
 
@@ -288,9 +405,17 @@ type WALStats struct {
 	// Segments is the retained segment file count.
 	Segments int
 	// LastCheckpoint is when the last checkpoint completed — at boot,
-	// the loaded snapshot's modification time. Zero when this database
-	// has never checkpointed and booted without a snapshot.
+	// the loaded manifest's (or legacy snapshot's) modification time.
+	// Zero when this database has never checkpointed and booted empty.
 	LastCheckpoint time.Time
+	// CheckpointFailures counts Checkpoint calls that returned an error
+	// since boot. A growing count with a growing Records/Bytes is the
+	// unbounded-log alarm health probes watch for.
+	CheckpointFailures uint64
+	// LastCheckpointError is the most recent checkpoint failure, cleared
+	// by the next success. Empty when the last checkpoint succeeded (or
+	// none has run).
+	LastCheckpointError string
 }
 
 // WALStats reports the write-ahead log's depth; ok is false when the
@@ -300,19 +425,34 @@ func (db *DB) WALStats() (WALStats, bool) {
 		return WALStats{}, false
 	}
 	st := db.wal.Stats()
-	out := WALStats{Records: st.Records, Bytes: st.Bytes, Segments: st.Segments}
+	out := WALStats{
+		Records:            st.Records,
+		Bytes:              st.Bytes,
+		Segments:           st.Segments,
+		CheckpointFailures: db.ckptFails.Load(),
+	}
 	if t := db.lastCkpt.Load(); t != nil {
 		out.LastCheckpoint = *t
+	}
+	if msg := db.ckptErr.Load(); msg != nil {
+		out.LastCheckpointError = *msg
 	}
 	return out, true
 }
 
-// Close releases the write-ahead log (flushing and syncing its tail).
-// Writes racing with Close fail unacknowledged; queries are unaffected.
-// A database without a log closes trivially.
+// Close releases the write-ahead log (flushing and syncing its tail)
+// and the segment tier's open files. Writes racing with Close fail
+// unacknowledged; queries against resident records are unaffected. A
+// database without a log closes trivially.
 func (db *DB) Close() error {
-	if db.wal == nil {
-		return nil
+	var first error
+	if db.wal != nil {
+		first = db.wal.Close()
 	}
-	return db.wal.Close()
+	if db.segs != nil {
+		if err := db.segs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

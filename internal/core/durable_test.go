@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -146,7 +147,8 @@ func TestReplayIdempotentOverlap(t *testing.T) {
 }
 
 // TestReplaySkipsRemoveOfAbsent covers the other overlap direction: the
-// snapshot already reflects a remove that is still in the log.
+// segment tier already reflects a remove that is still in the log (a
+// checkpoint that committed its flush but never truncated).
 func TestReplaySkipsRemoveOfAbsent(t *testing.T) {
 	dir := t.TempDir()
 	db := mustOpenDir(t, dir)
@@ -157,8 +159,19 @@ func TestReplaySkipsRemoveOfAbsent(t *testing.T) {
 	if err := db.Remove("victim"); err != nil {
 		t.Fatal(err)
 	}
-	// Crash-window snapshot: state after the remove, log still holding it.
-	if err := db.SaveFile(filepath.Join(dir, SnapshotFileName), nil); err != nil {
+	// Crash-window flush: the tombstone lands in the segment tier, the
+	// log still holds the remove. Keeping the old manifest LSN mirrors
+	// the real window too — boot's covered-segment reclaim must not cut
+	// the still-replaying record.
+	entries, err := db.encodeDirty(db.swapDirty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := json.Marshal(db.manifestMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.segs.Flush(entries, db.segs.LSN(), meta); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Close(); err != nil {

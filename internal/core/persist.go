@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -150,37 +151,104 @@ func (db *DB) SaveTo(w io.Writer) error {
 		if _, err := bw.WriteString(id); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
-		blob, err := rec.Rep.MarshalBinary()
+		body, err := encodeRecordPayload(rec)
 		if err != nil {
 			return fmt.Errorf("core: save %q: %w", id, err)
 		}
-		binary.LittleEndian.PutUint32(u32[:], uint32(len(blob)))
-		if _, err := bw.Write(u32[:]); err != nil {
+		if _, err := bw.Write(body); err != nil {
 			return fmt.Errorf("core: save: %w", err)
-		}
-		if _, err := bw.Write(blob); err != nil {
-			return fmt.Errorf("core: save: %w", err)
-		}
-		for _, vec := range [][]float64{rec.feats, rec.zfeats} {
-			binary.LittleEndian.PutUint32(u32[:], uint32(len(vec)))
-			if _, err := bw.Write(u32[:]); err != nil {
-				return fmt.Errorf("core: save: %w", err)
-			}
-			for _, v := range vec {
-				binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
-				if _, err := bw.Write(f64[:]); err != nil {
-					return fmt.Errorf("core: save: %w", err)
-				}
-			}
-		}
-		if err := saveSketch(bw, rec.sketch); err != nil {
-			return fmt.Errorf("core: save %q sketch: %w", id, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
+}
+
+// encodeRecordPayload serializes one record's body — the per-record
+// section of the snapshot format minus the id prefix:
+//
+//	blobLen u32 | FunctionSeries blob | featLen u32 | feats |
+//	zfeatLen u32 | zfeats | sketch marker (+ sketch halves)
+//
+// The same bytes are a record's payload in an on-disk segment
+// (internal/segment), so snapshot loading and segment boot share one
+// decoder and can never drift.
+func encodeRecordPayload(rec *Record) ([]byte, error) {
+	blob, err := rec.Rep.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	var u32 [4]byte
+	var f64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(blob)))
+	bw.Write(u32[:])
+	bw.Write(blob)
+	for _, vec := range [][]float64{rec.feats, rec.zfeats} {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(vec)))
+		bw.Write(u32[:])
+		for _, v := range vec {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+			bw.Write(f64[:])
+		}
+	}
+	if err := saveSketch(bw, rec.sketch); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRecordPayload parses a body written by encodeRecordPayload.
+// restoreVectors/restoreSketches mirror Load's comparison-source
+// soundness rule: when false, the stored vectors (or sketch) are parsed
+// but discarded so adopt rebuilds them from this configuration's
+// comparison form.
+func decodeRecordPayload(db *DB, id string, payload []byte, restoreVectors, restoreSketches bool) (*rep.FunctionSeries, []float64, []float64, *multires.Sketch, error) {
+	br := bytes.NewReader(payload)
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("core: record %q blob length: %w", id, err)
+	}
+	blobLen := binary.LittleEndian.Uint32(u32[:])
+	const maxBlob = 1 << 30
+	if blobLen > maxBlob {
+		return nil, nil, nil, nil, fmt.Errorf("core: record %q: implausible blob size %d", id, blobLen)
+	}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("core: record %q blob: %w", id, err)
+	}
+	var fs rep.FunctionSeries
+	if err := fs.UnmarshalBinary(blob); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("core: record %q: %w", id, err)
+	}
+	feats, err := loadVector(br, db, id)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	zfeats, err := loadVector(br, db, id)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if !restoreVectors {
+		feats, zfeats = nil, nil
+	}
+	sk, err := loadSketch(br, id, fs.N, db.cfg.SketchBlock)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if !restoreSketches {
+		sk = nil
+	}
+	if br.Len() != 0 {
+		return nil, nil, nil, nil, fmt.Errorf("core: record %q: %d trailing payload bytes", id, br.Len())
+	}
+	return &fs, feats, zfeats, sk, nil
 }
 
 // SaveFile writes a snapshot to path atomically: the bytes go to a

@@ -1,0 +1,108 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// bloom is a standard Bloom filter over sequence ids, one per segment,
+// so a Get for an id a segment does not hold usually costs two hashes
+// and a few word probes instead of a binary search plus (for overlapping
+// tiers) a disk read. Sized at bloomBitsPerKey bits per key with
+// bloomHashes probes (~1% false positives at 10/7); false negatives are
+// impossible, so the filter can only ever send a lookup to the index it
+// would have consulted anyway.
+//
+// Probes use Kirsch-Mitzenmacher double hashing g_i = h1 + i·h2 over two
+// independent 64-bit FNV variants. Both hashes are stable across
+// processes and architectures — the filter is persisted with its segment
+// and must answer identically after a reboot.
+type bloom struct {
+	words []uint64
+	k     uint8
+}
+
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// newBloom sizes a filter for n keys.
+func newBloom(n int) *bloom {
+	bits := n * bloomBitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	return &bloom{
+		words: make([]uint64, (bits+63)/64),
+		k:     bloomHashes,
+	}
+}
+
+// bloomHash returns the two base hashes for id. h2 is forced odd so the
+// probe sequence h1 + i·h2 walks distinct positions mod a power of two.
+func bloomHash(id string) (uint64, uint64) {
+	a := fnv.New64a()
+	a.Write([]byte(id))
+	h1 := a.Sum64()
+	b := fnv.New64()
+	b.Write([]byte(id))
+	h2 := b.Sum64() | 1
+	return h1, h2
+}
+
+func (f *bloom) add(id string) {
+	h1, h2 := bloomHash(id)
+	m := uint64(len(f.words)) * 64
+	for i := uint64(0); i < uint64(f.k); i++ {
+		bit := (h1 + i*h2) % m
+		f.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// test reports whether id may be in the set (no false negatives).
+func (f *bloom) test(id string) bool {
+	h1, h2 := bloomHash(id)
+	m := uint64(len(f.words)) * 64
+	for i := uint64(0); i < uint64(f.k); i++ {
+		bit := (h1 + i*h2) % m
+		if f.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal serializes the filter: k u8 | nwords u32 | words u64×nwords.
+func (f *bloom) marshal() []byte {
+	out := make([]byte, 1+4+8*len(f.words))
+	out[0] = byte(f.k)
+	binary.LittleEndian.PutUint32(out[1:5], uint32(len(f.words)))
+	for i, w := range f.words {
+		binary.LittleEndian.PutUint64(out[5+8*i:], w)
+	}
+	return out
+}
+
+func unmarshalBloom(data []byte) (*bloom, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("bloom blob of %d bytes is too short", len(data))
+	}
+	k := data[0]
+	if k == 0 || k > 32 {
+		return nil, fmt.Errorf("implausible bloom hash count %d", k)
+	}
+	n := binary.LittleEndian.Uint32(data[1:5])
+	if int(n) != (len(data)-5)/8 || len(data) != 5+8*int(n) {
+		return nil, fmt.Errorf("bloom blob of %d bytes does not hold %d words", len(data), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("empty bloom filter")
+	}
+	f := &bloom{words: make([]uint64, n), k: k}
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(data[5+8*i:])
+	}
+	return f, nil
+}

@@ -1,0 +1,81 @@
+package segment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives is the filter's one hard guarantee: every
+// added key tests positive, before and after a marshal round-trip.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		f.add(fmt.Sprintf("seq-%06d", i))
+	}
+	g, err := unmarshalBloom(f.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("seq-%06d", i)
+		if !f.test(id) {
+			t.Fatalf("false negative for %q", id)
+		}
+		if !g.test(id) {
+			t.Fatalf("false negative for %q after round-trip", id)
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the 10-bits/7-hashes sizing delivers
+// roughly its designed ~1% false-positive rate — generous bound of 5%
+// so the test never flakes on hash luck.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	f := newBloom(10000)
+	for i := 0; i < 10000; i++ {
+		f.add(fmt.Sprintf("member-%06d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.test(fmt.Sprintf("absent-%06d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f, want <= 0.05", rate)
+	}
+}
+
+// TestBloomUnmarshalRejectsDamage exercises the validation arms.
+func TestBloomUnmarshalRejectsDamage(t *testing.T) {
+	good := newBloom(10).marshal()
+	cases := map[string][]byte{
+		"too short":      good[:3],
+		"zero hashes":    append([]byte{0}, good[1:]...),
+		"huge hashes":    append([]byte{99}, good[1:]...),
+		"truncated body": good[:len(good)-3],
+		"count mismatch": append(append([]byte{good[0]}, 0xff, 0xff, 0xff, 0x7f), good[5:]...),
+	}
+	for name, blob := range cases {
+		if _, err := unmarshalBloom(blob); err == nil {
+			t.Errorf("%s: unmarshal accepted damaged blob", name)
+		}
+	}
+	if _, err := unmarshalBloom(good); err != nil {
+		t.Fatalf("control: good blob rejected: %v", err)
+	}
+}
+
+// TestBloomEmptySegment: a zero-entry filter still marshals and loads
+// (minimum one word), and everything tests negative or positive safely.
+func TestBloomEmptySegment(t *testing.T) {
+	f := newBloom(0)
+	g, err := unmarshalBloom(f.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal empty: %v", err)
+	}
+	if g.test("anything") {
+		t.Fatal("empty filter claims membership")
+	}
+}

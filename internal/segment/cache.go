@@ -1,0 +1,113 @@
+package segment
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a byte-bounded LRU over segment payloads, shared by every
+// reader of a store: record payloads live on disk in immutable segments
+// and are faulted in on demand, so resident memory for payloads is
+// bounded by the cache, not by the database. Keys are (segment path,
+// frame offset) — segments are immutable and never reuse a name (the
+// sequence number in the file name only grows), so an entry can never go
+// stale; eviction is the only way out.
+//
+// Cached payload slices are shared: callers must treat them as
+// read-only.
+type Cache struct {
+	mu   sync.Mutex
+	max  int64
+	used int64
+	ll   *list.List
+	m    map[cacheKey]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheKey struct {
+	path string
+	off  int64
+}
+
+type cacheEntry struct {
+	key     cacheKey
+	payload []byte
+}
+
+// NewCache builds a cache bounded at maxBytes of payload. maxBytes <= 0
+// returns nil — a nil *Cache is valid and caches nothing.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		max: maxBytes,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *Cache) get(key cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+func (c *Cache) put(key cacheKey, payload []byte) {
+	if c == nil || int64(len(payload)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	c.used += int64(len(payload))
+	for c.used > c.max {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.m, ent.key)
+		c.used -= int64(len(ent.payload))
+	}
+}
+
+// CacheStats is a point-in-time view for health reporting and tests.
+type CacheStats struct {
+	Entries int
+	Bytes   int64
+	Hits    uint64
+	Misses  uint64
+}
+
+// Stats returns the cache's current occupancy and hit counters. A nil
+// cache reports zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: c.ll.Len(),
+		Bytes:   c.used,
+		Hits:    c.hits,
+		Misses:  c.misses,
+	}
+}

@@ -506,12 +506,33 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.WALRecords = st.Records
 		resp.WALBytes = st.Bytes
 		resp.WALSegments = st.Segments
+		resp.CheckpointFailures = st.CheckpointFailures
+		resp.LastCheckpointError = st.LastCheckpointError
 		if !st.LastCheckpoint.IsZero() {
-			age := time.Since(st.LastCheckpoint).Seconds()
+			age := checkpointAge(st.LastCheckpoint)
 			resp.LastCheckpointAgeSeconds = &age
 		}
 	}
+	if st, ok := db.SegmentStats(); ok {
+		resp.SegmentCount = st.Segments
+		resp.SegmentEntries = st.Entries
+		resp.SegmentTombstones = st.Tombstones
+		resp.SegmentBytes = st.Bytes
+		resp.Compactions = st.Compactions
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkpointAge is time.Since clamped at zero: boot stamps the last
+// checkpoint from a file's modification time, which a restore-from-backup
+// or clock skew can place in the future — a negative age would read as
+// nonsense (and trip naive freshness alerts), so it floors to "just now".
+func checkpointAge(t time.Time) float64 {
+	age := time.Since(t).Seconds()
+	if age < 0 {
+		return 0
+	}
+	return age
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -535,9 +556,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "seqserved_wal_records %d\n", st.Records)
 		fmt.Fprintf(&b, "seqserved_wal_bytes %d\n", st.Bytes)
 		fmt.Fprintf(&b, "seqserved_wal_segments %d\n", st.Segments)
+		fmt.Fprintf(&b, "# HELP seqserved_checkpoint_failures_total Checkpoints that failed since boot.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_checkpoint_failures_total counter\n")
+		fmt.Fprintf(&b, "seqserved_checkpoint_failures_total %d\n", st.CheckpointFailures)
 		if !st.LastCheckpoint.IsZero() {
-			fmt.Fprintf(&b, "seqserved_last_checkpoint_age_seconds %g\n", time.Since(st.LastCheckpoint).Seconds())
+			fmt.Fprintf(&b, "seqserved_last_checkpoint_age_seconds %g\n", checkpointAge(st.LastCheckpoint))
 		}
+	}
+	if st, ok := db.SegmentStats(); ok {
+		fmt.Fprintf(&b, "# HELP seqserved_segment_count On-disk segment files in the checkpoint tier.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_segment_count gauge\n")
+		fmt.Fprintf(&b, "seqserved_segment_count %d\n", st.Segments)
+		fmt.Fprintf(&b, "seqserved_segment_entries %d\n", st.Entries)
+		fmt.Fprintf(&b, "seqserved_segment_tombstones %d\n", st.Tombstones)
+		fmt.Fprintf(&b, "seqserved_segment_bytes %d\n", st.Bytes)
+		fmt.Fprintf(&b, "# HELP seqserved_segment_compactions_total Segment-tier compactions since boot.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_segment_compactions_total counter\n")
+		fmt.Fprintf(&b, "seqserved_segment_compactions_total %d\n", st.Compactions)
+		fmt.Fprintf(&b, "seqserved_segment_cache_hits_total %d\n", st.Cache.Hits)
+		fmt.Fprintf(&b, "seqserved_segment_cache_misses_total %d\n", st.Cache.Misses)
+		fmt.Fprintf(&b, "seqserved_segment_cache_bytes %d\n", st.Cache.Bytes)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

@@ -71,6 +71,7 @@ import (
 	"seqrep/internal/pattern"
 	"seqrep/internal/querylang"
 	"seqrep/internal/rep"
+	"seqrep/internal/segment"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
 )
@@ -183,19 +184,28 @@ func SaveFile(db *DB, path string, wrap func(io.Writer) io.Writer) error {
 func LoadFile(path string, cfg Config) (*DB, error) { return core.LoadFile(path, cfg) }
 
 // OpenDir opens (creating if needed) a durable database rooted at a data
-// directory (layout: dir/snapshot.sdb + dir/wal/). It recovers the
-// snapshot plus the write-ahead-log tail to the exact acknowledged
+// directory (layout: dir/segments/ + dir/wal/). It recovers the on-disk
+// segment tier plus the write-ahead-log tail to the exact acknowledged
 // pre-crash state — truncating a torn final record, skipping records the
-// snapshot already covers — and leaves the log attached: every
+// segments already cover — and leaves the log attached: every
 // subsequent Ingest/Remove is appended and fsync'd (group-committed
-// across concurrent writers) before it is acknowledged. Checkpoint with
-// DB.Checkpoint; release the log with DB.Close. See docs/DURABILITY.md.
+// across concurrent writers) before it is acknowledged. DB.Checkpoint
+// flushes only the records mutated since the last checkpoint into a new
+// immutable segment (O(delta), not O(database)) and compacts the tier
+// at Config.CompactThreshold; release the log and segment files with
+// DB.Close. See docs/DURABILITY.md and docs/STORAGE.md.
 func OpenDir(dir string, cfg Config) (*DB, error) { return core.OpenDir(dir, cfg) }
 
 // WALStats describes a durable database's write-ahead-log depth
-// (DB.WALStats): records/bytes a crash would replay and the last
-// checkpoint time.
+// (DB.WALStats): records/bytes a crash would replay, the last checkpoint
+// time, and the checkpoint failure counter + last error health probes
+// watch for unbounded log growth.
 type WALStats = core.WALStats
+
+// SegmentStats describes a durable database's on-disk segment tier
+// (DB.SegmentStats): segment/entry/tombstone counts, byte footprint,
+// compactions run, and the payload cache's occupancy and hit rates.
+type SegmentStats = segment.Stats
 
 // RecoveryStats reports what OpenDir's boot-time replay did
 // (DB.Recovery).
