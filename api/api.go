@@ -18,6 +18,10 @@
 //	GET    /metrics                          -> Prometheus text format
 //
 // Errors are returned as ErrorResponse with a non-2xx status code.
+// Requests shed by admission control answer 429 with a Retry-After
+// header; writes against a storage-fault degraded database answer 503,
+// and /healthz keeps its JSON body while answering 503 whenever the
+// server is degraded or unhealthy (docs/RELIABILITY.md).
 package api
 
 import "math"
@@ -198,6 +202,10 @@ type IngestResponse struct {
 	Symbols  string `json:"symbols"`
 	// Generation is the database generation after the ingest committed.
 	Generation uint64 `json:"generation"`
+	// Duplicate is set only by the retrying client: a retried ingest that
+	// answered 409 means an earlier attempt (whose response was lost)
+	// already committed this id — the operation succeeded exactly once.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // BatchRequest ingests many sequences through the worker pool.
@@ -297,6 +305,47 @@ type HealthResponse struct {
 	SegmentBytes      int64 `json:"segment_bytes,omitempty"`
 	// Compactions counts segment-tier compactions run since boot.
 	Compactions uint64 `json:"compactions,omitempty"`
+	// CheckpointFailStreak counts consecutive checkpoint failures; the
+	// next success resets it. At or above the server's tolerance
+	// (-checkpoint-fail-limit) /healthz answers 503.
+	CheckpointFailStreak uint64 `json:"checkpoint_fail_streak,omitempty"`
+	// Degraded reports storage-fault read-only mode: a write-ahead-log
+	// append or fsync failed, writes are answering 503, reads keep
+	// serving, and a supervised probe is retrying the disk. /healthz
+	// itself answers 503 while Degraded.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedCause is the storage fault behind the current degraded
+	// episode (set only while Degraded).
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	// DegradedSince is seconds spent in the current degraded episode.
+	DegradedSince *float64 `json:"degraded_since_seconds,omitempty"`
+	// Recoveries counts successful returns from degraded to write
+	// service since boot.
+	Recoveries uint64 `json:"recoveries,omitempty"`
+	// Admission reports the server's admission-control saturation.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+}
+
+// AdmissionStats is the admission controller's live saturation, reported
+// in /healthz. The server bounds concurrent work by weight (a streaming
+// query costs more than an ingest); requests beyond the limit wait in a
+// bounded queue and overflow answers 429 with a Retry-After.
+type AdmissionStats struct {
+	// Limit is the total weighted concurrency the server admits.
+	Limit int `json:"limit"`
+	// Inflight is the weighted work currently admitted.
+	Inflight int `json:"inflight"`
+	// Queued is the weighted work currently waiting for admission.
+	Queued int `json:"queued"`
+	// QueueLimit bounds Queued; beyond it requests are rejected.
+	QueueLimit int `json:"queue_limit"`
+	// Rejected counts 429s answered since boot.
+	Rejected uint64 `json:"rejected"`
+	// Saturation is Inflight/Limit, 0..1.
+	Saturation float64 `json:"saturation"`
+	// PerRoute is each route's share of the limit currently admitted
+	// (weight/Limit), for routes with work in flight.
+	PerRoute map[string]float64 `json:"per_route,omitempty"`
 }
 
 // ErrorResponse carries any non-2xx outcome.

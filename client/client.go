@@ -13,11 +13,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"seqrep/api"
@@ -29,6 +31,10 @@ type APIError struct {
 	StatusCode int
 	// Message is the server's error text.
 	Message string
+	// RetryAfter is the server's Retry-After header in whole seconds (0
+	// when absent). Admission-control 429s always carry one; the retry
+	// loop honors it as a backoff floor.
+	RetryAfter int
 }
 
 // Error implements error.
@@ -43,49 +49,84 @@ func (e *APIError) IsNotFound() bool { return e.StatusCode == http.StatusNotFoun
 // server is not configured for).
 func (e *APIError) IsConflict() bool { return e.StatusCode == http.StatusConflict }
 
+// IsOverloaded reports a 429: the server's admission queue is full and
+// RetryAfter says when to come back.
+func (e *APIError) IsOverloaded() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+// IsUnavailable reports a 503: the server is degraded (storage-fault
+// read-only mode) or otherwise refusing service.
+func (e *APIError) IsUnavailable() bool { return e.StatusCode == http.StatusServiceUnavailable }
+
 // Client talks to one seqrep server. The zero value is not usable; create
 // with New. Safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	retryPolicy RetryPolicy
+	breaker     *breaker // nil when disabled
 }
 
 // Option customizes a Client.
 type Option func(*Client)
 
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test doubles).
+// transports, test doubles) for the default bounded-timeout transport.
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
 // New builds a client for the server at baseURL (e.g.
-// "http://localhost:8080").
+// "http://localhost:8080"). Unless overridden, the client uses a
+// transport with bounded dial/TLS/response-header timeouts
+// (WithHTTPClient) and retries transient failures with jittered backoff
+// under a circuit breaker (WithRetryPolicy).
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		http:        defaultHTTPClient(),
+		retryPolicy: RetryPolicy{}.withDefaults(),
+	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.retryPolicy.MaxAttempts > 0 && c.retryPolicy.BreakerThreshold > 0 {
+		c.breaker = &breaker{
+			threshold: c.retryPolicy.BreakerThreshold,
+			cooldown:  c.retryPolicy.BreakerCooldown,
+		}
 	}
 	return c
 }
 
-// do issues one request and decodes the response into out (ignored when
-// nil). Non-2xx responses become *APIError. okCodes lists the statuses
-// treated as success; empty means any 2xx.
-func (c *Client) do(ctx context.Context, method, path string, body, out any, okCodes ...int) error {
-	var rd io.Reader
+// do issues one request under the retry policy and decodes the response
+// into out (ignored when nil). Non-2xx responses become *APIError.
+// okCodes lists the statuses treated as success; empty means any 2xx.
+// It returns the attempt count so callers can recognize
+// success-via-earlier-attempt shapes (Ingest's retried 409).
+func (c *Client) do(ctx context.Context, class idemClass, method, path string, body, out any, okCodes ...int) (int, error) {
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("client: encoding request: %w", err)
+		var err error
+		if blob, err = json.Marshal(body); err != nil {
+			return 0, fmt.Errorf("client: encoding request: %w", err)
 		}
+	}
+	return c.retry(ctx, class, func(ctx context.Context) error {
+		return c.attempt(ctx, method, path, blob, out, okCodes...)
+	})
+}
+
+// attempt issues exactly one request.
+func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, out any, okCodes ...int) error {
+	var rd io.Reader
+	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if body != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	res, err := c.http.Do(req)
@@ -104,16 +145,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, okC
 		}
 	}
 	if !ok {
-		var apiErr api.ErrorResponse
-		msg := ""
-		if blob, readErr := io.ReadAll(io.LimitReader(res.Body, 1<<16)); readErr == nil {
-			if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
-				msg = apiErr.Error
-			} else {
-				msg = strings.TrimSpace(string(blob))
-			}
-		}
-		return &APIError{StatusCode: res.StatusCode, Message: msg}
+		return apiErrorFrom(res)
 	}
 	if out == nil {
 		return nil
@@ -124,10 +156,31 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, okC
 	return nil
 }
 
+// apiErrorFrom drains a non-2xx response into an *APIError, capturing
+// the Retry-After header when present.
+func apiErrorFrom(res *http.Response) *APIError {
+	var apiErr api.ErrorResponse
+	msg := ""
+	if blob, readErr := io.ReadAll(io.LimitReader(res.Body, 1<<16)); readErr == nil {
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		} else {
+			msg = strings.TrimSpace(string(blob))
+		}
+	}
+	out := &APIError{StatusCode: res.StatusCode, Message: msg}
+	if ra := res.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec > 0 {
+			out.RetryAfter = sec
+		}
+	}
+	return out
+}
+
 // Query executes one query-language statement.
 func (c *Client) Query(ctx context.Context, statement string) (*api.QueryResponse, error) {
 	var out api.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/query", api.QueryRequest{Query: statement}, &out); err != nil {
+	if _, err := c.do(ctx, idemSafe, http.MethodPost, "/v1/query", api.QueryRequest{Query: statement}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -163,39 +216,40 @@ func (c *Client) StreamQuery(ctx context.Context, statement string) (*QueryStrea
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query/stream", bytes.NewReader(blob))
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	res, err := c.http.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	if res.StatusCode != http.StatusOK {
-		defer res.Body.Close()
-		var apiErr api.ErrorResponse
-		msg := ""
-		if blob, readErr := io.ReadAll(io.LimitReader(res.Body, 1<<16)); readErr == nil {
-			if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
-				msg = apiErr.Error
-			} else {
-				msg = strings.TrimSpace(string(blob))
-			}
+	// Only stream setup retries: once the header frame is in, frames have
+	// been delivered and a mid-stream failure is the caller's to handle.
+	var qs *QueryStream
+	_, err = c.retry(ctx, idemSafe, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query/stream", bytes.NewReader(blob))
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
 		}
-		return nil, &APIError{StatusCode: res.StatusCode, Message: msg}
-	}
-	qs := &QueryStream{body: res.Body, rd: bufio.NewReader(res.Body)}
-	header, err := qs.readFrame()
+		req.Header.Set("Content-Type", "application/json")
+		res, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if res.StatusCode != http.StatusOK {
+			defer res.Body.Close()
+			return apiErrorFrom(res)
+		}
+		s := &QueryStream{body: res.Body, rd: bufio.NewReader(res.Body)}
+		header, err := s.readFrame()
+		if err != nil {
+			s.Close()
+			return err
+		}
+		if header == nil || header.Canonical == "" {
+			s.Close()
+			return fmt.Errorf("client: stream began without a header frame")
+		}
+		s.canonical = header.Canonical
+		qs = s
+		return nil
+	})
 	if err != nil {
-		qs.Close()
 		return nil, err
 	}
-	if header == nil || header.Canonical == "" {
-		qs.Close()
-		return nil, fmt.Errorf("client: stream began without a header frame")
-	}
-	qs.canonical = header.Canonical
 	return qs, nil
 }
 
@@ -276,10 +330,19 @@ func (s *QueryStream) Trailer() *api.StreamFrame { return s.trailer }
 // the running query.
 func (s *QueryStream) Close() error { return s.body.Close() }
 
-// Ingest stores one sequence.
+// Ingest stores one sequence. Ingest is idempotent under retries: when
+// an attempt's response is lost and the retry answers 409 (duplicate
+// id), an earlier attempt committed the record — the call returns
+// success with Duplicate set rather than surfacing the conflict. A 409
+// on the first attempt is a genuine conflict and still errors.
 func (c *Client) Ingest(ctx context.Context, item api.IngestRequest) (*api.IngestResponse, error) {
 	var out api.IngestResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/ingest", item, &out); err != nil {
+	attempts, err := c.do(ctx, idemIngest, http.MethodPost, "/v1/ingest", item, &out)
+	if err != nil {
+		var ae *APIError
+		if attempts > 1 && errors.As(err, &ae) && ae.StatusCode == http.StatusConflict {
+			return &api.IngestResponse{ID: item.ID, Duplicate: true}, nil
+		}
 		return nil, err
 	}
 	return &out, nil
@@ -290,7 +353,7 @@ func (c *Client) Ingest(ctx context.Context, item api.IngestRequest) (*api.Inges
 // here — inspect BatchResponse.Failed for the per-item outcomes.
 func (c *Client) IngestBatch(ctx context.Context, items []api.IngestRequest) (*api.BatchResponse, error) {
 	var out api.BatchResponse
-	err := c.do(ctx, http.MethodPost, "/v1/ingest/batch", api.BatchRequest{Items: items}, &out,
+	_, err := c.do(ctx, idemNone, http.MethodPost, "/v1/ingest/batch", api.BatchRequest{Items: items}, &out,
 		http.StatusOK, http.StatusMultiStatus)
 	if err != nil {
 		return nil, err
@@ -301,16 +364,18 @@ func (c *Client) IngestBatch(ctx context.Context, items []api.IngestRequest) (*a
 // Record fetches the stored state of one sequence.
 func (c *Client) Record(ctx context.Context, id string) (*api.RecordResponse, error) {
 	var out api.RecordResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/records/"+url.PathEscape(id), nil, &out); err != nil {
+	if _, err := c.do(ctx, idemSafe, http.MethodGet, "/v1/records/"+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Remove deletes one sequence.
+// Remove deletes one sequence. Removal is not idempotent (a repeat
+// answers 404), so only failures the server guarantees preceded any
+// application — 429 load shed, 503 degraded — are retried.
 func (c *Client) Remove(ctx context.Context, id string) (*api.RemoveResponse, error) {
 	var out api.RemoveResponse
-	if err := c.do(ctx, http.MethodDelete, "/v1/records/"+url.PathEscape(id), nil, &out); err != nil {
+	if _, err := c.do(ctx, idemNone, http.MethodDelete, "/v1/records/"+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -319,7 +384,7 @@ func (c *Client) Remove(ctx context.Context, id string) (*api.RemoveResponse, er
 // SaveSnapshot persists a point-in-time snapshot on the server.
 func (c *Client) SaveSnapshot(ctx context.Context) (*api.SnapshotResponse, error) {
 	var out api.SnapshotResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/snapshot/save", nil, &out); err != nil {
+	if _, err := c.do(ctx, idemSafe, http.MethodPost, "/v1/snapshot/save", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -328,16 +393,21 @@ func (c *Client) SaveSnapshot(ctx context.Context) (*api.SnapshotResponse, error
 // LoadSnapshot restores the server's database from its snapshot store.
 func (c *Client) LoadSnapshot(ctx context.Context) (*api.SnapshotResponse, error) {
 	var out api.SnapshotResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/snapshot/load", nil, &out); err != nil {
+	if _, err := c.do(ctx, idemSafe, http.MethodPost, "/v1/snapshot/load", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Health checks /healthz.
+// Health checks /healthz. A degraded or unhealthy server answers 503
+// with the same JSON body — that is a successful health check here (the
+// response reports Status "degraded"/"unhealthy"), not an error, so
+// callers can read why the node is down.
 func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 	var out api.HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+	_, err := c.do(ctx, idemSafe, http.MethodGet, "/healthz", nil, &out,
+		http.StatusOK, http.StatusServiceUnavailable)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -345,21 +415,26 @@ func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 
 // Metrics fetches the raw Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
-	res, err := c.http.Do(req)
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
-	defer res.Body.Close()
-	blob, err := io.ReadAll(res.Body)
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
-	if res.StatusCode != http.StatusOK {
-		return "", &APIError{StatusCode: res.StatusCode, Message: strings.TrimSpace(string(blob))}
-	}
-	return string(blob), nil
+	var text string
+	_, err := c.retry(ctx, idemSafe, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		res, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		defer res.Body.Close()
+		blob, err := io.ReadAll(res.Body)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if res.StatusCode != http.StatusOK {
+			return &APIError{StatusCode: res.StatusCode, Message: strings.TrimSpace(string(blob))}
+		}
+		text = string(blob)
+		return nil
+	})
+	return text, err
 }

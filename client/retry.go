@@ -1,0 +1,267 @@
+package client
+
+// Retrying transport (docs/RELIABILITY.md): transient server verdicts —
+// 429 from admission control, 503 from storage-fault read-only mode,
+// 502/504 from intermediaries, connection failures — are retried with
+// exponential backoff and full jitter, honoring the server's Retry-After
+// when it sends one, under a per-call time budget. What is safe to retry
+// depends on the operation: reads always; ingests always (a lost
+// response followed by a retried 409 means an earlier attempt committed
+// — the call reports success exactly once, flagged Duplicate); removes
+// and batches only on verdicts the server guarantees it rejected before
+// applying anything (429, 503). A circuit breaker trips after
+// consecutive 503s so a degraded server drains instead of being polled
+// by every pending call.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Retry defaults (RetryPolicy zero-value resolution).
+const (
+	DefaultMaxAttempts      = 4
+	DefaultBaseDelay        = 100 * time.Millisecond
+	DefaultMaxDelay         = 5 * time.Second
+	DefaultRetryBudget      = 30 * time.Second
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// ErrBreakerOpen reports a call refused locally: the circuit breaker has
+// seen BreakerThreshold consecutive 503s and is in its cooldown, so the
+// server is (still) telling clients to go away and this call did not add
+// to the pile.
+var ErrBreakerOpen = errors.New("client: circuit breaker open: server unavailable")
+
+// RetryPolicy configures the client's retry behavior. The zero value
+// means defaults; WithRetryPolicy installs a custom one;
+// MaxAttempts < 0 disables retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call, first included:
+	// 0 means DefaultMaxAttempts, negative disables retrying.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt n sleeps a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay·2ⁿ)] —
+	// full jitter, so synchronized clients do not retry in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+	// Budget bounds one call's total time across all attempts and
+	// sleeps: a retry that cannot finish its sleep inside the budget is
+	// not attempted and the last error returns. 0 means
+	// DefaultRetryBudget, negative means unlimited.
+	Budget time.Duration
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive 503 responses; 0 means DefaultBreakerThreshold,
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker refuses calls before
+	// letting one probe through.
+	BreakerCooldown time.Duration
+}
+
+// withDefaults resolves the zero value.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Budget == 0 {
+		p.Budget = DefaultRetryBudget
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if p.BreakerCooldown == 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
+	}
+	return p
+}
+
+// WithRetryPolicy installs a retry policy (see RetryPolicy; zero fields
+// mean defaults, MaxAttempts < 0 disables retrying).
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retryPolicy = p.withDefaults() }
+}
+
+// idemClass is what a retry may assume about an operation's server-side
+// effect when its response was lost or negative.
+type idemClass int
+
+const (
+	// idemSafe operations have no server-side effect (queries, reads,
+	// health) or an effect that is safe to repeat (snapshot save): every
+	// transient failure retries, including lost responses.
+	idemSafe idemClass = iota
+	// idemIngest is a single-record ingest: retried like idemSafe, and a
+	// 409 on a retry is recognized as an earlier attempt having
+	// committed (the caller reports success, flagged Duplicate).
+	idemIngest
+	// idemNone operations must not double-apply (remove, batch ingest):
+	// only verdicts the server guarantees preceded any application — 429
+	// load shed, 503 degraded fail-fast — retry. A lost response is
+	// surfaced, never retried.
+	idemNone
+)
+
+// breaker is a consecutive-503 circuit breaker. All methods are
+// goroutine-safe.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// allow reports whether a call may proceed (false while open).
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Now().After(b.openUntil)
+}
+
+// record feeds one attempt's verdict: 503s accumulate and trip the
+// breaker at threshold; anything else resets it.
+func (b *breaker) record(unavailable bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !unavailable {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+		b.consecutive = 0
+	}
+}
+
+// retryable classifies one attempt's error under class: (shouldRetry,
+// serverSaysWait) where serverSaysWait is the Retry-After floor in
+// seconds (0 = none).
+func retryable(class idemClass, err error) (bool, int) {
+	// The caller giving up is never retried around.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Load shed and degraded mode both reject before applying
+			// anything: safe for every class.
+			return true, ae.RetryAfter
+		case http.StatusBadGateway, http.StatusGatewayTimeout:
+			// Intermediary verdicts: the request may have applied, so only
+			// classes that tolerate a repeat retry.
+			return class != idemNone, ae.RetryAfter
+		}
+		return false, 0
+	}
+	// Anything else is a transport failure (dial refused, connection
+	// reset, header timeout): the response — and whether the server acted
+	// — is unknown.
+	return class != idemNone, 0
+}
+
+// unavailableErr reports whether err is a 503 — the breaker's food.
+func unavailableErr(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
+}
+
+// retry runs fn up to the policy's attempt limit, backing off with full
+// jitter between tries, honoring server Retry-After floors, and keeping
+// the whole call inside the budget. It returns the number of attempts
+// made alongside fn's last error.
+func (c *Client) retry(ctx context.Context, class idemClass, fn func(context.Context) error) (int, error) {
+	pol := c.retryPolicy
+	if pol.MaxAttempts < 0 {
+		return 1, fn(ctx)
+	}
+	if !c.breaker.allow() {
+		return 0, ErrBreakerOpen
+	}
+	var deadline time.Time
+	if pol.Budget > 0 {
+		deadline = time.Now().Add(pol.Budget)
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn(ctx)
+		c.breaker.record(unavailableErr(err))
+		if err == nil || attempt >= pol.MaxAttempts {
+			return attempt, err
+		}
+		again, floorSec := retryable(class, err)
+		if !again {
+			return attempt, err
+		}
+		if !c.breaker.allow() {
+			// This call's own 503 may have tripped it: stop hammering.
+			return attempt, err
+		}
+		delay := backoff(pol, attempt, floorSec)
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			return attempt, err // the budget cannot fund another attempt
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return attempt, fmt.Errorf("client: %w", ctx.Err())
+		}
+	}
+}
+
+// backoff computes attempt's sleep: full jitter over an exponentially
+// growing window, floored by the server's Retry-After when present.
+func backoff(pol RetryPolicy, attempt, floorSec int) time.Duration {
+	window := pol.BaseDelay << (attempt - 1)
+	if window > pol.MaxDelay || window <= 0 {
+		window = pol.MaxDelay
+	}
+	delay := rand.N(window + 1)
+	if floor := time.Duration(floorSec) * time.Second; delay < floor {
+		delay = floor
+	}
+	return delay
+}
+
+// defaultHTTPClient is the transport New installs unless WithHTTPClient
+// overrides it: bounded dial, TLS and response-header waits, so a hung
+// server fails the call into the retry loop instead of blocking forever
+// — but no whole-request timeout, which would sever long query streams.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}

@@ -1,0 +1,251 @@
+package client
+
+// Retry-path tests against deliberately flaky httptest servers: calls
+// converge once the server heals, the server's Retry-After and the
+// policy's budget are both honored, non-idempotent operations are never
+// double-applied, a retried ingest recognizes 409 as
+// success-after-retry, and the circuit breaker stops a client from
+// polling a down server.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqrep/api"
+)
+
+// fastPolicy retries aggressively with negligible sleeps so tests stay
+// quick; the breaker is off unless a test turns it on.
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      4,
+		BaseDelay:        time.Millisecond,
+		MaxDelay:         4 * time.Millisecond,
+		Budget:           -1,
+		BreakerThreshold: -1,
+	}
+}
+
+// flaky answers with each status in sequence, then delegates to final.
+func flaky(calls *atomic.Int64, statuses []int, retryAfter string, final http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(statuses) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(statuses[n-1])
+			w.Write([]byte(`{"error":"injected flake"}`))
+			return
+		}
+		final(w, r)
+	}
+}
+
+func ingestOK(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	w.Write([]byte(`{"id":"x","samples":8,"generation":1}`))
+}
+
+func TestRetryConvergesAfterTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flaky(&calls, []int{503, 429}, "", ingestOK))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	res, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatalf("ingest through flakes: %v", err)
+	}
+	if res.Duplicate {
+		t.Fatal("clean success flagged Duplicate")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two flakes + success)", calls.Load())
+	}
+}
+
+func TestRetryHonorsRetryAfterFloor(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flaky(&calls, []int{429}, "1", ingestOK))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	start := time.Now()
+	if _, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v despite Retry-After: 1", elapsed)
+	}
+}
+
+func TestRetryBudgetStopsUnfundableSleeps(t *testing.T) {
+	var calls atomic.Int64
+	always503 := func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"down"}`))
+	}
+	ts := httptest.NewServer(http.HandlerFunc(always503))
+	defer ts.Close()
+	pol := fastPolicy()
+	pol.MaxAttempts = 10
+	pol.Budget = 200 * time.Millisecond
+	c := New(ts.URL, WithRetryPolicy(pol))
+	start := time.Now()
+	_, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1}})
+	var ae *APIError
+	if !errors.As(err, &ae) || !ae.IsUnavailable() {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget of 200ms let the call run %v", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls; a 5s Retry-After does not fit a 200ms budget", calls.Load())
+	}
+}
+
+func TestNonIdempotentNeverRetriedOnAmbiguity(t *testing.T) {
+	// 502 means the request may have applied: Remove and IngestBatch
+	// must surface it after exactly one attempt.
+	var rmCalls, batchCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("DELETE /v1/records/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rmCalls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	mux.HandleFunc("POST /v1/ingest/batch", func(w http.ResponseWriter, r *http.Request) {
+		batchCalls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+
+	_, err := c.Remove(context.Background(), "x")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadGateway {
+		t.Fatalf("remove err = %v", err)
+	}
+	if rmCalls.Load() != 1 {
+		t.Fatalf("ambiguous remove retried: %d calls", rmCalls.Load())
+	}
+	if _, err := c.IngestBatch(context.Background(), []api.IngestRequest{{ID: "x", Values: []float64{1}}}); err == nil {
+		t.Fatal("batch through 502 succeeded")
+	}
+	if batchCalls.Load() != 1 {
+		t.Fatalf("ambiguous batch retried: %d calls", batchCalls.Load())
+	}
+}
+
+func TestNonIdempotentRetriesGuaranteedUnapplied(t *testing.T) {
+	// 429 (and 503) are rejected before any application: safe for Remove.
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("DELETE /v1/records/{id}", flaky(&calls, []int{429}, "", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"x","sequences":0,"generation":2}`))
+	}))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	if _, err := c.Remove(context.Background(), "x"); err != nil {
+		t.Fatalf("remove through 429: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+func TestIngestDuplicateAfterRetryIsSuccess(t *testing.T) {
+	// Attempt 1: the server applies the ingest but an intermediary eats
+	// the response (502). Attempt 2 answers 409 — which proves attempt 1
+	// committed. The call must succeed exactly once, flagged Duplicate.
+	var calls atomic.Int64
+	h := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write([]byte(`{"error":"upstream burp"}`))
+			return
+		}
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"duplicate id \"x\""}`))
+	}
+	ts := httptest.NewServer(http.HandlerFunc(h))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	res, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatalf("retried ingest: %v", err)
+	}
+	if !res.Duplicate || res.ID != "x" {
+		t.Fatalf("response = %+v, want Duplicate for id x", res)
+	}
+}
+
+func TestIngestFirstAttempt409StaysConflict(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"duplicate id"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	_, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1}})
+	var ae *APIError
+	if !errors.As(err, &ae) || !ae.IsConflict() {
+		t.Fatalf("first-attempt 409 = %v, want conflict error", err)
+	}
+}
+
+func TestBreakerTripsOnConsecutive503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"degraded"}`))
+	}))
+	defer ts.Close()
+	pol := fastPolicy()
+	pol.MaxAttempts = 1 // one attempt per call: the breaker counts across calls
+	pol.BreakerThreshold = 3
+	pol.BreakerCooldown = time.Hour
+	c := New(ts.URL, WithRetryPolicy(pol))
+	for i := 0; i < 3; i++ {
+		if _, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1}}); err == nil {
+			t.Fatal("ingest against 503 succeeded")
+		}
+	}
+	_, err := c.Ingest(context.Background(), api.IngestRequest{ID: "x", Values: []float64{1}})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("fourth call = %v, want ErrBreakerOpen", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls after the breaker tripped, want 3", calls.Load())
+	}
+}
+
+func TestHealthDecodes503Body(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"degraded","sequences":3,"generation":7,"degraded":true,"degraded_cause":"wal: disk gone"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	hr, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health against degraded server: %v", err)
+	}
+	if !hr.Degraded || hr.Status != "degraded" || hr.DegradedCause == "" {
+		t.Fatalf("health body = %+v", hr)
+	}
+}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -166,5 +167,119 @@ func TestKillNineLosesNoAcknowledgedWrite(t *testing.T) {
 		if _, err := cl.Record(ctx, id); err != nil {
 			t.Errorf("acknowledged %s lost across kill -9: %v", id, err)
 		}
+	}
+}
+
+// TestSIGKILLWhileDegradedLosesNoAcknowledgedWrite is the kill-9 test's
+// evil twin: the server's disk "fails" mid-service (an injected WAL
+// sync fault armed by the chaos flags), the database degrades to
+// read-only — and THEN the process is SIGKILLed, mid-episode, with no
+// drain. The reboot, on a healthy disk, must hold every write the
+// degraded server acknowledged before the fault and must be fully
+// healthy. Writes rejected during the window may reappear (a failed
+// fsync leaves the page cache unknowable — docs/RELIABILITY.md) but
+// none of them was ever acknowledged, so nothing acknowledged is lost.
+func TestSIGKILLWhileDegradedLosesNoAcknowledgedWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a real server process")
+	}
+	bin := buildServer(t)
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+
+	// First life: the WAL's 6th sync and every one after it fails.
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-chaos-wal-fail-after", "5",
+		"-chaos-wal-fail-count", "-1",
+		"-probe-interval", "-1s", // the disk never heals in this life
+	)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting seqserved: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// No client-side retries: every response code is observed raw.
+	cl := client.New("http://"+addr, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: -1}))
+	waitHealthy(t, cl, 10*time.Second)
+
+	// Write until the fault bites. Sequential ingests sync one frame
+	// each, so acknowledgements stop at the armed boundary.
+	ctx := context.Background()
+	var acked []string
+	degradedAt := -1
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("pre-%d", i)
+		_, err := cl.Ingest(ctx, api.IngestRequest{ID: id, Values: killSeq(i)})
+		if err == nil {
+			acked = append(acked, id)
+			continue
+		}
+		var ae *client.APIError
+		if !errors.As(err, &ae) || !ae.IsUnavailable() {
+			t.Fatalf("ingest %d failed outside the degraded contract: %v", i, err)
+		}
+		degradedAt = i
+		break
+	}
+	if degradedAt < 0 {
+		t.Fatalf("20 ingests all succeeded; the chaos fault never fired")
+	}
+	if len(acked) == 0 {
+		t.Fatal("no writes acknowledged before the fault; the test proved nothing")
+	}
+	t.Logf("degraded after %d acknowledged writes", len(acked))
+
+	// The degraded window: every write answers 503 — never a 2xx ack the
+	// disk cannot honor, never a hang.
+	for i := 0; i < 5; i++ {
+		_, err := cl.Ingest(ctx, api.IngestRequest{ID: fmt.Sprintf("doomed-%d", i), Values: killSeq(i)})
+		var ae *client.APIError
+		if !errors.As(err, &ae) || !ae.IsUnavailable() {
+			t.Fatalf("degraded write %d = %v, want 503", i, err)
+		}
+	}
+	// Health tells the truth, and reads keep serving.
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("health while degraded: %v", err)
+	}
+	if !h.Degraded || h.Status != "degraded" {
+		t.Fatalf("degraded health = %+v", h)
+	}
+	if _, err := cl.Record(ctx, acked[0]); err != nil {
+		t.Fatalf("read while degraded: %v", err)
+	}
+
+	// Shoot the degraded process. No drain, no checkpoint.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmd.Wait()
+
+	// Second life: healthy disk. Everything acknowledged must be there
+	// and write service must be fully restored.
+	cmd2 := exec.Command(bin, "-addr", addr, "-data-dir", dataDir)
+	cmd2.Stdout, cmd2.Stderr = os.Stderr, os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatalf("restarting seqserved: %v", err)
+	}
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	h = waitHealthy(t, cl, 20*time.Second)
+	if h.Degraded || h.Status != "ok" {
+		t.Fatalf("rebooted health = %+v, want ok", h)
+	}
+	for _, id := range acked {
+		if _, err := cl.Record(ctx, id); err != nil {
+			t.Errorf("acknowledged %s lost across degraded kill -9: %v", id, err)
+		}
+	}
+	if _, err := cl.Ingest(ctx, api.IngestRequest{ID: "post-reboot", Values: killSeq(99)}); err != nil {
+		t.Fatalf("write after reboot: %v", err)
 	}
 }

@@ -18,8 +18,16 @@
 // and surface in /healthz (checkpoint_failures, last_checkpoint_error)
 // and /metrics (seqserved_checkpoint_failures_total) so unbounded log
 // growth cannot go unnoticed. On SIGINT/SIGTERM the server stops
-// accepting connections, drains in-flight requests (up to -drain),
-// checkpoints, and closes the log.
+// accepting connections, drains in-flight requests (up to
+// -drain-timeout, force-closing stragglers), then checkpoints and
+// closes the log — the final checkpoint never races live traffic.
+//
+// Overload and fault behavior (docs/RELIABILITY.md): admission control
+// bounds concurrent work (-admission-limit, -admission-queue) and sheds
+// overflow with 429 + Retry-After; a storage fault flips the database
+// into read-only degraded mode (writes 503, reads keep serving) and a
+// supervised probe (-probe-interval) restores write service when the
+// disk recovers.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"seqrep"
+	"seqrep/internal/chaos"
 	"seqrep/internal/server"
 )
 
@@ -66,22 +75,42 @@ func run() error {
 		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 32MiB, negative disables)")
 		queryTO  = flag.Duration("query-timeout", 0, "per-statement execution cap for /v1/query and /v1/query/stream (0 disables; exceeded queries answer 504 / an error frame)")
 		queryLim = flag.Int("query-limit", 0, "server-wide cap on results per statement (0 disables; capped answers report stats.truncated)")
-		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+		drainOld = flag.Duration("drain", 15*time.Second, "deprecated alias for -drain-timeout")
+		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain timeout: in-flight requests get this long to finish before their connections are force-closed and the final checkpoint runs")
 		readTO   = flag.Duration("read-timeout", time.Minute, "per-request read timeout (headers + body; 0 disables)")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 disables)")
+		admitLim = flag.Int("admission-limit", 0, "weighted admission-control concurrency budget: queries cost more slots than ingests, overflow queues then sheds with 429 + Retry-After (0 = default 64, negative disables)")
+		admitQ   = flag.Int("admission-queue", 0, "bounded admission wait-queue weight beyond the concurrency budget (0 = default 256, negative disables queuing)")
+		ckptFail = flag.Int("checkpoint-fail-limit", 0, "consecutive checkpoint failures at which /healthz reports unhealthy with 503 (0 = default 3, negative disables)")
+		probeIvl = flag.Duration("probe-interval", 0, "storage-recovery probe period while degraded: each tick tests the write path and restores write service when the disk recovers (0 = default 2s, negative disables)")
+
+		// Chaos flags for the reliability e2e suite only: arm a one-shot
+		// fsync fault window in the write-ahead log so a test can observe
+		// a real process degrade and recover (or be killed mid-episode).
+		chaosAfter = flag.Int64("chaos-wal-fail-after", 0, "TESTING ONLY: number of WAL syncs that succeed before injected failures begin (with -chaos-wal-fail-count)")
+		chaosCount = flag.Int64("chaos-wal-fail-count", 0, "TESTING ONLY: number of injected WAL sync failures; after the window the fault heals (negative = fail forever)")
 	)
 	flag.Parse()
+	// -drain-timeout wins when both are given; the old spelling still
+	// works alone.
+	drain := drainTO
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["drain"] && !set["drain-timeout"] {
+		drain = drainOld
+	}
 
 	cfg := seqrep.Config{
-		Epsilon:           *epsilon,
-		Delta:             *delta,
-		BucketWidth:       *bucket,
-		Shards:            *shards,
-		Workers:           *workers,
-		IndexCoeffs:       *coeffs,
-		IndexLeaf:         *leaf,
-		CompactThreshold:  *compact,
-		SegmentCacheBytes: *segCach,
+		Epsilon:               *epsilon,
+		Delta:                 *delta,
+		BucketWidth:           *bucket,
+		Shards:                *shards,
+		Workers:               *workers,
+		IndexCoeffs:           *coeffs,
+		IndexLeaf:             *leaf,
+		CompactThreshold:      *compact,
+		SegmentCacheBytes:     *segCach,
+		RecoveryProbeInterval: *probeIvl,
 	}
 	if *archive != "" {
 		arch, err := seqrep.NewFileArchive(*archive)
@@ -113,12 +142,21 @@ func run() error {
 	}
 	defer db.Close()
 
+	if *chaosCount != 0 {
+		f := &chaos.Fault{Kind: chaos.DiskError, After: *chaosAfter, Count: *chaosCount}
+		db.SetWALFault(nil, f.Hook())
+		log.Printf("CHAOS: wal sync faults armed after %d syncs for %d failures", *chaosAfter, *chaosCount)
+	}
+
 	srvCfg := server.Config{
-		DB:           db,
-		CacheSize:    *cache,
-		MaxBodyBytes: *maxBody,
-		QueryTimeout: *queryTO,
-		QueryLimit:   *queryLim,
+		DB:                  db,
+		CacheSize:           *cache,
+		MaxBodyBytes:        *maxBody,
+		QueryTimeout:        *queryTO,
+		QueryLimit:          *queryLim,
+		AdmissionLimit:      *admitLim,
+		AdmissionQueue:      *admitQ,
+		CheckpointFailLimit: *ckptFail,
 	}
 	if snap != nil {
 		srvCfg.Snapshotter = snap
@@ -190,10 +228,15 @@ func run() error {
 		log.Printf("received %s, draining (timeout %s)", sig, *drain)
 	}
 
+	// Shutdown closes the listener immediately (no new connections) and
+	// waits for in-flight requests; on timeout, Close force-drops the
+	// stragglers. Either way nothing is accepting or in flight by the
+	// time the final checkpoint runs — it never races live writes.
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		log.Printf("drain incomplete, force-closing connections: %v", err)
+		httpSrv.Close()
 	}
 	if snap != nil {
 		// Every acknowledged write is already WAL-durable; the final

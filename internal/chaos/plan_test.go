@@ -1,0 +1,266 @@
+package chaos
+
+// The fault plan: every write site in the storage stack — the
+// write-ahead log's frame write and its fsync, the checkpoint's segment
+// writer, the archive's put — crossed with every failure kind the site
+// can express. Each cell asserts the same three invariants:
+//
+//  1. No acknowledged write is ever lost: after the fault (and a
+//     reboot), every id that was acknowledged is present and every id
+//     that errored is absent or explicitly unacknowledged.
+//  2. Faults map to honest error classes: log faults degrade the
+//     database (ErrDegraded, the 503 family), data-layer faults are
+//     storage errors (ErrStorage, 500) or plain checkpoint failures —
+//     never a silent success, never a corrupted read.
+//  3. The state machine tells the truth: DegradedStatus reflects
+//     exactly the episodes that happened, and service recovers once
+//     the fault clears.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"seqrep"
+)
+
+func chaosSeq(seed int) seqrep.Sequence {
+	vals := make([]float64, 48)
+	for i := range vals {
+		v := 100.0 + 0.1*float64(seed%7)
+		v += 2.5 * math.Exp(-math.Pow(float64(i)-12, 2)/8)
+		v += 1.5 * math.Exp(-math.Pow(float64(i)-34, 2)/6)
+		vals[i] = v
+	}
+	return seqrep.NewSequence(vals)
+}
+
+func openChaosDB(t *testing.T, dir string) *seqrep.DB {
+	t.Helper()
+	db, err := seqrep.OpenDir(dir, seqrep.Config{RecoveryProbeInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenDir(%s): %v", dir, err)
+	}
+	return db
+}
+
+// rebootAsserts closes db, reopens the directory, and verifies exactly
+// the acknowledged ids survive. lost ids must NOT have been resurrected
+// as acknowledged state they never earned — but a sync-site fault may
+// leave their bytes on disk (the fsync outcome was unknowable), so
+// allowLost tolerates their presence without requiring it.
+func rebootAsserts(t *testing.T, db *seqrep.DB, dir string, acked, lost []string, allowLost bool) {
+	t.Helper()
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2 := openChaosDB(t, dir)
+	defer db2.Close()
+	for _, id := range acked {
+		if _, ok := db2.Record(id); !ok {
+			t.Fatalf("acknowledged %q lost across reboot", id)
+		}
+	}
+	if !allowLost {
+		for _, id := range lost {
+			if _, ok := db2.Record(id); ok {
+				t.Fatalf("unacknowledged %q resurrected across reboot", id)
+			}
+		}
+	}
+}
+
+// TestWALWriteSiteFaults walks the log's frame-write hook. A write
+// fault means no bytes reached the device, so failed ids must stay gone
+// forever.
+func TestWALWriteSiteFaults(t *testing.T) {
+	for _, kind := range []Kind{DiskError, NoSpace, SlowWrite} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db := openChaosDB(t, dir)
+			defer db.Close()
+			var acked, lost []string
+			for i := 0; i < 3; i++ {
+				id := fmt.Sprintf("pre-%d", i)
+				if err := db.Ingest(id, chaosSeq(i)); err != nil {
+					t.Fatal(err)
+				}
+				acked = append(acked, id)
+			}
+
+			f := &Fault{Kind: kind, Count: -1}
+			db.SetWALFault(f.Hook(), nil)
+			err := db.Ingest("during", chaosSeq(9))
+			if kind == SlowWrite {
+				// A slow disk is not a failed disk: the write must succeed
+				// and the database must NOT degrade.
+				if err != nil {
+					t.Fatalf("slow write failed: %v", err)
+				}
+				acked = append(acked, "during")
+				if db.DegradedStatus().Degraded {
+					t.Fatal("slow write degraded the database")
+				}
+			} else {
+				if !errors.Is(err, seqrep.ErrDegraded) {
+					t.Fatalf("ingest under %s = %v, want ErrDegraded", kind, err)
+				}
+				lost = append(lost, "during")
+				st := db.DegradedStatus()
+				if !st.Degraded || st.Transitions != 1 {
+					t.Fatalf("DegradedStatus = %+v", st)
+				}
+				// Reads serve throughout.
+				if _, ok := db.Record("pre-0"); !ok {
+					t.Fatal("read failed while degraded")
+				}
+				// Heal, recover, write again.
+				f.Clear()
+				if err := db.Recover(); err != nil {
+					t.Fatalf("Recover: %v", err)
+				}
+				if err := db.Ingest("after", chaosSeq(10)); err != nil {
+					t.Fatalf("ingest after recovery: %v", err)
+				}
+				acked = append(acked, "after")
+			}
+			if f.Trips() == 0 {
+				t.Fatal("fault never fired")
+			}
+			rebootAsserts(t, db, dir, acked, lost, false)
+		})
+	}
+}
+
+// TestWALSyncSiteFaults walks the log's fsync hook. The fsyncgate
+// semantics: after a failed fsync the page cache is unknowable, so the
+// write is unacknowledged — but its bytes may still be on disk, and may
+// legitimately reappear after recovery.
+func TestWALSyncSiteFaults(t *testing.T) {
+	for _, kind := range []Kind{DiskError, NoSpace} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db := openChaosDB(t, dir)
+			defer db.Close()
+			if err := db.Ingest("pre", chaosSeq(1)); err != nil {
+				t.Fatal(err)
+			}
+			f := &Fault{Kind: kind, Count: -1}
+			db.SetWALFault(nil, f.Hook())
+			if err := db.Ingest("during", chaosSeq(2)); !errors.Is(err, seqrep.ErrDegraded) {
+				t.Fatalf("ingest under %s = %v, want ErrDegraded", kind, err)
+			}
+			if _, ok := db.Record("during"); ok {
+				t.Fatal("unacknowledged write visible in memory")
+			}
+			f.Clear()
+			if err := db.Recover(); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if err := db.Ingest("after", chaosSeq(3)); err != nil {
+				t.Fatalf("ingest after recovery: %v", err)
+			}
+			rebootAsserts(t, db, dir, []string{"pre", "after"}, []string{"during"}, true)
+		})
+	}
+}
+
+// TestCheckpointWriterSiteFaults walks the checkpoint's segment writer.
+// A failed checkpoint must not lose anything (the log still covers the
+// dirty records), must not degrade write service, and must succeed once
+// the fault clears.
+func TestCheckpointWriterSiteFaults(t *testing.T) {
+	for _, kind := range []Kind{DiskError, NoSpace, TornWrite, SlowWrite} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db := openChaosDB(t, dir)
+			defer db.Close()
+			var acked []string
+			for i := 0; i < 3; i++ {
+				id := fmt.Sprintf("r-%d", i)
+				if err := db.Ingest(id, chaosSeq(i)); err != nil {
+					t.Fatal(err)
+				}
+				acked = append(acked, id)
+			}
+			f := &Fault{Kind: kind, Count: -1}
+			db.WrapCheckpointWriter(f.WrapWriter())
+			err := db.Checkpoint()
+			if kind == SlowWrite {
+				if err != nil {
+					t.Fatalf("slow checkpoint failed: %v", err)
+				}
+			} else if err == nil {
+				t.Fatalf("checkpoint under %s succeeded", kind)
+			}
+			if db.DegradedStatus().Degraded {
+				t.Fatalf("checkpoint fault (%s) degraded the database: the log is fine", kind)
+			}
+			// Writes keep working through a failed checkpoint.
+			if err := db.Ingest("after", chaosSeq(9)); err != nil {
+				t.Fatalf("ingest after failed checkpoint: %v", err)
+			}
+			acked = append(acked, "after")
+			f.Clear()
+			db.WrapCheckpointWriter(nil)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after fault cleared: %v", err)
+			}
+			rebootAsserts(t, db, dir, acked, nil, false)
+		})
+	}
+}
+
+// TestArchivePutSiteFaults walks the raw-sequence archive's put. An
+// archive fault is a data-layer storage error (the 500 family), fails
+// the ingest before anything is logged or committed, and must not
+// degrade the log.
+func TestArchivePutSiteFaults(t *testing.T) {
+	for _, kind := range []Kind{DiskError, NoSpace, TornWrite, SlowWrite} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			arch, err := seqrep.NewFileArchive(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := seqrep.OpenDir(dir, seqrep.Config{RecoveryProbeInterval: -1, Archive: arch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.Ingest("pre", chaosSeq(1)); err != nil {
+				t.Fatal(err)
+			}
+			f := &Fault{Kind: kind, Count: -1}
+			arch.WrapWriter = f.WrapWriter()
+			err = db.Ingest("during", chaosSeq(2))
+			var acked, lost []string
+			acked = append(acked, "pre")
+			if kind == SlowWrite {
+				if err != nil {
+					t.Fatalf("slow archive put failed ingest: %v", err)
+				}
+				acked = append(acked, "during")
+			} else {
+				if !errors.Is(err, seqrep.ErrStorage) {
+					t.Fatalf("ingest under archive %s = %v, want ErrStorage", kind, err)
+				}
+				if _, ok := db.Record("during"); ok {
+					t.Fatal("failed ingest visible in memory")
+				}
+				lost = append(lost, "during")
+			}
+			if db.DegradedStatus().Degraded {
+				t.Fatal("archive fault degraded the database: the log is fine")
+			}
+			f.Clear()
+			arch.WrapWriter = nil
+			if err := db.Ingest("after", chaosSeq(3)); err != nil {
+				t.Fatalf("ingest after fault cleared: %v", err)
+			}
+			acked = append(acked, "after")
+			rebootAsserts(t, db, dir, acked, lost, false)
+		})
+	}
+}

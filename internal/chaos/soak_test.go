@@ -1,0 +1,234 @@
+package chaos
+
+// The soak half of the chaos suite drives the full HTTP stack — server,
+// admission control, degraded mode — the way an outage does: an
+// open-loop burst far beyond capacity, then a storage fault in the
+// middle of service. The invariants are the overload contract from
+// docs/RELIABILITY.md: work beyond the limit queues boundedly, overflow
+// answers 429 with a Retry-After (never an unbounded pileup, never a
+// 500 storm), a storage fault turns writes into clean 503s while reads
+// and health keep answering, and service restores itself when the fault
+// clears.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqrep/api"
+	"seqrep/internal/server"
+)
+
+// ingestBody builds a 48-sample ingest request for id.
+func ingestBody(id string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"id":%q,"values":[`, id)
+	for i := 0; i < 48; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", 100.0+float64(i%7))
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+func getHealth(t *testing.T, base string) (int, api.HealthResponse) {
+	t.Helper()
+	res, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer res.Body.Close()
+	var hr api.HealthResponse
+	if err := json.NewDecoder(res.Body).Decode(&hr); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	return res.StatusCode, hr
+}
+
+func TestOverloadThenStorageFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dir := t.TempDir()
+	db := openChaosDB(t, dir)
+	defer db.Close()
+	const admitLimit, admitQueue = 8, 8
+	srv, err := server.New(server.Config{DB: db, AdmissionLimit: admitLimit, AdmissionQueue: admitQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	// ---- Phase 1: open-loop overload. ----
+	// A slightly slow log makes requests genuinely pile up instead of
+	// draining faster than the burst can arrive.
+	slow := &Fault{Kind: SlowWrite, Count: -1, Delay: 2 * time.Millisecond}
+	db.SetWALFault(slow.Hook(), nil)
+
+	// Watch saturation while the burst runs: the queue must never
+	// exceed its bound (that is the bounded-memory claim, observed at
+	// the admission ledger).
+	stopWatch := make(chan struct{})
+	var watch sync.WaitGroup
+	var maxQueued, maxInflight atomic.Int64
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+			}
+			if _, hr := getHealth(t, ts.URL); hr.Admission != nil {
+				if q := int64(hr.Admission.Queued); q > maxQueued.Load() {
+					maxQueued.Store(q)
+				}
+				if inf := int64(hr.Admission.Inflight); inf > maxInflight.Load() {
+					maxInflight.Store(inf)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const burst = 200
+	var wg sync.WaitGroup
+	var ok2xx, shed429, server5xx, other atomic.Int64
+	var missingRetryAfter atomic.Int64
+	var ackedMu sync.Mutex
+	var acked []string
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("soak-%d", i)
+			res, err := httpc.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(ingestBody(id)))
+			if err != nil {
+				other.Add(1)
+				return
+			}
+			io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+			switch {
+			case res.StatusCode >= 200 && res.StatusCode < 300:
+				ok2xx.Add(1)
+				ackedMu.Lock()
+				acked = append(acked, id)
+				ackedMu.Unlock()
+			case res.StatusCode == http.StatusTooManyRequests:
+				shed429.Add(1)
+				if res.Header.Get("Retry-After") == "" {
+					missingRetryAfter.Add(1)
+				}
+			case res.StatusCode >= 500:
+				server5xx.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopWatch)
+	watch.Wait()
+	slow.Clear()
+
+	t.Logf("overload: %d ok, %d shed (429), %d 5xx, %d other; max queued %d, max inflight %d",
+		ok2xx.Load(), shed429.Load(), server5xx.Load(), other.Load(), maxQueued.Load(), maxInflight.Load())
+	if server5xx.Load() != 0 {
+		t.Fatalf("overload produced %d server 5xx responses; load shedding must answer 429", server5xx.Load())
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d requests failed outside the overload contract", other.Load())
+	}
+	if ok2xx.Load() == 0 {
+		t.Fatal("overload starved every request; some work must still complete")
+	}
+	if shed429.Load() == 0 {
+		t.Fatalf("burst of %d against capacity %d shed nothing; admission control is not engaging", burst, admitLimit+admitQueue)
+	}
+	if missingRetryAfter.Load() != 0 {
+		t.Fatalf("%d 429s lacked a Retry-After header", missingRetryAfter.Load())
+	}
+	if q := maxQueued.Load(); q > admitQueue {
+		t.Fatalf("admission queue reached %d, bound is %d", q, admitQueue)
+	}
+
+	// ---- Phase 2: storage fault mid-service. ----
+	fault := &Fault{Kind: DiskError, Count: -1}
+	db.SetWALFault(fault.Hook(), nil)
+	res, err := httpc.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(ingestBody("faulted")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write during storage fault answered %d, want 503", res.StatusCode)
+	}
+	// Every further write answers 503 — fail fast, no 500s, no hangs.
+	for i := 0; i < 5; i++ {
+		res, err := httpc.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(ingestBody(fmt.Sprintf("faulted-%d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("degraded write answered %d, want 503", res.StatusCode)
+		}
+	}
+	// Health tells the truth: 503 with the degraded body.
+	code, hr := getHealth(t, ts.URL)
+	if code != http.StatusServiceUnavailable || !hr.Degraded || hr.Status != "degraded" || hr.DegradedCause == "" {
+		t.Fatalf("degraded healthz = %d %+v", code, hr)
+	}
+	// Reads keep serving.
+	if len(acked) == 0 {
+		t.Fatal("no acked id to read back")
+	}
+	res, err = httpc.Get(ts.URL + "/v1/records/" + acked[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("read while degraded answered %d, want 200", res.StatusCode)
+	}
+
+	// ---- Phase 3: the disk returns. ----
+	fault.Clear()
+	if err := db.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	code, hr = getHealth(t, ts.URL)
+	if code != http.StatusOK || hr.Degraded || hr.Status != "ok" {
+		t.Fatalf("recovered healthz = %d %+v", code, hr)
+	}
+	res, err = httpc.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(ingestBody("post-recovery")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusCreated {
+		t.Fatalf("write after recovery answered %d, want 201", res.StatusCode)
+	}
+	acked = append(acked, "post-recovery")
+
+	// ---- Epilogue: nothing acknowledged was lost. ----
+	ts.Close()
+	rebootAsserts(t, db, dir, acked, []string{"faulted"}, false)
+}

@@ -107,6 +107,12 @@ type Config struct {
 	// default 32 MiB, negative disables caching so every segment read
 	// goes to disk).
 	SegmentCacheBytes int64
+	// RecoveryProbeInterval is how often a degraded database (one whose
+	// write-ahead log took an I/O fault, disabling writes — see
+	// ErrDegraded) probes the disk for recovery and, on success, restores
+	// write service (OpenDir databases only; default 2s, negative
+	// disables the supervised probe — DB.Recover still works manually).
+	RecoveryProbeInterval time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -135,6 +141,9 @@ func (c *Config) withDefaults() Config {
 	if out.SketchBlock == 0 {
 		out.SketchBlock = 16
 	}
+	if out.RecoveryProbeInterval == 0 {
+		out.RecoveryProbeInterval = 2 * time.Second
+	}
 	return out
 }
 
@@ -149,9 +158,18 @@ var (
 	ErrUnknownID = errors.New("unknown sequence id")
 	// ErrStorage reports a server-side storage fault while answering a
 	// query: the comparison form of a *stored* record could not be read
-	// (archive read failure, missing raws, reconstruction failure). The
-	// request was fine; the data layer was not.
+	// (archive read failure, missing raws, reconstruction failure) or a
+	// raw sequence could not be written to or removed from the archive.
+	// The request was fine; the data layer was not.
 	ErrStorage = errors.New("storage fault")
+	// ErrDegraded reports a write rejected because the database is in
+	// storage-fault read-only mode: its write-ahead log took an append or
+	// fsync error, after which no write can be made durable (the on-disk
+	// log tail — and, per fsyncgate, the page cache behind it — can no
+	// longer be trusted). Reads keep serving; writes fail fast with this
+	// error until the supervised recovery probe (or a manual DB.Recover)
+	// restores the log. The serving layer maps it to HTTP 503.
+	ErrDegraded = errors.New("database degraded: storage fault, writes disabled")
 )
 
 // Record is everything the database keeps for one ingested sequence: the
@@ -274,11 +292,26 @@ type DB struct {
 	// dirtyMu guards the map itself: writers mark while holding ckptMu
 	// only for *reading*, so concurrent marks race with each other even
 	// though they cannot race the checkpoint's swap.
-	segs      *segment.Store
-	dirtyMu   sync.Mutex
-	dirty     map[string]bool
-	ckptFails atomic.Uint64
-	ckptErr   atomic.Pointer[string]
+	segs       *segment.Store
+	dirtyMu    sync.Mutex
+	dirty      map[string]bool
+	ckptFails  atomic.Uint64
+	ckptStreak atomic.Uint64 // consecutive checkpoint failures; reset on success
+	ckptErr    atomic.Pointer[string]
+
+	// Storage-fault read-only mode (degraded.go): degraded flips when a
+	// WAL append/fsync fault poisons the log; writes then fail fast with
+	// ErrDegraded while reads keep serving. degCause/degSince describe
+	// the episode, degTotal/recoveries count transitions, and the probe
+	// fields run the supervised disk-recovery loop OpenDir arms.
+	degraded   atomic.Bool
+	degCause   atomic.Pointer[string]
+	degSince   atomic.Pointer[time.Time]
+	degTotal   atomic.Uint64
+	recoveries atomic.Uint64
+	probeStop  chan struct{}
+	probeHalt  sync.Once
+	probeWG    sync.WaitGroup
 
 	imu     sync.RWMutex
 	ids     []string // sorted
@@ -375,7 +408,10 @@ func (db *DB) Record(id string) (*Record, bool) {
 func (db *DB) build(id string, s seq.Sequence) (*Record, error) {
 	if db.cfg.Archive != nil {
 		if err := db.cfg.Archive.Put(id, s); err != nil {
-			return nil, fmt.Errorf("core: archiving %q: %w", id, err)
+			// The request was fine; the archive medium was not. The
+			// ErrStorage wrap classifies it server-side as a 500, never a
+			// client fault.
+			return nil, fmt.Errorf("core: archiving %q: %w: %w", id, ErrStorage, err)
 		}
 	}
 
@@ -472,6 +508,12 @@ func (db *DB) IngestRecord(id string, s seq.Sequence) (*Record, error) {
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: ingesting %q: %w", id, err)
+	}
+	if err := db.writable(); err != nil {
+		// Fail fast before the pipeline runs: a degraded database cannot
+		// make the write durable, so spending CPU on it only deepens the
+		// overload that usually accompanies a storage fault.
+		return nil, err
 	}
 	sh := db.shardOf(id)
 	if !sh.reserve(id) {
@@ -610,6 +652,9 @@ func (db *DB) forEachClaimed(n int, fn func(i int)) {
 // fails with the duplicate error rather than interleaving with the
 // removal; once Remove returns, the id is free to reuse.
 func (db *DB) Remove(id string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	sh := db.shardOf(id)
 	sh.mu.Lock()
 	rec, ok := sh.records[id]
@@ -671,7 +716,7 @@ func (db *DB) Remove(id string) error {
 
 	if db.cfg.Archive != nil {
 		if err := db.cfg.Archive.Delete(id); err != nil {
-			return fmt.Errorf("core: removing %q from archive: %w", id, err)
+			return fmt.Errorf("core: removing %q from archive: %w: %w", id, ErrStorage, err)
 		}
 	}
 	return nil

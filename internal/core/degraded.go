@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Storage-fault read-only mode (docs/RELIABILITY.md). A write-ahead-log
+// append or fsync error means the log's on-disk tail — and, per the
+// fsyncgate lesson, the page cache behind it — can no longer be
+// trusted, so no further write may be acknowledged. Instead of
+// surfacing that as an endless stream of per-request storage errors
+// while the process keeps accepting writes it cannot make durable, the
+// database transitions to an explicit degraded state:
+//
+//	healthy --wal fault--> degraded --probe succeeds--> healthy
+//
+// While degraded, Ingest/Remove fail fast with ErrDegraded (the serving
+// layer answers 503 so load balancers drain the node), reads and stats
+// keep serving, and a supervised probe loop re-tests the disk every
+// Config.RecoveryProbeInterval: a scratch append+fsync in the log
+// directory (wal.Probe), then a rescan-and-reopen of the log's active
+// segment (wal.Reset) that discards only never-acknowledged tail bytes.
+// When both succeed the database re-enters write service by itself.
+
+// DegradedStatus describes the storage-fault read-only state for health
+// reporting.
+type DegradedStatus struct {
+	// Degraded reports that writes are currently disabled.
+	Degraded bool
+	// Cause is the storage fault that triggered the current episode
+	// (empty when healthy).
+	Cause string
+	// Since is when the current episode began (zero when healthy).
+	Since time.Time
+	// Transitions counts entries into degraded mode since boot.
+	Transitions uint64
+	// Recoveries counts successful returns to write service since boot.
+	Recoveries uint64
+}
+
+// DegradedStatus reports whether the database is in storage-fault
+// read-only mode, why, and for how long.
+func (db *DB) DegradedStatus() DegradedStatus {
+	st := DegradedStatus{
+		Degraded:    db.degraded.Load(),
+		Transitions: db.degTotal.Load(),
+		Recoveries:  db.recoveries.Load(),
+	}
+	if c := db.degCause.Load(); c != nil {
+		st.Cause = *c
+	}
+	if t := db.degSince.Load(); t != nil {
+		st.Since = *t
+	}
+	return st
+}
+
+// writable fails fast with ErrDegraded while the database is in
+// storage-fault read-only mode; nil otherwise.
+func (db *DB) writable() error {
+	if !db.degraded.Load() {
+		return nil
+	}
+	cause := "storage fault"
+	if c := db.degCause.Load(); c != nil {
+		cause = *c
+	}
+	return fmt.Errorf("core: %w (%s)", ErrDegraded, cause)
+}
+
+// enterDegraded transitions the database into read-only mode (idempotent
+// while an episode is running) and, when OpenDir armed a probe interval,
+// starts the supervised recovery loop for this episode.
+func (db *DB) enterDegraded(cause error) {
+	if !db.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	msg := cause.Error()
+	now := time.Now()
+	db.degCause.Store(&msg)
+	db.degSince.Store(&now)
+	db.degTotal.Add(1)
+	if db.cfg.RecoveryProbeInterval > 0 && db.probeStop != nil {
+		db.probeWG.Add(1)
+		go db.probeLoop()
+	}
+}
+
+// probeLoop retries Recover every RecoveryProbeInterval until the disk
+// comes back or the database closes. One loop runs per degraded
+// episode.
+func (db *DB) probeLoop() {
+	defer db.probeWG.Done()
+	ticker := time.NewTicker(db.cfg.RecoveryProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.probeStop:
+			return
+		case <-ticker.C:
+			if db.Recover() == nil && !db.degraded.Load() {
+				return
+			}
+		}
+	}
+}
+
+// Recover attempts to bring a degraded database back into write
+// service: it probes the disk with a scratch append+fsync in the log
+// directory, then resets the write-ahead log (rescanning the active
+// segment's acknowledged prefix and truncating the unknowable tail —
+// see wal.Reset). On success the database immediately accepts writes
+// again. On a healthy database Recover is a no-op. The supervised
+// probe loop calls this on a timer; operators and tests may call it
+// directly for an immediate attempt.
+func (db *DB) Recover() error {
+	if db.wal == nil {
+		return fmt.Errorf("core: database has no write-ahead log (not opened via OpenDir)")
+	}
+	if !db.degraded.Load() {
+		return nil
+	}
+	if err := db.wal.Probe(); err != nil {
+		return fmt.Errorf("core: recovery probe: %w", err)
+	}
+	if err := db.wal.Reset(); err != nil {
+		return fmt.Errorf("core: recovery reset: %w", err)
+	}
+	// Order matters: the log accepts appends before degraded clears, so
+	// a writer that observes the healthy state always finds a working
+	// log.
+	db.degCause.Store(nil)
+	db.degSince.Store(nil)
+	db.degraded.Store(false)
+	db.recoveries.Add(1)
+	return nil
+}
+
+// SetWALFault arms (nils disarm) the write-ahead log's fault-injection
+// hooks: write runs before every frame write, sync before every data
+// fsync; a non-nil return is treated as the device failing there,
+// poisoning the log and degrading the database exactly like a real
+// fault. No-op on a database without a log. For chaos tests only.
+func (db *DB) SetWALFault(write, sync func() error) {
+	if db.wal != nil {
+		db.wal.SetFault(write, sync)
+	}
+}
+
+// stopProbe halts the supervised recovery loop, if one is running; part
+// of Close.
+func (db *DB) stopProbe() {
+	if db.probeStop == nil {
+		return
+	}
+	db.probeHalt.Do(func() { close(db.probeStop) })
+	db.probeWG.Wait()
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// errDisk simulates a device-level write failure.
+var errDisk = errors.New("injected: input/output error")
+
+// degradedDB opens a durable database with the supervised probe
+// disabled, so tests drive recovery explicitly.
+func degradedDB(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := OpenDir(dir, Config{RecoveryProbeInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenDir(%s): %v", dir, err)
+	}
+	return db
+}
+
+func TestWALFaultDegradesThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db := degradedDB(t, dir)
+	defer db.Close()
+
+	mustIngest(t, db, "before", durSeq(1))
+
+	// Fail every frame write (a write fault, not a sync fault, so the
+	// doomed record's bytes never reach the device and the
+	// never-resurrected assertion below is exact): the next write
+	// poisons the log and the database must enter read-only mode.
+	db.SetWALFault(func() error { return errDisk }, nil)
+	if err := db.Ingest("lost", durSeq(2)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ingest during fault = %v, want ErrDegraded", err)
+	}
+	if _, ok := db.Record("lost"); ok {
+		t.Fatal("unacknowledged write visible after fault")
+	}
+
+	st := db.DegradedStatus()
+	if !st.Degraded || st.Cause == "" || st.Since.IsZero() || st.Transitions != 1 {
+		t.Fatalf("DegradedStatus = %+v", st)
+	}
+
+	// Writes fail fast without touching the log; reads keep serving.
+	if err := db.Ingest("fast", durSeq(3)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("fail-fast ingest = %v, want ErrDegraded", err)
+	}
+	if err := db.Remove("before"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("fail-fast remove = %v, want ErrDegraded", err)
+	}
+	if _, ok := db.Record("before"); !ok {
+		t.Fatal("read failed while degraded")
+	}
+	if _, err := db.ValueQuery(durSeq(1), 5); err != nil {
+		t.Fatalf("query failed while degraded: %v", err)
+	}
+
+	// Recovery must not succeed while the disk is still broken.
+	if err := db.Recover(); err == nil {
+		t.Fatal("Recover succeeded with fault still armed")
+	}
+	if !db.DegradedStatus().Degraded {
+		t.Fatal("degraded cleared by a failed recovery")
+	}
+
+	// Disk comes back: recovery restores write service.
+	db.SetWALFault(nil, nil)
+	if err := db.Recover(); err != nil {
+		t.Fatalf("Recover after fault cleared: %v", err)
+	}
+	st = db.DegradedStatus()
+	if st.Degraded || st.Cause != "" || st.Recoveries != 1 {
+		t.Fatalf("post-recovery DegradedStatus = %+v", st)
+	}
+	mustIngest(t, db, "after", durSeq(4))
+
+	// Everything acknowledged — and nothing else — survives a reboot.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	for _, id := range []string{"before", "after"} {
+		if _, ok := db2.Record(id); !ok {
+			t.Fatalf("%q missing after reboot", id)
+		}
+	}
+	if _, ok := db2.Record("lost"); ok {
+		t.Fatal("never-acknowledged record resurrected by reboot")
+	}
+}
+
+func TestDegradedCheckpointFlushesFromMemory(t *testing.T) {
+	dir := t.TempDir()
+	db := degradedDB(t, dir)
+	defer db.Close()
+
+	for i := 0; i < 3; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	db.SetWALFault(func() error { return errDisk }, nil)
+	if err := db.Ingest("x", durSeq(9)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ingest during fault = %v, want ErrDegraded", err)
+	}
+
+	// The log is poisoned but the segment tier still works: checkpoint
+	// flushes the dirty set from memory so a crash now replays nothing.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("degraded checkpoint: %v", err)
+	}
+	st, ok := db.WALStats()
+	if !ok {
+		t.Fatal("WALStats not ok")
+	}
+	if st.CheckpointFailStreak != 0 {
+		t.Fatalf("CheckpointFailStreak = %d after success", st.CheckpointFailStreak)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenDir(t, dir)
+	defer db2.Close()
+	if db2.Len() != 3 {
+		t.Fatalf("Len after reboot = %d, want 3", db2.Len())
+	}
+	if rec := db2.Recovery(); rec.Applied != 0 {
+		t.Fatalf("replay applied %d records; degraded checkpoint should have covered them", rec.Applied)
+	}
+}
+
+func TestSupervisedProbeRestoresService(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, Config{RecoveryProbeInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	mustIngest(t, db, "a", durSeq(1))
+	db.SetWALFault(func() error { return errDisk }, nil)
+	if err := db.Ingest("b", durSeq(2)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ingest during fault = %v, want ErrDegraded", err)
+	}
+
+	// The probe keeps failing while the fault is armed.
+	time.Sleep(25 * time.Millisecond)
+	if !db.DegradedStatus().Degraded {
+		t.Fatal("probe recovered with fault still armed")
+	}
+
+	// Clear the fault: the supervised loop restores writes on its own.
+	db.SetWALFault(nil, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for db.DegradedStatus().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("probe never recovered after fault cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mustIngest(t, db, "b", durSeq(2))
+}
+
+func TestCheckpointFaultDegrades(t *testing.T) {
+	dir := t.TempDir()
+	db := degradedDB(t, dir)
+	defer db.Close()
+
+	mustIngest(t, db, "a", durSeq(1))
+	// Fault the rotation fsync: Checkpoint's rotate poisons the log and
+	// the database must degrade rather than keep taking doomed writes.
+	db.SetWALFault(nil, func() error { return errDisk })
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded with rotation fsync failing")
+	}
+	if !db.DegradedStatus().Degraded {
+		t.Fatal("checkpoint fault did not degrade the database")
+	}
+	st, ok := db.WALStats()
+	if !ok || st.CheckpointFailStreak != 1 || st.CheckpointFailures != 1 {
+		t.Fatalf("WALStats = %+v, %v", st, ok)
+	}
+
+	db.SetWALFault(nil, nil)
+	if err := db.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after recovery: %v", err)
+	}
+	if st, _ := db.WALStats(); st.CheckpointFailStreak != 0 {
+		t.Fatalf("streak = %d after success", st.CheckpointFailStreak)
+	}
+}

@@ -170,6 +170,7 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	db.wal = w
 	db.segs = segs
 	db.dataDir = dir
+	db.probeStop = make(chan struct{})
 	if !ckptTime.IsZero() {
 		db.lastCkpt.Store(&ckptTime)
 	}
@@ -240,6 +241,15 @@ func (db *DB) Recovery() RecoveryStats { return db.recovery }
 // truncation would then lose an acknowledged write).
 func (db *DB) walAppend(op byte, payload []byte) error {
 	if _, err := db.wal.Append(op, db.gen.Load(), payload); err != nil {
+		// A poisoned log means the device failed (not a per-call problem
+		// like an oversized payload or a racing Close): transition to
+		// storage-fault read-only mode, and classify this very write's
+		// failure as the degradation so the serving layer answers 503,
+		// not 500 — the write was rejected, not half-applied.
+		if poison := db.wal.Err(); poison != nil {
+			db.enterDegraded(poison)
+			return fmt.Errorf("core: %w: wal append: %w", ErrDegraded, err)
+		}
 		return fmt.Errorf("core: wal append: %w", err)
 	}
 	return nil
@@ -334,11 +344,13 @@ func (db *DB) Checkpoint() error {
 	defer db.ckptRun.Unlock()
 	if err := db.checkpoint(); err != nil {
 		db.ckptFails.Add(1)
+		db.ckptStreak.Add(1)
 		msg := err.Error()
 		db.ckptErr.Store(&msg)
 		return err
 	}
 	db.ckptErr.Store(nil)
+	db.ckptStreak.Store(0)
 	now := time.Now()
 	db.lastCkpt.Store(&now)
 	return nil
@@ -347,8 +359,33 @@ func (db *DB) Checkpoint() error {
 // checkpoint is Checkpoint's body, with failure accounting left to the
 // caller. ckptRun is held.
 func (db *DB) checkpoint() error {
+	degradedFlush := db.degraded.Load()
 	db.ckptMu.Lock()
-	base, err := db.wal.Rotate()
+	var (
+		base uint64
+		err  error
+	)
+	if degradedFlush {
+		// Storage-fault read-only mode: the poisoned log cannot rotate,
+		// but the in-memory state is intact and the segment tier may
+		// still accept writes — flush the dirty records from memory
+		// anyway, so a fault that outlives the process costs no more
+		// replay than necessary. Writes are failing fast with
+		// ErrDegraded, so every acknowledged record below NextLSN is
+		// covered by this flush plus the existing segments; what the log
+		// holds beyond that was never acknowledged.
+		base = db.wal.Stats().NextLSN
+	} else {
+		base, err = db.wal.Rotate()
+		if err != nil {
+			// A rotation fault poisons the log just like an append fault:
+			// enter read-only mode so the next write fails fast instead of
+			// discovering the dead log itself.
+			if poison := db.wal.Err(); poison != nil {
+				db.enterDegraded(poison)
+			}
+		}
+	}
 	var dirty map[string]bool
 	if err == nil {
 		dirty = db.swapDirty()
@@ -412,6 +449,11 @@ type WALStats struct {
 	// since boot. A growing count with a growing Records/Bytes is the
 	// unbounded-log alarm health probes watch for.
 	CheckpointFailures uint64
+	// CheckpointFailStreak counts consecutive Checkpoint failures; the
+	// next success resets it to zero. Health probes treat a streak at or
+	// above their tolerance as unhealthy even if the node otherwise
+	// serves.
+	CheckpointFailStreak uint64
 	// LastCheckpointError is the most recent checkpoint failure, cleared
 	// by the next success. Empty when the last checkpoint succeeded (or
 	// none has run).
@@ -426,10 +468,11 @@ func (db *DB) WALStats() (WALStats, bool) {
 	}
 	st := db.wal.Stats()
 	out := WALStats{
-		Records:            st.Records,
-		Bytes:              st.Bytes,
-		Segments:           st.Segments,
-		CheckpointFailures: db.ckptFails.Load(),
+		Records:              st.Records,
+		Bytes:                st.Bytes,
+		Segments:             st.Segments,
+		CheckpointFailures:   db.ckptFails.Load(),
+		CheckpointFailStreak: db.ckptStreak.Load(),
 	}
 	if t := db.lastCkpt.Load(); t != nil {
 		out.LastCheckpoint = *t
@@ -445,6 +488,7 @@ func (db *DB) WALStats() (WALStats, bool) {
 // unacknowledged; queries against resident records are unaffected. A
 // database without a log closes trivially.
 func (db *DB) Close() error {
+	db.stopProbe()
 	var first error
 	if db.wal != nil {
 		first = db.wal.Close()

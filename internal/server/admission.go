@@ -1,0 +1,206 @@
+package server
+
+// Admission control (docs/RELIABILITY.md): the server bounds the
+// weighted work it runs concurrently instead of letting overload turn
+// into unbounded goroutines, memory, and collapse. Each route carries a
+// weight — a streaming query costs more than a single-record ingest,
+// and pins its slots for the stream's whole lifetime — and a request
+// admits only while the weighted sum fits the limit. Beyond the limit a
+// bounded FIFO queue absorbs bursts; beyond the queue the server sheds
+// load with 429 and a Retry-After computed from how fast slots have
+// been turning over, so well-behaved clients back off instead of
+// hammering a saturated node.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqrep/api"
+)
+
+// Route weights: the relative cost a request of each shape admits at.
+// Calibrated coarsely — what matters is the ratio (a batch or a stream
+// must not be able to crowd out everything else at the same price as a
+// point read), not the absolute number.
+const (
+	weightQuery    = 4 // full similarity scan over the database
+	weightStream   = 4 // same cost, held for the stream's lifetime
+	weightIngest   = 1 // one record through the pipeline
+	weightBatch    = 8 // many records through the worker pool
+	weightRecord   = 1 // point read / point delete
+	weightSnapshot = 2 // checkpoint or load: I/O heavy but single-flight
+)
+
+// errOverloaded is the admission controller's load-shed verdict,
+// answered as 429.
+var errOverloaded = errors.New("server overloaded: admission queue full")
+
+// admitWaiter is one queued request. ready is buffered so a grant never
+// blocks on a waiter that is busy timing out.
+type admitWaiter struct {
+	weight int
+	route  string
+	ready  chan struct{}
+}
+
+// admission is the weighted-concurrency limiter. Nil means admission
+// control is disabled (Config.AdmissionLimit < 0).
+type admission struct {
+	limit    int
+	queueCap int
+
+	mu       sync.Mutex
+	inflight int            // admitted weight
+	queued   int            // waiting weight
+	waiters  []*admitWaiter // FIFO
+	byRoute  map[string]int // admitted weight per route
+	// holdEWMA tracks how long admitted requests hold their weight
+	// (seconds, exponentially weighted): the basis of the Retry-After
+	// estimate. Zero until the first release.
+	holdEWMA float64
+
+	rejected atomic.Uint64
+}
+
+func newAdmission(limit, queueCap int) *admission {
+	return &admission{
+		limit:    limit,
+		queueCap: queueCap,
+		byRoute:  make(map[string]int),
+	}
+}
+
+// acquire admits weight units of work for route, blocking in FIFO order
+// while the server is saturated. It returns a release closure on
+// success; errOverloaded (with a Retry-After estimate in seconds) when
+// the wait queue is full; or ctx.Err() when the caller gave up while
+// queued.
+func (a *admission) acquire(ctx context.Context, route string, weight int) (release func(), retryAfter int, err error) {
+	if weight > a.limit {
+		weight = a.limit // a single request heavier than the whole budget still admits — alone
+	}
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.inflight+weight <= a.limit {
+		a.admitLocked(route, weight)
+		a.mu.Unlock()
+		return a.releaseFunc(route, weight), 0, nil
+	}
+	if a.queued+weight > a.queueCap {
+		after := a.retryAfterLocked(weight)
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return nil, after, errOverloaded
+	}
+	w := &admitWaiter{weight: weight, route: route, ready: make(chan struct{}, 1)}
+	a.queued += weight
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return a.releaseFunc(route, weight), 0, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.queued -= weight
+				a.mu.Unlock()
+				return nil, 0, ctx.Err()
+			}
+		}
+		// Granted in the race window: the weight is ours, hand it back.
+		a.mu.Unlock()
+		a.releaseFunc(route, weight)()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// admitLocked books weight against the limit.
+func (a *admission) admitLocked(route string, weight int) {
+	a.inflight += weight
+	a.byRoute[route] += weight
+}
+
+// releaseFunc returns the closure that returns weight to the pool and
+// wakes whatever queued work now fits. It also feeds the hold-time EWMA
+// the Retry-After estimate leans on.
+func (a *admission) releaseFunc(route string, weight int) func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			held := time.Since(start).Seconds()
+			a.mu.Lock()
+			a.inflight -= weight
+			if a.byRoute[route] -= weight; a.byRoute[route] <= 0 {
+				delete(a.byRoute, route)
+			}
+			const alpha = 0.2
+			if a.holdEWMA == 0 {
+				a.holdEWMA = held
+			} else {
+				a.holdEWMA += alpha * (held - a.holdEWMA)
+			}
+			for len(a.waiters) > 0 {
+				head := a.waiters[0]
+				if a.inflight+head.weight > a.limit {
+					break // FIFO: nothing jumps the head
+				}
+				a.waiters = a.waiters[1:]
+				a.queued -= head.weight
+				a.admitLocked(head.route, head.weight)
+				head.ready <- struct{}{}
+			}
+			a.mu.Unlock()
+		})
+	}
+}
+
+// retryAfterLocked estimates, in whole seconds, when a rejected request
+// of this weight would plausibly admit: the outstanding weight ahead of
+// it (inflight plus queued) drains at roughly limit/holdEWMA weight per
+// second. Clamped to [1, 60] — a floor so clients cannot spin on
+// "Retry-After: 0", a ceiling so a long-stream outlier in the EWMA
+// cannot park clients for minutes.
+func (a *admission) retryAfterLocked(weight int) int {
+	hold := a.holdEWMA
+	if hold <= 0 {
+		hold = 0.05 // no completions observed yet: assume fast turnover
+	}
+	ahead := float64(a.inflight + a.queued + weight)
+	est := hold * ahead / float64(a.limit)
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// stats snapshots the controller for /healthz and /metrics.
+func (a *admission) stats() api.AdmissionStats {
+	a.mu.Lock()
+	st := api.AdmissionStats{
+		Limit:      a.limit,
+		Inflight:   a.inflight,
+		Queued:     a.queued,
+		QueueLimit: a.queueCap,
+		Saturation: float64(a.inflight) / float64(a.limit),
+		Rejected:   a.rejected.Load(),
+	}
+	if len(a.byRoute) > 0 {
+		st.PerRoute = make(map[string]float64, len(a.byRoute))
+		for route, w := range a.byRoute {
+			st.PerRoute[route] = float64(w) / float64(a.limit)
+		}
+	}
+	a.mu.Unlock()
+	return st
+}

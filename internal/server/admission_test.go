@@ -1,0 +1,341 @@
+package server
+
+// Admission-control tests: the weighted limiter's unit behavior (FIFO
+// grants, bounded queue, cancellation while queued) driven by grabbing
+// slots directly for determinism, plus the HTTP contract — 429 with
+// Retry-After at saturation, health/metrics bypassing admission, and
+// /healthz flipping to 503 on degraded mode and checkpoint-failure
+// streaks.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seqrep"
+	"seqrep/api"
+)
+
+func TestAdmissionGrantAndRelease(t *testing.T) {
+	a := newAdmission(4, 8)
+	rel1, _, err := a.acquire(context.Background(), "r1", 3)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if st := a.stats(); st.Inflight != 3 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Weight 2 does not fit (3+2 > 4): it must queue, then admit when
+	// the first releases.
+	granted := make(chan func(), 1)
+	go func() {
+		rel, _, err := a.acquire(context.Background(), "r2", 2)
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		}
+		granted <- rel
+	}()
+	waitFor(t, func() bool { return a.stats().Queued == 2 })
+	rel1()
+	var rel2 func()
+	select {
+	case rel2 = <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never granted after release")
+	}
+	if st := a.stats(); st.Inflight != 2 || st.Queued != 0 {
+		t.Fatalf("stats after grant = %+v", st)
+	}
+	rel2()
+	if st := a.stats(); st.Inflight != 0 {
+		t.Fatalf("stats after all released = %+v", st)
+	}
+}
+
+func TestAdmissionQueueOverflow(t *testing.T) {
+	a := newAdmission(2, 1)
+	rel, _, err := a.acquire(context.Background(), "r", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Queue capacity 1: a weight-1 waiter fits, a second overflows.
+	go a.acquire(context.Background(), "r", 1)
+	waitFor(t, func() bool { return a.stats().Queued == 1 })
+	_, after, err := a.acquire(context.Background(), "r", 1)
+	if !errors.Is(err, errOverloaded) {
+		t.Fatalf("overflow acquire = %v, want errOverloaded", err)
+	}
+	if after < 1 || after > 60 {
+		t.Fatalf("Retry-After estimate %d outside [1, 60]", after)
+	}
+	if a.stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", a.stats().Rejected)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	rel, _, err := a.acquire(context.Background(), "r", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.acquire(ctx, "r", 1)
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.stats().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	if st := a.stats(); st.Queued != 0 {
+		t.Fatalf("canceled waiter still queued: %+v", st)
+	}
+	// The abandoned slot was never granted: it is still free.
+	rel()
+	rel2, _, err := a.acquire(context.Background(), "r", 1)
+	if err != nil {
+		t.Fatalf("acquire after cancel: %v", err)
+	}
+	rel2()
+}
+
+func TestAdmissionOverweightRequestClamps(t *testing.T) {
+	a := newAdmission(4, 4)
+	// Weight beyond the whole limit must still be admittable (alone).
+	rel, _, err := a.acquire(context.Background(), "r", 99)
+	if err != nil {
+		t.Fatalf("overweight acquire: %v", err)
+	}
+	if st := a.stats(); st.Inflight != 4 {
+		t.Fatalf("clamped inflight = %d, want 4", st.Inflight)
+	}
+	rel()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSaturatedServerSheds429 saturates the limiter directly (grabbing
+// the whole budget as a phantom stream) and asserts the HTTP layer
+// sheds with 429 + Retry-After while health and metrics keep answering.
+func TestSaturatedServerSheds429(t *testing.T) {
+	db, err := seqrep.New(seqrep.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{DB: db, AdmissionLimit: 4, AdmissionQueue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rel, _, err := srv.admit.acquire(context.Background(), "phantom", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/v1/ingest", "application/json",
+		strings.NewReader(`{"id":"x","values":[1,2,3,4,5,6,7,8]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest answered %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Health and metrics bypass admission: they must answer while the
+	// server is saturated — that is when they matter most.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%s answered %d while saturated, want 200", path, res.StatusCode)
+		}
+	}
+	rel()
+	// Capacity back: the same request admits.
+	res, err = http.Post(ts.URL+"/v1/ingest", "application/json",
+		strings.NewReader(`{"id":"x","values":[1,2,3,4,5,6,7,8]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusCreated {
+		t.Fatalf("post-release ingest answered %d, want 201", res.StatusCode)
+	}
+}
+
+// TestHealthzDegraded503 drives the server's database into storage-fault
+// read-only mode and asserts /healthz answers 503 with the JSON body
+// intact, writes answer 503, reads answer 200 — and everything reverts
+// on recovery.
+func TestHealthzDegraded503(t *testing.T) {
+	dir := t.TempDir()
+	db, err := seqrep.OpenDir(dir, seqrep.Config{RecoveryProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := New(Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(id string) int {
+		res, err := http.Post(ts.URL+"/v1/ingest", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"id":%q,"values":[1,2,3,4,5,6,7,8,9,10,11,12]}`, id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		return res.StatusCode
+	}
+	if code := post("ok"); code != http.StatusCreated {
+		t.Fatalf("healthy ingest = %d", code)
+	}
+
+	failErr := errors.New("injected: disk gone")
+	db.SetWALFault(func() error { return failErr }, nil)
+	if code := post("doomed"); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest = %d, want 503", code)
+	}
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr api.HealthResponse
+	if err := json.NewDecoder(res.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d, want 503", res.StatusCode)
+	}
+	if !hr.Degraded || hr.Status != "degraded" || hr.DegradedCause == "" || hr.DegradedSince == nil {
+		t.Fatalf("degraded healthz body = %+v", hr)
+	}
+	// Reads still answer 200.
+	res, err = http.Get(ts.URL + "/v1/records/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("read while degraded = %d, want 200", res.StatusCode)
+	}
+
+	db.SetWALFault(nil, nil)
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("recovered healthz = %d, want 200", res.StatusCode)
+	}
+	if code := post("after"); code != http.StatusCreated {
+		t.Fatalf("post-recovery ingest = %d", code)
+	}
+}
+
+// TestHealthzCheckpointStreak503 asserts a consecutive-checkpoint-failure
+// streak at the configured limit flips /healthz to 503 ("unhealthy"),
+// and one success clears it.
+func TestHealthzCheckpointStreak503(t *testing.T) {
+	dir := t.TempDir()
+	db, err := seqrep.OpenDir(dir, seqrep.Config{RecoveryProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := New(Config{DB: db, CheckpointFailLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := db.Ingest("a", seqrep.NewSequence([]float64{1, 2, 3, 4, 5, 6, 7, 8})); err != nil {
+		t.Fatal(err)
+	}
+	// A writer that always fails makes every checkpoint fail without
+	// touching the log.
+	db.WrapCheckpointWriter(func(w io.Writer) io.Writer { return failingWriter{} })
+	health := func() (int, api.HealthResponse) {
+		res, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var hr api.HealthResponse
+		if err := json.NewDecoder(res.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, hr
+	}
+
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint unexpectedly succeeded")
+	}
+	if code, hr := health(); code != http.StatusOK || hr.CheckpointFailStreak != 1 {
+		t.Fatalf("after 1 failure: %d %+v", code, hr)
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint unexpectedly succeeded")
+	}
+	code, hr := health()
+	if code != http.StatusServiceUnavailable || hr.Status != "unhealthy" || hr.CheckpointFailStreak != 2 {
+		t.Fatalf("at streak limit: %d %+v", code, hr)
+	}
+
+	db.WrapCheckpointWriter(nil)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after clearing: %v", err)
+	}
+	if code, hr := health(); code != http.StatusOK || hr.CheckpointFailStreak != 0 {
+		t.Fatalf("after success: %d %+v", code, hr)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, errors.New("injected: checkpoint writer failure")
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,6 +40,22 @@ const DefaultCacheSize = 256
 // zero: large enough for six-figure batch ingests, small enough that a
 // hostile POST cannot exhaust server memory.
 const DefaultMaxBodyBytes = 32 << 20
+
+// DefaultAdmissionLimit is the weighted concurrency the server admits
+// when Config.AdmissionLimit is zero: 64 weight units — e.g. sixteen
+// concurrent similarity queries, or eight query streams alongside
+// thirty-two ingests.
+const DefaultAdmissionLimit = 64
+
+// DefaultAdmissionQueue bounds the weighted work waiting for admission
+// when Config.AdmissionQueue is zero. Beyond it the server sheds load
+// with 429 rather than queueing without bound.
+const DefaultAdmissionQueue = 256
+
+// DefaultCheckpointFailLimit is how many consecutive checkpoint
+// failures /healthz tolerates (when Config.CheckpointFailLimit is zero)
+// before reporting the node unhealthy with 503.
+const DefaultCheckpointFailLimit = 3
 
 // Config parameterizes a Server.
 type Config struct {
@@ -61,6 +78,19 @@ type Config struct {
 	// tightened to it server-side. Capped answers report
 	// stats.truncated.
 	QueryLimit int
+	// AdmissionLimit bounds the weighted work served concurrently: 0
+	// means DefaultAdmissionLimit, negative disables admission control.
+	// Requests beyond the limit wait in a bounded queue; beyond the
+	// queue they answer 429 with a Retry-After.
+	AdmissionLimit int
+	// AdmissionQueue bounds the weighted work waiting for admission: 0
+	// means DefaultAdmissionQueue, negative means no queue (immediate
+	// 429 past the limit).
+	AdmissionQueue int
+	// CheckpointFailLimit is the consecutive-checkpoint-failure streak
+	// at which /healthz starts answering 503: 0 means
+	// DefaultCheckpointFailLimit, negative disables the check.
+	CheckpointFailLimit int
 }
 
 // Server is the HTTP serving layer. Create with New, mount via Handler.
@@ -76,6 +106,8 @@ type Server struct {
 	bodyLimit    int64 // 0 = unlimited
 	queryTimeout time.Duration
 	queryLimit   int
+	admit        *admission // nil when disabled
+	ckptFailMax  uint64     // 0 = streak check disabled
 }
 
 // New builds a server around cfg.DB.
@@ -106,16 +138,36 @@ func New(cfg Config) (*Server, error) {
 	if size > 0 {
 		s.cache = newResultCache(size)
 	}
-	s.route("POST /v1/query", s.handleQuery)
-	s.route("POST /v1/query/stream", s.handleQueryStream)
-	s.route("POST /v1/ingest", s.handleIngest)
-	s.route("POST /v1/ingest/batch", s.handleIngestBatch)
-	s.route("GET /v1/records/{id}", s.handleGetRecord)
-	s.route("DELETE /v1/records/{id}", s.handleRemoveRecord)
-	s.route("POST /v1/snapshot/save", s.handleSnapshotSave)
-	s.route("POST /v1/snapshot/load", s.handleSnapshotLoad)
-	s.route("GET /healthz", s.handleHealth)
-	s.route("GET /metrics", s.handleMetrics)
+	if cfg.AdmissionLimit >= 0 {
+		al := cfg.AdmissionLimit
+		if al == 0 {
+			al = DefaultAdmissionLimit
+		}
+		aq := cfg.AdmissionQueue
+		if aq == 0 {
+			aq = DefaultAdmissionQueue
+		}
+		if aq < 0 {
+			aq = 0
+		}
+		s.admit = newAdmission(al, aq)
+	}
+	switch {
+	case cfg.CheckpointFailLimit == 0:
+		s.ckptFailMax = DefaultCheckpointFailLimit
+	case cfg.CheckpointFailLimit > 0:
+		s.ckptFailMax = uint64(cfg.CheckpointFailLimit)
+	}
+	s.route("POST /v1/query", weightQuery, s.handleQuery)
+	s.route("POST /v1/query/stream", weightStream, s.handleQueryStream)
+	s.route("POST /v1/ingest", weightIngest, s.handleIngest)
+	s.route("POST /v1/ingest/batch", weightBatch, s.handleIngestBatch)
+	s.route("GET /v1/records/{id}", weightRecord, s.handleGetRecord)
+	s.route("DELETE /v1/records/{id}", weightRecord, s.handleRemoveRecord)
+	s.route("POST /v1/snapshot/save", weightSnapshot, s.handleSnapshotSave)
+	s.route("POST /v1/snapshot/load", weightSnapshot, s.handleSnapshotLoad)
+	s.route("GET /healthz", 0, s.handleHealth)
+	s.route("GET /metrics", 0, s.handleMetrics)
 	return s, nil
 }
 
@@ -138,16 +190,37 @@ func (s *Server) Snapshot() error {
 	return s.snap.Save(s.DB())
 }
 
-// route mounts handler under pattern with the metrics middleware, labeling
-// observations by the route pattern so cardinality stays bounded.
-func (s *Server) route(pattern string, handler http.HandlerFunc) {
+// route mounts handler under pattern with the admission and metrics
+// middleware, labeling observations by the route pattern so cardinality
+// stays bounded. weight is the request's admission cost; 0 bypasses
+// admission control entirely (health and metrics must answer even — and
+// especially — while the server is saturated).
+func (s *Server) route(pattern string, weight int, handler http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		if s.bodyLimit > 0 && r.Body != nil {
 			r.Body = http.MaxBytesReader(rec, r.Body, s.bodyLimit)
 		}
-		handler(rec, r)
+		if s.admit != nil && weight > 0 {
+			release, after, err := s.admit.acquire(r.Context(), pattern, weight)
+			switch {
+			case errors.Is(err, errOverloaded):
+				rec.Header().Set("Retry-After", strconv.Itoa(after))
+				writeError(rec, http.StatusTooManyRequests, err)
+			case err != nil:
+				// The client hung up while queued: nobody will read the
+				// response, but the metrics should not call it ours.
+				writeError(rec, 499, err)
+			default:
+				func() {
+					defer release()
+					handler(rec, r)
+				}()
+			}
+		} else {
+			handler(rec, r)
+		}
 		if rec.code == 0 {
 			rec.code = http.StatusOK
 		}
@@ -203,6 +276,11 @@ func decodeStatus(err error) int {
 // well-formed JSON but the engine rejected it).
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, seqrep.ErrDegraded):
+		// Storage-fault read-only mode: not the request's fault and not a
+		// bug — the node is telling load balancers and retrying clients to
+		// go elsewhere until the disk recovers.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, seqrep.ErrStorage):
 		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
@@ -501,17 +579,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Sequences:  db.Len(),
 		Generation: db.Generation(),
 	}
+	code := http.StatusOK
 	if st, ok := db.WALStats(); ok {
 		resp.Durable = true
 		resp.WALRecords = st.Records
 		resp.WALBytes = st.Bytes
 		resp.WALSegments = st.Segments
 		resp.CheckpointFailures = st.CheckpointFailures
+		resp.CheckpointFailStreak = st.CheckpointFailStreak
 		resp.LastCheckpointError = st.LastCheckpointError
 		if !st.LastCheckpoint.IsZero() {
 			age := checkpointAge(st.LastCheckpoint)
 			resp.LastCheckpointAgeSeconds = &age
 		}
+		// A checkpoint-failure streak means the log is no longer being
+		// truncated: the node still serves, but it must stop reporting
+		// healthy before the disk fills.
+		if s.ckptFailMax > 0 && st.CheckpointFailStreak >= s.ckptFailMax {
+			resp.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	deg := db.DegradedStatus()
+	resp.Recoveries = deg.Recoveries
+	if deg.Degraded {
+		resp.Status = "degraded"
+		resp.Degraded = true
+		resp.DegradedCause = deg.Cause
+		if !deg.Since.IsZero() {
+			since := checkpointAge(deg.Since)
+			resp.DegradedSince = &since
+		}
+		code = http.StatusServiceUnavailable
+	}
+	if s.admit != nil {
+		st := s.admit.stats()
+		resp.Admission = &st
 	}
 	if st, ok := db.SegmentStats(); ok {
 		resp.SegmentCount = st.Segments
@@ -520,7 +623,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.SegmentBytes = st.Bytes
 		resp.Compactions = st.Compactions
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Load balancers and probes read the status code; humans and tests
+	// read the body — both are always present.
+	writeJSON(w, code, resp)
+}
+
+// boolGauge renders a boolean as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // checkpointAge is time.Since clamped at zero: boot stamps the last
@@ -550,6 +663,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(&b, "seqserved_generation %d\n", db.Generation())
 	fmt.Fprintf(&b, "seqserved_sequences %d\n", db.Len())
+	if s.admit != nil {
+		st := s.admit.stats()
+		fmt.Fprintf(&b, "# HELP seqserved_admission_inflight Weighted work currently admitted.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_admission_inflight gauge\n")
+		fmt.Fprintf(&b, "seqserved_admission_inflight %d\n", st.Inflight)
+		fmt.Fprintf(&b, "seqserved_admission_limit %d\n", st.Limit)
+		fmt.Fprintf(&b, "# HELP seqserved_admission_queued Weighted work waiting for admission.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_admission_queued gauge\n")
+		fmt.Fprintf(&b, "seqserved_admission_queued %d\n", st.Queued)
+		fmt.Fprintf(&b, "# HELP seqserved_admission_rejected_total Requests shed with 429 since boot.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_admission_rejected_total counter\n")
+		fmt.Fprintf(&b, "seqserved_admission_rejected_total %d\n", st.Rejected)
+	}
+	deg := db.DegradedStatus()
+	fmt.Fprintf(&b, "# HELP seqserved_degraded Storage-fault read-only mode (1 while writes are disabled).\n")
+	fmt.Fprintf(&b, "# TYPE seqserved_degraded gauge\n")
+	fmt.Fprintf(&b, "seqserved_degraded %d\n", boolGauge(deg.Degraded))
+	fmt.Fprintf(&b, "seqserved_degraded_transitions_total %d\n", deg.Transitions)
+	fmt.Fprintf(&b, "seqserved_degraded_recoveries_total %d\n", deg.Recoveries)
 	if st, ok := db.WALStats(); ok {
 		fmt.Fprintf(&b, "# HELP seqserved_wal_records Write-ahead-log records a crash would replay.\n")
 		fmt.Fprintf(&b, "# TYPE seqserved_wal_records gauge\n")

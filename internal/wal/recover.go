@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Disk-recovery path (docs/RELIABILITY.md): a poisoned log — one that
+// took a write or fsync error, after which the on-disk tail is
+// unknowable — normally stays failed forever, because acknowledging any
+// further append over an unknown tail could lose it. Probe and Reset
+// together give the database layer a supervised way back: Probe tests
+// the device with a scratch append+fsync that touches no log state, and
+// Reset rebuilds the active segment's known-good prefix from disk
+// (rescan, truncate the damage, reopen) before clearing the poison.
+// Every record that was ever acknowledged was fsync-durable, so the
+// rescan always finds it; only unacknowledged tail bytes can be
+// discarded.
+
+// probeFileName is the scratch file Probe writes inside the log
+// directory. It never collides with a segment (segments are wal-*.log).
+const probeFileName = "probe.tmp"
+
+// Probe tests whether the log's device accepts durable writes again: it
+// creates a scratch file in the log directory, writes a page, fsyncs,
+// and removes it. No log state is touched, so Probe is safe at any time
+// — including while the log is poisoned or healthy. Armed fault hooks
+// (SetFault) apply, so an injected fault keeps probes failing until it
+// is cleared, exactly like a still-broken disk.
+func (w *WAL) Probe() error {
+	w.mu.Lock()
+	hookWrite, hookSync := w.hookWrite, w.hookSync
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if hookWrite != nil {
+		if err := hookWrite(); err != nil {
+			return fmt.Errorf("wal: probe: %w", err)
+		}
+	}
+	path := filepath.Join(w.dir, probeFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	defer os.Remove(path)
+	page := make([]byte, 4096)
+	if _, err := f.Write(page); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	if hookSync != nil {
+		if err := hookSync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: probe: %w", err)
+		}
+	}
+	if !w.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: probe: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	return nil
+}
+
+// Reset restores a poisoned log to service once the device works again
+// (callers should Probe first). The active segment's tail is unknowable
+// after the fault — buffered frames may have been lost, a frame may be
+// torn — so Reset re-derives the truth from disk: it closes the dead
+// handle, rescans the active segment for its whole-frame prefix,
+// truncates everything after it, reopens for append there, and only
+// then clears the poison. Every acknowledged record was fsync-durable
+// before the fault, so the rescan keeps all of them; what truncation
+// drops was never acknowledged. A healthy log resets to a no-op.
+func (w *WAL) Reset() error {
+	// Taking syncPass first (the syncer's lock order) guarantees no
+	// group-commit fsync with an unknown outcome is in flight while the
+	// poison is cleared.
+	w.syncPass.Lock()
+	defer w.syncPass.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case w.closed:
+		return ErrClosed
+	case w.err == nil:
+		return nil
+	case !w.replayed:
+		return fmt.Errorf("wal: reset before replay")
+	}
+	// Any parked appends belong to the failed era: their durability is
+	// unknown, so they must fail (they were never acknowledged).
+	w.releaseLocked(fmt.Errorf("wal: log failed: %w", w.err))
+	if w.f != nil {
+		w.f.Close() // dead handle; the on-disk bytes are what count
+		w.f = nil
+	}
+
+	// A fault inside rotation can die after sealing the old segment but
+	// before the new one exists: the "active" base is then already in the
+	// sealed list. Start the replacement segment at nextLSN instead of
+	// rescanning a sealed file out from under TruncateBefore.
+	for _, s := range w.sealed {
+		if s.base == w.segBase {
+			if err := os.Remove(w.segPath(w.nextLSN)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("wal: reset: %w", err)
+			}
+			if err := w.openSegment(w.nextLSN); err != nil {
+				return err
+			}
+			w.segGen++
+			w.err = nil
+			return nil
+		}
+	}
+
+	seg := sealedSeg{base: w.segBase, path: w.segPath(w.segBase)}
+	end, n, err := w.replaySegment(seg, seg.base, true, func(Record) error { return nil })
+	if errors.Is(err, errTornHeader) {
+		// The crash-during-creation shape: no record ever landed here.
+		// Recreate the segment in place (mirroring Replay).
+		if rmErr := os.Remove(seg.path); rmErr != nil {
+			return fmt.Errorf("wal: reset: removing torn segment %s: %w", seg.path, rmErr)
+		}
+		if !w.opts.NoSync {
+			if sErr := syncDir(w.dir); sErr != nil {
+				return sErr
+			}
+		}
+		if oErr := w.openSegment(w.segBase); oErr != nil {
+			return oErr
+		}
+		w.nextLSN = w.segBase
+		w.segGen++
+		w.err = nil
+		return nil
+	}
+	if err != nil {
+		return err // still poisoned: the device (or the file) is not back
+	}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: reset: reopening %s: %w", seg.path, err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: reset: seeking %s: %w", seg.path, err)
+	}
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.segSize = end
+	w.nextLSN = w.segBase + uint64(n)
+	w.segGen++
+	w.err = nil
+	return nil
+}

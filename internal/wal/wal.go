@@ -131,6 +131,19 @@ type WAL struct {
 	closed   bool
 	replayed bool
 
+	// hookWrite and hookSync are fault-injection points (SetFault): when
+	// armed, hookWrite is consulted before each frame write and hookSync
+	// before each data fsync; a non-nil return stands in for the device
+	// failing. Guarded by mu.
+	hookWrite func() error
+	hookSync  func() error
+
+	// syncPass serializes whole group-commit passes (including the fsync
+	// that runs outside mu) against Reset, which must not clear the poison
+	// while an fsync whose outcome is unknown is still in flight. Lock
+	// order: syncPass before mu.
+	syncPass sync.Mutex
+
 	syncReq chan struct{} // wakes the syncer; buffered(1)
 	done    chan struct{} // syncer exited
 }
@@ -519,6 +532,13 @@ func (w *WAL) Append(op byte, gen uint64, payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	if w.hookWrite != nil {
+		if err := w.hookWrite(); err != nil {
+			w.fail(err)
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
 	if _, err := w.w.Write(head[:]); err != nil {
 		w.fail(err)
 		w.mu.Unlock()
@@ -569,6 +589,37 @@ func (w *WAL) fail(err error) {
 	}
 }
 
+// Err returns the poison error — the first fatal I/O fault — or nil
+// while the log is healthy. Callers use it to tell a poisoned log (the
+// device failed; Reset can try to restore service) from transient
+// per-call failures.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// SetFault arms (or, with nils, disarms) the log's fault-injection
+// hooks: write is consulted before every frame write, sync before every
+// data fsync; a non-nil return is treated exactly like the device
+// failing at that point, poisoning the log. For chaos tests only.
+func (w *WAL) SetFault(write, sync func() error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hookWrite, w.hookSync = write, sync
+}
+
+// syncLocked runs the armed fault hook, then fsyncs the active segment.
+// Caller holds w.mu.
+func (w *WAL) syncLocked() error {
+	if w.hookSync != nil {
+		if err := w.hookSync(); err != nil {
+			return err
+		}
+	}
+	return w.f.Sync()
+}
+
 // syncer is the group-commit loop: each pass flushes the shared buffer,
 // fsyncs once, and releases every waiter that registered before the
 // flush. Appends arriving during the fsync pile into the next group.
@@ -581,16 +632,21 @@ func (w *WAL) syncer() {
 		// are still re-entering Append — halving (or worse) the
 		// amortization the group commit exists for.
 		runtime.Gosched()
+		// syncPass brackets the whole pass so Reset never clears the
+		// poison while an fsync with an unknown outcome is in flight.
+		w.syncPass.Lock()
 		w.mu.Lock()
 		if w.closed {
 			w.releaseLocked(ErrClosed)
 			w.mu.Unlock()
+			w.syncPass.Unlock()
 			return
 		}
 		ws := w.waiters
 		w.waiters = nil
 		if len(ws) == 0 {
 			w.mu.Unlock()
+			w.syncPass.Unlock()
 			continue
 		}
 		var err error
@@ -599,11 +655,20 @@ func (w *WAL) syncer() {
 		} else if err = w.w.Flush(); err != nil {
 			w.fail(err)
 		}
-		f, gen := w.f, w.segGen
+		f, gen, hook := w.f, w.segGen, w.hookSync
 		w.mu.Unlock()
 		// The fsync runs outside the mutex: concurrent appends keep
 		// buffering (and rotation keeps its own sync) while the disk
 		// works — that overlap is the whole point of group commit.
+		if err == nil && hook != nil {
+			// An injected fault always poisons: it simulates the device
+			// failing this group's fsync, so no retirement excuse applies.
+			if err = hook(); err != nil {
+				w.mu.Lock()
+				w.fail(err)
+				w.mu.Unlock()
+			}
+		}
 		if err == nil {
 			if err = f.Sync(); err != nil {
 				w.mu.Lock()
@@ -627,6 +692,7 @@ func (w *WAL) syncer() {
 		for _, ch := range ws {
 			ch <- err
 		}
+		w.syncPass.Unlock()
 	}
 }
 
@@ -647,7 +713,7 @@ func (w *WAL) rotateLocked() error {
 		return err
 	}
 	if !w.opts.NoSync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncLocked(); err != nil {
 			w.fail(err)
 			w.releaseLocked(err)
 			return err
@@ -798,7 +864,7 @@ func (w *WAL) Sync() error {
 		w.fail(err)
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncLocked(); err != nil {
 		w.fail(err)
 		return err
 	}
@@ -817,7 +883,7 @@ func (w *WAL) Close() error {
 	var err error
 	if w.f != nil && w.err == nil {
 		if err = w.w.Flush(); err == nil && !w.opts.NoSync {
-			err = w.f.Sync()
+			err = w.syncLocked()
 		}
 		if err == nil {
 			// As in rotation: the file is fully flushed (+fsynced), so a

@@ -158,6 +158,9 @@ var (
 	// ErrStorage reports a server-side storage fault answering a query:
 	// a stored record's comparison form could not be read.
 	ErrStorage = core.ErrStorage
+	// ErrDegraded reports a write rejected because the database is in
+	// storage-fault read-only mode (DB.DegradedStatus, DB.Recover).
+	ErrDegraded = core.ErrDegraded
 )
 
 // New creates a database. A zero Config reproduces the paper's setup:
@@ -210,6 +213,11 @@ type SegmentStats = segment.Stats
 // RecoveryStats reports what OpenDir's boot-time replay did
 // (DB.Recovery).
 type RecoveryStats = core.RecoveryStats
+
+// DegradedStatus describes storage-fault read-only mode
+// (DB.DegradedStatus): whether writes are disabled, the fault that
+// caused it, and the transition counters.
+type DegradedStatus = core.DegradedStatus
 
 // QueryResult is the uniform answer of a textual query.
 type QueryResult = querylang.Result
