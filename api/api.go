@@ -305,6 +305,22 @@ type HealthResponse struct {
 	SegmentBytes      int64 `json:"segment_bytes,omitempty"`
 	// Compactions counts segment-tier compactions run since boot.
 	Compactions uint64 `json:"compactions,omitempty"`
+	// MemoryBudget is the byte budget for resident record payloads
+	// (servers started with -memory-budget only): cold payloads are
+	// evicted to the segment tier and paged back in on demand. The
+	// residency fields below are present only when a budget is set.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// ResidentRecords/ResidentBytes are the payloads currently held in
+	// RAM and their accounted size.
+	ResidentRecords int   `json:"resident_records,omitempty"`
+	ResidentBytes   int64 `json:"resident_bytes,omitempty"`
+	// ResidentPinned counts records pinned resident because they are
+	// dirty (WAL-covered, not yet checkpointed) — never evictable.
+	ResidentPinned int `json:"resident_pinned,omitempty"`
+	// Evictions counts payloads paged out since boot; ColdHits counts
+	// reads that had to page a payload back in from the segment tier.
+	Evictions uint64 `json:"evictions,omitempty"`
+	ColdHits  uint64 `json:"cold_hits,omitempty"`
 	// CheckpointFailStreak counts consecutive checkpoint failures; the
 	// next success resets it. At or above the server's tolerance
 	// (-checkpoint-fail-limit) /healthz answers 503.

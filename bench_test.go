@@ -174,9 +174,13 @@ func BenchmarkTable1PeakExtraction(b *testing.B) {
 	if !ok {
 		b.Fatal("record missing")
 	}
+	series, err := db.Representation("ecg-000")
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := seqrep.PeakTable(rec.Rep, rec.Profile.Peaks); err != nil {
+		if _, err := seqrep.PeakTable(series, rec.Profile.Peaks); err != nil {
 			b.Fatal(err)
 		}
 	}

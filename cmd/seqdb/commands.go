@@ -114,7 +114,7 @@ func cmdIngest(args []string) error {
 	}
 	rec, _ := db.Record(*id)
 	fmt.Printf("ingested %q: %d samples -> %d segments (symbols %s)\n",
-		*id, rec.N, rec.Rep.NumSegments(), rec.Profile.Symbols)
+		*id, rec.N, rec.NumSegments(), rec.Profile.Symbols)
 	return nil
 }
 
@@ -188,7 +188,7 @@ func cmdList(args []string) error {
 	fmt.Fprintln(w, "id\tsamples\tsegments\tpeaks\tsymbols")
 	for _, id := range db.IDs() {
 		rec, _ := db.Record(id)
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n", id, rec.N, rec.Rep.NumSegments(),
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n", id, rec.N, rec.NumSegments(),
 			len(rec.Profile.Peaks), rec.Profile.Symbols)
 	}
 	return w.Flush()
@@ -212,10 +212,14 @@ func cmdSegments(args []string) error {
 	if !ok {
 		return fmt.Errorf("segments: unknown id %q", *id)
 	}
+	series, err := db.Representation(*id)
+	if err != nil {
+		return err
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "segment\tsamples\ttime span\tfunction\tslope")
-	for i := range rec.Rep.Segments {
-		sg := &rec.Rep.Segments[i]
+	for i := range series.Segments {
+		sg := &series.Segments[i]
 		c, err := sg.Curve()
 		if err != nil {
 			return err
@@ -227,9 +231,9 @@ func cmdSegments(args []string) error {
 		return err
 	}
 	fmt.Printf("compression: %.1fx full accounting, %.1fx paper accounting\n",
-		rec.Rep.CompressionRatio(), rec.Rep.PaperCompressionRatio())
+		series.CompressionRatio(), series.PaperCompressionRatio())
 	if len(rec.Profile.Peaks) > 0 {
-		table, err := seqrep.PeakTable(rec.Rep, rec.Profile.Peaks)
+		table, err := seqrep.PeakTable(series, rec.Profile.Peaks)
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,13 @@
 // -drain-timeout, force-closing stragglers), then checkpoints and
 // closes the log — the final checkpoint never races live traffic.
 //
+// With -memory-budget, a durable server serves datasets larger than
+// RAM: record payloads beyond the budget are evicted (coldest first)
+// and paged back in from the segment tier on demand; dirty records stay
+// pinned resident until a checkpoint makes them durable. /healthz and
+// /metrics report resident_records, resident_bytes, evictions and cold
+// hits (see docs/STORAGE.md "Residency & paging").
+//
 // Overload and fault behavior (docs/RELIABILITY.md): admission control
 // bounds concurrent work (-admission-limit, -admission-queue) and sheds
 // overflow with 429 + Retry-After; a storage fault flips the database
@@ -62,6 +69,7 @@ func run() error {
 		ckptIvl  = flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint period for -data-dir (0 disables the timer; checkpoints still run on /v1/snapshot/save and shutdown)")
 		compact  = flag.Int("compact-threshold", 0, "segment count at which a checkpoint compacts the on-disk tier (0 = default 8, negative disables compaction)")
 		segCach  = flag.Int64("segment-cache", 0, "segment payload LRU cache bytes (0 = default 32MiB, negative disables)")
+		memBudg  = flag.Int64("memory-budget", 0, "resident record-payload byte budget for -data-dir servers: cold payloads are evicted to the segment tier and paged back in on demand (<= 0 keeps every record fully resident)")
 		archive  = flag.String("archive", "", "directory for a file-backed raw-sequence archive (empty = no archive)")
 		epsilon  = flag.Float64("epsilon", 0, "breaking tolerance for a new database (0 = default 0.5)")
 		delta    = flag.Float64("delta", 0, "slope threshold for a new database (0 = default 0.25)")
@@ -110,6 +118,7 @@ func run() error {
 		IndexLeaf:             *leaf,
 		CompactThreshold:      *compact,
 		SegmentCacheBytes:     *segCach,
+		MemoryBudget:          *memBudg,
 		RecoveryProbeInterval: *probeIvl,
 	}
 	if *archive != "" {

@@ -46,7 +46,7 @@ func ExampleDB_Record() {
 	}
 	rec, _ := db.Record("ecg")
 	fmt.Printf("%d samples -> %d segments, %d peaks\n",
-		rec.N, rec.Rep.NumSegments(), len(rec.Profile.Peaks))
+		rec.N, rec.NumSegments(), len(rec.Profile.Peaks))
 	// Output: 540 samples -> 16 segments, 4 peaks
 }
 

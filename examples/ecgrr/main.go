@@ -47,10 +47,14 @@ func run() error {
 
 	for _, id := range db.IDs() {
 		rec, _ := db.Record(id)
+		series, err := db.Representation(id)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%s: %d samples -> %d segments, compression ~%.1fx (paper accounting)\n",
-			id, rec.N, rec.Rep.NumSegments(), rec.Rep.PaperCompressionRatio())
+			id, rec.N, rec.NumSegments(), series.PaperCompressionRatio())
 
-		table, err := seqrep.PeakTable(rec.Rep, rec.Profile.Peaks)
+		table, err := seqrep.PeakTable(series, rec.Profile.Peaks)
 		if err != nil {
 			return err
 		}

@@ -36,7 +36,7 @@ func main() {
 	for _, id := range db.IDs() {
 		rec, _ := db.Record(id)
 		fmt.Printf("%s: %d samples -> %d function segments (slope symbols %q)\n",
-			id, rec.N, rec.Rep.NumSegments(), rec.Profile.Symbols)
+			id, rec.N, rec.NumSegments(), rec.Profile.Symbols)
 	}
 
 	// Goal-post fever: exactly two temperature peaks in 24 hours.

@@ -49,7 +49,7 @@ func run() error {
 
 	for _, id := range db.IDs() {
 		rec, _ := db.Record(id)
-		fmt.Printf("%-14s %3d segments, symbols %s\n", id, rec.Rep.NumSegments(), abbreviate(rec.Profile.Symbols, 40))
+		fmt.Printf("%-14s %3d segments, symbols %s\n", id, rec.NumSegments(), abbreviate(rec.Profile.Symbols, 40))
 	}
 	fmt.Println()
 

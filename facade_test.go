@@ -129,7 +129,11 @@ func TestFacadePeakTableAndPreprocess(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec, _ := db.Record("e")
-	table, err := seqrep.PeakTable(rec.Rep, rec.Profile.Peaks)
+	series, err := db.Representation("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := seqrep.PeakTable(series, rec.Profile.Peaks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -264,3 +264,66 @@ func TestArchivePutSiteFaults(t *testing.T) {
 		})
 	}
 }
+
+// TestColdReadSiteFaults walks the residency subsystem's cold-read site:
+// the segment tier's point lookup behind DB.SetSegmentReadFault, hit
+// when a query pages an evicted payload back in. The contract differs
+// from every write site — a read fault is query-scoped. It surfaces as
+// ErrStorage to that caller, never degrades the database (the log is
+// fine), never loses a record, and never disturbs the resident set; a
+// SlowWrite (stalling pread) must simply succeed late.
+func TestColdReadSiteFaults(t *testing.T) {
+	for _, kind := range []Kind{DiskError, SlowWrite} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := seqrep.OpenDir(dir, seqrep.Config{RecoveryProbeInterval: -1, MemoryBudget: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			var acked []string
+			for i := 0; i < 3; i++ {
+				id := fmt.Sprintf("pre-%d", i)
+				if err := db.Ingest(id, chaosSeq(i)); err != nil {
+					t.Fatal(err)
+				}
+				acked = append(acked, id)
+			}
+			// The checkpoint makes every payload durable; the 1-byte
+			// budget evicts them all, so the next read must page in.
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+
+			f := &Fault{Kind: kind, Count: 1}
+			db.SetSegmentReadFault(f.Hook())
+			_, err = db.Representation("pre-0")
+			if kind == SlowWrite {
+				if err != nil {
+					t.Fatalf("stalled cold read failed: %v", err)
+				}
+			} else {
+				if !errors.Is(err, seqrep.ErrStorage) {
+					t.Fatalf("cold read under %s = %v, want ErrStorage", kind, err)
+				}
+				// Query-scoped: the record is still committed and the
+				// database is healthy.
+				if _, ok := db.Record("pre-0"); !ok {
+					t.Fatal("record lost to a failed cold read")
+				}
+				// The fault window closed: the retry succeeds.
+				if _, err := db.Representation("pre-0"); err != nil {
+					t.Fatalf("cold read after fault window: %v", err)
+				}
+			}
+			if db.DegradedStatus().Degraded {
+				t.Fatal("cold-read fault degraded the database: the log is fine")
+			}
+			if f.Trips() == 0 {
+				t.Fatal("fault never fired")
+			}
+			db.SetSegmentReadFault(nil)
+			rebootAsserts(t, db, dir, acked, nil, false)
+		})
+	}
+}

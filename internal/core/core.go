@@ -37,6 +37,7 @@ import (
 	"seqrep/internal/index/inverted"
 	"seqrep/internal/multires"
 	"seqrep/internal/rep"
+	"seqrep/internal/resident"
 	"seqrep/internal/segment"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
@@ -107,6 +108,15 @@ type Config struct {
 	// default 32 MiB, negative disables caching so every segment read
 	// goes to disk).
 	SegmentCacheBytes int64
+	// MemoryBudget bounds the bytes of record representations held
+	// resident in RAM (OpenDir databases only; <= 0 keeps every
+	// representation resident — the pre-residency behavior). Under a
+	// budget, ids, feature vectors and sketches stay resident (candidate
+	// generation and the progressive sketch tier never touch disk) while
+	// cold representation payloads are evicted and paged back in from
+	// the segment tier on demand; dirty records (WAL-covered, not yet
+	// checkpointed) are pinned resident until a checkpoint commits them.
+	MemoryBudget int64
 	// RecoveryProbeInterval is how often a degraded database (one whose
 	// write-ahead log took an I/O fault, disabling writes — see
 	// ErrDegraded) probes the disk for recovery and, on success, restores
@@ -175,11 +185,32 @@ var (
 // Record is everything the database keeps for one ingested sequence: the
 // compact representation and the features derived from it. Raw samples are
 // not part of the record.
+//
+// Everything except the representation pointer is immutable after commit
+// and always resident. The representation itself is held behind an atomic
+// pointer so the residency subsystem can evict it (store nil) and page it
+// back in from the segment tier without replacing the Record object —
+// index postings, shard entries and in-flight scans all keep pointing at
+// the same record across any number of evict/fault-in cycles.
 type Record struct {
 	ID      string
 	N       int // original sample count
-	Rep     *rep.FunctionSeries
 	Profile *feature.Profile
+
+	// rep is the function-series representation; nil while evicted
+	// (cold). Use DB.materialize to read it — never assume it is
+	// resident. The series itself is immutable; only the pointer moves.
+	rep atomic.Pointer[rep.FunctionSeries]
+	// repSegments/repFloats/repBytes cache the representation's
+	// dimensions at build time so Stats and the residency accounting
+	// work while the payload is cold.
+	repSegments int
+	repFloats   int
+	repBytes    int64
+	// hot is the CLOCK reference bit shared with the residency tracker:
+	// every materialize sets it, the eviction sweep clears it, and its
+	// address doubles as the record's identity token in the tracker.
+	hot atomic.Bool
 
 	// feats and zfeats are the record's DFT feature vectors over its
 	// comparison form and the z-normalized comparison form, computed once
@@ -196,6 +227,26 @@ type Record struct {
 	// never dismissed early).
 	sketch *multires.Sketch
 }
+
+// setRep installs the representation and caches its dimensions. Called
+// once at build/adopt/decode time, before the record is published.
+func (r *Record) setRep(fs *rep.FunctionSeries) {
+	r.repSegments = fs.NumSegments()
+	r.repFloats = fs.StoredFloats()
+	// The residency cost estimate: stored floats, per-segment struct
+	// overhead, and the record's own fixed overhead.
+	r.repBytes = int64(r.repFloats)*8 + int64(r.repSegments)*48 + 64
+	r.rep.Store(fs)
+}
+
+// NumSegments reports how many function segments represent the sequence.
+// It reads a build-time cache, so it works whether or not the
+// representation is resident.
+func (r *Record) NumSegments() int { return r.repSegments }
+
+// StoredFloats reports how many floats the representation stores,
+// cached at build time like NumSegments.
+func (r *Record) StoredFloats() int { return r.repFloats }
 
 // shard is one lock stripe of the record store. pending holds ids whose
 // ingestion pipeline is in flight: the id is reserved (duplicate ingests
@@ -295,6 +346,13 @@ type DB struct {
 	segs       *segment.Store
 	dirtyMu    sync.Mutex
 	dirty      map[string]bool
+	// res is the residency tracker bounding resident representation
+	// bytes (OpenDir with Config.MemoryBudget > 0 only; nil keeps every
+	// representation resident). See residency.go. Lock order: tracker
+	// calls may take a shard read lock (the eviction callback) but never
+	// dirtyMu or imu, and no tracker method is called while holding
+	// dirtyMu or a shard lock.
+	res        *resident.Tracker
 	ckptFails  atomic.Uint64
 	ckptStreak atomic.Uint64 // consecutive checkpoint failures; reset on success
 	ckptErr    atomic.Pointer[string]
@@ -439,7 +497,8 @@ func (db *DB) build(id string, s seq.Sequence) (*Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: extracting features of %q: %w", id, err)
 	}
-	rec := &Record{ID: id, N: len(s), Rep: fs, Profile: profile}
+	rec := &Record{ID: id, N: len(s), Profile: profile}
+	rec.setRep(fs)
 	if db.findex != nil || db.cfg.SketchBlock > 0 {
 		// The DFT feature vectors and the progressive sketch are part of
 		// the build so they, too, run outside every lock; s is the raw
@@ -474,6 +533,17 @@ func (db *DB) link(rec *Record) error {
 		db.findex.add(rec)
 	}
 	db.gen.Add(1)
+	// Register the representation with the residency tracker. A record
+	// about to be marked dirty is admitted pinned in the same tracker
+	// critical section: its payload is not in the segment tier yet, so
+	// eviction must not touch it until a checkpoint flushes it (the
+	// checkpoint unpins after its manifest commit). During boot adoption
+	// dirty tracking is off and the payload came from the tier, so the
+	// record is admitted clean — immediately evictable, which bounds
+	// resident bytes while the tier streams in.
+	if db.res != nil {
+		db.res.Admit(rec.ID, rec.repBytes, &rec.hot, db.dirtyTracking())
+	}
 	// The record is now committed: mark it for the next checkpoint's
 	// delta flush. For WAL'd writes this runs inside the caller's ckptMu
 	// read window, so the mark lands in the same dirty epoch as the log
@@ -694,6 +764,11 @@ func (db *DB) Remove(id string) error {
 	}
 
 	sh.drop(id)
+	// Withdraw the record from the residency tracker. The ref pointer
+	// scopes the drop to exactly this record object: a later re-ingest
+	// under the same id carries a different ref, so a racing stale drop
+	// cannot touch the successor's entry.
+	db.res.Drop(id, &rec.hot)
 
 	db.imu.Lock()
 	db.ids = removeSorted(db.ids, id)
@@ -739,7 +814,11 @@ func (db *DB) Reconstruct(id string) (seq.Sequence, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: %w %q", ErrUnknownID, id)
 	}
-	return rec.Rep.Reconstruct()
+	fs, err := db.materialize(rec)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Reconstruct()
 }
 
 // Stats summarizes the database for monitoring and the CLI.
@@ -777,8 +856,8 @@ func (db *DB) Stats() Stats {
 		st.Sequences += len(sh.records)
 		for _, rec := range sh.records {
 			st.Samples += rec.N
-			st.Segments += rec.Rep.NumSegments()
-			st.StoredFloats += rec.Rep.StoredFloats()
+			st.Segments += rec.NumSegments()
+			st.StoredFloats += rec.StoredFloats()
 		}
 		sh.mu.RUnlock()
 	}

@@ -20,6 +20,21 @@ func mustDB(t testing.TB, cfg Config) *DB {
 	return db
 }
 
+// pagedDB opens a durable database in a throwaway directory with a
+// 1-byte residency budget: once checkpointed, every clean payload is
+// evicted and each exact verification pages back in from the segment
+// tier — the "tiny" point of the residency test dimension.
+func pagedDB(t testing.TB, cfg Config) *DB {
+	t.Helper()
+	cfg.MemoryBudget = 1
+	db, err := OpenDir(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
 func mustIngest(t testing.TB, db *DB, id string, s seq.Sequence) {
 	t.Helper()
 	if err := db.Ingest(id, s); err != nil {
@@ -111,7 +126,7 @@ func TestRecordAndIDs(t *testing.T) {
 	if !ok {
 		t.Fatal("exemplar missing")
 	}
-	if rec.N != 97 || rec.Rep == nil || rec.Profile == nil {
+	if rec.N != 97 || rec.rep.Load() == nil || rec.Profile == nil {
 		t.Errorf("record incomplete: %+v", rec)
 	}
 	if _, ok := db.Record("nope"); ok {

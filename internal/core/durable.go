@@ -140,6 +140,20 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 		}
 	}
 
+	// Attach the segment tier and arm residency before dirty tracking
+	// and replay: replayed links then register with the tracker like any
+	// live ingest (admitted pinned — their payloads are not in the tier
+	// yet). bootFromSegments already armed it on the manifest path; on
+	// the legacy-snapshot path every migrated record is about to be
+	// marked dirty, so each is admitted pinned here for the same reason.
+	db.segs = segs
+	db.armResidency()
+	for _, id := range migrated {
+		if rec, ok := db.Record(id); ok {
+			db.res.Admit(rec.ID, rec.repBytes, &rec.hot, true)
+		}
+	}
+
 	// Arm delta tracking after adoption (the manifest covers those
 	// records) and before replay: a WAL record is by definition not yet
 	// in a committed segment, so everything replay applies must flush at
@@ -168,7 +182,6 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 		}
 	}
 	db.wal = w
-	db.segs = segs
 	db.dataDir = dir
 	db.probeStop = make(chan struct{})
 	if !ckptTime.IsZero() {
@@ -395,7 +408,7 @@ func (db *DB) checkpoint() error {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 
-	entries, err := db.encodeDirty(dirty)
+	entries, flushed, err := db.encodeDirty(dirty)
 	if err != nil {
 		db.restoreDirty(dirty)
 		return fmt.Errorf("core: checkpoint: %w", err)
@@ -409,7 +422,16 @@ func (db *DB) checkpoint() error {
 		db.restoreDirty(dirty)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	// The manifest has committed: the dirty records are durably in the
+	// The manifest has committed: every flushed record's payload is
+	// durably in the segment tier, so its residency pin — held since its
+	// link to keep eviction away from the only copy — is released. The
+	// ref pointer scopes each unpin to the exact record object flushed;
+	// a same-id successor from a remove+re-ingest (necessarily in a
+	// later dirty epoch) holds its own pin under its own ref.
+	for _, rec := range flushed {
+		db.res.Unpin(rec.ID, &rec.hot)
+	}
+	// The dirty records are durably in the
 	// segment tier, so the swapped-out set is retired for good. What
 	// follows is reclamation — a failure here leaves only garbage (extra
 	// sealed log segments, an uncompacted tier, a stale legacy snapshot),

@@ -163,7 +163,7 @@ func TestReplaySkipsRemoveOfAbsent(t *testing.T) {
 	// log still holds the remove. Keeping the old manifest LSN mirrors
 	// the real window too — boot's covered-segment reclaim must not cut
 	// the still-replaying record.
-	entries, err := db.encodeDirty(db.swapDirty())
+	entries, _, err := db.encodeDirty(db.swapDirty())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,26 +79,53 @@ func breakersUnderTest() map[string]breaking.Breaker {
 // linear columnar feature scan).
 var leafConfigs = []int{0, 1, -1}
 
+// storageModes is the residency/storage dimension of the equivalence
+// suite: fully resident in-memory ("mem"), archive-backed verification
+// ("archive"), and a durable database under a 1-byte memory budget
+// ("paged") where every exact verification pages its payload back in
+// from the segment tier — the answers must be bit-identical in all
+// three.
+var storageModes = []string{"mem", "archive", "paged"}
+
 // TestIndexedQueryEquivalence is the zero-false-dismissal property suite:
-// for every breaker, with and without an archive, for every candidate-
-// generation mode (vantage-point tree, linear feature scan, default),
-// under every built-in metric and a spread of tolerances, the planner's
-// answer must equal the brute-force scan's exactly — ids, deviations,
-// exactness and order.
+// for every breaker, every storage mode (in-memory, archived, paged
+// under a tiny residency budget), for every candidate-generation mode
+// (vantage-point tree, linear feature scan, default), under every
+// built-in metric and a spread of tolerances, the planner's answer must
+// equal the brute-force scan's exactly — ids, deviations, exactness and
+// order.
 func TestIndexedQueryEquivalence(t *testing.T) {
 	epsCands := []float64{0, 0.3, 1, 4, 16, 64}
 	totalPruned := 0
 	for name, br := range breakersUnderTest() {
-		for _, archived := range []bool{false, true} {
+		for _, storage := range storageModes {
 			for _, leaf := range leafConfigs {
-				t.Run(fmt.Sprintf("%s/archive=%v/leaf=%d", name, archived, leaf), func(t *testing.T) {
+				t.Run(fmt.Sprintf("%s/storage=%s/leaf=%d", name, storage, leaf), func(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(len(name)) * 7779))
 					cfg := Config{Breaker: br, IndexLeaf: leaf}
-					if archived {
+					var db *DB
+					switch storage {
+					case "archive":
 						cfg.Archive = store.NewMemArchive()
+						db = mustDB(t, cfg)
+					case "paged":
+						db = pagedDB(t, cfg)
+					default:
+						db = mustDB(t, cfg)
 					}
-					db := mustDB(t, cfg)
 					exemplar := equivalenceWorkload(t, db, rng, 64)
+					if storage == "paged" {
+						// The checkpoint makes every payload durable and
+						// unpinned; the 1-byte budget then evicts them
+						// all, so each verification below pages in.
+						if err := db.Checkpoint(); err != nil {
+							t.Fatal(err)
+						}
+						st, ok := db.ResidencyStats()
+						if !ok || st.Pinned != 0 || st.ResidentBytes > st.MemoryBudget {
+							t.Fatalf("residency after checkpoint = %+v", st)
+						}
+					}
 					if leaf == 1 {
 						// Warm a query so the trees exist, then verify the
 						// tree path is actually engaged.
@@ -175,18 +202,34 @@ func TestIndexedQueryEquivalence(t *testing.T) {
 // pair of answers, and fully once the churn stops.
 func TestIndexedQueryEquivalenceConcurrentChurn(t *testing.T) {
 	for _, leaf := range leafConfigs {
-		t.Run(fmt.Sprintf("leaf=%d", leaf), func(t *testing.T) {
-			churnEquivalence(t, leaf)
-		})
+		for _, paged := range []bool{false, true} {
+			t.Run(fmt.Sprintf("leaf=%d/paged=%v", leaf, paged), func(t *testing.T) {
+				churnEquivalence(t, leaf, paged)
+			})
+		}
 	}
 }
 
-func churnEquivalence(t *testing.T, leaf int) {
+func churnEquivalence(t *testing.T, leaf int, paged bool) {
 	rng := rand.New(rand.NewSource(42))
-	db := mustDB(t, Config{Archive: store.NewMemArchive(), IndexCoeffs: 4, IndexLeaf: leaf})
+	var db *DB
+	if paged {
+		// Paged: no archive (verification reads reconstructions through
+		// the residency layer), 1-byte budget, durable tier to page
+		// from. Checkpoints below race the churn, so eviction, paging,
+		// pinning and tombstoning all run under the race detector.
+		db = pagedDB(t, Config{IndexCoeffs: 4, IndexLeaf: leaf})
+	} else {
+		db = mustDB(t, Config{Archive: store.NewMemArchive(), IndexCoeffs: 4, IndexLeaf: leaf})
+	}
 	base := smoothWalk(rng, 64)
 	for i := 0; i < 16; i++ {
 		mustIngest(t, db, fmt.Sprintf("base-%02d", i), jitter(rng, base, 0.2))
+	}
+	if paged {
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	exemplar := jitter(rng, base, 0.1)
 
@@ -226,6 +269,15 @@ func churnEquivalence(t *testing.T, leaf int) {
 		return out
 	}
 	for i := 0; i < 40; i++ {
+		if paged && i%10 == 5 {
+			// Mid-churn checkpoint: flushes and unpins the churned
+			// records while queries below are paging — the eviction /
+			// unpin / fault-in races the residency invariants must hold
+			// through.
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
 		eps := float64(i%5) * 2
 		indexed, _, err := db.DistanceQueryStats(exemplar, dist.Euclidean, eps)
 		if err != nil {

@@ -439,7 +439,14 @@ func (db *DB) comparisonValues(rec *Record, raw seq.Sequence) ([]float64, bool) 
 		}
 		return raw.Values(), true
 	}
-	rec2, err := rec.Rep.Reconstruct()
+	// Only called at build/adopt time, when the representation was just
+	// installed — a nil pointer would mean a construction bug, and the
+	// record then simply stays unindexed.
+	fs := rec.rep.Load()
+	if fs == nil {
+		return nil, false
+	}
+	rec2, err := fs.Reconstruct()
 	if err != nil {
 		return nil, false
 	}

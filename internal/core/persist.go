@@ -100,6 +100,24 @@ func (db *DB) SaveTo(w io.Writer) error {
 			recs = append(recs, rec)
 		}
 	}
+	// Materialize every representation before the record count is
+	// written: under a memory budget some may be cold, and a record
+	// removed mid-save must be dropped from the snapshot here, while the
+	// count can still exclude it.
+	series := make([]*rep.FunctionSeries, 0, len(recs))
+	live := recs[:0]
+	for _, rec := range recs {
+		fs, err := db.materialize(rec)
+		if err != nil {
+			if err = db.verifyReadError(rec, err); err != nil {
+				return fmt.Errorf("core: save %q: %w", rec.ID, err)
+			}
+			continue // removed mid-save
+		}
+		live = append(live, rec)
+		series = append(series, fs)
+	}
+	recs = live
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(dbMagic[:]); err != nil {
 		return fmt.Errorf("core: save: %w", err)
@@ -138,7 +156,7 @@ func (db *DB) SaveTo(w io.Writer) error {
 	if _, err := bw.Write(u32[:]); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
-	for _, rec := range recs {
+	for i, rec := range recs {
 		id := rec.ID
 		if len(id) > math.MaxUint16 {
 			return fmt.Errorf("core: save: id %q too long", id[:32])
@@ -151,7 +169,7 @@ func (db *DB) SaveTo(w io.Writer) error {
 		if _, err := bw.WriteString(id); err != nil {
 			return fmt.Errorf("core: save: %w", err)
 		}
-		body, err := encodeRecordPayload(rec)
+		body, err := encodeRecordPayload(series[i], rec)
 		if err != nil {
 			return fmt.Errorf("core: save %q: %w", id, err)
 		}
@@ -174,8 +192,10 @@ func (db *DB) SaveTo(w io.Writer) error {
 // The same bytes are a record's payload in an on-disk segment
 // (internal/segment), so snapshot loading and segment boot share one
 // decoder and can never drift.
-func encodeRecordPayload(rec *Record) ([]byte, error) {
-	blob, err := rec.Rep.MarshalBinary()
+// fs is the record's materialized representation — callers resolve it
+// (hot pointer or fault-in) so encoding itself never touches disk.
+func encodeRecordPayload(fs *rep.FunctionSeries, rec *Record) ([]byte, error) {
+	blob, err := fs.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
@@ -602,7 +622,8 @@ func (db *DB) adopt(id string, fs *rep.FunctionSeries, feats, zfeats []float64, 
 	if !sh.reserve(id) {
 		return fmt.Errorf("core: duplicate id %q in snapshot", id)
 	}
-	rec := &Record{ID: id, N: fs.N, Rep: fs, Profile: profile, feats: feats, zfeats: zfeats, sketch: sk}
+	rec := &Record{ID: id, N: fs.N, Profile: profile, feats: feats, zfeats: zfeats, sketch: sk}
+	rec.setRep(fs)
 	needFeats := db.findex != nil && rec.feats == nil
 	needSketch := db.cfg.SketchBlock > 0 && rec.sketch == nil
 	if needFeats || needSketch {

@@ -239,7 +239,7 @@ func TestLoadLegacySnapshotRebuildsFeatures(t *testing.T) {
 		binary.LittleEndian.PutUint16(u16[:], uint16(len(id)))
 		buf.Write(u16[:])
 		buf.WriteString(id)
-		blob, err := rec.Rep.MarshalBinary()
+		blob, err := rec.rep.Load().MarshalBinary()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -274,21 +274,60 @@ func TestProgressiveGuarantees(t *testing.T) {
 	}
 	for _, b := range breakers {
 		for _, indexed := range []bool{true, false} {
-			cfg := Config{Archive: store.NewMemArchive(), Breaker: b.br}
-			if !indexed {
-				cfg.IndexCoeffs = -1
-			}
-			db := progressiveDB(t, cfg, corpus)
-			t.Run(fmt.Sprintf("%s/indexed=%v", b.name, indexed), func(t *testing.T) {
-				for _, r := range progressiveRunners() {
-					r := r
-					t.Run(r.name, func(t *testing.T) {
-						checkProgressiveFamily(t, db, corpus, exemplar, r)
-					})
+			for _, storage := range []string{"archive", "paged"} {
+				cfg := Config{Breaker: b.br}
+				if !indexed {
+					cfg.IndexCoeffs = -1
 				}
-			})
+				var db *DB
+				truthCorpus := corpus
+				if storage == "archive" {
+					cfg.Archive = store.NewMemArchive()
+					db = progressiveDB(t, cfg, corpus)
+				} else {
+					// Paged: durable database, no archive, 1-byte
+					// residency budget. After the checkpoint every exact
+					// verification pages its payload in from the segment
+					// tier; ground truth is computed on reconstructions,
+					// because that is what archiveless verification
+					// compares — the progressive contract must hold
+					// bit-identically through the paging layer.
+					db = pagedDB(t, cfg)
+					for id, s := range corpus {
+						mustIngest(t, db, id, s)
+					}
+					if err := db.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+					truthCorpus = reconCorpus(t, db, corpus)
+				}
+				t.Run(fmt.Sprintf("%s/indexed=%v/%s", b.name, indexed, storage), func(t *testing.T) {
+					for _, r := range progressiveRunners() {
+						r := r
+						t.Run(r.name, func(t *testing.T) {
+							checkProgressiveFamily(t, db, truthCorpus, exemplar, r)
+						})
+					}
+				})
+			}
 		}
 	}
+}
+
+// reconCorpus replaces each corpus sequence with the database's stored
+// reconstruction: without an archive, exact verification compares
+// reconstructions, so ground truth must be computed on them too.
+func reconCorpus(t testing.TB, db *DB, corpus map[string]seq.Sequence) map[string]seq.Sequence {
+	t.Helper()
+	out := make(map[string]seq.Sequence, len(corpus))
+	for id := range corpus {
+		s, err := db.Reconstruct(id)
+		if err != nil {
+			t.Fatalf("reconstruct %q: %v", id, err)
+		}
+		out[id] = s
+	}
+	return out
 }
 
 func checkProgressiveFamily(t *testing.T, db *DB, corpus map[string]seq.Sequence, exemplar seq.Sequence, r progressiveRunner) {
@@ -454,9 +493,31 @@ func TestProgressiveCancellation(t *testing.T) {
 // hold throughout, and records outside the churn set keep their band
 // guarantee against the stable ground truth.
 func TestProgressiveChurn(t *testing.T) {
+	t.Run("resident", func(t *testing.T) { progressiveChurn(t, false) })
+	t.Run("paged", func(t *testing.T) { progressiveChurn(t, true) })
+}
+
+func progressiveChurn(t *testing.T, paged bool) {
 	corpus := progressiveCorpus(t)
 	exemplar := corpus["exemplar"]
-	db := progressiveDB(t, Config{Archive: store.NewMemArchive()}, corpus)
+	var db *DB
+	if paged {
+		// Durable, archiveless, 1-byte budget: the churn recycles ids
+		// (remove then re-ingest the same id), so the tracker's
+		// ref-identity rules and the tombstone-authoritative fault-in
+		// path run under the race detector while checkpoints below
+		// evict and unpin concurrently.
+		db = pagedDB(t, Config{})
+		for id, s := range corpus {
+			mustIngest(t, db, id, s)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		corpus = reconCorpus(t, db, corpus)
+	} else {
+		db = progressiveDB(t, Config{Archive: store.NewMemArchive()}, corpus)
+	}
 	truth := trueDistances(t, corpus, exemplar, dist.Euclidean)
 
 	stop := make(chan struct{})
@@ -493,6 +554,11 @@ func TestProgressiveChurn(t *testing.T) {
 	}
 
 	for i := 0; i < 30; i++ {
+		if paged && i%10 == 5 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
 		frames := map[string][]ProgressiveMatch{}
 		_, err := db.DistanceQueryProgressive(context.Background(), exemplar, dist.Euclidean, math.Inf(1),
 			QueryOptions{}, func(pm ProgressiveMatch) bool {

@@ -74,19 +74,27 @@ func SortMatches(matches []Match) {
 
 // storedSequence reads the comparison form of a record: raw samples from
 // the archive when one is configured, the representation reconstruction
-// otherwise. A failure here is a storage fault, not a bad query — the
-// record is committed but its comparison form is unreadable — so the
-// error wraps ErrStorage for callers (the serving layer) to classify.
+// otherwise. Under a memory budget the representation may be cold —
+// materialize pages it back in from the segment tier, so this is the
+// one place the query verification fan-out touches disk. A failure here
+// is a storage fault, not a bad query — the record is committed but its
+// comparison form is unreadable — so the error wraps ErrStorage for
+// callers (the serving layer) to classify; a record removed mid-scan
+// surfaces the fault-in's ErrUnknownID, which verifyReadError turns
+// into a skip.
 func (db *DB) storedSequence(rec *Record) (seq.Sequence, error) {
-	var (
-		s   seq.Sequence
-		err error
-	)
 	if db.cfg.Archive != nil {
-		s, err = db.Raw(rec.ID)
-	} else {
-		s, err = rec.Rep.Reconstruct()
+		s, err := db.Raw(rec.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w: %w", ErrStorage, err)
+		}
+		return s, nil
 	}
+	fs, err := db.materialize(rec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fs.Reconstruct()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w: %w", ErrStorage, err)
 	}
@@ -214,6 +222,16 @@ func (db *DB) SearchPattern(src string) ([]PatternHit, error) {
 			if !ok {
 				continue
 			}
+			// The hit spans are mapped to time through the representation,
+			// which may need paging in; a record removed mid-walk is
+			// skipped, a genuine read fault aborts the search.
+			fs, err := db.materialize(rec)
+			if err != nil {
+				if err = db.verifyReadError(rec, err); err != nil {
+					return nil, fmt.Errorf("core: pattern search reading %q: %w", id, err)
+				}
+				continue
+			}
 			for _, span := range spans {
 				lo, hi := span[0], span[1]
 				if hi <= lo {
@@ -223,8 +241,8 @@ func (db *DB) SearchPattern(src string) ([]PatternHit, error) {
 					ID:     id,
 					SegLo:  lo,
 					SegHi:  hi,
-					TimeLo: rec.Rep.Segments[lo].StartT,
-					TimeHi: rec.Rep.Segments[hi-1].EndT,
+					TimeLo: fs.Segments[lo].StartT,
+					TimeHi: fs.Segments[hi-1].EndT,
 				})
 			}
 		}
@@ -338,11 +356,13 @@ func (db *DB) ShapeQuery(exemplar seq.Sequence, tol ShapeTolerance) ([]Match, er
 }
 
 // shapeVerify compares one record's feature signature against the
-// exemplar's — ShapeQuery's verification kernel.
-func shapeVerify(rec *Record, qSig sig, tol ShapeTolerance) (Match, bool, error) {
-	span := rec.Rep.Segments[len(rec.Rep.Segments)-1].EndT - rec.Rep.Segments[0].StartT
-	base := baselineOf(rec)
-	rSig, err := shapeSignature(peakPoints(rec), span, base)
+// exemplar's — ShapeQuery's verification kernel. fs is the record's
+// materialized representation (span and baseline read segment
+// boundaries, which are not part of the resident profile).
+func shapeVerify(rec *Record, fs *rep.FunctionSeries, qSig sig, tol ShapeTolerance) (Match, bool, error) {
+	span := fs.Segments[len(fs.Segments)-1].EndT - fs.Segments[0].StartT
+	base := baselineOf(fs)
+	rSig, err := shapeSignature(peakPoints(rec.Profile), span, base)
 	if err != nil {
 		return Match{}, false, nil // featureless sequence cannot match a shaped exemplar
 	}
@@ -408,9 +428,8 @@ func (db *DB) profileOf(exemplar seq.Sequence) (*queryProfile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: extracting exemplar features: %w", err)
 	}
-	rec := &Record{Rep: fs, Profile: profile}
 	span := fs.Segments[len(fs.Segments)-1].EndT - fs.Segments[0].StartT
-	return &queryProfile{peaks: peakPoints(rec), span: span, base: baselineOf(rec)}, nil
+	return &queryProfile{peaks: peakPoints(profile), span: span, base: baselineOf(fs)}, nil
 }
 
 // shapeSignature normalizes peaks into transformation-invariant vectors:
@@ -466,20 +485,20 @@ func relDeviation(a, b []float64) float64 {
 	return worst
 }
 
-func peakPoints(rec *Record) []peakPoint {
-	out := make([]peakPoint, 0, len(rec.Profile.Peaks))
-	for _, p := range rec.Profile.Peaks {
-		out = append(out, peakPoint{t: p.Time, v: p.Value})
+func peakPoints(p *feature.Profile) []peakPoint {
+	out := make([]peakPoint, 0, len(p.Peaks))
+	for _, pk := range p.Peaks {
+		out = append(out, peakPoint{t: pk.Time, v: pk.Value})
 	}
 	return out
 }
 
 // baselineOf estimates a sequence's resting level from its representation:
 // the minimum boundary value across segments.
-func baselineOf(rec *Record) float64 {
+func baselineOf(fs *rep.FunctionSeries) float64 {
 	base := math.Inf(1)
-	for i := range rec.Rep.Segments {
-		sg := &rec.Rep.Segments[i]
+	for i := range fs.Segments {
+		sg := &fs.Segments[i]
 		if sg.StartV < base {
 			base = sg.StartV
 		}

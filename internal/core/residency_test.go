@@ -1,0 +1,232 @@
+package core
+
+// Residency subsystem tests: the pin/evict/page-in lifecycle, the
+// bit-identity of paged representations, and the chaos contract on the
+// cold-read path — an injected disk fault is query-scoped (ErrStorage
+// for that caller), never degrades the database, and never disturbs the
+// resident set.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"seqrep/internal/chaos"
+)
+
+// TestResidencyLifecycle walks a record population through the full
+// paging cycle: pinned while dirty, evicted after the checkpoint that
+// makes them durable, paged back in bit-identically, and recovered
+// across a reboot.
+func TestResidencyLifecycle(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	db, err := OpenDir(dir, Config{MemoryBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	before := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("r%d", i)
+		mustIngest(t, db, id, durSeq(i))
+		fs, err := db.Representation(id)
+		if err != nil {
+			t.Fatalf("Representation(%s) while dirty: %v", id, err)
+		}
+		before[id], err = fs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dirty records are pinned: resident over budget, because their only
+	// copy is RAM plus the WAL.
+	st, ok := db.ResidencyStats()
+	if !ok {
+		t.Fatal("ResidencyStats: tracker not armed under a budget")
+	}
+	if st.ResidentRecords != n || st.Pinned != n {
+		t.Fatalf("pre-checkpoint stats = %+v, want %d resident, all pinned", st, n)
+	}
+
+	// The checkpoint unpins; the 1-byte budget then evicts everything.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = db.ResidencyStats()
+	if st.ResidentRecords != 0 || st.Pinned != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("post-checkpoint stats = %+v, want empty resident set", st)
+	}
+	if st.Evictions < n {
+		t.Fatalf("evictions = %d, want >= %d", st.Evictions, n)
+	}
+
+	// Page-in returns the exact bytes that were evicted.
+	for id, want := range before {
+		fs, err := db.Representation(id)
+		if err != nil {
+			t.Fatalf("Representation(%s) after eviction: %v", id, err)
+		}
+		got, err := fs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s: paged representation differs from the evicted one", id)
+		}
+	}
+	st, _ = db.ResidencyStats()
+	if st.ColdHits < n {
+		t.Fatalf("cold hits = %d, want >= %d", st.ColdHits, n)
+	}
+
+	// Reboot: boot adoption streams through the budget, so the database
+	// comes back complete but not resident.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDir(dir, Config{MemoryBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != n {
+		t.Fatalf("rebooted Len = %d, want %d", db2.Len(), n)
+	}
+	st, _ = db2.ResidencyStats()
+	if st.ResidentRecords != 0 || st.Pinned != 0 {
+		t.Fatalf("boot residency = %+v, want empty (adoption evicts as it streams)", st)
+	}
+	for id, want := range before {
+		fs, err := db2.Representation(id)
+		if err != nil {
+			t.Fatalf("rebooted Representation(%s): %v", id, err)
+		}
+		got, err := fs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s: rebooted representation differs", id)
+		}
+	}
+}
+
+// TestResidencyColdReadDiskError pins the chaos contract of the paging
+// path: an injected device error on a cold read surfaces as ErrStorage
+// to that caller only — the database stays healthy (not degraded, no
+// record lost, resident set untouched) and the next read succeeds.
+func TestResidencyColdReadDiskError(t *testing.T) {
+	db := pagedDB(t, Config{})
+	for i := 0; i < 4; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &chaos.Fault{Kind: chaos.DiskError, Count: 1}
+	db.SetSegmentReadFault(f.Hook())
+	_, err := db.Representation("r0")
+	if !errors.Is(err, ErrStorage) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("cold read under disk fault = %v, want ErrStorage wrapping the injected error", err)
+	}
+	if errors.Is(err, ErrUnknownID) {
+		t.Fatalf("cold read under disk fault misclassified as unknown id: %v", err)
+	}
+
+	// Query-scoped, not database-scoped: nothing degraded, nothing
+	// evicted, nothing admitted by the failed pread.
+	if deg := db.DegradedStatus(); deg.Degraded {
+		t.Fatalf("a failed cold read degraded the database: %+v", deg)
+	}
+	if _, ok := db.Record("r0"); !ok {
+		t.Fatal("record vanished after a failed cold read")
+	}
+	if st, _ := db.ResidencyStats(); st.ResidentRecords != 0 {
+		t.Fatalf("failed pread changed the resident set: %+v", st)
+	}
+
+	// The fault window is over: the same read now succeeds.
+	if _, err := db.Representation("r0"); err != nil {
+		t.Fatalf("cold read after the fault healed: %v", err)
+	}
+
+	// Same contract through the query verification fan-out: one query
+	// fails with a storage fault, the database keeps serving, and the
+	// retry succeeds with the full answer.
+	f2 := &chaos.Fault{Kind: chaos.DiskError, Count: 1}
+	db.SetSegmentReadFault(f2.Hook())
+	if _, err := db.ValueQuery(durSeq(0), 1e9); !errors.Is(err, ErrStorage) {
+		t.Fatalf("query over faulted cold reads = %v, want ErrStorage", err)
+	}
+	db.SetSegmentReadFault(nil)
+	matches, err := db.ValueQuery(durSeq(0), 1e9)
+	if err != nil {
+		t.Fatalf("query after fault cleared: %v", err)
+	}
+	if len(matches) != 4 {
+		t.Fatalf("query after fault returned %d matches, want 4", len(matches))
+	}
+	if deg := db.DegradedStatus(); deg.Degraded {
+		t.Fatalf("query-path fault degraded the database: %+v", deg)
+	}
+}
+
+// TestResidencyColdReadSlowRead: a gray-failure stall on the cold path
+// delays the read but does not fail it — paging absorbs slowness.
+func TestResidencyColdReadSlowRead(t *testing.T) {
+	db := pagedDB(t, Config{})
+	mustIngest(t, db, "slow", durSeq(1))
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	f := &chaos.Fault{Kind: chaos.SlowWrite, Delay: 5 * time.Millisecond, Count: 1}
+	db.SetSegmentReadFault(f.Hook())
+	start := time.Now()
+	if _, err := db.Representation("slow"); err != nil {
+		t.Fatalf("stalled cold read failed: %v", err)
+	}
+	if f.Trips() != 1 {
+		t.Fatalf("fault trips = %d, want 1", f.Trips())
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("stall not observed: read took %v", elapsed)
+	}
+}
+
+// TestResidencyResidentReadsSkipDisk: reads of resident payloads never
+// touch the segment tier — under a budget large enough to hold
+// everything, a permanently faulted disk is invisible to reads.
+func TestResidencyResidentReadsSkipDisk(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, Config{MemoryBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 4; i++ {
+		mustIngest(t, db, fmt.Sprintf("r%d", i), durSeq(i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := db.ResidencyStats()
+	if st.ResidentRecords != 4 {
+		t.Fatalf("records evicted under a sufficient budget: %+v", st)
+	}
+
+	f := &chaos.Fault{Kind: chaos.DiskError, Count: -1}
+	db.SetSegmentReadFault(f.Hook())
+	for i := 0; i < 4; i++ {
+		if _, err := db.Representation(fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatalf("resident read touched the faulted tier: %v", err)
+		}
+	}
+	if f.Calls() != 0 {
+		t.Fatalf("resident reads reached the segment tier %d times, want 0", f.Calls())
+	}
+}

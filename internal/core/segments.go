@@ -161,26 +161,44 @@ func (db *DB) restoreDirty(old map[string]bool) {
 // also becomes a tombstone — safe, because the drop only happens after
 // the remove's WAL append fsync'd, so the removal is durable in the log
 // tail this checkpoint leaves behind.
-func (db *DB) encodeDirty(dirty map[string]bool) ([]segment.Entry, error) {
+//
+// The second return value lists the live records whose payloads went
+// into the entries: once the checkpoint's manifest commits, these are
+// the records whose residency pins the checkpoint releases (their only
+// copy is no longer RAM + WAL).
+func (db *DB) encodeDirty(dirty map[string]bool) ([]segment.Entry, []*Record, error) {
 	ids := make([]string, 0, len(dirty))
 	for id := range dirty {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	entries := make([]segment.Entry, 0, len(ids))
+	flushed := make([]*Record, 0, len(ids))
 	for _, id := range ids {
 		rec, ok := db.Record(id)
 		if !ok {
 			entries = append(entries, segment.Entry{ID: id, Tombstone: true})
 			continue
 		}
-		payload, err := encodeRecordPayload(rec)
+		// A dirty record is pinned resident, so this is a pointer load,
+		// never a fault-in; the defensive error path covers a remove
+		// racing between the lookup above and here.
+		fs, err := db.materialize(rec)
 		if err != nil {
-			return nil, fmt.Errorf("core: encoding %q: %w", id, err)
+			if err = db.verifyReadError(rec, err); err != nil {
+				return nil, nil, fmt.Errorf("core: encoding %q: %w", id, err)
+			}
+			entries = append(entries, segment.Entry{ID: id, Tombstone: true})
+			continue
+		}
+		payload, err := encodeRecordPayload(fs, rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: encoding %q: %w", id, err)
 		}
 		entries = append(entries, segment.Entry{ID: id, Payload: payload})
+		flushed = append(flushed, rec)
 	}
-	return entries, nil
+	return entries, flushed, nil
 }
 
 // bootFromSegments populates a fresh database from the committed
@@ -205,6 +223,13 @@ func bootFromSegments(segs *segment.Store, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attach the tier and arm residency before adoption: each adopted
+	// record is admitted clean (dirty tracking is still off and its
+	// payload is durably in the tier), so under a memory budget the
+	// eviction sweep bounds resident bytes while records stream in —
+	// boot never materializes more than the budget plus one record.
+	db.segs = segs
+	db.armResidency()
 	restoreVectors := mm.FeatSource == db.featSource()
 	restoreSketches := mm.SketchSource == db.sketchSource()
 	err = segs.Iterate(func(id string, payload []byte) error {
@@ -238,5 +263,14 @@ func (db *DB) SegmentStats() (segment.Stats, bool) {
 func (db *DB) WrapCheckpointWriter(wrap func(io.Writer) io.Writer) {
 	if db.segs != nil {
 		db.segs.SetWrapWriter(wrap)
+	}
+}
+
+// SetSegmentReadFault installs a fault hook on the segment tier's point
+// lookups — the residency subsystem's cold-read path (chaos tests).
+// Pass nil to remove. No-op without a segment tier.
+func (db *DB) SetSegmentReadFault(hook func() error) {
+	if db.segs != nil {
+		db.segs.SetReadFault(hook)
 	}
 }

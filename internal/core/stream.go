@@ -355,7 +355,17 @@ func (db *DB) shapeSpec(exemplar seq.Sequence, tol ShapeTolerance) (*querySpec, 
 		kind:    "shape",
 		initEps: math.Inf(1),
 		verify: func(rec *Record, _ float64) (Match, bool, error) {
-			return shapeVerify(rec, qSig, tol)
+			// Shape verification reads segment boundaries, so the
+			// representation must be resident; a record removed mid-scan
+			// is skipped like every other verification path.
+			fs, err := db.materialize(rec)
+			if err != nil {
+				if err = db.verifyReadError(rec, err); err != nil {
+					return Match{}, false, fmt.Errorf("core: shape query reading %q: %w", rec.ID, err)
+				}
+				return Match{}, false, nil
+			}
+			return shapeVerify(rec, fs, qSig, tol)
 		},
 	}, nil
 }

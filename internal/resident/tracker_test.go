@@ -1,0 +1,184 @@
+package resident
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// evictLog collects eviction callbacks and releases payloads by flag.
+type evictLog struct {
+	mu      sync.Mutex
+	evicted []string
+}
+
+func (l *evictLog) cb(id string, _ *atomic.Bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evicted = append(l.evicted, id)
+	return true
+}
+
+func TestTrackerEvictsUnderBudget(t *testing.T) {
+	var log evictLog
+	tr := New(100, log.cb)
+	refs := make([]*atomic.Bool, 5)
+	for i := range refs {
+		refs[i] = new(atomic.Bool)
+		tr.Admit(fmt.Sprintf("r%d", i), 40, refs[i], false)
+	}
+	st := tr.Stats()
+	if st.ResidentBytes > 100 {
+		t.Fatalf("resident bytes %d exceed budget 100", st.ResidentBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions recorded despite 200 admitted bytes under a 100-byte budget")
+	}
+	if got := st.ResidentRecords; got > 2 {
+		t.Fatalf("resident records = %d, want <= 2 under budget", got)
+	}
+}
+
+func TestTrackerPinsSurviveSweep(t *testing.T) {
+	var log evictLog
+	tr := New(50, log.cb)
+	pinned := new(atomic.Bool)
+	tr.Admit("dirty", 40, pinned, true)
+	for i := 0; i < 5; i++ {
+		tr.Admit(fmt.Sprintf("clean%d", i), 40, new(atomic.Bool), false)
+	}
+	log.mu.Lock()
+	for _, id := range log.evicted {
+		if id == "dirty" {
+			t.Fatalf("pinned entry was offered for eviction")
+		}
+	}
+	log.mu.Unlock()
+	st := tr.Stats()
+	if st.Pinned != 1 {
+		t.Fatalf("pinned = %d, want 1", st.Pinned)
+	}
+
+	// After unpinning, a further over-budget admit may evict it.
+	tr.Unpin("dirty", pinned)
+	if st := tr.Stats(); st.Pinned != 0 {
+		t.Fatalf("pinned = %d after unpin, want 0", st.Pinned)
+	}
+}
+
+func TestTrackerRefIdentity(t *testing.T) {
+	var log evictLog
+	tr := New(1000, log.cb)
+	oldRef := new(atomic.Bool)
+	tr.Admit("id", 10, oldRef, true)
+
+	// Re-ingest under the same id with a new identity: the successor's
+	// admit replaces the stale entry.
+	newRef := new(atomic.Bool)
+	tr.Admit("id", 20, newRef, true)
+	if st := tr.Stats(); st.ResidentBytes != 20 || st.ResidentRecords != 1 {
+		t.Fatalf("after replace: bytes=%d records=%d, want 20/1", st.ResidentBytes, st.ResidentRecords)
+	}
+
+	// A stale unpin or drop aimed at the predecessor must not touch the
+	// successor's entry.
+	tr.Unpin("id", oldRef)
+	tr.Drop("id", oldRef)
+	st := tr.Stats()
+	if st.ResidentRecords != 1 || st.Pinned != 1 {
+		t.Fatalf("stale unpin/drop touched successor: records=%d pinned=%d", st.ResidentRecords, st.Pinned)
+	}
+
+	// The matching drop works.
+	tr.Drop("id", newRef)
+	if st := tr.Stats(); st.ResidentRecords != 0 || st.ResidentBytes != 0 || st.Pinned != 0 {
+		t.Fatalf("after matching drop: %+v", st)
+	}
+}
+
+func TestTrackerSecondChance(t *testing.T) {
+	var log evictLog
+	tr := New(100, log.cb)
+	hotRef := new(atomic.Bool)
+	tr.Admit("hot", 40, hotRef, false)
+	coldRef := new(atomic.Bool)
+	tr.Admit("cold", 40, coldRef, false)
+
+	// Both ref bits are set by Admit; clear cold's and touch hot's so the
+	// sweep prefers cold.
+	coldRef.Store(false)
+	hotRef.Store(true)
+
+	tr.Admit("new", 40, new(atomic.Bool), false)
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.evicted) == 0 {
+		t.Fatalf("no eviction despite over-budget admit")
+	}
+	if log.evicted[0] != "cold" {
+		t.Fatalf("first eviction = %q, want the unreferenced entry %q", log.evicted[0], "cold")
+	}
+}
+
+func TestTrackerOnEvictRefusal(t *testing.T) {
+	// An onEvict returning false keeps the entry; the tracker stays over
+	// budget rather than looping forever.
+	tr := New(10, func(string, *atomic.Bool) bool { return false })
+	tr.Admit("a", 20, new(atomic.Bool), false)
+	tr.Admit("b", 20, new(atomic.Bool), false)
+	st := tr.Stats()
+	if st.ResidentRecords != 2 {
+		t.Fatalf("refused evictions should keep entries: records=%d", st.ResidentRecords)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions=%d, want 0 when every callback refuses", st.Evictions)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	ref := new(atomic.Bool)
+	tr.Admit("x", 1, ref, true)
+	tr.Unpin("x", ref)
+	tr.Drop("x", ref)
+	tr.ColdHit()
+	if st := tr.Stats(); st != (Stats{}) {
+		t.Fatalf("nil tracker stats = %+v, want zero", st)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	var released atomic.Int64
+	tr := New(1<<12, func(id string, _ *atomic.Bool) bool {
+		released.Add(1)
+		return true
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				ref := new(atomic.Bool)
+				tr.Admit(id, 64, ref, i%3 == 0)
+				if i%3 == 0 {
+					tr.Unpin(id, ref)
+				}
+				if i%5 == 0 {
+					tr.Drop(id, ref)
+				}
+				tr.ColdHit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.ResidentBytes > 1<<12 {
+		t.Fatalf("resident bytes %d exceed budget after churn", st.ResidentBytes)
+	}
+	if st.Pinned != 0 {
+		t.Fatalf("pinned = %d after balanced pin/unpin churn", st.Pinned)
+	}
+}

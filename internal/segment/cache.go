@@ -13,8 +13,11 @@ import (
 // sequence number in the file name only grows), so an entry can never go
 // stale; eviction is the only way out.
 //
-// Cached payload slices are shared: callers must treat them as
-// read-only.
+// The cache never shares byte slices across its boundary: put stores
+// its own copy of the payload and get hands out a fresh copy, so no
+// caller mutation — upstream decoders, downstream consumers, the
+// paging fan-out of the residency subsystem — can corrupt a cached
+// frame or another reader's view of it.
 type Cache struct {
 	mu   sync.Mutex
 	max  int64
@@ -61,7 +64,9 @@ func (c *Cache) get(key cacheKey) ([]byte, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).payload, true
+	// Defensive copy: the retained slice must never escape, or a caller
+	// mutation would silently corrupt every later hit on this frame.
+	return append([]byte(nil), el.Value.(*cacheEntry).payload...), true
 }
 
 func (c *Cache) put(key cacheKey, payload []byte) {
@@ -74,7 +79,9 @@ func (c *Cache) put(key cacheKey, payload []byte) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	// Store a private copy for the same reason get returns one: the
+	// caller's buffer may be reused or mutated after the put.
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, payload: append([]byte(nil), payload...)})
 	c.used += int64(len(payload))
 	for c.used > c.max {
 		el := c.ll.Back()

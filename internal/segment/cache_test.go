@@ -1,0 +1,73 @@
+package segment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCacheNoSliceSharing: the cache must hand out and retain private
+// copies. Historically get returned the cached slice by reference, so a
+// caller mutating its "own" payload corrupted every later hit on the
+// same frame — with the residency subsystem faulting payloads through
+// the cache on every cold read, that bug would silently corrupt
+// records. Guard both directions: mutation of a returned payload, and
+// mutation of the buffer that was passed to put.
+func TestCacheNoSliceSharing(t *testing.T) {
+	c := NewCache(1 << 20)
+	key := cacheKey{path: "seg-0000000000000001.sseg", off: 64}
+	orig := []byte("payload-original-bytes")
+
+	// put must retain a private copy: scribbling on the caller's buffer
+	// afterwards must not reach the cache.
+	buf := append([]byte(nil), orig...)
+	c.put(key, buf)
+	for i := range buf {
+		buf[i] = 0xEE
+	}
+	got, ok := c.get(key)
+	if !ok {
+		t.Fatal("get: entry missing after put")
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatalf("cached payload shares put's buffer: got %q, want %q", got, orig)
+	}
+
+	// get must return a private copy: mutating one hit must not be
+	// visible to the next.
+	for i := range got {
+		got[i] = 0xAA
+	}
+	again, ok := c.get(key)
+	if !ok {
+		t.Fatal("get: entry missing on second hit")
+	}
+	if !bytes.Equal(again, orig) {
+		t.Fatalf("cache hit shares a previously returned slice: got %q, want %q", again, orig)
+	}
+}
+
+// TestReaderGetMutationIsolated: the same guarantee end to end through
+// Reader.Get — mutate a payload returned from a cache hit and verify a
+// re-read still sees the on-disk bytes.
+func TestReaderGetMutationIsolated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	want := []byte("immutable-frame-bytes")
+	if err := s.Flush([]Entry{{ID: "rec-a", Payload: append([]byte(nil), want...)}}, 1, nil); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// First Get warms the cache, second hits it; mutate each in turn.
+	for i := 0; i < 3; i++ {
+		p, tomb, ok, err := s.Get("rec-a")
+		if err != nil || !ok || tomb {
+			t.Fatalf("Get #%d: (%v,%v,%v)", i, tomb, ok, err)
+		}
+		if !bytes.Equal(p, want) {
+			t.Fatalf("Get #%d returned %q, want %q (earlier mutation leaked)", i, p, want)
+		}
+		for j := range p {
+			p[j] = byte(i)
+		}
+	}
+}

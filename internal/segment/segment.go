@@ -389,7 +389,8 @@ func (r *Reader) find(id string) int {
 
 // Get returns the payload stored under id. ok reports whether the
 // segment holds an entry for id at all; tombstone marks a held deletion
-// (payload nil). The returned payload may be cache-shared: read-only.
+// (payload nil). The returned payload is the caller's to keep: cache
+// hits are defensive copies, so mutation cannot corrupt other readers.
 func (r *Reader) Get(id string) (payload []byte, tombstone, ok bool, err error) {
 	i := r.find(id)
 	if i < 0 {

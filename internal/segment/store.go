@@ -53,6 +53,12 @@ type Store struct {
 	// Manifest writes are not wrapped: they are tiny and the interesting
 	// failures (torn manifest) are exercised by crash-cut tests instead.
 	wrapWriter func(io.Writer) io.Writer
+
+	// readFault, when set, is consulted at the top of every point lookup
+	// — the cold-read fault-injection hook (chaos suite) mirroring
+	// wrapWriter on the write side. A non-nil error fails that Get only;
+	// the store itself is untouched.
+	readFault func() error
 }
 
 const (
@@ -162,6 +168,16 @@ func (s *Store) SetWrapWriter(wrap func(io.Writer) io.Writer) {
 	s.mu.Unlock()
 }
 
+// SetReadFault installs a hook invoked before every point lookup (Get)
+// reads the tier — the cold-read fault-injection counterpart of
+// SetWrapWriter, used by the chaos suite to exercise paging failures.
+// A returned error fails that lookup only. Pass nil to remove.
+func (s *Store) SetReadFault(hook func() error) {
+	s.mu.Lock()
+	s.readFault = hook
+	s.mu.Unlock()
+}
+
 // SetCompactThreshold overrides the segment count that triggers
 // compaction. Negative disables compaction; zero restores the default.
 func (s *Store) SetCompactThreshold(n int) {
@@ -250,11 +266,16 @@ func (s *Store) Flush(entries []Entry, lsn uint64, meta json.RawMessage) error {
 
 // Get resolves id across the segment overlay, newest segment first.
 // found reports whether any segment holds an entry for id; tombstone
-// marks the newest entry as a deletion. The payload may be cache-shared:
-// read-only.
+// marks the newest entry as a deletion. The payload is the caller's to
+// keep: cache hits are defensive copies (see Cache).
 func (s *Store) Get(id string) (payload []byte, tombstone, found bool, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.readFault != nil {
+		if err := s.readFault(); err != nil {
+			return nil, false, false, err
+		}
+	}
 	for i := len(s.readers) - 1; i >= 0; i-- {
 		p, tomb, ok, err := s.readers[i].Get(id)
 		if err != nil {

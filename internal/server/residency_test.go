@@ -1,0 +1,179 @@
+package server
+
+// Residency at the serving layer: a durable server started with a
+// memory budget must surface the paging subsystem in /healthz (budget,
+// resident count/bytes, pins, eviction and cold-hit totals) and as
+// seqserved_resident_* Prometheus series in /metrics; a server without
+// a budget must not report any of it; and a disk fault on the cold-read
+// path must stay query-scoped — a 500 for that query, never a degraded
+// database.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"seqrep"
+	"seqrep/internal/chaos"
+)
+
+func TestResidencyHealthAndMetrics(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	// A 1-byte budget: every clean payload is evictable immediately, so
+	// the lifecycle (pinned while dirty → evicted after checkpoint →
+	// paged back on read) is fully observable.
+	snap := &DirSnapshotter{Dir: dir, Config: seqrep.Config{MemoryBudget: 1}}
+	db, err := snap.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, cl := testServer(t, Config{DB: db, Snapshotter: snap})
+
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("rec-%d", i)
+		if _, err := cl.Ingest(ctx, feverItem(t, ids[i], i)); err != nil {
+			t.Fatalf("ingest %s: %v", ids[i], err)
+		}
+	}
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemoryBudget != 1 {
+		t.Fatalf("health memory_budget = %d, want 1", h.MemoryBudget)
+	}
+	// Every record is dirty (no checkpoint yet): pinned resident, exempt
+	// from eviction even over budget — the only copy is RAM + WAL.
+	if h.ResidentRecords != len(ids) || h.ResidentPinned != len(ids) {
+		t.Fatalf("pre-checkpoint residency = %d records / %d pinned, want %d / %d",
+			h.ResidentRecords, h.ResidentPinned, len(ids), len(ids))
+	}
+	if h.ResidentBytes == 0 {
+		t.Fatal("pre-checkpoint resident_bytes = 0, want > 0")
+	}
+
+	// The checkpoint makes the payloads durable in the segment tier and
+	// unpins them; with a 1-byte budget all of them evict.
+	if _, err := cl.SaveSnapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err = cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ResidentPinned != 0 || h.ResidentRecords != 0 || h.ResidentBytes != 0 {
+		t.Fatalf("post-checkpoint residency = %+v, want everything evicted", h)
+	}
+	if h.Evictions < uint64(len(ids)) {
+		t.Fatalf("evictions = %d, want >= %d", h.Evictions, len(ids))
+	}
+
+	// A read of an evicted record pages it back in from the tier.
+	if _, err := srv.DB().Representation(ids[0]); err != nil {
+		t.Fatalf("Representation(%s): %v", ids[0], err)
+	}
+	h, err = cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ColdHits == 0 {
+		t.Fatal("cold_hits = 0 after paging an evicted record")
+	}
+
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"seqserved_resident_records",
+		"seqserved_resident_bytes",
+		"seqserved_memory_budget_bytes 1",
+		"seqserved_resident_pinned",
+		"seqserved_evictions_total",
+		"seqserved_cold_hits_total",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %s:\n%s", want, m)
+		}
+	}
+}
+
+// TestResidencyColdReadFaultAnswers500: a disk fault on the paging path
+// is query-scoped at the HTTP layer too — the failing query answers 500
+// (storage fault), /healthz stays ok (not degraded: the WAL is fine,
+// only a read failed), and once the fault heals the same query serves
+// the full answer.
+func TestResidencyColdReadFaultAnswers500(t *testing.T) {
+	ctx := context.Background()
+	snap := &DirSnapshotter{Dir: t.TempDir(), Config: seqrep.Config{MemoryBudget: 1}}
+	db, err := snap.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	_, cl := testServer(t, Config{DB: db, Snapshotter: snap})
+
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Ingest(ctx, feverItem(t, fmt.Sprintf("rec-%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint evicts every payload; each exact verification below
+	// must page in from the (faulted) segment tier.
+	if _, err := cl.SaveSnapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &chaos.Fault{Kind: chaos.DiskError, Count: -1}
+	db.SetSegmentReadFault(f.Hook())
+	_, err = cl.Query(ctx, `MATCH VALUE LIKE rec-0 EPS 1000`)
+	if ae := apiErr(t, err); ae.StatusCode != 500 || !strings.Contains(ae.Message, "storage fault") {
+		t.Fatalf("query over a faulted cold read = %v, want a 500 storage fault", err)
+	}
+	if h, err := cl.Health(ctx); err != nil || h.Status != "ok" || h.Degraded {
+		t.Fatalf("health during a cold-read fault = %+v, %v; want ok and not degraded", h, err)
+	}
+
+	f.Clear()
+	resp, err := cl.Query(ctx, `MATCH VALUE LIKE rec-0 EPS 1000`)
+	if err != nil {
+		t.Fatalf("query after the fault healed: %v", err)
+	}
+	if len(resp.Matches) != 3 {
+		t.Fatalf("healed query returned %d matches, want 3", len(resp.Matches))
+	}
+}
+
+func TestResidencyAbsentWithoutBudget(t *testing.T) {
+	ctx := context.Background()
+	snap := &DirSnapshotter{Dir: t.TempDir(), Config: seqrep.Config{}}
+	db, err := snap.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	_, cl := testServer(t, Config{DB: db, Snapshotter: snap})
+
+	if _, err := cl.Ingest(ctx, feverItem(t, "only", 1)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemoryBudget != 0 || h.ResidentRecords != 0 || h.Evictions != 0 {
+		t.Fatalf("fully-resident server reports residency fields: %+v", h)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(m, "seqserved_resident_records") {
+		t.Fatal("fully-resident server emits seqserved_resident_* series")
+	}
+}

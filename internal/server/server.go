@@ -431,7 +431,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, api.IngestResponse{
 		ID:         req.ID,
 		Samples:    rec.N,
-		Segments:   rec.Rep.NumSegments(),
+		Segments:   rec.NumSegments(),
 		Symbols:    rec.Profile.Symbols,
 		Generation: db.Generation(),
 	})
@@ -493,7 +493,7 @@ func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.RecordResponse{
 		ID:        rec.ID,
 		Samples:   rec.N,
-		Segments:  rec.Rep.NumSegments(),
+		Segments:  rec.NumSegments(),
 		Peaks:     len(rec.Profile.Peaks),
 		Symbols:   rec.Profile.Symbols,
 		Intervals: rec.Profile.Intervals,
@@ -623,6 +623,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.SegmentBytes = st.Bytes
 		resp.Compactions = st.Compactions
 	}
+	if st, ok := db.ResidencyStats(); ok {
+		resp.MemoryBudget = st.MemoryBudget
+		resp.ResidentRecords = st.ResidentRecords
+		resp.ResidentBytes = st.ResidentBytes
+		resp.ResidentPinned = st.Pinned
+		resp.Evictions = st.Evictions
+		resp.ColdHits = st.ColdHits
+	}
 	// Load balancers and probes read the status code; humans and tests
 	// read the body — both are always present.
 	writeJSON(w, code, resp)
@@ -708,6 +716,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "seqserved_segment_cache_hits_total %d\n", st.Cache.Hits)
 		fmt.Fprintf(&b, "seqserved_segment_cache_misses_total %d\n", st.Cache.Misses)
 		fmt.Fprintf(&b, "seqserved_segment_cache_bytes %d\n", st.Cache.Bytes)
+	}
+	if st, ok := db.ResidencyStats(); ok {
+		fmt.Fprintf(&b, "# HELP seqserved_resident_records Record payloads currently resident in RAM.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_resident_records gauge\n")
+		fmt.Fprintf(&b, "seqserved_resident_records %d\n", st.ResidentRecords)
+		fmt.Fprintf(&b, "seqserved_resident_bytes %d\n", st.ResidentBytes)
+		fmt.Fprintf(&b, "seqserved_memory_budget_bytes %d\n", st.MemoryBudget)
+		fmt.Fprintf(&b, "seqserved_resident_pinned %d\n", st.Pinned)
+		fmt.Fprintf(&b, "# HELP seqserved_evictions_total Payloads paged out to the segment tier since boot.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_evictions_total counter\n")
+		fmt.Fprintf(&b, "seqserved_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(&b, "# HELP seqserved_cold_hits_total Reads that paged a payload back in from the segment tier.\n")
+		fmt.Fprintf(&b, "# TYPE seqserved_cold_hits_total counter\n")
+		fmt.Fprintf(&b, "seqserved_cold_hits_total %d\n", st.ColdHits)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

@@ -71,6 +71,7 @@ import (
 	"seqrep/internal/pattern"
 	"seqrep/internal/querylang"
 	"seqrep/internal/rep"
+	"seqrep/internal/resident"
 	"seqrep/internal/segment"
 	"seqrep/internal/seq"
 	"seqrep/internal/store"
@@ -209,6 +210,13 @@ type WALStats = core.WALStats
 // (DB.SegmentStats): segment/entry/tombstone counts, byte footprint,
 // compactions run, and the payload cache's occupancy and hit rates.
 type SegmentStats = segment.Stats
+
+// ResidencyStats reports the residency subsystem's paging counters
+// (DB.ResidencyStats, durable databases with Config.MemoryBudget > 0):
+// resident payload count and bytes against the budget, pinned (dirty)
+// records, and the eviction / cold-hit totals. See docs/STORAGE.md
+// "Residency & paging".
+type ResidencyStats = resident.Stats
 
 // RecoveryStats reports what OpenDir's boot-time replay did
 // (DB.Recovery).
